@@ -1,0 +1,56 @@
+// Command experiments regenerates the paper's tables and figures on
+// MosaicSim-Go (see DESIGN.md for the per-experiment index).
+//
+// Usage:
+//
+//	experiments [-scale tiny|small|large] [-run id[,id...]|all]
+//
+// Experiment IDs: fig1 tab1 tab2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+// fig13 fig14 storage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mosaicsim/internal/experiments"
+	"mosaicsim/internal/workloads"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "workload scale: tiny, small, or large")
+	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	flag.Parse()
+
+	var s workloads.Scale
+	switch *scale {
+	case "tiny":
+		s = workloads.Tiny
+	case "small":
+		s = workloads.Small
+	case "large":
+		s = workloads.Large
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := experiments.IDs()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+	r := experiments.NewRunner(s)
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := r.Run(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+		fmt.Printf("(%s regenerated in %v)\n\n", rep.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

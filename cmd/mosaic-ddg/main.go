@@ -1,0 +1,93 @@
+// Command mosaic-ddg emits the static data-dependence graph (§II-A) of a
+// kernel as Graphviz DOT or as summary statistics.
+//
+// Usage:
+//
+//	mosaic-ddg -workload sgemm           # stats
+//	mosaic-ddg -workload bfs -dot        # DOT on stdout
+//	mosaic-ddg -src kernel.c -fn kernel -dot > g.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mosaicsim/internal/cc"
+	"mosaicsim/internal/ddg"
+	"mosaicsim/internal/ir"
+	"mosaicsim/internal/stats"
+	"mosaicsim/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "", "built-in workload name")
+	src := flag.String("src", "", "mini-C source file")
+	fn := flag.String("fn", "kernel", "kernel function name (with -src)")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+	printIR := flag.Bool("ir", false, "print the kernel IR")
+	flag.Parse()
+
+	var f *ir.Function
+	switch {
+	case *workload != "":
+		w := workloads.ByName(*workload)
+		if w == nil {
+			fatal(fmt.Errorf("unknown workload %q", *workload))
+		}
+		var err error
+		f, err = w.Kernel()
+		if err != nil {
+			fatal(err)
+		}
+	case *src != "":
+		data, err := os.ReadFile(*src)
+		if err != nil {
+			fatal(err)
+		}
+		mod, err := cc.Compile(string(data), *src)
+		if err != nil {
+			fatal(err)
+		}
+		f = mod.Func(*fn)
+		if f == nil {
+			fatal(fmt.Errorf("no function %q in %s", *fn, *src))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -workload or -src; see -h")
+		os.Exit(2)
+	}
+
+	if *printIR {
+		fmt.Println(f.String())
+	}
+	g := ddg.Build(f)
+	if *dot {
+		fmt.Print(g.DOT())
+		return
+	}
+	s := g.Stats()
+	tbl := stats.NewTable("static DDG: @"+f.Ident, "metric", "value")
+	tbl.Row("basic blocks", s.Blocks)
+	tbl.Row("nodes (static instructions)", s.Nodes)
+	tbl.Row("intra-DBB data edges", s.IntraEdges)
+	tbl.Row("cross-DBB data edges", s.CrossEdges)
+	tbl.Row("phi edges", s.PhiEdges)
+	tbl.Row("memory operations", s.MemOps)
+	fmt.Println(tbl.String())
+
+	// Lightweight performance estimation straight from the graph (§II).
+	est := g.Estimate(ddg.UnitLatency)
+	an := stats.NewTable("static estimate (unit latencies)", "block", "nodes", "critical path", "ILP", "loop recurrence")
+	for _, b := range est.Blocks {
+		an.Row(b.Block.Ident, b.Nodes, b.CriticalPath, b.ILP, b.LoopCarried)
+	}
+	fmt.Println(an.String())
+	fmt.Printf("max per-block ILP %.2f; dataflow-minimum initiation interval %d cycles/iteration\n",
+		est.MaxILP, est.MinII)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mosaic-ddg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,143 @@
+// Command mosaic-trace runs the Dynamic Trace Generator (§II-A) for a
+// built-in workload, optionally writing the binary trace file, and reports
+// trace statistics (the §VI-B storage study for one kernel).
+//
+// Usage:
+//
+//	mosaic-trace -workload bfs -tiles 4
+//	mosaic-trace -workload sgemm -o sgemm.mstr
+//	mosaic-trace -read sgemm.mstr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mosaicsim/internal/interp"
+	"mosaicsim/internal/stats"
+	"mosaicsim/internal/trace"
+	"mosaicsim/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "", "built-in workload name")
+	tiles := flag.Int("tiles", 1, "SPMD tile count")
+	scale := flag.String("scale", "small", "workload scale: tiny, small, large")
+	out := flag.String("o", "", "write the binary trace to this file")
+	read := flag.String("read", "", "read and summarize a previously written trace")
+	hot := flag.Int("hot", 0, "profile the run and print the N hottest static instructions")
+	flag.Parse()
+
+	if *read != "" {
+		fh, err := os.Open(*read)
+		if err != nil {
+			fatal(err)
+		}
+		defer fh.Close()
+		tr, err := trace.Read(fh)
+		if err != nil {
+			fatal(err)
+		}
+		summarize(tr)
+		return
+	}
+	if *workload == "" {
+		fmt.Fprintln(os.Stderr, "need -workload or -read; see -h")
+		os.Exit(2)
+	}
+	w := workloads.ByName(*workload)
+	if w == nil {
+		fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
+	var ws workloads.Scale
+	switch *scale {
+	case "tiny":
+		ws = workloads.Tiny
+	case "large":
+		ws = workloads.Large
+	default:
+		ws = workloads.Small
+	}
+	if *hot > 0 {
+		profileRun(w, *tiles, ws, *hot)
+		return
+	}
+	_, tr, err := w.Trace(*tiles, ws)
+	if err != nil {
+		fatal(err)
+	}
+	summarize(tr)
+	if *out != "" {
+		fh, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := tr.WriteTo(fh)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *out, n)
+	}
+}
+
+// profileRun executes the workload with instruction profiling and prints the
+// hottest static instructions aggregated over tiles.
+func profileRun(w *workloads.Workload, tiles int, ws workloads.Scale, topN int) {
+	f, err := w.Kernel()
+	if err != nil {
+		fatal(err)
+	}
+	mem := interp.NewMemory(workloads.MemBytes)
+	inst := w.Setup(mem, ws)
+	res, err := interp.Run(f, mem, inst.Args, interp.Options{NumTiles: tiles, Acc: inst.Acc, Profile: true})
+	if err != nil {
+		fatal(err)
+	}
+	summarize(res.Trace)
+	agg := make([]int64, f.NumInstrs())
+	for _, counts := range res.Counts {
+		for i, c := range counts {
+			agg[i] += c
+		}
+	}
+	idx := make([]int, len(agg))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return agg[idx[a]] > agg[idx[b]] })
+	tbl := stats.NewTable(fmt.Sprintf("hottest %d static instructions", topN), "instr", "block", "op", "executions")
+	for rank := 0; rank < topN && rank < len(idx); rank++ {
+		i := idx[rank]
+		in := f.InstrByIdx(i)
+		op := in.Op.String()
+		if in.Callee != "" {
+			op += " " + in.Callee
+		}
+		tbl.Row(i, in.Parent.Ident, op, agg[i])
+	}
+	fmt.Println(tbl.String())
+}
+
+func summarize(tr *trace.Trace) {
+	tbl := stats.NewTable("trace: "+tr.Kernel, "tile", "dyn. instrs", "BB path", "mem events", "acc calls", "comm events")
+	for _, tt := range tr.Tiles {
+		tbl.Row(tt.Tile, tt.DynInstrs, len(tt.BBPath), len(tt.Mem), len(tt.Acc), len(tt.Comm))
+	}
+	fmt.Println(tbl.String())
+	size, err := tr.EncodedSize()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("total: %d dynamic instructions, %d memory events, %d bytes encoded (%.2f B/instr)\n",
+		tr.TotalDynInstrs(), tr.TotalMemEvents(), size, float64(size)/float64(tr.TotalDynInstrs()))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mosaic-trace:", err)
+	os.Exit(1)
+}

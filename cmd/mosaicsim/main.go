@@ -1,0 +1,202 @@
+// Command mosaicsim is the main simulator driver: it compiles a kernel (a
+// built-in workload or a mini-C source file), generates its dynamic traces
+// with the built-in DTG, simulates it on a configured system, and reports
+// the system-wide performance estimate (§II of the paper).
+//
+// Usage:
+//
+//	mosaicsim -list
+//	mosaicsim -workload sgemm -tiles 4 -core ooo
+//	mosaicsim -workload spmv -config sys.json -json
+//	mosaicsim -workload bfs -tiles 8 -coherence -mesh 4 -branch dynamic
+//
+// (For external kernel sources, use mosaic-ddg -src to inspect compilation
+// and the library API to drive simulation.)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/soc"
+	"mosaicsim/internal/stats"
+	"mosaicsim/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "", "built-in workload name (see -list)")
+	list := flag.Bool("list", false, "list built-in workloads")
+	tiles := flag.Int("tiles", 1, "SPMD tile count")
+	coreKind := flag.String("core", "ooo", "core model: ooo, inorder, xeon")
+	scale := flag.String("scale", "small", "workload scale: tiny, small, large")
+	memKind := flag.String("mem", "tab2", "memory hierarchy: tab1 (Xeon-like) or tab2 (DAE study)")
+	dram := flag.String("dram", "", "override DRAM model: simple or banked")
+	coherence := flag.Bool("coherence", false, "enable the directory coherence extension")
+	mesh := flag.Int("mesh", 0, "arrange tiles on a 2D mesh of this width (0 = flat fabric)")
+	hop := flag.Int64("hop", 4, "NoC per-hop latency in cycles (with -mesh)")
+	branch := flag.String("branch", "", "override branch predictor: none, static, dynamic, perfect")
+	asJSON := flag.Bool("json", false, "emit the result as JSON instead of tables")
+	cfgPath := flag.String("config", "", "system configuration JSON (overrides -core/-mem)")
+	saveCfg := flag.String("save-config", "", "write the effective system configuration to a JSON file and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-14s %s\n", w.Name, w.Desc)
+		}
+		return
+	}
+	if *workload == "" {
+		fmt.Fprintln(os.Stderr, "need -workload (or -list); see -h")
+		os.Exit(2)
+	}
+	w := workloads.ByName(*workload)
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *workload)
+		os.Exit(2)
+	}
+
+	var sc *config.SystemConfig
+	if *cfgPath != "" {
+		var err error
+		sc, err = config.Load(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var core config.CoreConfig
+		switch *coreKind {
+		case "ooo":
+			core = config.OutOfOrderCore()
+		case "inorder":
+			core = config.InOrderCore()
+		case "xeon":
+			core = config.XeonLikeCore()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown core %q\n", *coreKind)
+			os.Exit(2)
+		}
+		mem := config.TableIIMem()
+		if *memKind == "tab1" {
+			mem = config.TableIMem()
+		}
+		sc = &config.SystemConfig{
+			Name:  fmt.Sprintf("%s-%dx%s", w.Name, *tiles, *coreKind),
+			Cores: []config.CoreSpec{{Core: core, Count: *tiles}},
+			Mem:   mem,
+		}
+	}
+	switch *dram {
+	case "":
+	case "simple":
+		sc.Mem.DRAM.Model = config.DRAMSimple
+	case "banked":
+		bw := sc.Mem.DRAM.BandwidthGBs
+		sc.Mem.DRAM = config.BankedDRAMDefaults(bw)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown DRAM model %q\n", *dram)
+		os.Exit(2)
+	}
+	if *coherence {
+		sc.Mem.Directory = true
+	}
+	if *mesh > 0 {
+		sc.NoC = &config.NoCConfig{MeshWidth: *mesh, HopCycles: *hop}
+	}
+	if *branch != "" {
+		for i := range sc.Cores {
+			sc.Cores[i].Core.Branch = config.BranchPredictor(*branch)
+		}
+	}
+	if err := sc.Validate(); err != nil {
+		fatal(err)
+	}
+	if *saveCfg != "" {
+		if err := sc.Save(*saveCfg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *saveCfg)
+		return
+	}
+
+	var ws workloads.Scale
+	switch *scale {
+	case "tiny":
+		ws = workloads.Tiny
+	case "large":
+		ws = workloads.Large
+	default:
+		ws = workloads.Small
+	}
+
+	fmt.Printf("compiling and tracing %s (%d tiles, %s scale)...\n", w.Name, *tiles, *scale)
+	g, tr, err := w.Trace(*tiles, ws)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace: %d dynamic instructions, %d memory events\n",
+		tr.TotalDynInstrs(), tr.TotalMemEvents())
+
+	accels := workloads.DefaultAccelModels(sc.Cores[0].Core.ClockMHz)
+	sys, err := soc.NewSPMD(sc, g, tr, accels)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sys.Run(0); err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sys.Result()); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printResult(sys)
+}
+
+func printResult(sys *soc.System) {
+	r := sys.Result()
+	tbl := stats.NewTable("simulation result", "metric", "value")
+	tbl.Row("cycles", r.Cycles)
+	tbl.Row("instructions", r.Instrs)
+	tbl.Row("IPC", r.IPC)
+	tbl.Row("energy (uJ)", r.EnergyPJ/1e6)
+	tbl.Row("  cores (uJ)", r.Energy.CoresPJ/1e6)
+	tbl.Row("  caches (uJ)", (r.Energy.L1PJ+r.Energy.L2PJ+r.Energy.LLCPJ)/1e6)
+	tbl.Row("  DRAM (uJ)", r.Energy.DRAMPJ/1e6)
+	if r.Energy.AccelPJ > 0 {
+		tbl.Row("  accelerators (uJ)", r.Energy.AccelPJ/1e6)
+	}
+	tbl.Row("L1 accesses", r.L1.Accesses)
+	tbl.Row("L1 hit rate", r.L1.HitRate())
+	if r.L2.Accesses > 0 {
+		tbl.Row("L2 hit rate", r.L2.HitRate())
+	}
+	if r.LLC.Accesses > 0 {
+		tbl.Row("LLC hit rate", r.LLC.HitRate())
+	}
+	tbl.Row("DRAM reads", r.DRAM.Reads)
+	tbl.Row("DRAM writebacks", r.DRAM.Writebacks)
+	if r.AccelCalls > 0 {
+		tbl.Row("accelerator calls", r.AccelCalls)
+		tbl.Row("accelerator bytes", r.AccelBytes)
+	}
+	fmt.Println(tbl.String())
+
+	per := stats.NewTable("per-tile", "tile", "instrs", "IPC", "loads", "stores", "sends", "recvs", "MAO stalls", "comm stalls")
+	for i, c := range sys.Cores {
+		s := c.Stats
+		per.Row(i, s.Instrs, s.IPC(), s.Loads, s.Stores, s.Sends, s.Recvs, s.MAOStalls, s.CommStalls)
+	}
+	fmt.Println(per.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mosaicsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Command trends prints the Figure 1 microprocessor trend series (recreated
+// from the dataset the paper cites) as a table and a small log-scale ASCII
+// chart of the frequency-plateau / core-count-climb crossover.
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mosaicsim/internal/experiments"
+	"mosaicsim/internal/trends"
+)
+
+func main() {
+	fmt.Println(experiments.Fig1().String())
+
+	// ASCII sketch: log10 scale, F = frequency (MHz), C = logical cores.
+	fmt.Println("log10 scale sketch (F = frequency MHz, C = logical cores):")
+	const rows = 8
+	pts := trends.Data()
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", len(pts)*5))
+	}
+	plot := func(val float64, col int, ch byte) {
+		if val <= 0 {
+			return
+		}
+		l := math.Log10(val)
+		row := rows - 1 - int(l*float64(rows-1)/7.0+0.5)
+		if row < 0 {
+			row = 0
+		}
+		if row >= rows {
+			row = rows - 1
+		}
+		grid[row][col*5+2] = ch
+	}
+	for i, p := range pts {
+		plot(p.FrequencyMHz, i, 'F')
+		plot(p.Cores, i, 'C')
+	}
+	for _, line := range grid {
+		fmt.Println(string(line))
+	}
+	var years []string
+	for _, p := range pts {
+		years = append(years, fmt.Sprintf("%5d", p.Year%100))
+	}
+	fmt.Println(strings.Join(years, ""))
+}

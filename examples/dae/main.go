@@ -1,0 +1,119 @@
+// DAE: the §VII-A Decoupled Access/Execute case study end to end. The
+// bipartite graph projection kernel is sliced by the DeSC-style compiler
+// pass into access and execute slices; the heterogeneous pair system is
+// traced and simulated against single-core and homogeneous baselines at
+// equal silicon area.
+//
+// Run with: go run ./examples/dae
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/dae"
+	"mosaicsim/internal/ddg"
+	"mosaicsim/internal/interp"
+	"mosaicsim/internal/ir"
+	"mosaicsim/internal/soc"
+	"mosaicsim/internal/workloads"
+)
+
+func main() {
+	w := workloads.Projection()
+	f, err := w.Kernel()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Compiler pass: slice into access and execute.
+	s, err := dae.Slice(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sliced @%s: %d communicated loads, %d communicated store values\n",
+		f.Ident, s.CommLoads, s.CommStores)
+	fmt.Printf("access slice: %d instructions; execute slice: %d instructions\n\n",
+		s.Access.NumInstrs(), s.Execute.NumInstrs())
+
+	mem := config.TableIIMem()
+	ino := config.InOrderCore()
+	ooo := config.OutOfOrderCore()
+	// The DAE cores carry the DeSC structures, which extend the little
+	// core's run-ahead (same configuration the Fig. 11 experiment uses).
+	daeCore := ino
+	daeCore.DecoupledSupply = true
+	daeCore.WindowSize = 64
+	daeCore.LSQSize = 12
+
+	// Homogeneous systems.
+	homo := func(core config.CoreConfig, n int) int64 {
+		g, tr, err := w.Trace(n, workloads.Small)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := soc.NewSPMD(&config.SystemConfig{
+			Name: "homo", Cores: []config.CoreSpec{{Core: core, Count: n}}, Mem: mem,
+		}, g, tr, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Run(0); err != nil {
+			log.Fatal(err)
+		}
+		return sys.Cycles
+	}
+
+	// DAE pair systems: even tiles access, odd tiles execute.
+	daeRun := func(pairs int) int64 {
+		var fns []*ir.Function
+		for i := 0; i < pairs; i++ {
+			fns = append(fns, s.Access, s.Execute)
+		}
+		m := interp.NewMemory(workloads.MemBytes)
+		inst := w.Setup(m, workloads.Small)
+		res, err := interp.RunTiles(fns, m, inst.Args, interp.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := inst.Check(m); err != nil {
+			log.Fatalf("DAE slices computed a wrong result: %v", err)
+		}
+		ag, eg := ddg.Build(s.Access), ddg.Build(s.Execute)
+		var tiles []soc.TileSpec
+		for i := 0; i < pairs; i++ {
+			tiles = append(tiles,
+				soc.TileSpec{Cfg: daeCore, Graph: ag, TT: res.Trace.Tiles[2*i]},
+				soc.TileSpec{Cfg: daeCore, Graph: eg, TT: res.Trace.Tiles[2*i+1]})
+		}
+		sys, err := soc.New("dae", tiles, mem, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Run(0); err != nil {
+			log.Fatal(err)
+		}
+		return sys.Cycles
+	}
+
+	base := homo(ino, 1)
+	rows := []struct {
+		name   string
+		cycles int64
+		area   float64
+	}{
+		{"1 InO core", base, ino.AreaMM2},
+		{"1 OoO core", homo(ooo, 1), ooo.AreaMM2},
+		{"2 InO cores (homogeneous)", homo(ino, 2), 2 * ino.AreaMM2},
+		{"1 DAE pair (2 InO)", daeRun(1), 2 * ino.AreaMM2},
+		{"8 InO cores (homogeneous)", homo(ino, 8), 8 * ino.AreaMM2},
+		{"4 DAE pairs (8 InO)", daeRun(4), 8 * ino.AreaMM2},
+	}
+	fmt.Printf("%-28s %12s %9s %8s\n", "system", "cycles", "speedup", "mm^2")
+	for _, r := range rows {
+		fmt.Printf("%-28s %12d %8.2fx %8.2f\n", r.name, r.cycles, float64(base)/float64(r.cycles), r.area)
+	}
+	fmt.Println("\nAt OoO-equal area (~8.4 mm^2), heterogeneous DAE parallelism outperforms")
+	fmt.Println("both the big out-of-order core and homogeneous little-core parallelism (Fig. 11).")
+}

@@ -1,0 +1,92 @@
+// DNN: the §VII-C TensorFlow/Keras performance-modeling case study. Three
+// deep-learning applications are described as layer graphs; their training
+// steps are estimated on an out-of-order server core and on an SoC with
+// eight accelerator instances, and the energy-delay-product improvements are
+// compared (Fig. 14).
+//
+// Run with: go run ./examples/dnn
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mosaicsim/internal/accel"
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/keras"
+	"mosaicsim/internal/soc"
+)
+
+func main() {
+	core := keras.DefaultOoOCore()
+	socp := keras.DefaultSoC(8)
+	const batch = 32
+
+	fmt.Printf("%-10s %14s %14s %14s %16s\n",
+		"app", "core cycles", "SoC cycles", "speedup", "EDP improvement")
+	for _, m := range keras.Apps() {
+		base := m.EstimateOnCore(core, batch)
+		opt := m.EstimateOnSoC(socp, batch)
+		// Express both in wall-clock-comparable terms: the SoC runs at the
+		// accelerator clock, the core at its own.
+		coreSec := float64(base.Cycles) / (float64(core.Cfg.ClockMHz) * 1e6)
+		socSec := float64(opt.Cycles) / (float64(socp.ClockMHz) * 1e6)
+		fmt.Printf("%-10s %14d %14d %13.1fx %15.1fx\n",
+			m.Name, base.Cycles, opt.Cycles, coreSec/socSec,
+			m.EDPImprovement(core, socp, batch))
+	}
+
+	fmt.Println("\nPer-layer breakdown of ConvNet's training step (why its gain is modest):")
+	m := keras.ConvNet()
+	in := m.Input
+	var accMACs, hostMACs int64
+	for _, l := range m.Layers {
+		f, b := l.Fwd(in), l.Bwd(in)
+		if l.Accelerated(false) {
+			accMACs += f.MACs
+		} else {
+			hostMACs += f.MACs
+		}
+		if l.Accelerated(true) {
+			accMACs += b.MACs
+		} else {
+			hostMACs += b.MACs
+		}
+		in = l.Out(in)
+	}
+	tot := accMACs + hostMACs
+	fmt.Printf("  accelerated work:   %5.1f%% of MACs\n", 100*float64(accMACs)/float64(tot))
+	fmt.Printf("  host-side backprop: %5.1f%% of MACs (no conv-backprop accelerator, §VII-C)\n",
+		100*float64(hostMACs)/float64(tot))
+
+	// The paper's actual mechanism, end to end: lower a (reduced) model to a
+	// kernel whose accelerator invocations are traced and simulated through
+	// the full pipeline.
+	fmt.Println("\nFull-pipeline simulation of a reduced RecSys training step (lowered kernel):")
+	lite := &keras.Model{
+		Name:  "RecSys-lite",
+		Input: keras.Shape{C: 128},
+		Layers: []keras.Layer{
+			keras.Dense{Units: 128},
+			keras.Elementwise{Kind: "relu", OpsPerElem: 1},
+			keras.Dense{Units: 64},
+		},
+	}
+	host := config.OutOfOrderCore()
+	dp := accel.DesignPoint{PLMBytes: 256 << 10, Lanes: 16}
+	models := map[string]soc.AccelModel{}
+	for _, name := range []string{"acc_sgemm", "acc_elementwise"} {
+		models[name] = &accel.Model{Acc: accel.ByName(name, dp), Mode: accel.ModeClosedForm, SystemMHz: host.ClockMHz, MaxMemGBs: 24}
+	}
+	withAcc, err := lite.SimulateTrainingStep(4, true, host, models)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hostOnly, err := lite.SimulateTrainingStep(4, false, host, models)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  host-only: %d cycles; with accelerators: %d cycles (%d invocations) -> %.1fx\n",
+		hostOnly.Cycles, withAcc.Cycles, withAcc.AccelCalls,
+		float64(hostOnly.Cycles)/float64(withAcc.Cycles))
+}

@@ -1,0 +1,71 @@
+// Heterosoc: a §VII-B style heterogeneous SoC study. The same dense
+// matrix-multiply runs three ways — on in-order cores, on an out-of-order
+// core, and offloaded to the fixed-function SGEMM accelerator — showing the
+// plug-and-play tile composition the paper's Interleaver enables.
+//
+// Run with: go run ./examples/heterosoc
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mosaicsim/internal/accel"
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/soc"
+	"mosaicsim/internal/workloads"
+)
+
+func main() {
+	sw := workloads.SGEMM()      // tiled SPMD software kernel
+	hw := workloads.SGEMMAccel() // same product via the accelerator API
+
+	// Accelerator model: the §VI-A SGEMM accelerator at its largest design
+	// point, evaluated with the generic closed-form performance model.
+	dp := accel.PLMSweep()[3]
+	sgemmAcc := accel.NewSGEMM(dp)
+	models := map[string]soc.AccelModel{
+		"acc_sgemm": &accel.Model{Acc: sgemmAcc, Mode: accel.ModeClosedForm, SystemMHz: 2000, MaxMemGBs: 24},
+	}
+	fmt.Printf("SGEMM accelerator design point: PLM %d KB, %d MACs/cycle, %.0fk um^2, %.2f W\n\n",
+		dp.PLMBytes/1024, dp.Lanes, sgemmAcc.AreaUM2()/1000, sgemmAcc.PowerW)
+
+	systems := []struct {
+		name string
+		w    *workloads.Workload
+		core config.CoreConfig
+		n    int
+	}{
+		{"1x in-order", sw, config.InOrderCore(), 1},
+		{"4x in-order", sw, config.InOrderCore(), 4},
+		{"1x out-of-order", sw, config.OutOfOrderCore(), 1},
+		{"accelerator SoC", hw, config.InOrderCore(), 1},
+	}
+
+	var baseline int64
+	for _, s := range systems {
+		g, tr, err := s.w.Trace(s.n, workloads.Small)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := &config.SystemConfig{
+			Name:  s.name,
+			Cores: []config.CoreSpec{{Core: s.core, Count: s.n}},
+			Mem:   config.TableIIMem(),
+		}
+		sys, err := soc.NewSPMD(cfg, g, tr, models)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Run(0); err != nil {
+			log.Fatal(err)
+		}
+		if baseline == 0 {
+			baseline = sys.Cycles
+		}
+		r := sys.Result()
+		fmt.Printf("%-16s %10d cycles   speedup %6.1fx   IPC %5.2f   accel calls %d\n",
+			s.name, sys.Cycles, float64(baseline)/float64(sys.Cycles), r.IPC, r.AccelCalls)
+	}
+	fmt.Println("\nThe accelerator dominates the compute-bound dense kernel (Fig. 12's ~45x bar).")
+}

@@ -1,0 +1,3 @@
+module mosaicsim
+
+go 1.22

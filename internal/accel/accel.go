@@ -1,0 +1,308 @@
+// Package accel implements MosaicSim-Go's accelerator simulation (§IV of the
+// paper): loosely-coupled, fixed-function accelerators with a pipelined
+// load / compute / store structure over a double-buffered private local
+// memory (PLM), evaluated at three fidelity levels:
+//
+//   - SimulatePipeline — a cycle-level model of the module pipeline, standing
+//     in for RTL simulation of the HLS-generated design.
+//   - ClosedForm — the paper's generic performance model (§IV-B): processes,
+//     loops per process, back-annotated per-iteration latencies, and
+//     iteration counts derived from the invocation parameters.
+//   - EmulateFPGA — the pipeline model plus Linux-driver invocation overhead
+//     and DMA derating, standing in for full-system FPGA emulation.
+//
+// Accelerators are non-coherent and communicate directly with main memory
+// (§IV-B "Communication Model").
+package accel
+
+import (
+	"fmt"
+
+	"mosaicsim/internal/soc"
+)
+
+// Chunk is one pipeline step: a DMA load, a compute burst, and a DMA store.
+type Chunk struct {
+	LoadBytes     int64
+	ComputeCycles int64
+	StoreBytes    int64
+}
+
+// Group is a run of identical pipeline chunks; plans use groups so that
+// multi-million-chunk workloads stay compact and the pipeline model can
+// fast-forward through steady state exactly.
+type Group struct {
+	Chunk
+	Count int64
+}
+
+// DesignPoint is one HLS design point of an accelerator (§IV-B "Design Space
+// Exploration"): the PLM size and compute parallelism, with a synthesized
+// area model.
+type DesignPoint struct {
+	PLMBytes int
+	Lanes    int // parallel MACs / ALU lanes in the compute process
+}
+
+// Accelerator is one fixed-function accelerator at a chosen design point.
+type Accelerator struct {
+	Name string
+	DP   DesignPoint
+	// Plan tiles an invocation into pipeline chunk groups.
+	Plan func(params []int64, dp DesignPoint) ([]Group, error)
+	// PowerW is the average power (the paper back-annotates it from RTL
+	// switching activity; here it scales with lanes and PLM).
+	PowerW float64
+	// ClockMHz is the accelerator clock.
+	ClockMHz int
+	// DMABytesPerCycle is the memory interface width×rate per direction.
+	DMABytesPerCycle int64
+	// NoCHops is the average hop count to the memory controller; each chunk
+	// transfer pays a per-hop latency (§IV-B communication model).
+	NoCHops int
+}
+
+const (
+	nocHopCycles   = 4
+	dmaSetupCycles = 64   // DMA transaction initiation per transfer
+	driverOverhead = 2000 // cycles: Linux device-driver invocation (§VI-A)
+	fpgaDMADerate  = 1.05 // FPGA DMA efficiency loss vs idealized RTL testbench
+	computeFill    = 12   // per-chunk compute-pipeline fill cycles
+)
+
+// dmaCycles returns the DMA time for one transfer of n bytes, including the
+// transaction setup and NoC traversal.
+func (a *Accelerator) dmaCycles(n int64) int64 {
+	if n == 0 {
+		return 0
+	}
+	bpc := a.DMABytesPerCycle
+	if bpc <= 0 {
+		bpc = 16
+	}
+	return (n+bpc-1)/bpc + dmaSetupCycles + int64(a.NoCHops*nocHopCycles)
+}
+
+// pipeState carries the three process completion times through the chunk
+// recurrence.
+type pipeState struct {
+	loadDone, compDone, storeDone int64
+}
+
+func (a *Accelerator) stepChunk(s pipeState, ch Chunk) pipeState {
+	loadDone := s.loadDone + a.dmaCycles(ch.LoadBytes)
+	compStart := max64(loadDone, s.compDone)
+	compDone := compStart + computeFill + ch.ComputeCycles
+	storeStart := max64(compDone, s.storeDone)
+	storeDone := storeStart + a.dmaCycles(ch.StoreBytes)
+	return pipeState{loadDone, compDone, storeDone}
+}
+
+// SimulatePipeline runs the cycle-level pipeline model: load(i+1) overlaps
+// compute(i) overlaps store(i-1) through the double-buffered PLM. Uniform
+// chunk runs are fast-forwarded after the recurrence reaches steady state,
+// which keeps the result exact. Cycles are at the accelerator clock.
+func (a *Accelerator) SimulatePipeline(params []int64) (int64, error) {
+	groups, err := a.Plan(params, a.DP)
+	if err != nil {
+		return 0, err
+	}
+	var s pipeState
+	for _, g := range groups {
+		remaining := g.Count
+		var prev pipeState
+		// Simulate a few chunks explicitly; once per-chunk increments are
+		// constant (steady state), jump.
+		for i := int64(0); i < remaining; i++ {
+			next := a.stepChunk(s, g.Chunk)
+			if i >= 2 {
+				dl := next.loadDone - s.loadDone
+				dc := next.compDone - s.compDone
+				ds := next.storeDone - s.storeDone
+				pl := s.loadDone - prev.loadDone
+				pc := s.compDone - prev.compDone
+				ps := s.storeDone - prev.storeDone
+				if dl == pl && dc == pc && ds == ps {
+					left := remaining - i - 1
+					next.loadDone += dl * left
+					next.compDone += dc * left
+					next.storeDone += ds * left
+					prev, s = s, next
+					break
+				}
+			}
+			prev, s = s, next
+		}
+	}
+	return max64(s.storeDone, s.compDone), nil
+}
+
+// ClosedForm evaluates the generic performance model (§IV-B): each process's
+// total time is its back-annotated per-iteration latency times its iteration
+// count; the pipeline time is the bottleneck total plus fill/drain of the
+// other processes.
+func (a *Accelerator) ClosedForm(params []int64) (int64, error) {
+	groups, err := a.Plan(params, a.DP)
+	if err != nil {
+		return 0, err
+	}
+	var loadTotal, compTotal, storeTotal int64
+	var loadIter, compIter, storeIter int64
+	for _, g := range groups {
+		l := a.dmaCycles(g.LoadBytes)
+		c := computeFill + g.ComputeCycles
+		st := a.dmaCycles(g.StoreBytes)
+		loadTotal += l * g.Count
+		compTotal += c * g.Count
+		storeTotal += st * g.Count
+		if loadIter == 0 {
+			loadIter, compIter, storeIter = l, c, st
+		}
+	}
+	bottleneck := max64(loadTotal, max64(compTotal, storeTotal))
+	fill := int64(0)
+	if loadTotal != bottleneck {
+		fill += loadIter
+	} else if compTotal != bottleneck {
+		fill += compIter
+	}
+	drain := int64(0)
+	if storeTotal != bottleneck {
+		drain += storeIter
+	}
+	return fill + bottleneck + drain, nil
+}
+
+// EmulateFPGA runs the pipeline model with full-system effects: driver
+// invocation overhead and FPGA DMA derating.
+func (a *Accelerator) EmulateFPGA(params []int64) (int64, error) {
+	base, err := a.SimulatePipeline(params)
+	if err != nil {
+		return 0, err
+	}
+	groups, err := a.Plan(params, a.DP)
+	if err != nil {
+		return 0, err
+	}
+	var dma int64
+	for _, g := range groups {
+		dma += (a.dmaCycles(g.LoadBytes) + a.dmaCycles(g.StoreBytes)) * g.Count
+	}
+	extra := int64(float64(dma) * (fpgaDMADerate - 1))
+	return base + driverOverhead + extra, nil
+}
+
+// Bytes returns the total bytes an invocation transfers to/from memory
+// ("an expression to calculate the number of bytes transferred", §IV-B).
+func (a *Accelerator) Bytes(params []int64) (int64, error) {
+	groups, err := a.Plan(params, a.DP)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, g := range groups {
+		total += (g.LoadBytes + g.StoreBytes) * g.Count
+	}
+	return total, nil
+}
+
+// AreaUM2 models synthesized area for the design point (Fig. 10 y-axis): a
+// base cell area plus PLM SRAM and compute lanes.
+func (a *Accelerator) AreaUM2() float64 {
+	return 6e4 + 3.2*float64(a.DP.PLMBytes) + 9e3*float64(a.DP.Lanes)
+}
+
+// EnergyPJ converts a cycle count at the accelerator clock to energy.
+func (a *Accelerator) EnergyPJ(cycles int64) float64 {
+	hz := float64(a.ClockMHz) * 1e6
+	if hz == 0 {
+		hz = 1e9
+	}
+	return a.PowerW * (float64(cycles) / hz) * 1e12
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Mode selects which fidelity level backs a soc.AccelModel.
+type Mode uint8
+
+// Accelerator model fidelity levels.
+const (
+	ModeClosedForm Mode = iota
+	ModePipeline
+	ModeFPGA
+)
+
+// Model adapts an Accelerator to the Interleaver's AccelModel interface.
+// Returned cycles are scaled to the invoking system's clock and stretched
+// when concurrent invocations oversubscribe memory bandwidth (§IV-B).
+type Model struct {
+	Acc       *Accelerator
+	Mode      Mode
+	SystemMHz int
+	MaxMemGBs float64
+}
+
+// Invoke implements soc.AccelModel.
+func (m *Model) Invoke(params []int64, concurrent int) (soc.AccelResult, error) {
+	var cycles int64
+	var err error
+	switch m.Mode {
+	case ModePipeline:
+		cycles, err = m.Acc.SimulatePipeline(params)
+	case ModeFPGA:
+		cycles, err = m.Acc.EmulateFPGA(params)
+	default:
+		cycles, err = m.Acc.ClosedForm(params)
+	}
+	if err != nil {
+		return soc.AccelResult{}, err
+	}
+	bytes, err := m.Acc.Bytes(params)
+	if err != nil {
+		return soc.AccelResult{}, err
+	}
+	if m.MaxMemGBs > 0 && concurrent > 0 {
+		accHz := float64(m.Acc.ClockMHz) * 1e6
+		demand := float64(m.Acc.DMABytesPerCycle) * accHz * float64(concurrent+1)
+		budget := m.MaxMemGBs * 1e9
+		if demand > budget {
+			cycles = int64(float64(cycles) * demand / budget)
+		}
+	}
+	sysMHz := m.SystemMHz
+	if sysMHz <= 0 {
+		sysMHz = m.Acc.ClockMHz
+	}
+	sysCycles := cycles * int64(sysMHz) / int64(m.Acc.ClockMHz)
+	return soc.AccelResult{
+		Cycles:   sysCycles,
+		Bytes:    bytes,
+		EnergyPJ: m.Acc.EnergyPJ(cycles),
+	}, nil
+}
+
+var _ soc.AccelModel = (*Model)(nil)
+
+// errParams builds a consistent invocation-parameter error.
+func errParams(name string, want int, got []int64) error {
+	return fmt.Errorf("accel %s: expected %d invocation parameters, got %d", name, want, len(got))
+}
+
+// plmChunkElems returns how many elements of the given size fit one PLM
+// buffer half (double buffering) split across nbuf concurrent streams.
+func plmChunkElems(plmBytes, elemSize, nbuf int) int64 {
+	n := int64(plmBytes) / int64(2*nbuf*elemSize)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ceilDiv is ceiling division for positive operands.
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

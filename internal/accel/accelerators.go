@@ -1,0 +1,218 @@
+package accel
+
+import (
+	"math"
+
+	"mosaicsim/internal/interp"
+)
+
+// The three fixed-function accelerators of §VI-A: matrix multiplication,
+// saturating histogram, and element-wise arithmetic. Each supports any input
+// size and carries a functional implementation used by the Dynamic Trace
+// Generator so simulated memory reflects the accelerated computation.
+
+// PLMSweep returns the Fig. 10 PLM design points: 4 KB, 16 KB, 64 KB, 256 KB.
+func PLMSweep() []DesignPoint {
+	return []DesignPoint{
+		{PLMBytes: 4 << 10, Lanes: 16},
+		{PLMBytes: 16 << 10, Lanes: 16},
+		{PLMBytes: 64 << 10, Lanes: 16},
+		{PLMBytes: 256 << 10, Lanes: 16},
+	}
+}
+
+// WorkloadSweep returns the Fig. 10 workload sizes in bytes of total data:
+// 256 KB, 1 MB, 4 MB, 16 MB.
+func WorkloadSweep() []int64 {
+	return []int64{256 << 10, 1 << 20, 4 << 20, 16 << 20}
+}
+
+// NewSGEMM builds the matrix-multiplication accelerator at a design point.
+// Invocation parameters: (A, B, C, M, N, K) — f32 row-major matrices.
+func NewSGEMM(dp DesignPoint) *Accelerator {
+	return &Accelerator{
+		Name: "acc_sgemm",
+		DP:   dp,
+		Plan: planSGEMM,
+		// ~0.2 W base plus lanes; PLM SRAM leakage folded in.
+		PowerW:           0.18 + 0.012*float64(dp.Lanes) + 0.3e-6*float64(dp.PLMBytes),
+		ClockMHz:         1000,
+		DMABytesPerCycle: 16,
+		NoCHops:          2,
+	}
+}
+
+// planSGEMM tiles C[M×N] = A[M×K]·B[K×N] into b×b blocks with A- and B-tiles
+// resident in the PLM; each output tile accumulates over K/b chunk-multiplies
+// and stores once.
+func planSGEMM(params []int64, dp DesignPoint) ([]Group, error) {
+	if len(params) != 6 {
+		return nil, errParams("acc_sgemm", 6, params)
+	}
+	m, n, k := params[3], params[4], params[5]
+	// 2 input tiles + 1 accumulator tile of b² f32 each must fit half the
+	// PLM: 3·b²·4 ≤ PLM/2.
+	b := int64(math.Sqrt(float64(dp.PLMBytes) / 24))
+	if b < 4 {
+		b = 4
+	}
+	mt, nt, kt := ceilDiv(m, b), ceilDiv(n, b), ceilDiv(k, b)
+	tiles := mt * nt
+	chunks := tiles * kt
+	// Exact totals distributed over the chunk schedule: A is streamed once
+	// per column-tile of B, B once per row-tile of A, C stored once.
+	totalLoad := m*k*4*nt + k*n*4*mt
+	totalMACs := m * n * k
+	compute := ceilDiv(totalMACs, int64(dp.Lanes)*chunks)
+	loadBytes := ceilDiv(totalLoad, chunks)
+	storeBytes := ceilDiv(m*n*4, tiles)
+	var groups []Group
+	if kt > 1 {
+		groups = append(groups, Group{Chunk: Chunk{LoadBytes: loadBytes, ComputeCycles: compute}, Count: (kt - 1) * tiles})
+	}
+	groups = append(groups, Group{Chunk: Chunk{LoadBytes: loadBytes, ComputeCycles: compute, StoreBytes: storeBytes}, Count: tiles})
+	return groups, nil
+}
+
+// SGEMMFunc is the functional implementation for the DTG: C = A·B in f32.
+func SGEMMFunc(mem *interp.Memory, params []int64) {
+	a, b, c := uint64(params[0]), uint64(params[1]), uint64(params[2])
+	m, n, k := int(params[3]), int(params[4]), int(params[5])
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for l := 0; l < k; l++ {
+				acc += mem.ReadF32(a+uint64(i*k+l)*4) * mem.ReadF32(b+uint64(l*n+j)*4)
+			}
+			mem.WriteF32(c+uint64(i*n+j)*4, acc)
+		}
+	}
+}
+
+// NewHistogram builds the saturating-histogram accelerator.
+// Invocation parameters: (in, n, hist, bins) — i32 input, i32 bins saturating
+// at 255.
+func NewHistogram(dp DesignPoint) *Accelerator {
+	return &Accelerator{
+		Name:             "acc_histo",
+		DP:               dp,
+		Plan:             planHistogram,
+		PowerW:           0.11 + 0.006*float64(dp.Lanes) + 0.3e-6*float64(dp.PLMBytes),
+		ClockMHz:         1000,
+		DMABytesPerCycle: 16,
+		NoCHops:          2,
+	}
+}
+
+func planHistogram(params []int64, dp DesignPoint) ([]Group, error) {
+	if len(params) != 4 {
+		return nil, errParams("acc_histo", 4, params)
+	}
+	n, bins := params[1], params[3]
+	chunkElems := plmChunkElems(dp.PLMBytes, 4, 1)
+	nchunks := ceilDiv(n, chunkElems)
+	// Histogram updates serialize on bin-bank conflicts: ~4 lanes effective
+	// out of the multi-banked PLM (§IV "multi-port, multi-bank").
+	lanes := int64(4)
+	var groups []Group
+	if nchunks > 1 {
+		groups = append(groups, Group{
+			Chunk: Chunk{LoadBytes: chunkElems * 4, ComputeCycles: ceilDiv(chunkElems, lanes)},
+			Count: nchunks - 1,
+		})
+	}
+	last := n - (nchunks-1)*chunkElems
+	groups = append(groups, Group{
+		Chunk: Chunk{LoadBytes: last * 4, ComputeCycles: ceilDiv(last, lanes), StoreBytes: bins * 4},
+		Count: 1,
+	})
+	return groups, nil
+}
+
+// HistogramFunc is the functional implementation: saturating (at 255)
+// histogram of i32 values into i32 bins; out-of-range values are clamped.
+func HistogramFunc(mem *interp.Memory, params []int64) {
+	in, hist := uint64(params[0]), uint64(params[2])
+	n, bins := int(params[1]), int32(params[3])
+	for i := 0; i < n; i++ {
+		v := mem.ReadI32(in + uint64(i)*4)
+		if v < 0 {
+			v = 0
+		}
+		if v >= bins {
+			v = bins - 1
+		}
+		addr := hist + uint64(v)*4
+		if cur := mem.ReadI32(addr); cur < 255 {
+			mem.WriteI32(addr, cur+1)
+		}
+	}
+}
+
+// NewElementwise builds the element-wise arithmetic accelerator.
+// Invocation parameters: (A, B, C, n) — f32 vectors, C = A ⊕ B.
+func NewElementwise(dp DesignPoint) *Accelerator {
+	return &Accelerator{
+		Name:             "acc_elementwise",
+		DP:               dp,
+		Plan:             planElementwise,
+		PowerW:           0.09 + 0.008*float64(dp.Lanes) + 0.3e-6*float64(dp.PLMBytes),
+		ClockMHz:         1000,
+		DMABytesPerCycle: 16,
+		NoCHops:          2,
+	}
+}
+
+func planElementwise(params []int64, dp DesignPoint) ([]Group, error) {
+	if len(params) != 4 {
+		return nil, errParams("acc_elementwise", 4, params)
+	}
+	n := params[3]
+	chunkElems := plmChunkElems(dp.PLMBytes, 4, 3) // A, B in; C out
+	nchunks := ceilDiv(n, chunkElems)
+	lanes := int64(dp.Lanes)
+	var groups []Group
+	if nchunks > 1 {
+		groups = append(groups, Group{
+			Chunk: Chunk{LoadBytes: 2 * chunkElems * 4, ComputeCycles: ceilDiv(chunkElems, lanes), StoreBytes: chunkElems * 4},
+			Count: nchunks - 1,
+		})
+	}
+	last := n - (nchunks-1)*chunkElems
+	groups = append(groups, Group{
+		Chunk: Chunk{LoadBytes: 2 * last * 4, ComputeCycles: ceilDiv(last, lanes), StoreBytes: last * 4},
+		Count: 1,
+	})
+	return groups, nil
+}
+
+// ElementwiseFunc is the functional implementation: C = A + B in f32.
+func ElementwiseFunc(mem *interp.Memory, params []int64) {
+	a, b, c := uint64(params[0]), uint64(params[1]), uint64(params[2])
+	n := int(params[3])
+	for i := 0; i < n; i++ {
+		mem.WriteF32(c+uint64(i)*4, mem.ReadF32(a+uint64(i)*4)+mem.ReadF32(b+uint64(i)*4))
+	}
+}
+
+// FuncRegistry returns the functional implementations for the DTG.
+func FuncRegistry() map[string]interp.AccFunc {
+	return map[string]interp.AccFunc{
+		"acc_sgemm":       SGEMMFunc,
+		"acc_histo":       HistogramFunc,
+		"acc_elementwise": ElementwiseFunc,
+	}
+}
+
+// ByName builds an accelerator by its intrinsic name at a design point.
+func ByName(name string, dp DesignPoint) *Accelerator {
+	switch name {
+	case "acc_sgemm":
+		return NewSGEMM(dp)
+	case "acc_histo":
+		return NewHistogram(dp)
+	case "acc_elementwise":
+		return NewElementwise(dp)
+	}
+	return nil
+}

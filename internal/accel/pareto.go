@@ -1,0 +1,97 @@
+package accel
+
+import "sort"
+
+// Design-space exploration helpers (§IV-B): "HLS allows for seamless
+// generation and evaluation of multiple RTL implementations ... The SoC
+// designer can then choose which specific design point(s) to instantiate."
+// Evaluated points are ranked and filtered to the area/performance Pareto
+// front.
+
+// EvaluatedPoint is one design point with its evaluated cost/performance.
+type EvaluatedPoint struct {
+	DP     DesignPoint
+	AreaUM float64
+	Cycles int64
+}
+
+// Evaluate runs the pipeline model of the accelerator built by mk at every
+// design point for the given invocation parameters.
+func Evaluate(mk func(DesignPoint) *Accelerator, points []DesignPoint, params []int64) ([]EvaluatedPoint, error) {
+	out := make([]EvaluatedPoint, 0, len(points))
+	for _, dp := range points {
+		a := mk(dp)
+		cycles, err := a.SimulatePipeline(params)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, EvaluatedPoint{DP: dp, AreaUM: a.AreaUM2(), Cycles: cycles})
+	}
+	return out, nil
+}
+
+// ParetoFront returns the points not dominated in (area, cycles): a point is
+// kept if no other point is at least as good in both dimensions and strictly
+// better in one. The result is sorted by ascending area.
+func ParetoFront(points []EvaluatedPoint) []EvaluatedPoint {
+	var front []EvaluatedPoint
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if q.AreaUM <= p.AreaUM && q.Cycles <= p.Cycles &&
+				(q.AreaUM < p.AreaUM || q.Cycles < p.Cycles) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].AreaUM != front[j].AreaUM {
+			return front[i].AreaUM < front[j].AreaUM
+		}
+		return front[i].Cycles < front[j].Cycles
+	})
+	// Drop duplicates in both dimensions.
+	out := front[:0]
+	for i, p := range front {
+		if i > 0 && p.AreaUM == front[i-1].AreaUM && p.Cycles == front[i-1].Cycles {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// CheapestWithin returns the smallest-area point whose execution time is
+// within slack (e.g. 1.1 = 10% slower) of the fastest point, the common
+// design-selection rule.
+func CheapestWithin(points []EvaluatedPoint, slack float64) (EvaluatedPoint, bool) {
+	if len(points) == 0 {
+		return EvaluatedPoint{}, false
+	}
+	best := points[0].Cycles
+	for _, p := range points {
+		if p.Cycles < best {
+			best = p.Cycles
+		}
+	}
+	limit := int64(float64(best) * slack)
+	var chosen EvaluatedPoint
+	found := false
+	for _, p := range points {
+		if p.Cycles > limit {
+			continue
+		}
+		if !found || p.AreaUM < chosen.AreaUM {
+			chosen = p
+			found = true
+		}
+	}
+	return chosen, found
+}

@@ -1,0 +1,565 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+
+	"mosaicsim/internal/ir"
+)
+
+// genExpr generates code for an expression, returning its SSA value and
+// front-end type.
+func (c *compiler) genExpr(e Expr) (ir.Value, CType, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		if x.Value >= -(1<<31) && x.Value < 1<<31 {
+			return ir.ConstInt(ir.I32, x.Value), scalar(ir.I32), nil
+		}
+		return ir.ConstInt(ir.I64, x.Value), scalar(ir.I64), nil
+	case *FloatLit:
+		return ir.ConstFloat(ir.F64, x.Value), scalar(ir.F64), nil
+	case *BoolLit:
+		return ir.ConstBool(x.Value), scalar(ir.I1), nil
+	case *Ident:
+		if v := c.lookup(x.Name); v != nil {
+			return v.cur, v.ty, nil
+		}
+		if g, ok := c.globals[x.Name]; ok {
+			return g, pointer(g.Elem), nil
+		}
+		return nil, CType{}, errf(x.Line, "undeclared identifier %q", x.Name)
+	case *IndexExpr, *DerefExpr:
+		addr, elemTy, err := c.genAddr(e)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		return c.b.Load(elemTy.irType(), addr), elemTy, nil
+	case *CastExpr:
+		v, ty, err := c.genExpr(x.X)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		cv, err := c.convert(x.Line, v, ty, x.To)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		return cv, x.To, nil
+	case *UnaryExpr:
+		return c.genUnary(x)
+	case *BinaryExpr:
+		if x.Op == "&&" || x.Op == "||" {
+			return c.genShortCircuit(x)
+		}
+		lv, lt, err := c.genExpr(x.L)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		rv, rt, err := c.genExpr(x.R)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		return c.genBinOp(x.Line, x.Op, lv, lt, rv, rt)
+	case *CondExpr:
+		cond, err := c.genCond(x.Cond)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		tv, tt, err := c.genExpr(x.Then)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		ev, et, err := c.genExpr(x.Else)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		common, err := c.promote(x.Line, tt, et)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		tv, err = c.convert(x.Line, tv, tt, common)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		ev, err = c.convert(x.Line, ev, et, common)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		return c.b.Select(cond, tv, ev), common, nil
+	case *CallExpr:
+		return c.genCall(x)
+	default:
+		return nil, CType{}, errf(0, "unhandled expression %T", e)
+	}
+}
+
+func (c *compiler) genUnary(x *UnaryExpr) (ir.Value, CType, error) {
+	v, ty, err := c.genExpr(x.X)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	switch x.Op {
+	case "-":
+		if ty.Ptr {
+			return nil, CType{}, errf(x.Line, "cannot negate a pointer")
+		}
+		if ty.Kind.IsFloat() {
+			return c.b.FSub(ir.ConstFloat(ty.Kind, 0), v), ty, nil
+		}
+		return c.b.Sub(ir.ConstInt(ty.Kind, 0), v), ty, nil
+	case "!":
+		b, err := c.toBool(x.Line, v, ty)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		return c.b.Bin(ir.OpXor, b, ir.ConstBool(true)), scalar(ir.I1), nil
+	case "~":
+		if !ty.Kind.IsInt() || ty.Ptr {
+			return nil, CType{}, errf(x.Line, "~ requires an integer")
+		}
+		return c.b.Bin(ir.OpXor, v, ir.ConstInt(ty.Kind, -1)), ty, nil
+	default:
+		return nil, CType{}, errf(x.Line, "unknown unary operator %q", x.Op)
+	}
+}
+
+// genShortCircuit lowers && and || with proper control flow; the result is an
+// i1 phi. Operand expressions cannot assign variables, so no variable-state
+// merging is needed.
+func (c *compiler) genShortCircuit(x *BinaryExpr) (ir.Value, CType, error) {
+	lhs, err := c.genCond(x.L)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	lhsEnd := c.b.Cur
+	rhsB := c.newBlock("sc.rhs")
+	joinB := c.newBlock("sc.join")
+	if x.Op == "&&" {
+		c.b.CondBr(lhs, rhsB, joinB)
+	} else {
+		c.b.CondBr(lhs, joinB, rhsB)
+	}
+	c.b.SetBlock(rhsB)
+	rhs, err := c.genCond(x.R)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	rhsEnd := c.b.Cur
+	c.b.Br(joinB)
+	c.b.SetBlock(joinB)
+	phi := c.b.Phi(ir.I1)
+	ir.AddIncoming(phi, ir.ConstBool(x.Op == "||"), lhsEnd)
+	ir.AddIncoming(phi, rhs, rhsEnd)
+	return phi, scalar(ir.I1), nil
+}
+
+// promote computes the common type of a binary operation per C-like rules:
+// double > float > long > int (char and bool promote to int).
+func (c *compiler) promote(line int, a, b CType) (CType, error) {
+	if a.Ptr || b.Ptr {
+		return CType{}, errf(line, "invalid pointer operands to arithmetic promotion")
+	}
+	switch {
+	case a.Kind == ir.F64 || b.Kind == ir.F64:
+		return scalar(ir.F64), nil
+	case a.Kind == ir.F32 || b.Kind == ir.F32:
+		return scalar(ir.F32), nil
+	case a.Kind == ir.I64 || b.Kind == ir.I64:
+		return scalar(ir.I64), nil
+	default:
+		return scalar(ir.I32), nil
+	}
+}
+
+var cmpPreds = map[string]ir.CmpPred{
+	"==": ir.PredEQ, "!=": ir.PredNE, "<": ir.PredLT,
+	"<=": ir.PredLE, ">": ir.PredGT, ">=": ir.PredGE,
+}
+
+var intOps = map[string]ir.Opcode{
+	"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul, "/": ir.OpSDiv, "%": ir.OpSRem,
+	"&": ir.OpAnd, "|": ir.OpOr, "^": ir.OpXor, "<<": ir.OpShl, ">>": ir.OpAShr,
+}
+
+var floatOps = map[string]ir.Opcode{
+	"+": ir.OpFAdd, "-": ir.OpFSub, "*": ir.OpFMul, "/": ir.OpFDiv,
+}
+
+func (c *compiler) genBinOp(line int, op string, lv ir.Value, lt CType, rv ir.Value, rt CType) (ir.Value, CType, error) {
+	// Pointer arithmetic: ptr +/- int scales by the pointee size.
+	if lt.Ptr || rt.Ptr {
+		if pred, isCmp := cmpPreds[op]; isCmp {
+			// Pointer comparisons; an integer operand (e.g. 0) compares as a
+			// raw address.
+			if !lt.Ptr {
+				cv, err := c.convert(line, lv, lt, scalar(ir.I64))
+				if err != nil {
+					return nil, CType{}, err
+				}
+				lv = cv
+			}
+			if !rt.Ptr {
+				cv, err := c.convert(line, rv, rt, scalar(ir.I64))
+				if err != nil {
+					return nil, CType{}, err
+				}
+				rv = cv
+			}
+			return c.b.ICmp(pred, lv, rv), scalar(ir.I1), nil
+		}
+		if (op == "+" || op == "-") && lt.Ptr != rt.Ptr {
+			ptr, ptrTy, idx, idxTy := lv, lt, rv, rt
+			if rt.Ptr {
+				if op == "-" {
+					return nil, CType{}, errf(line, "cannot subtract a pointer from an integer")
+				}
+				ptr, ptrTy, idx, idxTy = rv, rt, lv, lt
+			}
+			idx64, err := c.convert(line, idx, idxTy, scalar(ir.I64))
+			if err != nil {
+				return nil, CType{}, err
+			}
+			if op == "-" {
+				idx64 = c.b.Sub(ir.ConstInt(ir.I64, 0), idx64)
+			}
+			return c.b.GEP(ptr, idx64, ptrTy.Kind.Size()), ptrTy, nil
+		}
+		return nil, CType{}, errf(line, "invalid pointer operation %q", op)
+	}
+
+	common, err := c.promote(line, lt, rt)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	if lv, err = c.convert(line, lv, lt, common); err != nil {
+		return nil, CType{}, err
+	}
+	if rv, err = c.convert(line, rv, rt, common); err != nil {
+		return nil, CType{}, err
+	}
+	if pred, isCmp := cmpPreds[op]; isCmp {
+		if common.Kind.IsFloat() {
+			return c.b.FCmp(pred, lv, rv), scalar(ir.I1), nil
+		}
+		return c.b.ICmp(pred, lv, rv), scalar(ir.I1), nil
+	}
+	if common.Kind.IsFloat() {
+		opc, ok := floatOps[op]
+		if !ok {
+			return nil, CType{}, errf(line, "operator %q is not defined for floats", op)
+		}
+		return c.b.Bin(opc, lv, rv), common, nil
+	}
+	opc, ok := intOps[op]
+	if !ok {
+		return nil, CType{}, errf(line, "unknown operator %q", op)
+	}
+	return c.b.Bin(opc, lv, rv), common, nil
+}
+
+// genCond evaluates an expression as an i1 condition (non-bool numerics
+// compare against zero).
+func (c *compiler) genCond(e Expr) (ir.Value, error) {
+	v, ty, err := c.genExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	return c.toBool(exprLine(e), v, ty)
+}
+
+func (c *compiler) toBool(line int, v ir.Value, ty CType) (ir.Value, error) {
+	switch {
+	case !ty.Ptr && ty.Kind == ir.I1:
+		return v, nil
+	case ty.Ptr:
+		return c.b.ICmp(ir.PredNE, v, &ir.Const{Ty: ir.Ptr, Bits: 0}), nil
+	case ty.Kind.IsFloat():
+		return c.b.FCmp(ir.PredNE, v, ir.ConstFloat(ty.Kind, 0)), nil
+	case ty.Kind.IsInt():
+		return c.b.ICmp(ir.PredNE, v, ir.ConstInt(ty.Kind, 0)), nil
+	default:
+		return nil, errf(line, "expression of type %s is not a condition", ty)
+	}
+}
+
+// convert emits a conversion from one front-end type to another.
+func (c *compiler) convert(line int, v ir.Value, from, to CType) (ir.Value, error) {
+	if from == to {
+		return v, nil
+	}
+	if from.Ptr || to.Ptr {
+		if from.Ptr && to.Ptr {
+			// Pointer casts are free reinterpretation (e.g. char* -> int*).
+			return v, nil
+		}
+		return nil, errf(line, "cannot convert %s to %s", from, to)
+	}
+	f, t := from.Kind, to.Kind
+	switch {
+	case f == t:
+		return v, nil
+	case f.IsInt() && t.IsInt():
+		// Constant-fold trivial literal conversions for readable IR.
+		if cst, ok := v.(*ir.Const); ok {
+			return ir.ConstInt(t, cst.Int()), nil
+		}
+		if t.Size() < f.Size() {
+			return c.b.CastTo(ir.CastTrunc, t, v), nil
+		}
+		if f == ir.I1 {
+			return c.b.CastTo(ir.CastZExt, t, v), nil
+		}
+		return c.b.CastTo(ir.CastSExt, t, v), nil
+	case f.IsInt() && t.IsFloat():
+		if cst, ok := v.(*ir.Const); ok {
+			return ir.ConstFloat(t, float64(cst.Int())), nil
+		}
+		return c.b.CastTo(ir.CastSIToFP, t, v), nil
+	case f.IsFloat() && t.IsInt():
+		return c.b.CastTo(ir.CastFPToSI, t, v), nil
+	case f == ir.F32 && t == ir.F64:
+		if cst, ok := v.(*ir.Const); ok {
+			return ir.ConstFloat(t, cst.Float()), nil
+		}
+		return c.b.CastTo(ir.CastFPExt, t, v), nil
+	case f == ir.F64 && t == ir.F32:
+		if cst, ok := v.(*ir.Const); ok {
+			return ir.ConstFloat(t, cst.Float()), nil
+		}
+		return c.b.CastTo(ir.CastFPTrunc, t, v), nil
+	default:
+		return nil, errf(line, "cannot convert %s to %s", from, to)
+	}
+}
+
+// inlineCall expands a user-defined function at its call site (the front end
+// always inlines, as LLVM -O3 does for small kernel helpers). Parameters are
+// passed by value as fresh locals; returns assign a hidden result variable
+// and converge on a continuation block.
+func (c *compiler) inlineCall(x *CallExpr, fd *FuncDecl, argVals []ir.Value, argTys []CType) (ir.Value, CType, error) {
+	for _, active := range c.inlines {
+		if active.name == fd.Name {
+			return nil, CType{}, errf(x.Line, "recursive call to %q cannot be inlined", fd.Name)
+		}
+	}
+	if len(c.inlines) >= 16 {
+		return nil, CType{}, errf(x.Line, "inline depth limit exceeded at call to %q", fd.Name)
+	}
+	if len(x.Args) != len(fd.Params) {
+		return nil, CType{}, errf(x.Line, "%s expects %d arguments, got %d", fd.Name, len(fd.Params), len(x.Args))
+	}
+
+	// The hidden result variable lives in the caller's current scope so the
+	// continuation merge sees it.
+	var retVar *variable
+	if fd.Ret.Kind != ir.Void {
+		c.retNames++
+		v, err := c.declare(x.Line, fmt.Sprintf("$ret%d", c.retNames), fd.Ret, zeroValue(fd.Ret))
+		if err != nil {
+			return nil, CType{}, err
+		}
+		retVar = v
+	}
+	cont := c.newBlock("inl.cont")
+	ic := &inlineCtx{name: fd.Name, retTy: fd.Ret, retVar: retVar, cont: cont}
+
+	// Parameters become fresh locals in a new scope; the callee must not see
+	// the caller's loops (break/continue cannot cross the call).
+	c.pushScope()
+	for i, pd := range fd.Params {
+		cv, err := c.convert(x.Line, argVals[i], argTys[i], pd.Type)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		if _, err := c.declare(x.Line, pd.Name, pd.Type, cv); err != nil {
+			return nil, CType{}, err
+		}
+	}
+	savedLoops := c.loops
+	c.loops = nil
+	c.inlines = append(c.inlines, ic)
+
+	err := c.genBlock(fd.Body)
+
+	c.inlines = c.inlines[:len(c.inlines)-1]
+	c.loops = savedLoops
+	if err != nil {
+		c.popScope()
+		return nil, CType{}, err
+	}
+	if !c.terminated {
+		if fd.Ret.Kind != ir.Void {
+			c.popScope()
+			return nil, CType{}, errf(x.Line, "function %q may fall off the end without returning a value", fd.Name)
+		}
+		ic.edges = append(ic.edges, edge{from: c.b.Cur, env: c.snapshot()})
+		c.b.Br(cont)
+	}
+	c.popScope()
+
+	c.mergeInto(cont, ic.edges)
+	if len(ic.edges) == 0 {
+		// Every path diverged (e.g. infinite loop): the continuation is
+		// unreachable but must stay well formed.
+		c.b.Ret(zeroRet(c.fd.Ret))
+		c.terminated = true
+		return zeroValue(scalar(ir.I64)), scalar(ir.I64), nil
+	}
+	if retVar != nil {
+		return retVar.cur, fd.Ret, nil
+	}
+	return ir.ConstInt(ir.I64, 0), scalar(ir.Void), nil
+}
+
+func zeroRet(t CType) ir.Value {
+	if t.Kind == ir.Void {
+		return nil
+	}
+	return zeroValue(t)
+}
+
+func exprLine(e Expr) int {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Line
+	case *IntLit:
+		return x.Line
+	case *FloatLit:
+		return x.Line
+	case *BoolLit:
+		return x.Line
+	case *BinaryExpr:
+		return x.Line
+	case *UnaryExpr:
+		return x.Line
+	case *CallExpr:
+		return x.Line
+	case *IndexExpr:
+		return x.Line
+	case *DerefExpr:
+		return x.Line
+	case *CastExpr:
+		return x.Line
+	case *CondExpr:
+		return x.Line
+	}
+	return 0
+}
+
+// Intrinsic signatures. A nil parameter type means "any scalar, passed
+// unchanged"; math builtins convert arguments to double.
+func (c *compiler) genCall(x *CallExpr) (ir.Value, CType, error) {
+	argVals := make([]ir.Value, len(x.Args))
+	argTys := make([]CType, len(x.Args))
+	for i, a := range x.Args {
+		v, ty, err := c.genExpr(a)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		argVals[i] = v
+		argTys[i] = ty
+	}
+	need := func(n int) error {
+		if len(x.Args) != n {
+			return errf(x.Line, "%s expects %d arguments, got %d", x.Name, n, len(x.Args))
+		}
+		return nil
+	}
+	toF64 := func(i int) (ir.Value, error) {
+		return c.convert(x.Line, argVals[i], argTys[i], scalar(ir.F64))
+	}
+
+	switch x.Name {
+	case "barrier":
+		if err := need(0); err != nil {
+			return nil, CType{}, err
+		}
+		return c.b.Call("barrier", ir.Void), scalar(ir.Void), nil
+	case "tile_id", "num_tiles":
+		if err := need(0); err != nil {
+			return nil, CType{}, err
+		}
+		return c.b.Call(x.Name, ir.I64), scalar(ir.I64), nil
+	case "send":
+		if err := need(2); err != nil {
+			return nil, CType{}, err
+		}
+		dst, err := c.convert(x.Line, argVals[0], argTys[0], scalar(ir.I64))
+		if err != nil {
+			return nil, CType{}, err
+		}
+		return c.b.Call("send", ir.Void, dst, argVals[1]), scalar(ir.Void), nil
+	case "recv_long", "recv_int", "recv_double", "recv_float":
+		if err := need(1); err != nil {
+			return nil, CType{}, err
+		}
+		src, err := c.convert(x.Line, argVals[0], argTys[0], scalar(ir.I64))
+		if err != nil {
+			return nil, CType{}, err
+		}
+		retTy := map[string]ir.Type{
+			"recv_long": ir.I64, "recv_int": ir.I32,
+			"recv_double": ir.F64, "recv_float": ir.F32,
+		}[x.Name]
+		return c.b.Call("recv", retTy, src), scalar(retTy), nil
+	case "atomic_add":
+		if err := need(2); err != nil {
+			return nil, CType{}, err
+		}
+		if !argTys[0].Ptr {
+			return nil, CType{}, errf(x.Line, "atomic_add needs a pointer first argument")
+		}
+		elem := scalar(argTys[0].Kind)
+		delta, err := c.convert(x.Line, argVals[1], argTys[1], elem)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		return c.b.AtomicAdd(argVals[0], delta), elem, nil
+	case "sqrt", "exp", "log", "sin", "cos", "fabs", "floor":
+		if err := need(1); err != nil {
+			return nil, CType{}, err
+		}
+		a, err := toF64(0)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		return c.b.Call(x.Name, ir.F64, a), scalar(ir.F64), nil
+	case "pow", "fmin", "fmax":
+		if err := need(2); err != nil {
+			return nil, CType{}, err
+		}
+		a, err := toF64(0)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		b, err := toF64(1)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		return c.b.Call(x.Name, ir.F64, a, b), scalar(ir.F64), nil
+	default:
+		if fd, ok := c.allFuncs[x.Name]; ok {
+			if fd == c.fd {
+				return nil, CType{}, errf(x.Line, "recursive call to %q cannot be inlined", x.Name)
+			}
+			return c.inlineCall(x, fd, argVals, argTys)
+		}
+		if strings.HasPrefix(x.Name, "acc_") {
+			// Accelerator API (§II-B): pointers pass through, numerics are
+			// widened to long; the DTG records them as invocation parameters.
+			args := make([]ir.Value, len(x.Args))
+			for i := range x.Args {
+				if argTys[i].Ptr {
+					args[i] = argVals[i]
+					continue
+				}
+				v, err := c.convert(x.Line, argVals[i], argTys[i], scalar(ir.I64))
+				if err != nil {
+					return nil, CType{}, err
+				}
+				args[i] = v
+			}
+			return c.b.Call(x.Name, ir.Void, args...), scalar(ir.Void), nil
+		}
+		return nil, CType{}, errf(x.Line, "unknown function %q", x.Name)
+	}
+}

@@ -1,0 +1,149 @@
+// Package cc is MosaicSim-Go's kernel front-end: a small C-like language that
+// compiles to the simulator's IR. It stands in for the paper's Clang/LLVM
+// front-end (§II): kernels are written as source, compiled to SSA IR, and
+// from there the static DDG and dynamic traces are produced.
+//
+// The language covers what the paper's kernels need: scalar types (bool,
+// char, int, long, float, double), pointers, arrays via indexing, structured
+// control flow (if/else, for, while, break, continue), short-circuit logic,
+// and the simulator intrinsics (tile_id, num_tiles, send/recv, atomic_add,
+// math builtins, and the acc_* accelerator API).
+package cc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokPunct   // operators and delimiters
+	tokKeyword // reserved words
+)
+
+var keywords = map[string]bool{
+	"void": true, "bool": true, "char": true, "int": true, "long": true,
+	"float": true, "double": true, "if": true, "else": true, "for": true,
+	"while": true, "break": true, "continue": true, "return": true,
+	"true": true, "false": true, "global": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string { return fmt.Sprintf("%q@%d", t.text, t.line) }
+
+// punctuation, longest first so the scanner is greedy.
+var puncts = []string{
+	"<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+	"(", ")", "{", "}", "[", "]", ",", ";", "?", ":",
+}
+
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("cc: line %d: %s", e.line, e.msg) }
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= n {
+				return nil, &lexError{line, "unterminated block comment"}
+			}
+			i += 2
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			word := src[i:j]
+			kind := tokIdent
+			if keywords[word] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind, word, line})
+			i = j
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(src[i+1]))):
+			j := i
+			isFloat := false
+			for j < n {
+				ch := src[j]
+				if unicode.IsDigit(rune(ch)) {
+					j++
+				} else if ch == '.' {
+					isFloat = true
+					j++
+				} else if ch == 'e' || ch == 'E' {
+					isFloat = true
+					j++
+					if j < n && (src[j] == '+' || src[j] == '-') {
+						j++
+					}
+				} else if ch == 'x' || ch == 'X' {
+					j++
+				} else if (ch >= 'a' && ch <= 'f') || (ch >= 'A' && ch <= 'F') {
+					// hex digits (only meaningful after 0x; harmless otherwise)
+					j++
+				} else {
+					break
+				}
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			toks = append(toks, token{kind, src[i:j], line})
+			i = j
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{tokPunct, p, line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, &lexError{line, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}

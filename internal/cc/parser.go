@@ -1,0 +1,576 @@
+package cc
+
+import (
+	"strconv"
+
+	"mosaicsim/internal/ir"
+)
+
+// ParseFile parses mini-C source into an AST.
+func ParseFile(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &fileParser{toks: toks}
+	return p.parseFile()
+}
+
+type fileParser struct {
+	toks []token
+	pos  int
+}
+
+func (p *fileParser) cur() token  { return p.toks[p.pos] }
+func (p *fileParser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+func (p *fileParser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *fileParser) accept(text string) bool {
+	if p.cur().text == text && p.cur().kind != tokEOF {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *fileParser) expect(text string) (token, error) {
+	if p.cur().text != text {
+		return token{}, errf(p.cur().line, "expected %q, found %q", text, p.cur().text)
+	}
+	return p.advance(), nil
+}
+
+var typeNames = map[string]ir.Type{
+	"bool": ir.I1, "char": ir.I8, "int": ir.I32, "long": ir.I64,
+	"float": ir.F32, "double": ir.F64, "void": ir.Void,
+}
+
+// peekType reports whether the current token begins a type.
+func (p *fileParser) peekType() bool {
+	_, ok := typeNames[p.cur().text]
+	return ok && p.cur().kind == tokKeyword
+}
+
+func (p *fileParser) parseType() (CType, error) {
+	t := p.cur()
+	k, ok := typeNames[t.text]
+	if !ok {
+		return CType{}, errf(t.line, "expected a type, found %q", t.text)
+	}
+	p.advance()
+	ct := CType{Kind: k}
+	if p.accept("*") {
+		if k == ir.Void {
+			return CType{}, errf(t.line, "void* is not supported")
+		}
+		ct.Ptr = true
+	}
+	return ct, nil
+}
+
+func (p *fileParser) parseFile() (*File, error) {
+	f := &File{}
+	for p.cur().kind != tokEOF {
+		if p.cur().text == "global" {
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+			continue
+		}
+		fn, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		f.Funcs = append(f.Funcs, fn)
+	}
+	return f, nil
+}
+
+// global double lut[256];
+func (p *fileParser) parseGlobal() (*GlobalDecl, error) {
+	line := p.advance().line // consume 'global'
+	ct, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if ct.Ptr || ct.Kind == ir.Void {
+		return nil, errf(line, "global must be an array of scalars")
+	}
+	name := p.cur()
+	if name.kind != tokIdent {
+		return nil, errf(name.line, "expected global name, found %q", name.text)
+	}
+	p.advance()
+	if _, err := p.expect("["); err != nil {
+		return nil, err
+	}
+	sz := p.cur()
+	if sz.kind != tokInt {
+		return nil, errf(sz.line, "global size must be an integer literal")
+	}
+	p.advance()
+	count, err := strconv.ParseInt(sz.text, 0, 64)
+	if err != nil || count <= 0 {
+		return nil, errf(sz.line, "bad global size %q", sz.text)
+	}
+	if _, err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &GlobalDecl{Name: name.text, Elem: ct.Kind, Count: count, Line: line}, nil
+}
+
+func (p *fileParser) parseFunc() (*FuncDecl, error) {
+	line := p.cur().line
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name := p.cur()
+	if name.kind != tokIdent {
+		return nil, errf(name.line, "expected function name, found %q", name.text)
+	}
+	p.advance()
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.text, Ret: ret, Line: line}
+	for !p.accept(")") {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pn := p.cur()
+		if pn.kind != tokIdent {
+			return nil, errf(pn.line, "expected parameter name, found %q", pn.text)
+		}
+		p.advance()
+		fn.Params = append(fn.Params, ParamDecl{Name: pn.text, Type: pt})
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *fileParser) parseBlock() (*BlockStmt, error) {
+	open, err := p.expect("{")
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Line: open.line}
+	for !p.accept("}") {
+		if p.cur().kind == tokEOF {
+			return nil, errf(open.line, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *fileParser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.text == "{":
+		return p.parseBlock()
+	case t.text == "if":
+		return p.parseIf()
+	case t.text == "for":
+		return p.parseFor()
+	case t.text == "while":
+		return p.parseWhile()
+	case t.text == "break":
+		p.advance()
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.line}, nil
+	case t.text == "continue":
+		p.advance()
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.line}, nil
+	case t.text == "return":
+		p.advance()
+		var v Expr
+		if p.cur().text != ";" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			v = e
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: v, Line: t.line}, nil
+	case p.peekType():
+		return p.parseDecl()
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+func (p *fileParser) parseDecl() (Stmt, error) {
+	line := p.cur().line
+	ct, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if ct.Kind == ir.Void && !ct.Ptr {
+		return nil, errf(line, "cannot declare a void variable")
+	}
+	name := p.cur()
+	if name.kind != tokIdent {
+		return nil, errf(name.line, "expected variable name, found %q", name.text)
+	}
+	p.advance()
+	var init Expr
+	if p.accept("=") {
+		init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &DeclStmt{Name: name.text, Type: ct, Init: init, Line: line}, nil
+}
+
+// parseSimpleStmt parses an assignment, inc/dec, or expression statement
+// (without the trailing semicolon), as used both standalone and in for
+// clauses.
+func (p *fileParser) parseSimpleStmt() (Stmt, error) {
+	line := p.cur().line
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch op := p.cur().text; op {
+	case "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=":
+		p.advance()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: lhs, Op: op, Value: rhs, Line: line}, nil
+	case "++", "--":
+		p.advance()
+		return &IncDecStmt{Target: lhs, Inc: op == "++", Line: line}, nil
+	default:
+		return &ExprStmt{X: lhs, Line: line}, nil
+	}
+}
+
+func (p *fileParser) parseIf() (Stmt, error) {
+	line := p.advance().line
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then, Line: line}
+	if p.accept("else") {
+		if p.cur().text == "if" {
+			e, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = e
+		} else {
+			e, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = e
+		}
+	}
+	return st, nil
+}
+
+func (p *fileParser) parseFor() (Stmt, error) {
+	line := p.advance().line
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Line: line}
+	if !p.accept(";") {
+		if p.peekType() {
+			// declaration initializer (consumes its own ';')
+			d, err := p.parseDecl()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = d
+		} else {
+			s, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = s
+			if _, err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !p.accept(";") {
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = c
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	if p.cur().text != ")" {
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = s
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+func (p *fileParser) parseWhile() (Stmt, error) {
+	line := p.advance().line
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *fileParser) parseExpr() (Expr, error) { return p.parseTernary() }
+
+func (p *fileParser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept("?") {
+		return cond, nil
+	}
+	line := p.cur().line
+	then, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Cond: cond, Then: then, Else: els, Line: line}, nil
+}
+
+func (p *fileParser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().text
+		prec, ok := binPrec[op]
+		if !ok || prec < minPrec || p.cur().kind != tokPunct {
+			return lhs, nil
+		}
+		line := p.advance().line
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op, L: lhs, R: rhs, Line: line}
+	}
+}
+
+func (p *fileParser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.text {
+	case "-", "!", "~":
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.text, X: x, Line: t.line}, nil
+	case "*":
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &DerefExpr{X: x, Line: t.line}, nil
+	case "(":
+		// Either a cast or a parenthesized expression.
+		if _, isType := typeNames[p.peek().text]; isType && p.peek().kind == tokKeyword {
+			p.advance() // '('
+			ct, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{To: ct, X: x, Line: t.line}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *fileParser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().text {
+		case "[":
+			line := p.advance().line
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Base: x, Idx: idx, Line: line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *fileParser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.text == "(":
+		p.advance()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case t.kind == tokInt:
+		p.advance()
+		v, err := strconv.ParseInt(t.text, 0, 64)
+		if err != nil {
+			return nil, errf(t.line, "bad integer literal %q", t.text)
+		}
+		return &IntLit{Value: v, Line: t.line}, nil
+	case t.kind == tokFloat:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, errf(t.line, "bad float literal %q", t.text)
+		}
+		return &FloatLit{Value: v, Line: t.line}, nil
+	case t.text == "true" || t.text == "false":
+		p.advance()
+		return &BoolLit{Value: t.text == "true", Line: t.line}, nil
+	case t.kind == tokIdent:
+		p.advance()
+		if p.cur().text == "(" {
+			p.advance()
+			call := &CallExpr{Name: t.text, Line: t.line}
+			for !p.accept(")") {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.text, Line: t.line}, nil
+	default:
+		return nil, errf(t.line, "unexpected token %q", t.text)
+	}
+}

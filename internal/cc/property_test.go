@@ -1,0 +1,168 @@
+package cc
+
+// Differential property tests: randomly generated programs are compiled and
+// interpreted, then checked against a direct Go evaluation.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mosaicsim/internal/interp"
+)
+
+// exprGen builds a random integer expression over the variables a..f
+// (declared long) and small literals, together with a Go evaluator.
+type exprGen struct {
+	rng *rand.Rand
+}
+
+func (g *exprGen) gen(depth int) (string, func(env []int64) int64) {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(4) == 0 {
+			v := int64(g.rng.Intn(199) - 99)
+			// Written as a long literal so C-style int promotion rules do
+			// not diverge from the evaluator.
+			return fmt.Sprintf("(long)%d", v), func([]int64) int64 { return v }
+		}
+		idx := g.rng.Intn(6)
+		return string(rune('a' + idx)), func(env []int64) int64 { return env[idx] }
+	}
+	ops := []struct {
+		sym string
+		fn  func(x, y int64) int64
+	}{
+		{"+", func(x, y int64) int64 { return x + y }},
+		{"-", func(x, y int64) int64 { return x - y }},
+		{"*", func(x, y int64) int64 { return x * y }},
+		{"&", func(x, y int64) int64 { return x & y }},
+		{"|", func(x, y int64) int64 { return x | y }},
+		{"^", func(x, y int64) int64 { return x ^ y }},
+	}
+	op := ops[g.rng.Intn(len(ops))]
+	ls, lf := g.gen(depth - 1)
+	rs, rf := g.gen(depth - 1)
+	return fmt.Sprintf("(%s %s %s)", ls, op.sym, rs),
+		func(env []int64) int64 { return op.fn(lf(env), rf(env)) }
+}
+
+// genTernary wraps an expression in a comparison-driven ternary now and then.
+func (g *exprGen) genTop() (string, func(env []int64) int64) {
+	s, f := g.gen(4)
+	if g.rng.Intn(2) == 0 {
+		cs, cf := g.gen(2)
+		es, ef := g.gen(3)
+		return fmt.Sprintf("((%s > (long)0) ? %s : %s)", cs, s, es),
+			func(env []int64) int64 {
+				if cf(env) > 0 {
+					return f(env)
+				}
+				return ef(env)
+			}
+	}
+	return s, f
+}
+
+func TestRandomExpressionsMatchGo(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := &exprGen{rng: rng}
+		const nExprs = 6
+		var exprs []string
+		var evals []func([]int64) int64
+		for i := 0; i < nExprs; i++ {
+			s, f := g.genTop()
+			exprs = append(exprs, s)
+			evals = append(evals, f)
+		}
+		var sb strings.Builder
+		sb.WriteString("void kernel(long* out, long a, long b, long c, long d, long e, long f) {\n")
+		for i, e := range exprs {
+			fmt.Fprintf(&sb, "  out[%d] = %s;\n", i, e)
+		}
+		sb.WriteString("}\n")
+		mod, err := Compile(sb.String(), "prop")
+		if err != nil {
+			t.Logf("compile failed for:\n%s\n%v", sb.String(), err)
+			return false
+		}
+		env := make([]int64, 6)
+		for i := range env {
+			env[i] = int64(rng.Intn(2001) - 1000)
+		}
+		mem := interp.NewMemory(1 << 20)
+		out := mem.Alloc(nExprs*8, 8)
+		args := []uint64{out}
+		for _, v := range env {
+			args = append(args, uint64(v))
+		}
+		if _, err := interp.Run(mod.Func("kernel"), mem, args, interp.Options{}); err != nil {
+			t.Logf("run failed: %v", err)
+			return false
+		}
+		for i, f := range evals {
+			want := f(env)
+			if got := mem.ReadI64(out + uint64(i)*8); got != want {
+				t.Logf("expr %q = %d, want %d (env %v)", exprs[i], got, want, env)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomLoopReductions checks compiled reduction loops with random
+// strides and bounds against Go.
+func TestRandomLoopReductions(t *testing.T) {
+	src := `
+void kernel(long* A, long* out, long n, long stride, long start) {
+  long sum = 0;
+  long count = 0;
+  for (long i = start; i < n; i += stride) {
+    sum += A[i];
+    if (A[i] % 2 == 0) {
+      count++;
+    }
+  }
+  out[0] = sum;
+  out[1] = count;
+}
+`
+	mod, err := Compile(src, "red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mod.Func("kernel")
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		stride := 1 + rng.Intn(7)
+		start := rng.Intn(n)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(1000) - 500)
+		}
+		var sum, count int64
+		for i := start; i < n; i += stride {
+			sum += vals[i]
+			if vals[i]%2 == 0 {
+				count++
+			}
+		}
+		mem := interp.NewMemory(1 << 22)
+		pa := mem.AllocI64(vals)
+		out := mem.Alloc(16, 8)
+		if _, err := interp.Run(f, mem, []uint64{pa, out, uint64(n), uint64(stride), uint64(start)}, interp.Options{}); err != nil {
+			return false
+		}
+		return mem.ReadI64(out) == sum && mem.ReadI64(out+8) == count
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

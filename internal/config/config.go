@@ -1,0 +1,276 @@
+// Package config defines MosaicSim-Go's core, memory, and system
+// configuration ("a comprehensive set of both core and system configuration
+// files", §VI-B), JSON load/save, and presets reproducing the paper's
+// Table I evaluation system and Table II DAE case-study parameters.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// InstrClass buckets instructions for latency, energy, and functional-unit
+// accounting.
+type InstrClass uint8
+
+// Instruction classes.
+const (
+	ClassIntALU InstrClass = iota
+	ClassIntMul
+	ClassIntDiv
+	ClassFPALU
+	ClassFPMul
+	ClassFPDiv
+	ClassMem     // loads/stores/atomics: dynamic latency from the hierarchy
+	ClassBranch  // terminators
+	ClassCast    // conversions / moves
+	ClassSpecial // intrinsic calls, send/recv
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"int_alu", "int_mul", "int_div", "fp_alu", "fp_mul", "fp_div",
+	"mem", "branch", "cast", "special",
+}
+
+func (c InstrClass) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// BranchPredictor selects the control-speculation model (§III-C). The paper's
+// current release supports static and perfect prediction.
+type BranchPredictor string
+
+// Branch predictor kinds.
+const (
+	// BranchStatic predicts backward-taken/forward-not-taken and pays the
+	// misprediction penalty when the traced path disagrees.
+	BranchStatic BranchPredictor = "static"
+	// BranchPerfect always follows the traced path with no penalty.
+	BranchPerfect BranchPredictor = "perfect"
+	// BranchDynamic is a gshare predictor (global history XOR branch PC into
+	// a table of 2-bit counters) trained on the dynamic stream — the
+	// "more realistic dynamic branch predictor" the paper defers to future
+	// work (§III-C, footnote 2).
+	BranchDynamic BranchPredictor = "dynamic"
+	// BranchNone waits for the terminator to complete before launching the
+	// next DBB (no control speculation at all).
+	BranchNone BranchPredictor = "none"
+)
+
+// CoreConfig holds the microarchitectural resource limits of one core tile
+// (§III-A).
+type CoreConfig struct {
+	Name string `json:"name"`
+	// IssueWidth is the superscalar width W.
+	IssueWidth int `json:"issue_width"`
+	// WindowSize is the sliding instruction window (ROB) size.
+	WindowSize int `json:"window_size"`
+	// LSQSize is the Memory Address Orderer capacity.
+	LSQSize int `json:"lsq_size"`
+	// MaxLiveDBB caps live DBBs per static basic block (0 = unlimited). For
+	// accelerator tiles this mimics replicated loop-body circuits (§III-A).
+	MaxLiveDBB int `json:"max_live_dbb"`
+	// FunctionalUnits caps in-flight instructions per class (0 = unlimited).
+	FunctionalUnits map[string]int `json:"functional_units,omitempty"`
+	// Branch selects the control-speculation model.
+	Branch BranchPredictor `json:"branch"`
+	// MispredictPenalty is the extra launch latency on a mispredicted DBB.
+	MispredictPenalty int64 `json:"mispredict_penalty"`
+	// PerfectAliasSpec enables perfect memory-alias speculation from the
+	// trace (§III-C).
+	PerfectAliasSpec bool `json:"perfect_alias_spec"`
+	// InOrder selects in-order issue with out-of-order completion
+	// (scoreboarded stall-on-use); false models full out-of-order issue
+	// within the window.
+	InOrder bool `json:"in_order"`
+	// DecoupledSupply enables the DeSC structures of §VII-A: the terminal
+	// load buffer (loads feeding sends are fire-and-forget) and the store
+	// value buffer (stores drain when their communicated value arrives,
+	// without stalling the core).
+	DecoupledSupply bool `json:"decoupled_supply"`
+	// ClockMHz is the tile clock; the Interleaver scales tiles with
+	// different clocks (§II).
+	ClockMHz int `json:"clock_mhz"`
+	// AreaMM2 is the tile area from McPAT-style tables (Table II).
+	AreaMM2 float64 `json:"area_mm2"`
+	// Latencies overrides per-class fixed instruction latencies in cycles;
+	// missing classes use defaults.
+	Latencies map[string]int64 `json:"latencies,omitempty"`
+	// MaxMessages is the inter-tile communication buffer capacity in
+	// entries (Table II "Comm. Buffer Sizes"); 0 = default 512.
+	MaxMessages int `json:"max_messages"`
+	// AtomicExtraLatency adds cycles to every atomic RMW completion. The
+	// hardware-reference model uses it for locked-operation and contention
+	// costs that MosaicSim's memory system does not capture (§VI-A: BFS
+	// accuracy suffers because atomics are "difficult to accurately model").
+	AtomicExtraLatency int64 `json:"atomic_extra_latency"`
+}
+
+// DefaultLatencies are the fixed per-class instruction latencies in cycles.
+var DefaultLatencies = map[InstrClass]int64{
+	ClassIntALU: 1, ClassIntMul: 3, ClassIntDiv: 18,
+	ClassFPALU: 3, ClassFPMul: 4, ClassFPDiv: 18,
+	ClassBranch: 1, ClassCast: 1, ClassSpecial: 1,
+}
+
+// Latency resolves the fixed latency for a class under this config.
+func (c *CoreConfig) Latency(cl InstrClass) int64 {
+	if c.Latencies != nil {
+		if v, ok := c.Latencies[cl.String()]; ok {
+			return v
+		}
+	}
+	if v, ok := DefaultLatencies[cl]; ok {
+		return v
+	}
+	return 1
+}
+
+// FULimit resolves the functional-unit cap for a class (0 = unlimited).
+func (c *CoreConfig) FULimit(cl InstrClass) int {
+	if c.FunctionalUnits == nil {
+		return 0
+	}
+	return c.FunctionalUnits[cl.String()]
+}
+
+// CacheConfig configures one cache (§V-A).
+type CacheConfig struct {
+	Name      string `json:"name"`
+	SizeKB    int    `json:"size_kb"`
+	LineBytes int    `json:"line_bytes"`
+	Assoc     int    `json:"assoc"`
+	// LatencyCycles is the access (hit/tag) latency.
+	LatencyCycles int64 `json:"latency_cycles"`
+	// MSHRs is the miss-status holding register count (coalescing).
+	MSHRs int `json:"mshrs"`
+	// PortsPerCycle bounds requests accepted per cycle.
+	PortsPerCycle int `json:"ports_per_cycle"`
+	// PrefetchDegree is the number of lines prefetched on a detected stream
+	// (0 disables the prefetcher).
+	PrefetchDegree int `json:"prefetch_degree"`
+}
+
+// DRAMModel selects the memory model (§V-B).
+type DRAMModel string
+
+// DRAM model kinds.
+const (
+	// DRAMSimple is the paper's in-house SimpleDRAM: minimum latency plus
+	// epoch-based maximum-bandwidth throttling.
+	DRAMSimple DRAMModel = "simple"
+	// DRAMBanked is the cycle-accurate bank/row model standing in for
+	// DRAMSim2: slower to simulate, bank-conflict- and row-locality-aware.
+	DRAMBanked DRAMModel = "banked"
+)
+
+// DRAMConfig configures the DRAM model.
+type DRAMConfig struct {
+	Model DRAMModel `json:"model"`
+	// MinLatency is SimpleDRAM's fixed minimum latency in core cycles.
+	MinLatency int64 `json:"min_latency"`
+	// BandwidthGBs is the peak bandwidth enforced per epoch.
+	BandwidthGBs float64 `json:"bandwidth_gbs"`
+	// EpochCycles is the bandwidth-accounting window.
+	EpochCycles int64 `json:"epoch_cycles"`
+	// Banked-model timing (DDR-style, in cycles).
+	Channels int   `json:"channels"`
+	Banks    int   `json:"banks"`
+	RowBytes int   `json:"row_bytes"`
+	TCAS     int64 `json:"t_cas"`
+	TRCD     int64 `json:"t_rcd"`
+	TRP      int64 `json:"t_rp"`
+	TBurst   int64 `json:"t_burst"`
+}
+
+// MemConfig is a complete memory hierarchy configuration.
+type MemConfig struct {
+	L1   CacheConfig  `json:"l1"`
+	L2   *CacheConfig `json:"l2,omitempty"`  // private per-core, optional
+	LLC  *CacheConfig `json:"llc,omitempty"` // shared, optional
+	DRAM DRAMConfig   `json:"dram"`
+	// Directory enables the MSI-style directory coherence extension over
+	// the private cache stacks (§V-A future work).
+	Directory bool `json:"directory,omitempty"`
+	// DirInvCycles is the invalidation round-trip latency (default 30).
+	DirInvCycles int64 `json:"dir_inv_cycles,omitempty"`
+}
+
+// NoCConfig arranges tiles on a 2D mesh whose links add per-hop latency to
+// inter-tile messages (§V-A's future-work "message module").
+type NoCConfig struct {
+	MeshWidth int   `json:"mesh_width"`
+	HopCycles int64 `json:"hop_cycles"`
+}
+
+// SystemConfig describes a whole simulated SoC.
+type SystemConfig struct {
+	Name  string     `json:"name"`
+	Cores []CoreSpec `json:"cores"`
+	Mem   MemConfig  `json:"mem"`
+	NoC   *NoCConfig `json:"noc,omitempty"`
+}
+
+// CoreSpec instantiates Count copies of a core configuration.
+type CoreSpec struct {
+	Core  CoreConfig `json:"core"`
+	Count int        `json:"count"`
+}
+
+// Load reads a SystemConfig from a JSON file.
+func Load(path string) (*SystemConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sc SystemConfig
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return nil, fmt.Errorf("config %s: %w", path, err)
+	}
+	return &sc, nil
+}
+
+// Save writes a SystemConfig as indented JSON.
+func (sc *SystemConfig) Save(path string) error {
+	data, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Validate checks a configuration for structural errors.
+func (sc *SystemConfig) Validate() error {
+	if len(sc.Cores) == 0 {
+		return fmt.Errorf("config %q: no cores", sc.Name)
+	}
+	for _, cs := range sc.Cores {
+		if cs.Count <= 0 {
+			return fmt.Errorf("config %q: core %q count must be positive", sc.Name, cs.Core.Name)
+		}
+		if cs.Core.IssueWidth <= 0 || cs.Core.WindowSize <= 0 || cs.Core.LSQSize <= 0 {
+			return fmt.Errorf("config %q: core %q needs positive issue width, window, and LSQ", sc.Name, cs.Core.Name)
+		}
+	}
+	for _, cc := range []*CacheConfig{&sc.Mem.L1, sc.Mem.L2, sc.Mem.LLC} {
+		if cc == nil {
+			continue
+		}
+		if cc.SizeKB <= 0 || cc.LineBytes <= 0 || cc.Assoc <= 0 {
+			return fmt.Errorf("config %q: cache %q needs positive size, line, assoc", sc.Name, cc.Name)
+		}
+		lines := cc.SizeKB * 1024 / cc.LineBytes
+		if lines%cc.Assoc != 0 {
+			return fmt.Errorf("config %q: cache %q sets are not integral (%d lines / %d ways)", sc.Name, cc.Name, lines, cc.Assoc)
+		}
+	}
+	if sc.Mem.DRAM.Model == "" {
+		return fmt.Errorf("config %q: DRAM model unset", sc.Name)
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package config
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	systems := []*SystemConfig{
+		XeonSystem(1),
+		XeonSystem(8),
+		{Name: "dae", Cores: []CoreSpec{{Core: InOrderCore(), Count: 8}}, Mem: TableIIMem()},
+		{Name: "ooo", Cores: []CoreSpec{{Core: OutOfOrderCore(), Count: 1}}, Mem: TableIIMem()},
+		{Name: "accel", Cores: []CoreSpec{{Core: AcceleratorTileCore(8), Count: 1}}, Mem: TableIIMem()},
+	}
+	for _, sc := range systems {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+		}
+	}
+}
+
+func TestTableIIParameters(t *testing.T) {
+	ooo := OutOfOrderCore()
+	if ooo.IssueWidth != 4 || ooo.WindowSize != 128 || ooo.LSQSize != 128 {
+		t.Errorf("OoO core does not match Table II: %+v", ooo)
+	}
+	if ooo.ClockMHz != 2000 || ooo.AreaMM2 != 8.44 {
+		t.Errorf("OoO clock/area mismatch: %+v", ooo)
+	}
+	ino := InOrderCore()
+	if ino.IssueWidth != 1 || ino.AreaMM2 != 1.01 {
+		t.Errorf("InO core does not match Table II: %+v", ino)
+	}
+	// Equal-area comparison from §VII-A: 8 InO cores ≈ 1 OoO core.
+	if ratio := ooo.AreaMM2 / ino.AreaMM2; ratio < 7.5 || ratio > 9 {
+		t.Errorf("area ratio = %.2f, want ~8.4", ratio)
+	}
+	mem := TableIIMem()
+	if mem.L1.SizeKB != 32 || mem.L2.SizeKB != 2048 {
+		t.Errorf("Table II cache sizes wrong: %+v", mem)
+	}
+	if mem.DRAM.BandwidthGBs != 24 || mem.DRAM.MinLatency != 200 {
+		t.Errorf("Table II DRAM wrong: %+v", mem.DRAM)
+	}
+}
+
+func TestTableIParameters(t *testing.T) {
+	sc := XeonSystem(8)
+	if sc.Mem.L1.SizeKB != 32 || sc.Mem.L1.Assoc != 8 {
+		t.Errorf("Table I L1 wrong: %+v", sc.Mem.L1)
+	}
+	if sc.Mem.L2.SizeKB != 2048 || sc.Mem.L2.Assoc != 8 {
+		t.Errorf("Table I L2 wrong: %+v", sc.Mem.L2)
+	}
+	if sc.Mem.LLC.SizeKB != 20480 || sc.Mem.LLC.Assoc != 20 {
+		t.Errorf("Table I LLC wrong: %+v", sc.Mem.LLC)
+	}
+	if sc.Mem.DRAM.BandwidthGBs != 68 {
+		t.Errorf("Table I DRAM bandwidth wrong: %+v", sc.Mem.DRAM)
+	}
+	if sc.Cores[0].Core.ClockMHz != 3200 {
+		t.Errorf("Table I frequency wrong: %d", sc.Cores[0].Core.ClockMHz)
+	}
+}
+
+func TestLatencyResolution(t *testing.T) {
+	c := OutOfOrderCore()
+	if c.Latency(ClassIntALU) != 1 {
+		t.Errorf("default int_alu latency = %d", c.Latency(ClassIntALU))
+	}
+	c.Latencies = map[string]int64{"fp_mul": 7}
+	if c.Latency(ClassFPMul) != 7 {
+		t.Errorf("override fp_mul latency = %d", c.Latency(ClassFPMul))
+	}
+	if c.Latency(ClassFPDiv) != DefaultLatencies[ClassFPDiv] {
+		t.Error("non-overridden class must fall back to default")
+	}
+}
+
+func TestFULimit(t *testing.T) {
+	c := InOrderCore()
+	if c.FULimit(ClassFPMul) != 0 {
+		t.Error("unset FU limit must be unlimited (0)")
+	}
+	c.FunctionalUnits = map[string]int{"fp_mul": 2}
+	if c.FULimit(ClassFPMul) != 2 {
+		t.Errorf("FU limit = %d, want 2", c.FULimit(ClassFPMul))
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sys.json")
+	sc := XeonSystem(4)
+	if err := sc.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Name != sc.Name || len(got.Cores) != 1 || got.Cores[0].Count != 4 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got.Mem.LLC == nil || got.Mem.LLC.SizeKB != sc.Mem.LLC.SizeKB {
+		t.Errorf("LLC lost in round trip: %+v", got.Mem.LLC)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("loaded config invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := XeonSystem(1)
+	bad.Cores[0].Count = 0
+	if bad.Validate() == nil {
+		t.Error("zero-count core accepted")
+	}
+	bad2 := XeonSystem(1)
+	bad2.Mem.L1.Assoc = 7 // 512 lines not divisible by 7
+	if bad2.Validate() == nil {
+		t.Error("non-integral sets accepted")
+	}
+	bad3 := &SystemConfig{Name: "empty"}
+	if bad3.Validate() == nil {
+		t.Error("empty system accepted")
+	}
+	bad4 := XeonSystem(1)
+	bad4.Cores[0].Core.IssueWidth = 0
+	if bad4.Validate() == nil {
+		t.Error("zero issue width accepted")
+	}
+}
+
+func TestInstrClassNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := InstrClass(0); c < NumClasses; c++ {
+		n := c.String()
+		if n == "" || seen[n] {
+			t.Errorf("class %d has bad/duplicate name %q", c, n)
+		}
+		seen[n] = true
+	}
+	for c := InstrClass(0); c < NumClasses; c++ {
+		if _, ok := EnergyPerClassPJ[c]; !ok {
+			t.Errorf("class %s missing energy entry", c)
+		}
+	}
+}
+
+func TestExtensionFieldsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ext.json")
+	sc := XeonSystem(4)
+	sc.Mem.Directory = true
+	sc.Mem.DirInvCycles = 44
+	sc.NoC = &NoCConfig{MeshWidth: 2, HopCycles: 7}
+	sc.Cores[0].Core.Branch = BranchDynamic
+	sc.Cores[0].Core.DecoupledSupply = true
+	sc.Cores[0].Core.AtomicExtraLatency = 55
+	if err := sc.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Mem.Directory || got.Mem.DirInvCycles != 44 {
+		t.Errorf("directory fields lost: %+v", got.Mem)
+	}
+	if got.NoC == nil || got.NoC.MeshWidth != 2 || got.NoC.HopCycles != 7 {
+		t.Errorf("NoC fields lost: %+v", got.NoC)
+	}
+	c := got.Cores[0].Core
+	if c.Branch != BranchDynamic || !c.DecoupledSupply || c.AtomicExtraLatency != 55 {
+		t.Errorf("core extension fields lost: %+v", c)
+	}
+}

@@ -1,0 +1,145 @@
+package config
+
+// Presets reproducing the paper's configurations.
+
+// OutOfOrderCore returns the Table II out-of-order core: 4-wide, 128-entry
+// window/ROB/LSQ, 2 GHz, 8.44 mm².
+func OutOfOrderCore() CoreConfig {
+	return CoreConfig{
+		Name:              "ooo",
+		IssueWidth:        4,
+		WindowSize:        128,
+		LSQSize:           128,
+		Branch:            BranchStatic,
+		MispredictPenalty: 10,
+		PerfectAliasSpec:  true,
+		ClockMHz:          2000,
+		AreaMM2:           8.44,
+		MaxMessages:       512,
+	}
+}
+
+// InOrderCore returns the Table II in-order core: single-issue in-order
+// (scoreboarded: issue stalls on use of a pending value, but independent
+// instructions behind a miss keep issuing), 2 GHz, 1.01 mm².
+func InOrderCore() CoreConfig {
+	return CoreConfig{
+		Name:              "inorder",
+		IssueWidth:        1,
+		WindowSize:        32,
+		LSQSize:           8,
+		InOrder:           true,
+		Branch:            BranchNone,
+		MispredictPenalty: 4,
+		ClockMHz:          2000,
+		AreaMM2:           1.01,
+		MaxMessages:       512,
+	}
+}
+
+// XeonLikeCore approximates one core of the Table I Intel Xeon E5-2667 v3
+// used in the accuracy study: aggressive out-of-order at 3.2 GHz.
+func XeonLikeCore() CoreConfig {
+	c := OutOfOrderCore()
+	c.Name = "xeon"
+	c.IssueWidth = 4
+	c.WindowSize = 192
+	c.LSQSize = 96
+	c.ClockMHz = 3200
+	c.PerfectAliasSpec = true
+	c.Branch = BranchPerfect
+	return c
+}
+
+// AcceleratorTileCore returns a pre-RTL accelerator tile configuration
+// (§III-A, §IV): relaxed window, wide issue, bounded loop-body replication.
+func AcceleratorTileCore(unroll int) CoreConfig {
+	return CoreConfig{
+		Name:        "accel-tile",
+		IssueWidth:  16,
+		WindowSize:  512,
+		LSQSize:     256,
+		MaxLiveDBB:  unroll,
+		Branch:      BranchPerfect,
+		ClockMHz:    1000,
+		AreaMM2:     2.0,
+		MaxMessages: 512,
+	}
+}
+
+// TableIMem returns the Table I Xeon-like memory hierarchy: 32 KB 8-way L1,
+// 2 MB 8-way private L2, 20 MB 20-way shared LLC, 68 GB/s DRAM.
+func TableIMem() MemConfig {
+	l2 := CacheConfig{Name: "L2", SizeKB: 2048, LineBytes: 64, Assoc: 8, LatencyCycles: 6, MSHRs: 16, PortsPerCycle: 1, PrefetchDegree: 2}
+	llc := CacheConfig{Name: "LLC", SizeKB: 20480, LineBytes: 64, Assoc: 20, LatencyCycles: 18, MSHRs: 32, PortsPerCycle: 2}
+	return MemConfig{
+		L1:  CacheConfig{Name: "L1", SizeKB: 32, LineBytes: 64, Assoc: 8, LatencyCycles: 1, MSHRs: 8, PortsPerCycle: 2, PrefetchDegree: 2},
+		L2:  &l2,
+		LLC: &llc,
+		DRAM: DRAMConfig{
+			Model:        DRAMSimple,
+			MinLatency:   180,
+			BandwidthGBs: 68,
+			EpochCycles:  100,
+		},
+	}
+}
+
+// TableIIMem returns the Table II DAE case-study memory parameters: 32 KB
+// 8-way 1-cycle L1, 2 MB 8-way 6-cycle L2, DDR3L 24 GB/s 200-cycle DRAM.
+func TableIIMem() MemConfig {
+	l2 := CacheConfig{Name: "L2", SizeKB: 2048, LineBytes: 64, Assoc: 8, LatencyCycles: 6, MSHRs: 16, PortsPerCycle: 1}
+	return MemConfig{
+		L1: CacheConfig{Name: "L1", SizeKB: 32, LineBytes: 64, Assoc: 8, LatencyCycles: 1, MSHRs: 8, PortsPerCycle: 2},
+		L2: &l2,
+		DRAM: DRAMConfig{
+			Model:        DRAMSimple,
+			MinLatency:   200,
+			BandwidthGBs: 24,
+			EpochCycles:  100,
+		},
+	}
+}
+
+// BankedDRAMDefaults fills DDR-style timing for the banked (DRAMSim2
+// stand-in) model at the given peak bandwidth.
+func BankedDRAMDefaults(bandwidthGBs float64) DRAMConfig {
+	return DRAMConfig{
+		Model:        DRAMBanked,
+		MinLatency:   60,
+		BandwidthGBs: bandwidthGBs,
+		EpochCycles:  100,
+		Channels:     2,
+		Banks:        8,
+		RowBytes:     2048,
+		TCAS:         28,
+		TRCD:         28,
+		TRP:          28,
+		TBurst:       8,
+	}
+}
+
+// XeonSystem returns the Table I system with n cores.
+func XeonSystem(n int) *SystemConfig {
+	return &SystemConfig{
+		Name:  "xeon-e5-2667v3",
+		Cores: []CoreSpec{{Core: XeonLikeCore(), Count: n}},
+		Mem:   TableIMem(),
+	}
+}
+
+// EnergyPerClassPJ is the per-instruction-class dynamic energy in picojoules
+// used for instruction energy costs (§III-B) and the power model.
+var EnergyPerClassPJ = map[InstrClass]float64{
+	ClassIntALU: 8, ClassIntMul: 25, ClassIntDiv: 120,
+	ClassFPALU: 20, ClassFPMul: 35, ClassFPDiv: 160,
+	ClassMem: 30, ClassBranch: 6, ClassCast: 4, ClassSpecial: 10,
+}
+
+// Cache and DRAM access energies in picojoules for the power model.
+const (
+	EnergyL1AccessPJ   = 25
+	EnergyL2AccessPJ   = 80
+	EnergyLLCAccessPJ  = 250
+	EnergyDRAMAccessPJ = 2600
+)

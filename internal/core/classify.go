@@ -1,0 +1,50 @@
+// Package core implements MosaicSim-Go's primary contribution: the
+// lightweight graph-based tile timing model (§II-A, §III). A tile replays
+// its dynamic traces against the static DDG under microarchitectural
+// resource limits: issue width, a sliding instruction window (ROB),
+// functional-unit pools, a Memory Address Orderer (LSQ), live-DBB limits,
+// and control/alias speculation options.
+package core
+
+import (
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/ir"
+)
+
+// Classify maps an IR instruction to its cost class (§III-B).
+func Classify(in *ir.Instr) config.InstrClass {
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpLShr, ir.OpAShr, ir.OpICmp, ir.OpSelect, ir.OpGEP:
+		return config.ClassIntALU
+	case ir.OpMul:
+		return config.ClassIntMul
+	case ir.OpSDiv, ir.OpSRem:
+		return config.ClassIntDiv
+	case ir.OpFAdd, ir.OpFSub, ir.OpFCmp:
+		return config.ClassFPALU
+	case ir.OpFMul:
+		return config.ClassFPMul
+	case ir.OpFDiv:
+		return config.ClassFPDiv
+	case ir.OpLoad, ir.OpStore, ir.OpAtomicAdd:
+		return config.ClassMem
+	case ir.OpBr, ir.OpCondBr, ir.OpRet:
+		return config.ClassBranch
+	case ir.OpCast, ir.OpPhi:
+		return config.ClassCast
+	case ir.OpCall:
+		switch in.Callee {
+		case "sqrt", "exp", "log", "sin", "cos", "pow":
+			return config.ClassFPDiv
+		case "fabs", "floor", "fmin", "fmax":
+			return config.ClassFPALU
+		case "tile_id", "num_tiles":
+			return config.ClassIntALU
+		default:
+			return config.ClassSpecial
+		}
+	default:
+		return config.ClassSpecial
+	}
+}

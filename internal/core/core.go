@@ -1,0 +1,897 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/ddg"
+	"mosaicsim/internal/ir"
+	"mosaicsim/internal/mem"
+	"mosaicsim/internal/trace"
+)
+
+// MemPort is the tile's view of the memory hierarchy (its private cache
+// queue, §V).
+type MemPort interface {
+	Access(addr uint64, size int, kind mem.Kind, now int64, done func(int64))
+}
+
+// Fabric is the tile's view of the Interleaver's inter-tile message transport
+// (§II-C). Sends enqueue into bounded buffers; recvs consume matured
+// messages. Barriers synchronize SPMD tiles.
+type Fabric interface {
+	// TrySend enqueues a message from src to dst at cycle now; false when
+	// the communication buffer is full (the send retries).
+	TrySend(src, dst int, now int64) bool
+	// TryRecv consumes a message from src matured at or before now; false
+	// when none is available yet.
+	TryRecv(dst, src int, now int64) bool
+	// TrySendFuture reserves a buffer slot whose arrival cycle is supplied
+	// later (the DeSC terminal-load buffer: a send fused with a pending
+	// load matures when the load's data returns).
+	TrySendFuture(src, dst int) (setArrival func(int64), ok bool)
+	// BarrierArrive registers tile's arrival at its next barrier and
+	// returns that barrier's sequence number.
+	BarrierArrive(tile int) int64
+	// BarrierReleased reports whether every tile has arrived at barrier seq.
+	BarrierReleased(seq int64) bool
+}
+
+// AccelInvoker dispatches accelerator invocations to their performance
+// models (§IV-A): done is called at the invocation's completion cycle.
+type AccelInvoker interface {
+	Invoke(name string, params []int64, now int64, done func(int64)) error
+}
+
+// Stats aggregates one tile's simulation results.
+type Stats struct {
+	Cycles     int64
+	Instrs     int64
+	Loads      int64
+	Stores     int64
+	Atomics    int64
+	Sends      int64
+	Recvs      int64
+	AccCalls   int64
+	Mispredict int64
+	// Stall counters (cycle-grained causes sampled at issue).
+	MAOStalls    int64 // memory ops delayed by MAO ordering or capacity
+	FUStalls     int64 // issue attempts blocked on functional units
+	WindowStalls int64 // issue attempts blocked outside the window
+	CommStalls   int64 // send/recv retries
+	EnergyPJ     float64
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(s.Cycles)
+}
+
+type nodeState uint8
+
+const (
+	stateWaiting nodeState = iota
+	stateReady
+	stateIssued
+	stateCompleted
+)
+
+// dynNode is one dynamic instruction instance (one node of a DBB).
+type dynNode struct {
+	in    *ir.Instr
+	class config.InstrClass
+	seq   int64 // global program order
+	state nodeState
+
+	parentsLeft int
+	dependents  []*dynNode
+
+	dbb *dynDBB
+
+	// memory operands from the trace
+	addr    uint64
+	memSize int
+	memKind mem.Kind
+
+	// communication partner from the trace
+	partner int
+
+	// barrierSeq is the fabric barrier index this node waits on; valid once
+	// barrierArrived is set.
+	barrierSeq     int64
+	barrierArrived bool
+
+	// free marks instructions fused into neighbors on the reference ISA
+	// (e.g. gep folded into a load's addressing mode): they retire without
+	// consuming issue width, functional units, or latency.
+	free bool
+
+	// fusedLoad is the pending load whose data this send forwards (DeSC
+	// terminal load buffer); nil for ordinary sends.
+	fusedLoad *dynNode
+	// parkable marks a recv whose value only feeds a store (DeSC store
+	// value buffer): it may leave the in-order pipe and drain when the
+	// message arrives.
+	parkable bool
+	// doneAt is the completion cycle, valid once state == stateCompleted.
+	doneAt int64
+	// onComplete callbacks run at completion (used by fused sends).
+	onComplete []func(int64)
+
+	// accelerator invocation from the trace
+	accCall *trace.AccCall
+}
+
+// dynDBB is a dynamic basic block: one launched instance of a static block.
+type dynDBB struct {
+	blockID    int
+	remaining  int // uncompleted nodes (live-DBB accounting)
+	term       *dynNode
+	mispredict bool // launch of the successor pays the penalty
+}
+
+// Core is one core tile. It consumes a TileTrace and the function's DDG and
+// produces cycle/energy estimates.
+type Core struct {
+	ID    int
+	Cfg   config.CoreConfig
+	Stats Stats
+
+	graph  *ddg.Graph
+	tt     *trace.TileTrace
+	memp   MemPort
+	fabric Fabric
+	accel  AccelInvoker
+
+	// trace cursors
+	bbCursor   int
+	memCursor  int
+	accCursor  int
+	commCursor int
+
+	lastDyn []*dynNode // latest dynamic instance per static instruction
+
+	// sliding instruction window (ROB): unretired nodes in program order.
+	window     []*dynNode
+	windowHead int // index of the oldest unretired node in window
+
+	liveDBB  map[int]int // static block ID -> live DBB count
+	lastDBB  *dynDBB     // most recently launched DBB
+	launchAt int64       // earliest cycle the next DBB may launch (after penalty)
+
+	ready readyHeap
+	// issuePtr is the in-order issue cursor into window (InOrder mode).
+	issuePtr int
+	// pendingDrain holds the partner tiles of parked recvs (DeSC store
+	// value buffer): the pipeline has moved on, the messages are consumed
+	// from the fabric as they arrive.
+	pendingDrain []int
+
+	// MAO (LSQ): memory nodes in program order, pruned as they complete.
+	mao         []*dynNode
+	maoHead     int
+	maoInUse    int // issued-but-incomplete memory ops (capacity check)
+	outstanding int // issued-but-incomplete nodes of any kind
+
+	fuBusy [config.NumClasses]int
+
+	completions completionHeap
+	seqCounter  int64
+	finished    bool
+	finishCycle int64
+
+	// clock scaling: fixed latencies in core cycles are converted to global
+	// Interleaver cycles as lat * clockNum / clockDen (§II "tiles may run at
+	// different clock speeds").
+	clockNum, clockDen int64
+
+	// freeMask marks static instructions as fused idioms (see SetFreeInstrs).
+	freeMask []bool
+
+	// gshare dynamic-predictor state (config.BranchDynamic).
+	bpHistory  uint32
+	bpCounters []uint8
+}
+
+const (
+	gshareBits = 12
+	gshareMask = (1 << gshareBits) - 1
+)
+
+// New builds a core tile for one traced kernel execution.
+func New(id int, cfg config.CoreConfig, g *ddg.Graph, tt *trace.TileTrace, memp MemPort, fabric Fabric, accel AccelInvoker) *Core {
+	c := &Core{
+		ID:       id,
+		Cfg:      cfg,
+		graph:    g,
+		tt:       tt,
+		memp:     memp,
+		fabric:   fabric,
+		accel:    accel,
+		lastDyn:  make([]*dynNode, g.Fn.NumInstrs()),
+		liveDBB:  map[int]int{},
+		clockNum: 1,
+		clockDen: 1,
+	}
+	return c
+}
+
+// SetFreeInstrs marks static instructions (by layout index) as fused idioms
+// that cost no issue slot, functional unit, or latency. The hardware
+// reference model uses this to mimic an ISA where IR idioms (gep+load,
+// phi copies, casts) map onto single machine instructions (§VI-A).
+func (c *Core) SetFreeInstrs(mask []bool) { c.freeMask = mask }
+
+// SetClockScale configures conversion from core cycles to global Interleaver
+// cycles: one core cycle spans num/den global cycles.
+func (c *Core) SetClockScale(num, den int64) {
+	if num <= 0 || den <= 0 {
+		return
+	}
+	c.clockNum, c.clockDen = num, den
+}
+
+// scaleLat converts a core-cycle latency to global cycles (rounded up).
+func (c *Core) scaleLat(lat int64) int64 {
+	if c.clockNum == c.clockDen {
+		return lat
+	}
+	return (lat*c.clockNum + c.clockDen - 1) / c.clockDen
+}
+
+// Done reports whether the tile has retired its whole trace.
+func (c *Core) Done() bool { return c.finished }
+
+// FinishCycle returns the tile-local cycle at which the trace retired.
+func (c *Core) FinishCycle() int64 { return c.finishCycle }
+
+// readyHeap orders issue-ready nodes by program order.
+type readyHeap []*dynNode
+
+func (h readyHeap) Len() int           { return len(h) }
+func (h readyHeap) Less(i, j int) bool { return h[i].seq < h[j].seq }
+func (h readyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)        { *h = append(*h, x.(*dynNode)) }
+func (h *readyHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+type completion struct {
+	at   int64
+	node *dynNode
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int           { return len(h) }
+func (h completionHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)        { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Step advances the tile by one of its own clock cycles. It returns true
+// while the tile still has work.
+func (c *Core) Step(now int64) bool {
+	if c.finished {
+		return false
+	}
+	c.processCompletions(now)
+	// Drain the store-value buffer: consume matured messages for recvs that
+	// already left the pipeline.
+	for len(c.pendingDrain) > 0 && c.fabric.TryRecv(c.ID, c.pendingDrain[0], now) {
+		c.pendingDrain = c.pendingDrain[1:]
+	}
+	c.launchDBBs(now)
+	c.issue(now)
+	c.retire()
+	if c.bbCursor >= len(c.tt.BBPath) && c.windowHead >= len(c.window) && c.completions.Len() == 0 && c.outstanding == 0 && len(c.pendingDrain) == 0 {
+		c.finished = true
+		c.finishCycle = now
+		c.Stats.Cycles = now
+		return false
+	}
+	c.Stats.Cycles = now
+	return true
+}
+
+// processCompletions retires timing events due at or before now.
+func (c *Core) processCompletions(now int64) {
+	for c.completions.Len() > 0 && c.completions[0].at <= now {
+		ev := heap.Pop(&c.completions).(completion)
+		c.complete(ev.node, now)
+	}
+}
+
+// complete marks a node finished, frees its resources, and wakes dependents
+// (rule 2, §II-A).
+func (c *Core) complete(n *dynNode, now int64) {
+	if n.state == stateCompleted {
+		return
+	}
+	n.state = stateCompleted
+	n.doneAt = now
+	c.outstanding--
+	for _, cb := range n.onComplete {
+		cb(now)
+	}
+	n.onComplete = nil
+	if !n.free {
+		if lim := c.Cfg.FULimit(n.class); lim > 0 {
+			c.fuBusy[n.class]--
+		}
+		if n.class == config.ClassMem {
+			c.maoInUse--
+		}
+	}
+	c.Stats.Instrs++
+	c.Stats.EnergyPJ += config.EnergyPerClassPJ[n.class]
+	n.dbb.remaining--
+	if n.dbb.remaining == 0 {
+		c.liveDBB[n.dbb.blockID]--
+	}
+	// A mispredicted terminator releases the next launch only after the
+	// misprediction penalty (§III-C).
+	if n == n.dbb.term && n.dbb.mispredict {
+		c.launchAt = now + c.scaleLat(c.Cfg.MispredictPenalty)
+	}
+	for _, d := range n.dependents {
+		d.parentsLeft--
+		if d.parentsLeft == 0 && d.state == stateWaiting {
+			d.state = stateReady
+			if !c.Cfg.InOrder {
+				heap.Push(&c.ready, d)
+			}
+		}
+	}
+}
+
+// memDone is the callback given to the memory hierarchy.
+func (c *Core) memDone(n *dynNode) func(int64) {
+	return func(at int64) {
+		heap.Push(&c.completions, completion{at: at, node: n})
+	}
+}
+
+// retire slides the instruction window (ROB) forward over completed nodes
+// (§III-A "ROB").
+func (c *Core) retire() {
+	for c.windowHead < len(c.window) && c.window[c.windowHead].state == stateCompleted {
+		c.window[c.windowHead] = nil // release for GC
+		c.windowHead++
+	}
+	// Periodically compact the retired prefix.
+	if c.windowHead > 4096 && c.windowHead*2 > len(c.window) {
+		c.window = append([]*dynNode(nil), c.window[c.windowHead:]...)
+		c.issuePtr -= c.windowHead
+		if c.issuePtr < 0 {
+			c.issuePtr = 0
+		}
+		c.windowHead = 0
+	}
+}
+
+func (c *Core) unretired() int { return len(c.window) - c.windowHead }
+
+// windowBaseSeq returns the seq of the oldest unretired node.
+func (c *Core) windowBaseSeq() int64 {
+	if c.windowHead < len(c.window) {
+		return c.window[c.windowHead].seq
+	}
+	return c.seqCounter
+}
+
+// mispredictTarget implements the static predictor (§III-C): backward
+// branches (loops) predicted taken toward the lower-numbered block, forward
+// branches predicted fall-through (the lexically next block).
+func staticPrediction(term *ir.Instr, curBlock int) int {
+	if term.Op != ir.OpCondBr {
+		if len(term.Targets) == 1 {
+			return term.Targets[0].ID
+		}
+		return -1 // ret: no successor
+	}
+	t0, t1 := term.Targets[0].ID, term.Targets[1].ID
+	// Predict a backward target (loop) if one exists.
+	if t0 <= curBlock {
+		return t0
+	}
+	if t1 <= curBlock {
+		return t1
+	}
+	// Otherwise predict the nearer (fall-through-like) target.
+	if t0 < t1 {
+		return t0
+	}
+	return t1
+}
+
+// launchDBBs launches dynamic basic blocks from the control trace (rule 3,
+// §II-A) subject to speculation policy, live-DBB limits, and window space.
+func (c *Core) launchDBBs(now int64) {
+	launches := 0
+	maxLaunch := c.Cfg.IssueWidth
+	if maxLaunch < 1 {
+		maxLaunch = 1
+	}
+	for launches < maxLaunch && c.bbCursor < len(c.tt.BBPath) {
+		bid := int(c.tt.BBPath[c.bbCursor])
+		if c.lastDBB != nil {
+			switch c.Cfg.Branch {
+			case config.BranchPerfect:
+				// Launch immediately.
+			case config.BranchStatic, config.BranchDynamic:
+				if c.lastDBB.mispredict {
+					// Wait for the terminator, then pay the penalty.
+					if c.lastDBB.term.state != stateCompleted || now < c.launchAt {
+						return
+					}
+				}
+			default: // BranchNone
+				if c.lastDBB.term.state != stateCompleted {
+					return
+				}
+			}
+		}
+		if c.Cfg.MaxLiveDBB > 0 && c.liveDBB[bid] >= c.Cfg.MaxLiveDBB {
+			return
+		}
+		if c.unretired() >= c.Cfg.WindowSize && c.unretired() > 0 {
+			c.Stats.WindowStalls++
+			return
+		}
+		c.launchOne(bid)
+		launches++
+	}
+}
+
+// launchOne stamps out the dynamic nodes of one DBB and binds dependence
+// edges: intra-DBB edges to nodes of this instance, cross edges to the most
+// recent dynamic instance of the producer (§II-A).
+func (c *Core) launchOne(bid int) {
+	bg := c.graph.Blocks[bid]
+	prevBlock := -1
+	if c.bbCursor > 0 {
+		prevBlock = int(c.tt.BBPath[c.bbCursor-1])
+	}
+	c.bbCursor++
+
+	d := &dynDBB{blockID: bid, remaining: len(bg.Nodes)}
+	c.liveDBB[bid]++
+	nodes := make([]*dynNode, len(bg.Nodes))
+	for pos := range bg.Nodes {
+		sn := &bg.Nodes[pos]
+		n := &dynNode{
+			in:    sn.Instr,
+			class: Classify(sn.Instr),
+			seq:   c.seqCounter,
+			dbb:   d,
+		}
+		if c.freeMask != nil && sn.Instr.Idx < len(c.freeMask) {
+			n.free = c.freeMask[sn.Instr.Idx]
+		}
+		c.seqCounter++
+		nodes[pos] = n
+	}
+	d.term = nodes[bg.TermPos]
+
+	// Bind dependencies before updating lastDyn so cross edges see the
+	// previous instances (loop-carried values).
+	for pos := range bg.Nodes {
+		sn := &bg.Nodes[pos]
+		n := nodes[pos]
+		bind := func(dep ddg.Dep) {
+			var parent *dynNode
+			if dep.Kind == ddg.DepIntra {
+				parent = nodes[dep.Instr-bg.Nodes[0].Instr.Idx]
+			} else {
+				parent = c.lastDyn[dep.Instr]
+			}
+			if parent == nil {
+				return
+			}
+			if c.Cfg.DecoupledSupply && dep.Kind == ddg.DepIntra {
+				// DeSC structures (§VII-A): a send forwarding a load's data
+				// (terminal load buffer) does not wait for the load, and a
+				// store/atomic whose value comes from a recv (store value
+				// buffer) drains without stalling the core.
+				if n.in.Op == ir.OpCall && n.in.Callee == "send" && parent.in.Op == ir.OpLoad {
+					n.fusedLoad = parent
+					return
+				}
+				if (n.in.Op == ir.OpStore || n.in.Op == ir.OpAtomicAdd) &&
+					parent.in.Op == ir.OpCall && parent.in.Callee == "recv" {
+					parent.parkable = true
+					return
+				}
+			}
+			if parent.state != stateCompleted {
+				parent.dependents = append(parent.dependents, n)
+				n.parentsLeft++
+			}
+		}
+		if sn.Instr.Op == ir.OpPhi {
+			for _, pc := range sn.PhiCases {
+				if pc.FromBlock == prevBlock && pc.Dep != nil {
+					bind(*pc.Dep)
+				}
+			}
+		} else {
+			for _, dep := range sn.Deps {
+				bind(dep)
+			}
+		}
+
+		switch {
+		case sn.Instr.IsMemory():
+			if c.memCursor >= len(c.tt.Mem) {
+				panic(fmt.Sprintf("core: tile %d memory trace exhausted at instruction %d", c.ID, sn.Instr.Idx))
+			}
+			ev := c.tt.Mem[c.memCursor]
+			if int(ev.Instr) != sn.Instr.Idx {
+				panic(fmt.Sprintf("core: tile %d memory trace out of sync: have instr %d, want %d", c.ID, ev.Instr, sn.Instr.Idx))
+			}
+			c.memCursor++
+			n.addr = ev.Addr
+			n.memSize = int(ev.Size)
+			switch ev.Kind {
+			case trace.KindLoad:
+				n.memKind = mem.Read
+			case trace.KindStore:
+				n.memKind = mem.Write
+			default:
+				n.memKind = mem.Atomic
+			}
+			c.mao = append(c.mao, n)
+		case sn.Instr.Op == ir.OpCall && (sn.Instr.Callee == "send" || sn.Instr.Callee == "recv"):
+			if c.commCursor >= len(c.tt.Comm) {
+				panic(fmt.Sprintf("core: tile %d comm trace exhausted", c.ID))
+			}
+			n.partner = int(c.tt.Comm[c.commCursor].Partner)
+			c.commCursor++
+		case sn.Instr.Op == ir.OpCall && len(sn.Instr.Callee) > 4 && sn.Instr.Callee[:4] == "acc_":
+			if c.accCursor >= len(c.tt.Acc) {
+				panic(fmt.Sprintf("core: tile %d accelerator trace exhausted", c.ID))
+			}
+			n.accCall = &c.tt.Acc[c.accCursor]
+			c.accCursor++
+		}
+	}
+	for pos, n := range nodes {
+		c.lastDyn[bg.Nodes[pos].Instr.Idx] = n
+		c.window = append(c.window, n)
+		if n.parentsLeft == 0 {
+			n.state = stateReady
+			if !c.Cfg.InOrder {
+				heap.Push(&c.ready, n)
+			}
+		}
+	}
+
+	// Branch prediction (§III-C): decide whether launching the *next* DBB
+	// must wait for this terminator plus the misprediction penalty.
+	if c.bbCursor < len(c.tt.BBPath) {
+		actual := int(c.tt.BBPath[c.bbCursor])
+		switch c.Cfg.Branch {
+		case config.BranchStatic:
+			if staticPrediction(d.term.in, bid) != actual {
+				d.mispredict = true
+				c.Stats.Mispredict++
+			}
+		case config.BranchDynamic:
+			if !c.gsharePredict(d.term.in, actual) {
+				d.mispredict = true
+				c.Stats.Mispredict++
+			}
+		}
+	}
+	c.lastDBB = d
+}
+
+// gsharePredict predicts one conditional branch with a gshare predictor and
+// trains it on the traced outcome; it returns whether the prediction was
+// correct. Unconditional terminators always predict correctly.
+func (c *Core) gsharePredict(term *ir.Instr, actualNext int) bool {
+	if term.Op != ir.OpCondBr {
+		return true
+	}
+	if c.bpCounters == nil {
+		c.bpCounters = make([]uint8, gshareMask+1)
+		// Weakly taken initial state.
+		for i := range c.bpCounters {
+			c.bpCounters[i] = 2
+		}
+	}
+	taken := term.Targets[0].ID == actualNext
+	idx := (uint32(term.Idx)*2654435761 ^ c.bpHistory) & gshareMask
+	predictTaken := c.bpCounters[idx] >= 2
+	if taken {
+		if c.bpCounters[idx] < 3 {
+			c.bpCounters[idx]++
+		}
+		c.bpHistory = (c.bpHistory << 1) | 1
+	} else {
+		if c.bpCounters[idx] > 0 {
+			c.bpCounters[idx]--
+		}
+		c.bpHistory = c.bpHistory << 1
+	}
+	c.bpHistory &= gshareMask
+	return predictTaken == taken
+}
+
+// issue dispatches up to IssueWidth ready nodes per cycle subject to the
+// window, functional units, the MAO, and communication buffers (rule 1,
+// §II-A; §III-A).
+func (c *Core) issue(now int64) {
+	if c.Cfg.InOrder {
+		c.issueInOrder(now)
+		return
+	}
+	issued := 0
+	var deferred []*dynNode
+	windowLimit := c.windowBaseSeq() + int64(c.Cfg.WindowSize)
+	for issued < c.Cfg.IssueWidth && c.ready.Len() > 0 {
+		n := c.ready[0]
+		if n.free {
+			// Fused idiom: retires instantly without consuming issue
+			// bandwidth, waking dependents within this cycle.
+			heap.Pop(&c.ready)
+			n.state = stateIssued
+			c.outstanding++
+			c.complete(n, now)
+			continue
+		}
+		if n.seq >= windowLimit {
+			// Oldest ready node is outside the window; all others are too.
+			c.Stats.WindowStalls++
+			break
+		}
+		heap.Pop(&c.ready)
+		if ok := c.tryIssue(n, now); ok {
+			issued++
+		} else {
+			deferred = append(deferred, n)
+		}
+	}
+	for _, n := range deferred {
+		heap.Push(&c.ready, n)
+	}
+}
+
+// issueInOrder models a scoreboarded in-order pipeline: instructions issue
+// strictly in program order; issue stalls when the next instruction's
+// operands are pending (stall-on-use), while independent younger work never
+// bypasses it. Completion remains out of order (hit-under-miss), and stores
+// blocked only on memory ordering park in a store buffer (the ready heap,
+// unused for issue in this mode) so they drain without stalling the pipe.
+func (c *Core) issueInOrder(now int64) {
+	// Drain parked stores/recvs in program order; they already consumed
+	// their issue slots. Stop at the first blocked one so same-channel
+	// recvs keep FIFO order.
+	for c.ready.Len() > 0 {
+		if !c.tryIssue(c.ready[0], now) {
+			break
+		}
+		heap.Pop(&c.ready)
+	}
+	issued := 0
+	for issued < c.Cfg.IssueWidth {
+		if c.issuePtr < c.windowHead {
+			c.issuePtr = c.windowHead
+		}
+		// Skip already-processed entries.
+		for c.issuePtr < len(c.window) {
+			n := c.window[c.issuePtr]
+			if n == nil || n.state == stateIssued || n.state == stateCompleted {
+				c.issuePtr++
+				continue
+			}
+			break
+		}
+		if c.issuePtr >= len(c.window) {
+			return
+		}
+		n := c.window[c.issuePtr]
+		if n.parentsLeft > 0 {
+			return // stall-on-use
+		}
+		if n.free {
+			n.state = stateIssued
+			c.outstanding++
+			c.complete(n, now)
+			c.issuePtr++
+			continue
+		}
+		// Store-buffer semantics: a store (or atomic) blocked only on MAO
+		// ordering parks and drains later instead of stalling the pipeline.
+		if n.class == config.ClassMem && n.memKind != mem.Read &&
+			c.maoInUse+c.ready.Len() < c.Cfg.LSQSize && c.maoOrderBlocked(n) {
+			heap.Push(&c.ready, n)
+			c.issuePtr++
+			issued++
+			continue
+		}
+		// Store-value-buffer semantics (DeSC, §VII-A): a recv whose data
+		// only feeds a store leaves the pipeline immediately; the message
+		// is consumed from the fabric whenever it arrives.
+		if n.parkable && len(c.pendingDrain) < maxParked(c.Cfg.MaxMessages) {
+			if !c.fabric.TryRecv(c.ID, n.partner, now) {
+				c.pendingDrain = append(c.pendingDrain, n.partner)
+			}
+			c.Stats.Recvs++
+			c.issueFixed(n, now, c.Cfg.Latency(config.ClassSpecial))
+			c.issuePtr++
+			issued++
+			continue
+		}
+		if !c.tryIssue(n, now) {
+			return // structural hazard
+		}
+		c.issuePtr++
+		issued++
+	}
+}
+
+// tryIssue attempts to issue one node; false means a structural hazard (FU,
+// MAO, communication) and the node retries next cycle.
+func (c *Core) tryIssue(n *dynNode, now int64) bool {
+	if lim := c.Cfg.FULimit(n.class); lim > 0 && c.fuBusy[n.class] >= lim {
+		c.Stats.FUStalls++
+		return false
+	}
+	switch {
+	case n.class == config.ClassMem:
+		return c.tryIssueMem(n, now)
+	case n.in.Op == ir.OpCall && n.in.Callee == "send":
+		if n.fusedLoad != nil && n.fusedLoad.state != stateCompleted {
+			// Terminal load buffer: reserve the slot now; the message
+			// matures when the load's data returns.
+			set, ok := c.fabric.TrySendFuture(c.ID, n.partner)
+			if !ok {
+				c.Stats.CommStalls++
+				return false
+			}
+			n.fusedLoad.onComplete = append(n.fusedLoad.onComplete, func(t int64) { set(t) })
+			c.Stats.Sends++
+			c.issueFixed(n, now, c.Cfg.Latency(config.ClassSpecial))
+			return true
+		}
+		if !c.fabric.TrySend(c.ID, n.partner, now) {
+			c.Stats.CommStalls++
+			return false
+		}
+		c.Stats.Sends++
+		c.issueFixed(n, now, c.Cfg.Latency(config.ClassSpecial))
+		return true
+	case n.in.Op == ir.OpCall && n.in.Callee == "barrier":
+		if !n.barrierArrived {
+			n.barrierSeq = c.fabric.BarrierArrive(c.ID)
+			n.barrierArrived = true
+		}
+		if !c.fabric.BarrierReleased(n.barrierSeq) {
+			c.Stats.CommStalls++
+			return false
+		}
+		c.issueFixed(n, now, c.Cfg.Latency(config.ClassSpecial))
+		return true
+	case n.in.Op == ir.OpCall && n.in.Callee == "recv":
+		if !c.fabric.TryRecv(c.ID, n.partner, now) {
+			c.Stats.CommStalls++
+			return false
+		}
+		c.Stats.Recvs++
+		c.issueFixed(n, now, c.Cfg.Latency(config.ClassSpecial))
+		return true
+	case n.accCall != nil:
+		if c.accel == nil {
+			panic(fmt.Sprintf("core: tile %d has no accelerator port for %s", c.ID, n.accCall.Name))
+		}
+		c.markIssued(n)
+		c.Stats.AccCalls++
+		if err := c.accel.Invoke(n.accCall.Name, n.accCall.Params, now, c.memDone(n)); err != nil {
+			panic(fmt.Sprintf("core: tile %d: %v", c.ID, err))
+		}
+		return true
+	default:
+		c.issueFixed(n, now, c.Cfg.Latency(n.class))
+		return true
+	}
+}
+
+func (c *Core) markIssued(n *dynNode) {
+	n.state = stateIssued
+	c.outstanding++
+	if lim := c.Cfg.FULimit(n.class); lim > 0 {
+		c.fuBusy[n.class]++
+	}
+}
+
+func (c *Core) issueFixed(n *dynNode, now, latency int64) {
+	c.markIssued(n)
+	heap.Push(&c.completions, completion{at: now + c.scaleLat(latency), node: n})
+}
+
+// tryIssueMem enforces MAO ordering (§II-A "Data Dependencies") and LSQ
+// capacity (§III-A), then dispatches to the memory hierarchy.
+func (c *Core) tryIssueMem(n *dynNode, now int64) bool {
+	if c.maoInUse >= c.Cfg.LSQSize {
+		c.Stats.MAOStalls++
+		return false
+	}
+	// Prune completed prefix.
+	for c.maoHead < len(c.mao) && c.mao[c.maoHead].state == stateCompleted {
+		c.mao[c.maoHead] = nil
+		c.maoHead++
+	}
+	if c.maoHead > 4096 && c.maoHead*2 > len(c.mao) {
+		c.mao = append([]*dynNode(nil), c.mao[c.maoHead:]...)
+		c.maoHead = 0
+	}
+	if c.maoOrderBlocked(n) {
+		c.Stats.MAOStalls++
+		return false
+	}
+	c.markIssued(n)
+	c.maoInUse++
+	done := c.memDone(n)
+	switch n.memKind {
+	case mem.Read:
+		c.Stats.Loads++
+	case mem.Write:
+		c.Stats.Stores++
+	default:
+		c.Stats.Atomics++
+		if extra := c.Cfg.AtomicExtraLatency; extra > 0 {
+			inner := done
+			done = func(t int64) { inner(t + extra) }
+		}
+	}
+	c.memp.Access(n.addr, n.memSize, n.memKind, now, done)
+	return true
+}
+
+// maxParked bounds the store-value buffer occupancy.
+func maxParked(maxMessages int) int {
+	if maxMessages <= 0 {
+		return 512
+	}
+	return maxMessages
+}
+
+// maoOrderBlocked applies the MAO ordering rules (§II-A): a store may not
+// issue past an older incomplete access with matching or unresolved address;
+// a load only checks older stores. Perfect alias speculation drops the
+// unresolved-address conservatism.
+func (c *Core) maoOrderBlocked(n *dynNode) bool {
+	isStore := n.memKind != mem.Read
+	for i := c.maoHead; i < len(c.mao); i++ {
+		older := c.mao[i]
+		if older == nil || older.seq >= n.seq {
+			break
+		}
+		if older.state == stateCompleted {
+			continue
+		}
+		olderIsStore := older.memKind != mem.Read
+		if !isStore && !olderIsStore {
+			continue // load vs load never conflicts
+		}
+		unresolved := older.state == stateWaiting && !c.Cfg.PerfectAliasSpec
+		if unresolved || overlaps(older, n) {
+			return true
+		}
+	}
+	return false
+}
+
+func overlaps(a, b *dynNode) bool {
+	return a.addr < b.addr+uint64(b.memSize) && b.addr < a.addr+uint64(a.memSize)
+}

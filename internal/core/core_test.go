@@ -1,0 +1,463 @@
+package core
+
+import (
+	"testing"
+
+	"mosaicsim/internal/cc"
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/ddg"
+	"mosaicsim/internal/interp"
+	"mosaicsim/internal/ir"
+	"mosaicsim/internal/mem"
+	"mosaicsim/internal/trace"
+)
+
+// fakeMem completes every access after a fixed latency.
+type fakeMem struct {
+	lat      int64
+	accesses int64
+}
+
+func (f *fakeMem) Access(addr uint64, size int, kind mem.Kind, now int64, done func(int64)) {
+	f.accesses++
+	done(now + f.lat)
+}
+
+// fakeFabric never blocks.
+type fakeFabric struct{ sends, recvs int64 }
+
+func (f *fakeFabric) TrySend(src, dst int, now int64) bool { f.sends++; return true }
+func (f *fakeFabric) TryRecv(dst, src int, now int64) bool { f.recvs++; return true }
+func (f *fakeFabric) BarrierArrive(tile int) int64         { return 0 }
+func (f *fakeFabric) BarrierReleased(seq int64) bool       { return true }
+func (f *fakeFabric) TrySendFuture(src, dst int) (func(int64), bool) {
+	f.sends++
+	return func(int64) {}, true
+}
+
+// traceKernel compiles src, traces `kernel` with the given args on one tile,
+// and returns the DDG and tile trace.
+func traceKernel(t *testing.T, src string, setup func(m *interp.Memory) []uint64) (*ddg.Graph, *trace.TileTrace) {
+	t.Helper()
+	mod, err := cc.Compile(src, "t")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f := mod.Func("kernel")
+	m := interp.NewMemory(1 << 22)
+	args := setup(m)
+	res, err := interp.Run(f, m, args, interp.Options{})
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	return ddg.Build(f), res.Trace.Tiles[0]
+}
+
+// runCore drives a single tile to completion and returns it.
+func runCore(t *testing.T, cfg config.CoreConfig, g *ddg.Graph, tt *trace.TileTrace, memLat int64) *Core {
+	t.Helper()
+	c := New(0, cfg, g, tt, &fakeMem{lat: memLat}, &fakeFabric{}, nil)
+	for now := int64(0); ; now++ {
+		if !c.Step(now) {
+			break
+		}
+		if now > 50_000_000 {
+			t.Fatal("core never finished")
+		}
+	}
+	return c
+}
+
+const sumSrc = `
+void kernel(double* A, long n) {
+  double acc = 0.0;
+  for (long i = 0; i < n; i++) {
+    acc += A[i];
+  }
+  A[0] = acc;
+}
+`
+
+const indepSrc = `
+void kernel(double* A, double* B, long n) {
+  for (long i = 0; i < n; i++) {
+    B[i] = A[i] * 2.0 + 1.0;
+  }
+}
+`
+
+func setupArray(n int) func(m *interp.Memory) []uint64 {
+	return func(m *interp.Memory) []uint64 {
+		pa := m.AllocF64(make([]float64, n))
+		return []uint64{pa, uint64(n)}
+	}
+}
+
+func setupTwoArrays(n int) func(m *interp.Memory) []uint64 {
+	return func(m *interp.Memory) []uint64 {
+		pa := m.AllocF64(make([]float64, n))
+		pb := m.Alloc(int64(n)*8, 64)
+		return []uint64{pa, pb, uint64(n)}
+	}
+}
+
+func TestRetiresExactlyTraceInstructions(t *testing.T) {
+	g, tt := traceKernel(t, sumSrc, setupArray(64))
+	c := runCore(t, config.OutOfOrderCore(), g, tt, 4)
+	if c.Stats.Instrs != tt.DynInstrs {
+		t.Errorf("retired %d instructions, trace has %d", c.Stats.Instrs, tt.DynInstrs)
+	}
+	if c.Stats.Cycles <= 0 {
+		t.Error("no cycles accumulated")
+	}
+	if c.Stats.Loads != 64 || c.Stats.Stores != 1 {
+		t.Errorf("loads=%d stores=%d, want 64/1", c.Stats.Loads, c.Stats.Stores)
+	}
+	if c.Stats.EnergyPJ <= 0 {
+		t.Error("no energy accumulated")
+	}
+}
+
+func TestOutOfOrderBeatsInOrder(t *testing.T) {
+	g, tt := traceKernel(t, indepSrc, setupTwoArrays(256))
+	ooo := runCore(t, config.OutOfOrderCore(), g, tt, 20)
+	g2, tt2 := traceKernel(t, indepSrc, setupTwoArrays(256))
+	ino := runCore(t, config.InOrderCore(), g2, tt2, 20)
+	if ooo.Stats.Cycles >= ino.Stats.Cycles {
+		t.Errorf("OoO (%d cycles) should beat InO (%d cycles)", ooo.Stats.Cycles, ino.Stats.Cycles)
+	}
+	if ratio := float64(ino.Stats.Cycles) / float64(ooo.Stats.Cycles); ratio < 2 {
+		t.Errorf("OoO speedup on independent work = %.2fx, want >= 2x", ratio)
+	}
+}
+
+func TestIssueWidthMatters(t *testing.T) {
+	mk := func(width int) int64 {
+		cfg := config.OutOfOrderCore()
+		cfg.IssueWidth = width
+		g, tt := traceKernel(t, indepSrc, setupTwoArrays(256))
+		return runCore(t, cfg, g, tt, 2).Stats.Cycles
+	}
+	w1, w4 := mk(1), mk(4)
+	if w4 >= w1 {
+		t.Errorf("width 4 (%d) should beat width 1 (%d)", w4, w1)
+	}
+}
+
+func TestWindowSizeMatters(t *testing.T) {
+	mk := func(window int) int64 {
+		cfg := config.OutOfOrderCore()
+		cfg.WindowSize = window
+		g, tt := traceKernel(t, indepSrc, setupTwoArrays(256))
+		return runCore(t, cfg, g, tt, 100).Stats.Cycles // long memory latency
+	}
+	small, big := mk(8), mk(256)
+	if big >= small {
+		t.Errorf("window 256 (%d) should beat window 8 (%d) under long memory latency", big, small)
+	}
+}
+
+func TestIPCBoundedByIssueWidth(t *testing.T) {
+	g, tt := traceKernel(t, indepSrc, setupTwoArrays(512))
+	cfg := config.OutOfOrderCore()
+	c := runCore(t, cfg, g, tt, 1)
+	if ipc := c.Stats.IPC(); ipc > float64(cfg.IssueWidth) {
+		t.Errorf("IPC %.2f exceeds issue width %d", ipc, cfg.IssueWidth)
+	}
+	if c.Stats.Cycles < tt.DynInstrs/int64(cfg.IssueWidth) {
+		t.Errorf("cycles %d below theoretical minimum %d", c.Stats.Cycles, tt.DynInstrs/int64(cfg.IssueWidth))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g, tt := traceKernel(t, sumSrc, setupArray(128))
+	a := runCore(t, config.OutOfOrderCore(), g, tt, 7).Stats
+	b := runCore(t, config.OutOfOrderCore(), g, tt, 7).Stats
+	if a != b {
+		t.Errorf("two identical runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+const rawSrc = `
+void kernel(double* A, long n) {
+  for (long i = 0; i < n; i++) {
+    A[0] = A[0] + (double)i;   // serial read-modify-write on one address
+  }
+}
+`
+
+func TestMAOSerializesSameAddress(t *testing.T) {
+	g, tt := traceKernel(t, rawSrc, setupArray(4))
+	c := runCore(t, config.OutOfOrderCore(), g, tt, 30)
+	// 32 iterations of load+store on one address with 30-cycle memory: the
+	// RAW chain forces >= n*(2*30) cycles of memory serialization.
+	minCycles := int64(4 * 2 * 30)
+	if c.Stats.Cycles < minCycles {
+		t.Errorf("cycles %d below RAW serialization floor %d", c.Stats.Cycles, minCycles)
+	}
+}
+
+func TestAliasSpeculationHelpsIndependentAccesses(t *testing.T) {
+	run := func(spec bool) int64 {
+		cfg := config.OutOfOrderCore()
+		cfg.PerfectAliasSpec = spec
+		g, tt := traceKernel(t, indepSrc, setupTwoArrays(128))
+		return runCore(t, cfg, g, tt, 50).Stats.Cycles
+	}
+	withSpec, withoutSpec := run(true), run(false)
+	if withSpec > withoutSpec {
+		t.Errorf("perfect alias speculation slower (%d) than conservative (%d)", withSpec, withoutSpec)
+	}
+}
+
+func TestLiveDBBLimitSerializesIterations(t *testing.T) {
+	run := func(limit int) int64 {
+		cfg := config.AcceleratorTileCore(limit)
+		g, tt := traceKernel(t, indepSrc, setupTwoArrays(128))
+		return runCore(t, cfg, g, tt, 10).Stats.Cycles
+	}
+	one, eight := run(1), run(8)
+	if eight >= one {
+		t.Errorf("8 live DBBs (%d cycles) should beat 1 (%d cycles): hardware loop unrolling", eight, one)
+	}
+}
+
+func TestFunctionalUnitLimits(t *testing.T) {
+	run := func(fpmul int) int64 {
+		cfg := config.OutOfOrderCore()
+		if fpmul > 0 {
+			cfg.FunctionalUnits = map[string]int{"fp_mul": fpmul}
+		}
+		g, tt := traceKernel(t, indepSrc, setupTwoArrays(256))
+		return runCore(t, cfg, g, tt, 2).Stats.Cycles
+	}
+	limited, unlimited := run(1), run(0)
+	if unlimited > limited {
+		t.Errorf("unlimited FUs (%d) slower than 1 fp_mul (%d)", unlimited, limited)
+	}
+	if limited == unlimited {
+		t.Log("FU limit had no effect on this kernel (acceptable but unexpected)")
+	}
+}
+
+const branchySrc = `
+void kernel(long* A, long n) {
+  long acc = 0;
+  for (long i = 0; i < n; i++) {
+    if (A[i] % 3 == 0) {
+      acc += A[i];
+    } else {
+      acc -= 1;
+    }
+  }
+  A[0] = acc;
+}
+`
+
+func TestBranchSpeculationOrdering(t *testing.T) {
+	run := func(bp config.BranchPredictor) (int64, int64) {
+		cfg := config.OutOfOrderCore()
+		cfg.Branch = bp
+		g, tt := traceKernel(t, branchySrc, func(m *interp.Memory) []uint64 {
+			vals := make([]int64, 200)
+			for i := range vals {
+				vals[i] = int64(i * 7)
+			}
+			return []uint64{m.AllocI64(vals), uint64(len(vals))}
+		})
+		c := runCore(t, cfg, g, tt, 10)
+		return c.Stats.Cycles, c.Stats.Mispredict
+	}
+	perfect, _ := run(config.BranchPerfect)
+	static, mispredicts := run(config.BranchStatic)
+	none, _ := run(config.BranchNone)
+	if perfect > static || static > none {
+		t.Errorf("speculation ordering violated: perfect=%d static=%d none=%d", perfect, static, none)
+	}
+	if mispredicts == 0 {
+		t.Error("static predictor reported no mispredictions on data-dependent branches")
+	}
+}
+
+func TestSendRecvCounted(t *testing.T) {
+	src := `
+void kernel(long* A, long n) {
+  for (long i = 0; i < n; i++) {
+    send(0, A[i]);
+    long v = recv_long(0);
+    A[i] = v;
+  }
+}
+`
+	// Self-send/recv through the always-available fake fabric.
+	g, tt := traceKernel(t, src, func(m *interp.Memory) []uint64 {
+		return []uint64{m.AllocI64(make([]int64, 8)), 8}
+	})
+	c := runCore(t, config.OutOfOrderCore(), g, tt, 2)
+	if c.Stats.Sends != 8 || c.Stats.Recvs != 8 {
+		t.Errorf("sends=%d recvs=%d, want 8/8", c.Stats.Sends, c.Stats.Recvs)
+	}
+}
+
+type stubAccel struct {
+	cycles int64
+	calls  int
+}
+
+func (a *stubAccel) Invoke(name string, params []int64, now int64, done func(int64)) error {
+	a.calls++
+	done(now + a.cycles)
+	return nil
+}
+
+func TestAcceleratorInvocationBlocksCompletion(t *testing.T) {
+	src := `
+void kernel(long* A, long n) {
+  acc_test(A, n);
+  A[0] = 1;
+}
+`
+	mod, err := cc.Compile(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mod.Func("kernel")
+	m := interp.NewMemory(1 << 20)
+	pa := m.AllocI64(make([]int64, 4))
+	res, err := interp.Run(f, m, []uint64{pa, 4}, interp.Options{
+		Acc: map[string]interp.AccFunc{"acc_test": func(mem *interp.Memory, params []int64) {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ddg.Build(f)
+	acc := &stubAccel{cycles: 5000}
+	c := New(0, config.OutOfOrderCore(), g, res.Trace.Tiles[0], &fakeMem{lat: 2}, &fakeFabric{}, acc)
+	for now := int64(0); c.Step(now); now++ {
+		if now > 1_000_000 {
+			t.Fatal("never finished")
+		}
+	}
+	if acc.calls != 1 {
+		t.Errorf("accelerator invoked %d times, want 1", acc.calls)
+	}
+	if c.Stats.Cycles < 5000 {
+		t.Errorf("cycles %d; accelerator latency (5000) must dominate", c.Stats.Cycles)
+	}
+	if c.Stats.AccCalls != 1 {
+		t.Errorf("AccCalls = %d", c.Stats.AccCalls)
+	}
+}
+
+func TestCorruptTracePanics(t *testing.T) {
+	g, tt := traceKernel(t, sumSrc, setupArray(8))
+	// Corrupt the memory trace instruction index.
+	tt.Mem[0].Instr += 99
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-sync memory trace must panic")
+		}
+	}()
+	runCore(t, config.OutOfOrderCore(), g, tt, 2)
+}
+
+func TestClockScaling(t *testing.T) {
+	g, tt := traceKernel(t, sumSrc, setupArray(64))
+	fast := runCore(t, config.OutOfOrderCore(), g, tt, 4)
+	slow := New(0, config.OutOfOrderCore(), g, tt, &fakeMem{lat: 4}, &fakeFabric{}, nil)
+	slow.SetClockScale(2, 1) // core at half the global clock
+	for now := int64(0); slow.Step(now); now++ {
+		if now > 50_000_000 {
+			t.Fatal("scaled core never finished")
+		}
+	}
+	if slow.Stats.Cycles <= fast.Stats.Cycles {
+		t.Errorf("half-clock core (%d global cycles) should take longer than full-clock (%d)", slow.Stats.Cycles, fast.Stats.Cycles)
+	}
+}
+
+func TestClassifyCoversAllOpcodes(t *testing.T) {
+	cases := map[ir.Opcode]config.InstrClass{
+		ir.OpAdd: config.ClassIntALU, ir.OpMul: config.ClassIntMul,
+		ir.OpSDiv: config.ClassIntDiv, ir.OpFAdd: config.ClassFPALU,
+		ir.OpFMul: config.ClassFPMul, ir.OpFDiv: config.ClassFPDiv,
+		ir.OpLoad: config.ClassMem, ir.OpStore: config.ClassMem,
+		ir.OpAtomicAdd: config.ClassMem, ir.OpBr: config.ClassBranch,
+		ir.OpPhi: config.ClassCast, ir.OpGEP: config.ClassIntALU,
+	}
+	for op, want := range cases {
+		if got := Classify(&ir.Instr{Op: op}); got != want {
+			t.Errorf("Classify(%s) = %s, want %s", op, got, want)
+		}
+	}
+	if got := Classify(&ir.Instr{Op: ir.OpCall, Callee: "sqrt"}); got != config.ClassFPDiv {
+		t.Errorf("sqrt classified as %s", got)
+	}
+	if got := Classify(&ir.Instr{Op: ir.OpCall, Callee: "send"}); got != config.ClassSpecial {
+		t.Errorf("send classified as %s", got)
+	}
+}
+
+func TestDynamicBranchPredictor(t *testing.T) {
+	// A loop with a strongly-biased data-dependent branch: gshare should
+	// learn it and beat the static predictor, while never beating perfect.
+	src := `
+void kernel(long* A, long* out, long n) {
+  long acc = 0;
+  for (long i = 0; i < n; i++) {
+    if (A[i] > 0) {   // biased: ~94% taken
+      acc += A[i];
+    } else {
+      acc -= A[i];
+    }
+  }
+  out[0] = acc;
+}
+`
+	setup := func(m *interp.Memory) []uint64 {
+		// Period-4 pattern: fits in the gshare history register, so the
+		// dynamic predictor can learn it while the static one cannot.
+		vals := make([]int64, 600)
+		for i := range vals {
+			vals[i] = 5
+			if i%4 == 0 {
+				vals[i] = -3
+			}
+		}
+		return []uint64{m.AllocI64(vals), m.Alloc(8, 8), uint64(len(vals))}
+	}
+	run := func(bp config.BranchPredictor) (int64, int64) {
+		cfg := config.OutOfOrderCore()
+		cfg.Branch = bp
+		cfg.MispredictPenalty = 12
+		g, tt := traceKernel(t, src, setup)
+		c := runCore(t, cfg, g, tt, 4)
+		return c.Stats.Cycles, c.Stats.Mispredict
+	}
+	perfect, _ := run(config.BranchPerfect)
+	dynamic, dynMiss := run(config.BranchDynamic)
+	static, statMiss := run(config.BranchStatic)
+	none, _ := run(config.BranchNone)
+	if dynMiss == 0 {
+		t.Error("gshare reported zero mispredictions on a data-dependent branch")
+	}
+	if dynMiss >= statMiss {
+		t.Errorf("gshare mispredicts (%d) should be below static's (%d) on a biased branch", dynMiss, statMiss)
+	}
+	if !(perfect <= dynamic && dynamic <= static && static <= none) {
+		t.Errorf("speculation ordering violated: perfect=%d dynamic=%d static=%d none=%d",
+			perfect, dynamic, static, none)
+	}
+}
+
+func TestGsharePredictsUnconditional(t *testing.T) {
+	g, tt := traceKernel(t, sumSrc, setupArray(16))
+	cfg := config.OutOfOrderCore()
+	cfg.Branch = config.BranchDynamic
+	c := runCore(t, cfg, g, tt, 2)
+	// Unconditional branches never mispredict; only the loop back-edge
+	// (condbr) can, and a monotone loop should train quickly.
+	if c.Stats.Mispredict > 4 {
+		t.Errorf("too many mispredicts on a simple loop: %d", c.Stats.Mispredict)
+	}
+}

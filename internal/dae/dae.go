@@ -1,0 +1,392 @@
+// Package dae implements the Decoupled Access/Execute compiler pass of the
+// paper's first case study (§VII-A): it slices a kernel into an access slice
+// (all memory accesses, address computation, and control flow) and an
+// execute slice (value computation), wired together through the
+// Interleaver's message buffers — loads push their data to the execute
+// slice, stores receive their values from it, exactly as in DeSC.
+//
+// Tile pairing convention: a DAE system runs 2P tiles; even tiles run the
+// access slice, odd tiles the execute slice, and tile 2i pairs with 2i+1.
+// Inside a slice, tile_id() and num_tiles() are rewritten to pair-local
+// values (tile_id()/2 and num_tiles()/2) so SPMD work partitioning is by
+// pair.
+package dae
+
+import (
+	"fmt"
+
+	"mosaicsim/internal/ir"
+)
+
+// Slices is the result of decoupling one kernel.
+type Slices struct {
+	Access  *ir.Function
+	Execute *ir.Function
+	// CommLoads counts loads whose values are communicated to the execute
+	// slice; CommStores counts stores whose values come from it.
+	CommLoads  int
+	CommStores int
+}
+
+// Slice decouples kernel f into access and execute slices, appended to a new
+// module (alongside the globals of f's module).
+func Slice(f *ir.Function) (*Slices, error) {
+	f.AssignIDs()
+	for _, in := range f.Instrs() {
+		if in.Op == ir.OpCall && (in.Callee == "send" || in.Callee == "recv") {
+			return nil, fmt.Errorf("dae: kernel @%s already uses explicit communication", f.Ident)
+		}
+	}
+
+	// 1. Access set: backward closure of every memory address and branch
+	//    condition; memory operations themselves are access-owned.
+	accessSet := map[*ir.Instr]bool{}
+	var mark func(v ir.Value)
+	mark = func(v ir.Value) {
+		in, ok := v.(*ir.Instr)
+		if !ok || accessSet[in] {
+			return
+		}
+		accessSet[in] = true
+		for _, a := range in.Args {
+			mark(a)
+		}
+	}
+	for _, in := range f.Instrs() {
+		switch {
+		case in.IsMemory():
+			accessSet[in] = true
+			mark(in.AddrOperand())
+			if in.Op == ir.OpAtomicAdd {
+				// The address closure only; the delta may be compute-owned.
+			}
+		case in.Op == ir.OpCondBr:
+			mark(in.Args[0])
+		}
+	}
+
+	computeOwned := func(in *ir.Instr) bool {
+		return !accessSet[in] && !in.IsMemory() && !in.IsTerminator() && !isTileQuery(in)
+	}
+
+	// 2. Values the execute slice needs: operands of compute-owned
+	//    instructions and of duplicated terminators. Access-owned arithmetic
+	//    is duplicated; loads/atomics bottom out as communicated values.
+	dupl := map[*ir.Instr]bool{}
+	commLoads := map[*ir.Instr]bool{}
+	var need func(v ir.Value)
+	need = func(v ir.Value) {
+		in, ok := v.(*ir.Instr)
+		if !ok {
+			return
+		}
+		switch {
+		case in.Op == ir.OpLoad || in.Op == ir.OpAtomicAdd:
+			commLoads[in] = true
+		case computeOwned(in) || isTileQuery(in):
+			// Emitted in execute anyway; its operands are needed there too.
+			if !dupl[in] {
+				dupl[in] = true
+				for _, a := range in.Args {
+					need(a)
+				}
+			}
+		case in.Op == ir.OpStore || in.IsTerminator():
+			// Not values; nothing to do.
+		default:
+			if !dupl[in] {
+				dupl[in] = true
+				for _, a := range in.Args {
+					need(a)
+				}
+			}
+		}
+	}
+	commStores := map[*ir.Instr]bool{}
+	for _, in := range f.Instrs() {
+		switch {
+		case computeOwned(in):
+			for _, a := range in.Args {
+				need(a)
+			}
+		case in.IsTerminator():
+			for _, a := range in.Args {
+				need(a)
+			}
+		case in.Op == ir.OpStore:
+			if p, ok := in.Args[0].(*ir.Instr); ok && computeOwned(p) {
+				commStores[in] = true
+				need(in.Args[0])
+			}
+		case in.Op == ir.OpAtomicAdd:
+			if p, ok := in.Args[1].(*ir.Instr); ok && computeOwned(p) {
+				commStores[in] = true
+				need(in.Args[1])
+			}
+		}
+	}
+
+	mod := ir.NewModule(moduleName(f))
+	if f.Parent != nil {
+		mod.Globals = append(mod.Globals, f.Parent.Globals...)
+	}
+	cls := classification{
+		accessSet:  accessSet,
+		dupl:       dupl,
+		commLoads:  commLoads,
+		commStores: commStores,
+		compute:    computeOwned,
+	}
+	access, err := emitSlice(mod, f, cls, true)
+	if err != nil {
+		return nil, err
+	}
+	execute, err := emitSlice(mod, f, cls, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := ir.VerifyModule(mod); err != nil {
+		return nil, fmt.Errorf("dae: generated slices fail verification: %w", err)
+	}
+	return &Slices{
+		Access:     access,
+		Execute:    execute,
+		CommLoads:  len(commLoads),
+		CommStores: len(commStores),
+	}, nil
+}
+
+func moduleName(f *ir.Function) string {
+	if f.Parent != nil {
+		return f.Parent.Ident + ".dae"
+	}
+	return f.Ident + ".dae"
+}
+
+func isTileQuery(in *ir.Instr) bool {
+	return in.Op == ir.OpCall && (in.Callee == "tile_id" || in.Callee == "num_tiles")
+}
+
+type classification struct {
+	accessSet  map[*ir.Instr]bool
+	dupl       map[*ir.Instr]bool
+	commLoads  map[*ir.Instr]bool
+	commStores map[*ir.Instr]bool
+	compute    func(*ir.Instr) bool
+}
+
+// pending defers operand/target resolution until all instructions of a slice
+// exist (SSA allows forward references through phis).
+type pending struct {
+	copy     *ir.Instr
+	origArgs []ir.Value
+	origInc  []*ir.Block
+	origTgt  []*ir.Block
+}
+
+// emitSlice builds one slice function. For the access slice (isAccess):
+// memory ops and access-owned instructions are kept, communicated loads gain
+// a send, stores of compute-owned values gain a recv. For the execute slice:
+// compute-owned and duplicated instructions are kept, communicated loads
+// become recvs, communicated stores become sends.
+func emitSlice(mod *ir.Module, f *ir.Function, cls classification, isAccess bool) (*ir.Function, error) {
+	suffix := ".access"
+	if !isAccess {
+		suffix = ".execute"
+	}
+	nf := &ir.Function{Ident: f.Ident + suffix, Parent: mod}
+	mod.Funcs = append(mod.Funcs, nf)
+
+	paramMap := map[*ir.Param]*ir.Param{}
+	for _, p := range f.Params {
+		np := &ir.Param{Ident: p.Ident, Ty: p.Ty}
+		nf.Params = append(nf.Params, np)
+		paramMap[p] = np
+	}
+	blockMap := map[*ir.Block]*ir.Block{}
+	for _, b := range f.Blocks {
+		nb := &ir.Block{Ident: b.Ident, Parent: nf}
+		nf.Blocks = append(nf.Blocks, nb)
+		blockMap[b] = nb
+	}
+
+	valueMap := map[*ir.Instr]ir.Value{}
+	var pend []*pending
+	names := 0
+	newName := func(hint string) string {
+		names++
+		return fmt.Sprintf("%s%d", hint, names)
+	}
+
+	// Prologue in the entry block: raw tile identity, pair-local identity,
+	// and the partner tile for sends/recvs.
+	entry := nf.Blocks[0]
+	addTo := func(b *ir.Block, in *ir.Instr) *ir.Instr {
+		in.Parent = b
+		b.Instrs = append(b.Instrs, in)
+		return in
+	}
+	rawTid := addTo(entry, &ir.Instr{Op: ir.OpCall, Ty: ir.I64, Callee: "tile_id", Ident: newName("tid.raw")})
+	pairTid := addTo(entry, &ir.Instr{Op: ir.OpSDiv, Ty: ir.I64, Ident: newName("tid.pair"),
+		Args: []ir.Value{rawTid, ir.ConstInt(ir.I64, 2)}})
+	rawNt := addTo(entry, &ir.Instr{Op: ir.OpCall, Ty: ir.I64, Callee: "num_tiles", Ident: newName("nt.raw")})
+	pairNt := addTo(entry, &ir.Instr{Op: ir.OpSDiv, Ty: ir.I64, Ident: newName("nt.pair"),
+		Args: []ir.Value{rawNt, ir.ConstInt(ir.I64, 2)}})
+	partnerOp := ir.OpAdd
+	if !isAccess {
+		partnerOp = ir.OpSub
+	}
+	partner := addTo(entry, &ir.Instr{Op: partnerOp, Ty: ir.I64, Ident: newName("partner"),
+		Args: []ir.Value{rawTid, ir.ConstInt(ir.I64, 1)}})
+
+	emitCopy := func(nb *ir.Block, in *ir.Instr) *ir.Instr {
+		cp := &ir.Instr{
+			Op: in.Op, Ty: in.Ty, Ident: in.Ident, Pred: in.Pred, Cast: in.Cast,
+			Scale: in.Scale, Callee: in.Callee,
+		}
+		addTo(nb, cp)
+		pend = append(pend, &pending{copy: cp, origArgs: in.Args, origInc: in.Incoming, origTgt: in.Targets})
+		if in.HasResult() {
+			valueMap[in] = cp
+		}
+		return cp
+	}
+	emitSend := func(nb *ir.Block, value ir.Value) {
+		cp := &ir.Instr{Op: ir.OpCall, Ty: ir.Void, Callee: "send"}
+		addTo(nb, cp)
+		pend = append(pend, &pending{copy: cp, origArgs: []ir.Value{partner, value}})
+	}
+	emitRecv := func(nb *ir.Block, ty ir.Type) *ir.Instr {
+		cp := &ir.Instr{Op: ir.OpCall, Ty: ty, Callee: "recv", Ident: newName("comm")}
+		addTo(nb, cp)
+		pend = append(pend, &pending{copy: cp, origArgs: []ir.Value{partner}})
+		return cp
+	}
+
+	for _, b := range f.Blocks {
+		nb := blockMap[b]
+		for _, in := range b.Instrs {
+			switch {
+			case isTileQuery(in):
+				// Both slices carry tile queries, remapped to pair-local
+				// values.
+				if in.Callee == "tile_id" {
+					valueMap[in] = pairTid
+				} else {
+					valueMap[in] = pairNt
+				}
+			case in.Op == ir.OpLoad:
+				if isAccess {
+					cp := emitCopy(nb, in)
+					if cls.commLoads[in] {
+						emitSend(nb, cp)
+					}
+				} else if cls.commLoads[in] {
+					valueMap[in] = emitRecv(nb, in.Ty)
+				}
+			case in.Op == ir.OpAtomicAdd:
+				if isAccess {
+					delta := in.Args[1]
+					if cls.commStores[in] {
+						delta = emitRecv(nb, in.Args[1].Type())
+					}
+					cp := &ir.Instr{Op: ir.OpAtomicAdd, Ty: in.Ty, Ident: in.Ident}
+					addTo(nb, cp)
+					pend = append(pend, &pending{copy: cp, origArgs: []ir.Value{in.Args[0], delta}})
+					valueMap[in] = cp
+					if cls.commLoads[in] {
+						emitSend(nb, cp)
+					}
+				} else {
+					if cls.commStores[in] {
+						emitSend(nb, in.Args[1])
+					}
+					if cls.commLoads[in] {
+						valueMap[in] = emitRecv(nb, in.Ty)
+					}
+				}
+			case in.Op == ir.OpStore:
+				if isAccess {
+					value := in.Args[0]
+					if cls.commStores[in] {
+						value = emitRecv(nb, in.Args[0].Type())
+					}
+					cp := &ir.Instr{Op: ir.OpStore, Ty: ir.Void}
+					addTo(nb, cp)
+					pend = append(pend, &pending{copy: cp, origArgs: []ir.Value{value, in.Args[1]}})
+				} else if cls.commStores[in] {
+					emitSend(nb, in.Args[0])
+				}
+			case in.IsTerminator():
+				emitCopy(nb, in)
+			case isAccess && cls.accessSet[in]:
+				emitCopy(nb, in)
+			case !isAccess && (cls.compute(in) || cls.dupl[in]):
+				emitCopy(nb, in)
+			}
+		}
+	}
+
+	// Resolve deferred operands and control-flow references.
+	for _, p := range pend {
+		for _, a := range p.origArgs {
+			v, err := resolve(nf, a, valueMap, paramMap)
+			if err != nil {
+				return nil, fmt.Errorf("dae: %s: %w", nf.Ident, err)
+			}
+			p.copy.Args = append(p.copy.Args, v)
+		}
+		for _, ib := range p.origInc {
+			p.copy.Incoming = append(p.copy.Incoming, blockMap[ib])
+		}
+		for _, tb := range p.origTgt {
+			p.copy.Targets = append(p.copy.Targets, blockMap[tb])
+		}
+	}
+	// Rename results uniquely (copies share original names; recv/prologue
+	// instrs are already unique). Collisions only matter for printing, but
+	// keep them clean.
+	seen := map[string]int{}
+	for _, b := range nf.Blocks {
+		for _, in := range b.Instrs {
+			if !in.HasResult() {
+				continue
+			}
+			if in.Ident == "" {
+				in.Ident = newName("v")
+			}
+			if n := seen[in.Ident]; n > 0 {
+				in.Ident = fmt.Sprintf("%s.%d", in.Ident, n)
+			}
+			seen[in.Ident]++
+		}
+	}
+	return nf, nil
+}
+
+// resolve maps an original operand into the slice's value space. A value is
+// either a constant/global (shared), a parameter (remapped), a pre-resolved
+// instruction (recv/copy/prologue), or an instruction the slice does not
+// carry — which indicates a classification bug.
+func resolve(nf *ir.Function, a ir.Value, valueMap map[*ir.Instr]ir.Value, paramMap map[*ir.Param]*ir.Param) (ir.Value, error) {
+	switch x := a.(type) {
+	case *ir.Instr:
+		if v, ok := valueMap[x]; ok {
+			return v, nil
+		}
+		// Instructions created by this slice itself (prologue, recv) are
+		// passed through pending.origArgs directly.
+		if x.Parent != nil && x.Parent.Parent == nf {
+			return x, nil
+		}
+		return nil, fmt.Errorf("operand %%%s missing from slice", x.Ident)
+	case *ir.Param:
+		np, ok := paramMap[x]
+		if !ok {
+			return nil, fmt.Errorf("parameter %%%s missing from slice", x.Ident)
+		}
+		return np, nil
+	default:
+		return a, nil
+	}
+}

@@ -1,0 +1,157 @@
+package ddg
+
+import "mosaicsim/internal/ir"
+
+// The paper notes the compiler's dependency graphs can be analyzed directly
+// "for lightweight performance estimation" (§II) before any trace exists.
+// This file implements that static analysis: per-block critical paths and
+// ILP bounds under a latency model, the cheapest possible early-stage
+// estimate of whether a kernel is dependence-limited.
+
+// LatencyModel gives a static per-instruction latency for analysis.
+type LatencyModel func(in *ir.Instr) int64
+
+// UnitLatency treats every instruction as one cycle (a pure dataflow-ILP
+// measure).
+func UnitLatency(*ir.Instr) int64 { return 1 }
+
+// BlockAnalysis is the static estimate for one basic block.
+type BlockAnalysis struct {
+	Block *ir.Block
+	// Nodes is the static instruction count.
+	Nodes int
+	// CriticalPath is the longest latency chain through one dynamic
+	// instance of the block (intra-DBB edges only).
+	CriticalPath int64
+	// LoopCarried is the longest chain ending at a value consumed by the
+	// next instance of this block (its recurrence bound): for a loop body
+	// this is the minimum initiation interval imposed by data flow.
+	LoopCarried int64
+	// ILP is Nodes·latency / CriticalPath — the parallelism available to an
+	// ideal machine within one instance.
+	ILP float64
+}
+
+// Analyze computes per-block static estimates under the latency model.
+func (g *Graph) Analyze(lat LatencyModel) []BlockAnalysis {
+	out := make([]BlockAnalysis, 0, len(g.Blocks))
+	for _, bg := range g.Blocks {
+		a := BlockAnalysis{Block: bg.Block, Nodes: len(bg.Nodes)}
+		base := bg.Block.Instrs[0].Idx
+		finish := make([]int64, len(bg.Nodes)) // completion time per node
+		var total int64
+		for pos, n := range bg.Nodes {
+			l := lat(n.Instr)
+			total += l
+			start := int64(0)
+			for _, d := range n.Deps {
+				if d.Kind == DepIntra {
+					if f := finish[d.Instr-base]; f > start {
+						start = f
+					}
+				}
+			}
+			finish[pos] = start + l
+			if finish[pos] > a.CriticalPath {
+				a.CriticalPath = finish[pos]
+			}
+		}
+		if a.CriticalPath > 0 {
+			a.ILP = float64(total) / float64(a.CriticalPath)
+		}
+		out = append(out, a)
+	}
+	g.fillRecurrences(lat, out)
+	return out
+}
+
+// fillRecurrences computes each block's loop-carried recurrence: for every
+// phi, the longest latency chain from the phi to the producer feeding it
+// back around the loop. Chains may span blocks (the increment usually lives
+// in the latch), so this is a function-level longest-path DP over the
+// phi-stripped (acyclic) dependence graph, seeded at one phi at a time.
+func (g *Graph) fillRecurrences(lat LatencyModel, out []BlockAnalysis) {
+	n := g.Fn.NumInstrs()
+	// Dependence edges def -> user, excluding phi incoming edges (which are
+	// the only cycles).
+	type edgeT struct{ def, user int }
+	var edges []edgeT
+	for _, bg := range g.Blocks {
+		for _, node := range bg.Nodes {
+			for _, d := range node.Deps {
+				edges = append(edges, edgeT{d.Instr, node.Instr.Idx})
+			}
+		}
+	}
+	lats := make([]int64, n)
+	for _, bg := range g.Blocks {
+		for _, node := range bg.Nodes {
+			lats[node.Instr.Idx] = lat(node.Instr)
+		}
+	}
+	dist := make([]int64, n)
+	for bi, bg := range g.Blocks {
+		for _, node := range bg.Nodes {
+			if node.Instr.Op != ir.OpPhi {
+				continue
+			}
+			phiIdx := node.Instr.Idx
+			for i := range dist {
+				dist[i] = -1
+			}
+			dist[phiIdx] = lats[phiIdx]
+			// Relax; the phi-stripped graph is acyclic, so |blocks|+2
+			// passes over layout order converge.
+			for pass := 0; pass < len(g.Blocks)+2; pass++ {
+				changed := false
+				for _, e := range edges {
+					if dist[e.def] < 0 {
+						continue
+					}
+					cand := dist[e.def] + lats[e.user]
+					if cand > dist[e.user] {
+						dist[e.user] = cand
+						changed = true
+					}
+				}
+				if !changed {
+					break
+				}
+			}
+			for _, pc := range node.PhiCases {
+				if pc.Dep == nil {
+					continue
+				}
+				// Only back edges count: the producing instruction must be
+				// reachable FROM the phi (i.e. part of the cycle).
+				if d := dist[pc.Dep.Instr]; d > out[bi].LoopCarried {
+					out[bi].LoopCarried = d
+				}
+			}
+		}
+	}
+}
+
+// Estimate is the whole-kernel static summary.
+type Estimate struct {
+	Blocks []BlockAnalysis
+	// MaxILP is the highest per-block ILP (the best case for wide issue).
+	MaxILP float64
+	// MinII is the largest loop-carried recurrence across blocks — a lower
+	// bound on cycles per iteration of the hottest loop on any machine.
+	MinII int64
+}
+
+// Estimate runs Analyze and summarizes.
+func (g *Graph) Estimate(lat LatencyModel) Estimate {
+	e := Estimate{Blocks: g.Analyze(lat)}
+	for _, b := range e.Blocks {
+		if b.ILP > e.MaxILP {
+			e.MaxILP = b.ILP
+		}
+		if b.LoopCarried > e.MinII {
+			e.MinII = b.LoopCarried
+		}
+	}
+	return e
+}

@@ -1,0 +1,197 @@
+// Package ddg builds MosaicSim-Go's static Data Dependence Graph (§II-A of
+// the paper): per-basic-block graphs whose nodes are static instructions and
+// whose edges capture data flow within and across dynamic basic blocks
+// (DBBs), with the block terminator identified as the control-flow launch
+// point for successor DBBs.
+//
+// The simulator replays the graph dynamically: a DBB is stamped out per
+// control-trace entry, intra-block edges connect nodes inside one DBB, and
+// cross edges bind to the most recent dynamic instance of the producing
+// static instruction (covering loop-carried phis and cross-block values).
+package ddg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mosaicsim/internal/ir"
+)
+
+// DepKind classifies a data-dependence edge.
+type DepKind uint8
+
+const (
+	// DepIntra is an edge from an earlier instruction in the same DBB.
+	DepIntra DepKind = iota
+	// DepCross is an edge to the most recent dynamic instance of a static
+	// instruction outside this DBB (cross-block values, loop-carried phis).
+	DepCross
+)
+
+// Dep is one data dependence of an instruction on a producing instruction,
+// identified by its static instruction index within the function.
+type Dep struct {
+	Kind  DepKind
+	Instr int
+}
+
+// PhiCase is a phi node's dependence for one incoming control-flow edge; Dep
+// is nil when the incoming value is a constant, parameter, or global.
+type PhiCase struct {
+	FromBlock int
+	Dep       *Dep
+}
+
+// Node is the static-DDG node for one instruction.
+type Node struct {
+	Instr    *ir.Instr
+	Deps     []Dep     // non-phi data dependencies
+	PhiCases []PhiCase // phi dependencies, selected by the traced edge
+}
+
+// BlockGraph is the per-basic-block slice of the DDG.
+type BlockGraph struct {
+	Block *ir.Block
+	Nodes []Node
+	// MemOps lists positions (into Nodes) of memory instructions in static
+	// order; the simulator pops traced addresses for them at DBB launch.
+	MemOps []int
+	// TermPos is the position of the terminator node within Nodes.
+	TermPos int
+}
+
+// Graph is the static DDG of one function.
+type Graph struct {
+	Fn     *ir.Function
+	Blocks []*BlockGraph // indexed by block ID
+}
+
+// Build constructs the static DDG. The function must verify.
+func Build(f *ir.Function) *Graph {
+	f.AssignIDs()
+	g := &Graph{Fn: f, Blocks: make([]*BlockGraph, len(f.Blocks))}
+	for _, b := range f.Blocks {
+		bg := &BlockGraph{Block: b, TermPos: len(b.Instrs) - 1}
+		for pos, in := range b.Instrs {
+			n := Node{Instr: in}
+			if in.Op == ir.OpPhi {
+				for i, from := range in.Incoming {
+					pc := PhiCase{FromBlock: from.ID}
+					if d, ok := in.Args[i].(*ir.Instr); ok {
+						// A phi's producers are always outside this dynamic
+						// instance of the block: either a different block or
+						// the previous iteration of this one.
+						pc.Dep = &Dep{Kind: DepCross, Instr: d.Idx}
+					}
+					n.PhiCases = append(n.PhiCases, pc)
+				}
+			} else {
+				for _, a := range in.Args {
+					d, ok := a.(*ir.Instr)
+					if !ok {
+						continue
+					}
+					kind := DepCross
+					if d.Parent == b && posOf(b, d) < pos {
+						kind = DepIntra
+					}
+					n.Deps = append(n.Deps, Dep{Kind: kind, Instr: d.Idx})
+				}
+			}
+			if in.IsMemory() {
+				bg.MemOps = append(bg.MemOps, pos)
+			}
+			bg.Nodes = append(bg.Nodes, n)
+		}
+		g.Blocks[b.ID] = bg
+	}
+	return g
+}
+
+func posOf(b *ir.Block, in *ir.Instr) int {
+	// Instruction Idx values are assigned in layout order, so relative order
+	// within one block follows from Idx.
+	return in.Idx - b.Instrs[0].Idx
+}
+
+// Stats summarizes graph shape (reported by the DDG tool).
+type Stats struct {
+	Blocks     int
+	Nodes      int
+	IntraEdges int
+	CrossEdges int
+	PhiEdges   int
+	MemOps     int
+}
+
+// Stats computes summary statistics for the graph.
+func (g *Graph) Stats() Stats {
+	s := Stats{Blocks: len(g.Blocks)}
+	for _, bg := range g.Blocks {
+		s.Nodes += len(bg.Nodes)
+		s.MemOps += len(bg.MemOps)
+		for _, n := range bg.Nodes {
+			for _, d := range n.Deps {
+				if d.Kind == DepIntra {
+					s.IntraEdges++
+				} else {
+					s.CrossEdges++
+				}
+			}
+			s.PhiEdges += len(n.PhiCases)
+		}
+	}
+	return s
+}
+
+// DOT renders the static DDG in Graphviz format: one cluster per basic block,
+// solid edges for intra-DBB data flow, dashed for cross-DBB flow, and dotted
+// block-level control edges from terminators to successor blocks.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  node [shape=box, fontsize=10];\n", g.Fn.Ident)
+	name := func(idx int) string { return fmt.Sprintf("n%d", idx) }
+	for _, bg := range g.Blocks {
+		fmt.Fprintf(&sb, "  subgraph cluster_%d {\n    label=%q;\n", bg.Block.ID, bg.Block.Ident)
+		for _, n := range bg.Nodes {
+			label := n.Instr.Op.String()
+			if n.Instr.Ident != "" {
+				label = "%" + n.Instr.Ident + " = " + label
+			}
+			if n.Instr.Op == ir.OpCall {
+				label += " " + n.Instr.Callee
+			}
+			shape := ""
+			if n.Instr.IsTerminator() {
+				shape = ", style=bold"
+			}
+			fmt.Fprintf(&sb, "    %s [label=%q%s];\n", name(n.Instr.Idx), label, shape)
+		}
+		sb.WriteString("  }\n")
+	}
+	for _, bg := range g.Blocks {
+		for _, n := range bg.Nodes {
+			for _, d := range n.Deps {
+				style := "solid"
+				if d.Kind == DepCross {
+					style = "dashed"
+				}
+				fmt.Fprintf(&sb, "  %s -> %s [style=%s];\n", name(d.Instr), name(n.Instr.Idx), style)
+			}
+			for _, pc := range n.PhiCases {
+				if pc.Dep != nil {
+					fmt.Fprintf(&sb, "  %s -> %s [style=dashed, label=\"from %d\"];\n", name(pc.Dep.Instr), name(n.Instr.Idx), pc.FromBlock)
+				}
+			}
+		}
+		term := bg.Nodes[bg.TermPos].Instr
+		targets := append([]*ir.Block(nil), term.Targets...)
+		sort.Slice(targets, func(i, j int) bool { return targets[i].ID < targets[j].ID })
+		for _, t := range targets {
+			fmt.Fprintf(&sb, "  %s -> %s [style=dotted, color=gray];\n", name(term.Idx), name(t.Instrs[0].Idx))
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

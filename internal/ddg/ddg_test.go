@@ -1,0 +1,196 @@
+package ddg
+
+import (
+	"strings"
+	"testing"
+
+	"mosaicsim/internal/cc"
+	"mosaicsim/internal/ir"
+)
+
+const vecAddC = `
+void kernel(double* A, double* B, double* C, long n) {
+  for (long i = 0; i < n; i++) {
+    C[i] = A[i] + B[i];
+  }
+}
+`
+
+func buildVecAdd(t *testing.T) *Graph {
+	t.Helper()
+	mod, err := cc.Compile(vecAddC, "vecadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(mod.Func("kernel"))
+}
+
+func TestGraphCoversAllInstructions(t *testing.T) {
+	g := buildVecAdd(t)
+	total := 0
+	for _, bg := range g.Blocks {
+		total += len(bg.Nodes)
+		if len(bg.Nodes) != len(bg.Block.Instrs) {
+			t.Errorf("block %s: %d nodes for %d instructions", bg.Block.Ident, len(bg.Nodes), len(bg.Block.Instrs))
+		}
+		if bg.TermPos != len(bg.Nodes)-1 {
+			t.Errorf("block %s: TermPos = %d", bg.Block.Ident, bg.TermPos)
+		}
+		if !bg.Nodes[bg.TermPos].Instr.IsTerminator() {
+			t.Errorf("block %s: terminator node is %s", bg.Block.Ident, bg.Nodes[bg.TermPos].Instr.Op)
+		}
+	}
+	if total != g.Fn.NumInstrs() {
+		t.Errorf("graph has %d nodes, function has %d instructions", total, g.Fn.NumInstrs())
+	}
+}
+
+func TestLoopBodyDeps(t *testing.T) {
+	g := buildVecAdd(t)
+	// Find the loop body block: it contains the store.
+	var body *BlockGraph
+	for _, bg := range g.Blocks {
+		for _, n := range bg.Nodes {
+			if n.Instr.Op == ir.OpStore {
+				body = bg
+			}
+		}
+	}
+	if body == nil {
+		t.Fatal("no block with a store")
+	}
+	if len(body.MemOps) != 3 {
+		t.Errorf("loop body MemOps = %d, want 3 (2 loads + 1 store)", len(body.MemOps))
+	}
+	// The store must depend intra-DBB on the fadd and the gep.
+	var storeNode *Node
+	for i, n := range body.Nodes {
+		if n.Instr.Op == ir.OpStore {
+			storeNode = &body.Nodes[i]
+		}
+	}
+	if len(storeNode.Deps) != 2 {
+		t.Fatalf("store deps = %d, want 2", len(storeNode.Deps))
+	}
+	for _, d := range storeNode.Deps {
+		if d.Kind != DepIntra {
+			t.Errorf("store dep on instr %d should be intra-DBB", d.Instr)
+		}
+	}
+	// The loop-header phi must have one case per incoming edge; the back-edge
+	// case depends (cross-DBB) on the increment.
+	var phiNode *Node
+	for _, bg := range g.Blocks {
+		for i, n := range bg.Nodes {
+			if n.Instr.Op == ir.OpPhi {
+				phiNode = &bg.Nodes[i]
+			}
+		}
+	}
+	if phiNode == nil {
+		t.Fatal("loop has no phi (induction variable)")
+	}
+	if len(phiNode.PhiCases) != 2 {
+		t.Fatalf("phi cases = %d, want 2", len(phiNode.PhiCases))
+	}
+	foundBackEdge := false
+	for _, pc := range phiNode.PhiCases {
+		if pc.Dep != nil {
+			if pc.Dep.Kind != DepCross {
+				t.Error("loop-carried phi dep must be cross-DBB")
+			}
+			foundBackEdge = true
+		}
+	}
+	if !foundBackEdge {
+		t.Error("no loop-carried phi dependence found")
+	}
+}
+
+func TestCrossBlockDepKind(t *testing.T) {
+	src := `
+void kernel(long* out, long a) {
+  long x = a * 2;
+  if (a > 0) {
+    out[0] = x + 1;
+  }
+}
+`
+	mod, err := cc.Compile(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(mod.Func("kernel"))
+	// The add inside the if uses the mul from the entry block: cross edge.
+	found := false
+	for _, bg := range g.Blocks {
+		for _, n := range bg.Nodes {
+			if n.Instr.Op != ir.OpAdd {
+				continue
+			}
+			for _, d := range n.Deps {
+				if prod := g.Fn.InstrByIdx(d.Instr); prod.Op == ir.OpMul {
+					if d.Kind != DepCross {
+						t.Error("cross-block dependence misclassified as intra")
+					}
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("cross-block mul->add dependence not found")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := buildVecAdd(t)
+	s := g.Stats()
+	if s.Blocks != len(g.Fn.Blocks) {
+		t.Errorf("Blocks = %d", s.Blocks)
+	}
+	if s.Nodes != g.Fn.NumInstrs() {
+		t.Errorf("Nodes = %d, want %d", s.Nodes, g.Fn.NumInstrs())
+	}
+	if s.MemOps != 3 {
+		t.Errorf("MemOps = %d, want 3", s.MemOps)
+	}
+	if s.IntraEdges == 0 || s.PhiEdges == 0 {
+		t.Errorf("edge counts look empty: %+v", s)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := buildVecAdd(t)
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "cluster_0", "style=dashed", "style=dotted", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Error("DOT output not closed")
+	}
+}
+
+func TestConstOperandsProduceNoDeps(t *testing.T) {
+	src := "void kernel(long* out) { out[0] = 1 + 2; }"
+	mod, err := cc.Compile(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(mod.Func("kernel"))
+	for _, bg := range g.Blocks {
+		for _, n := range bg.Nodes {
+			if n.Instr.Op == ir.OpStore {
+				// store of constant-folded or computed value; its deps must
+				// reference only instructions, never constants.
+				for _, d := range n.Deps {
+					if g.Fn.InstrByIdx(d.Instr) == nil {
+						t.Errorf("dep on nonexistent instruction %d", d.Instr)
+					}
+				}
+			}
+		}
+	}
+}

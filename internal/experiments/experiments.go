@@ -1,0 +1,211 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI, §VII) on MosaicSim-Go's own substrates: the workload
+// suite, the timing simulator, the hardware-reference model, the accelerator
+// models, the DAE compiler pass, and the DNN performance models. Each
+// experiment returns both a rendered table and machine-readable values so
+// the CLI, the benchmarks, and the tests share one implementation.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/dae"
+	"mosaicsim/internal/ddg"
+	"mosaicsim/internal/interp"
+	"mosaicsim/internal/ir"
+	"mosaicsim/internal/soc"
+	"mosaicsim/internal/stats"
+	"mosaicsim/internal/trace"
+	"mosaicsim/internal/workloads"
+)
+
+// Report is one regenerated artifact.
+type Report struct {
+	ID     string
+	Title  string
+	Table  *stats.Table
+	Values map[string]float64
+	Notes  string
+}
+
+func (r *Report) String() string {
+	s := r.Table.String()
+	if r.Notes != "" {
+		s += "note: " + r.Notes + "\n"
+	}
+	return s
+}
+
+// Runner executes experiments at a chosen workload scale with caching of
+// traces shared between experiments.
+type Runner struct {
+	Scale workloads.Scale
+
+	traceCache map[string]*tracedKernel
+}
+
+type tracedKernel struct {
+	graph *ddg.Graph
+	tr    *trace.Trace
+}
+
+// NewRunner builds a Runner; Small is the scale the paper-facing harness
+// uses.
+func NewRunner(s workloads.Scale) *Runner {
+	return &Runner{Scale: s, traceCache: map[string]*tracedKernel{}}
+}
+
+// traced returns (cached) DDG + trace for a workload at a tile count.
+func (r *Runner) traced(w *workloads.Workload, tiles int) (*ddg.Graph, *trace.Trace, error) {
+	key := fmt.Sprintf("%s/%d/%d", w.Name, tiles, r.Scale)
+	if c, ok := r.traceCache[key]; ok {
+		return c.graph, c.tr, nil
+	}
+	g, tr, err := w.Trace(tiles, r.Scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.traceCache[key] = &tracedKernel{graph: g, tr: tr}
+	return g, tr, nil
+}
+
+// simulate runs a homogeneous system over a traced kernel.
+func simulate(cfg *config.SystemConfig, g *ddg.Graph, tr *trace.Trace, accels map[string]soc.AccelModel) (soc.Result, error) {
+	sys, err := soc.NewSPMD(cfg, g, tr, accels)
+	if err != nil {
+		return soc.Result{}, err
+	}
+	if err := sys.Run(0); err != nil {
+		return soc.Result{}, err
+	}
+	return sys.Result(), nil
+}
+
+// system builds a homogeneous Table II style system config.
+func system(name string, core config.CoreConfig, count int, mem config.MemConfig) *config.SystemConfig {
+	return &config.SystemConfig{
+		Name:  name,
+		Cores: []config.CoreSpec{{Core: core, Count: count}},
+		Mem:   mem,
+	}
+}
+
+// cyclesOn runs workload w on a homogeneous system and returns cycles.
+func (r *Runner) cyclesOn(w *workloads.Workload, core config.CoreConfig, count int, mem config.MemConfig, accels map[string]soc.AccelModel) (int64, error) {
+	g, tr, err := r.traced(w, count)
+	if err != nil {
+		return 0, err
+	}
+	res, err := simulate(system(w.Name, core, count, mem), g, tr, accels)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}
+
+// daeCycles slices a workload into access/execute pairs, traces the pair
+// system, and simulates it on in-order cores (§VII-A).
+func (r *Runner) daeCycles(w *workloads.Workload, pairs int, mem config.MemConfig, accels map[string]soc.AccelModel) (int64, error) {
+	f, err := w.Kernel()
+	if err != nil {
+		return 0, err
+	}
+	s, err := dae.Slice(f)
+	if err != nil {
+		return 0, err
+	}
+	var fns []*ir.Function
+	for i := 0; i < pairs; i++ {
+		fns = append(fns, s.Access, s.Execute)
+	}
+	m := interp.NewMemory(workloads.MemBytes)
+	inst := w.Setup(m, r.Scale)
+	res, err := interp.RunTiles(fns, m, inst.Args, interp.Options{Acc: inst.Acc})
+	if err != nil {
+		return 0, fmt.Errorf("dae trace %s: %w", w.Name, err)
+	}
+	if inst.Check != nil {
+		if err := inst.Check(m); err != nil {
+			return 0, fmt.Errorf("dae %s: result check: %w", w.Name, err)
+		}
+	}
+	ag, eg := ddg.Build(s.Access), ddg.Build(s.Execute)
+	ino := config.InOrderCore()
+	// DAE cores carry the DeSC structures: communication queues, the
+	// terminal load buffer, and the store address/value buffers (§VII-A).
+	// The buffers extend the little core's run-ahead well beyond its
+	// pipeline depth, which is exactly DeSC's mechanism.
+	ino.DecoupledSupply = true
+	ino.WindowSize = 64
+	ino.LSQSize = 12
+	var tiles []soc.TileSpec
+	for i := 0; i < pairs; i++ {
+		tiles = append(tiles,
+			soc.TileSpec{Cfg: ino, Graph: ag, TT: res.Trace.Tiles[2*i]},
+			soc.TileSpec{Cfg: ino, Graph: eg, TT: res.Trace.Tiles[2*i+1]})
+	}
+	sys, err := soc.New(w.Name+"-dae", tiles, mem, accels)
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.Run(0); err != nil {
+		return 0, err
+	}
+	return sys.Cycles, nil
+}
+
+// IDs lists the experiment identifiers in paper order.
+func IDs() []string {
+	return []string{
+		"fig1", "tab1", "tab2", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "storage",
+	}
+}
+
+// Run executes one experiment by ID.
+func (r *Runner) Run(id string) (*Report, error) {
+	switch id {
+	case "fig1":
+		return Fig1(), nil
+	case "tab1":
+		return Tab1(), nil
+	case "tab2":
+		return Tab2(), nil
+	case "fig5":
+		return r.Fig5()
+	case "fig6":
+		return r.Fig6()
+	case "fig7":
+		return r.FigScaling("fig7", "bfs")
+	case "fig8":
+		return r.FigScaling("fig8", "sgemm")
+	case "fig9":
+		return r.FigScaling("fig9", "spmv")
+	case "fig10":
+		return Fig10(), nil
+	case "fig11":
+		return r.Fig11()
+	case "fig12":
+		return r.Fig12()
+	case "fig13":
+		return r.Fig13()
+	case "fig14":
+		return Fig14(), nil
+	case "storage":
+		return r.Storage()
+	default:
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+}
+
+// sortedKeys returns map keys sorted for deterministic rendering.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,572 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mosaicsim/internal/ir"
+	"mosaicsim/internal/trace"
+)
+
+// AccFunc is a functional accelerator implementation: it performs the
+// accelerated operation on the memory image so downstream computation and
+// result verification see correct data, while the timing cost comes from the
+// accelerator performance model during simulation.
+type AccFunc func(mem *Memory, params []int64)
+
+// Options configures a DTG run.
+type Options struct {
+	// NumTiles is the SPMD tile count T (default 1).
+	NumTiles int
+	// Acc maps accelerator intrinsic names (e.g. "acc_sgemm") to functional
+	// implementations. Unknown accelerator calls are an error.
+	Acc map[string]AccFunc
+	// MaxSteps aborts runaway kernels after this many dynamic instructions
+	// across all tiles (0 = 2^40).
+	MaxSteps int64
+	// Timeslice is the number of instructions a tile executes before the
+	// round-robin moves on (default 4096). It bounds inter-tile skew in
+	// functional execution; timing skew is resolved by the simulator.
+	Timeslice int
+	// Profile collects per-static-instruction execution counts (a hot-spot
+	// profile of the kernel as it runs natively).
+	Profile bool
+}
+
+// Result is the outcome of a DTG run.
+type Result struct {
+	Trace *trace.Trace
+	// Counts holds per-tile, per-static-instruction execution counts
+	// (indexed by ir.Instr.Idx) when Options.Profile is set.
+	Counts [][]int64
+}
+
+// Arg helpers build the raw parameter words passed to Run.
+
+// ArgPtr encodes a pointer kernel argument.
+func ArgPtr(addr uint64) uint64 { return addr }
+
+// ArgI64 encodes an integer kernel argument.
+func ArgI64(v int64) uint64 { return uint64(v) }
+
+// ArgF64 encodes a float64 kernel argument.
+func ArgF64(v float64) uint64 { return math.Float64bits(v) }
+
+// ArgF32 encodes a float32 kernel argument.
+func ArgF32(v float32) uint64 { return uint64(math.Float32bits(v)) }
+
+// Run natively executes kernel f with the given arguments on every tile and
+// returns the per-tile traces. Globals referenced by the function's module
+// must have been placed with PlaceGlobals (or the module must have none).
+func Run(f *ir.Function, mem *Memory, args []uint64, opts Options) (*Result, error) {
+	if opts.NumTiles <= 0 {
+		opts.NumTiles = 1
+	}
+	fns := make([]*ir.Function, opts.NumTiles)
+	for i := range fns {
+		fns[i] = f
+	}
+	return RunTiles(fns, mem, args, opts)
+}
+
+// RunTiles executes a possibly different kernel function per tile (all with
+// the same arguments) — the heterogeneous form used by Decoupled
+// Access/Execute systems, where even tiles run the access slice and odd
+// tiles the execute slice (§VII-A). opts.NumTiles is taken from len(fns).
+func RunTiles(fns []*ir.Function, mem *Memory, args []uint64, opts Options) (*Result, error) {
+	opts.NumTiles = len(fns)
+	r, err := newRunner(fns, mem, args, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.run(); err != nil {
+		return nil, err
+	}
+	tr := &trace.Trace{Kernel: fns[0].Ident}
+	res := &Result{Trace: tr}
+	for _, t := range r.tiles {
+		tr.Tiles = append(tr.Tiles, t.tt)
+		if opts.Profile {
+			res.Counts = append(res.Counts, t.prof)
+		}
+	}
+	return res, nil
+}
+
+// PlaceGlobals allocates every global of m in mem and returns the address
+// map. Call once per memory image before Run.
+func PlaceGlobals(m *ir.Module, mem *Memory) map[*ir.Global]uint64 {
+	out := make(map[*ir.Global]uint64, len(m.Globals))
+	for _, g := range m.Globals {
+		out[g] = mem.AllocGlobal(g)
+	}
+	return out
+}
+
+// runner is the cooperative multi-tile execution engine.
+type runner struct {
+	mem     *Memory
+	opts    Options
+	tiles   []*tileCtx
+	queues  map[[2]int][]uint64 // (src,dst) -> FIFO of message words
+	globals map[*ir.Global]uint64
+	steps   int64
+	maxStep int64
+}
+
+type tileCtx struct {
+	id      int
+	fn      *ir.Function
+	r       *runner
+	regs    []uint64
+	cur     *ir.Block
+	ip      int
+	done    bool
+	blocked bool
+	// atBarrier marks that the tile has registered its arrival at the
+	// current barrier and is waiting for the others.
+	atBarrier bool
+	barriers  int64 // barriers passed or arrived at
+	tt        *trace.TileTrace
+	prof      []int64 // per-static-instruction execution counts (optional)
+}
+
+func newRunner(fns []*ir.Function, mem *Memory, args []uint64, opts Options) (*runner, error) {
+	if opts.Timeslice <= 0 {
+		opts.Timeslice = 4096
+	}
+	r := &runner{
+		mem:     mem,
+		opts:    opts,
+		queues:  map[[2]int][]uint64{},
+		maxStep: opts.MaxSteps,
+	}
+	if r.maxStep == 0 {
+		r.maxStep = 1 << 40
+	}
+	placed := map[*ir.Module]bool{}
+	for i, f := range fns {
+		if len(args) != len(f.Params) {
+			return nil, fmt.Errorf("interp: kernel @%s takes %d args, got %d", f.Ident, len(f.Params), len(args))
+		}
+		f.AssignIDs()
+		if f.Parent != nil && !placed[f.Parent] {
+			placed[f.Parent] = true
+			g := PlaceGlobals(f.Parent, mem)
+			if r.globals == nil {
+				r.globals = g
+			} else {
+				for k, v := range g {
+					r.globals[k] = v
+				}
+			}
+		}
+		t := &tileCtx{
+			id:   i,
+			fn:   f,
+			r:    r,
+			regs: make([]uint64, f.NumValues()),
+			cur:  f.Entry(),
+			tt:   &trace.TileTrace{Tile: int32(i)},
+		}
+		if opts.Profile {
+			t.prof = make([]int64, f.NumInstrs())
+		}
+		for pi, p := range f.Params {
+			t.regs[p.ID] = args[pi]
+		}
+		t.enterBlock(f.Entry(), nil)
+		r.tiles = append(r.tiles, t)
+	}
+	return r, nil
+}
+
+// errDeadlock is returned when every live tile is blocked on recv.
+var errDeadlock = errors.New("interp: deadlock — all live tiles blocked on recv")
+
+func (r *runner) run() error {
+	for {
+		progress := false
+		alive := false
+		for _, t := range r.tiles {
+			if t.done {
+				continue
+			}
+			alive = true
+			n, err := t.step(r.opts.Timeslice)
+			if err != nil {
+				return err
+			}
+			if n > 0 {
+				progress = true
+			}
+		}
+		if !alive {
+			return nil
+		}
+		if !progress {
+			return errDeadlock
+		}
+		if r.steps > r.maxStep {
+			return fmt.Errorf("interp: kernel @%s exceeded %d dynamic instructions", r.tiles[0].fn.Ident, r.maxStep)
+		}
+	}
+}
+
+// enterBlock performs the parallel phi copy for entry into b along the edge
+// from prev, records the control-flow trace event, and positions the
+// instruction pointer past the phis.
+func (t *tileCtx) enterBlock(b *ir.Block, prev *ir.Block) {
+	t.tt.BBPath = append(t.tt.BBPath, int32(b.ID))
+	nphi := 0
+	for _, in := range b.Instrs {
+		if in.Op != ir.OpPhi {
+			break
+		}
+		nphi++
+	}
+	if nphi > 0 {
+		// Read all incoming values first (parallel copy semantics).
+		vals := make([]uint64, nphi)
+		for i := 0; i < nphi; i++ {
+			phi := b.Instrs[i]
+			found := false
+			for j, from := range phi.Incoming {
+				if from == prev {
+					vals[i] = t.val(phi.Args[j])
+					found = true
+					break
+				}
+			}
+			if !found {
+				panic(fmt.Sprintf("interp: phi %%%s has no incoming edge from %s", phi.Ident, prev.Ident))
+			}
+		}
+		for i := 0; i < nphi; i++ {
+			t.regs[b.Instrs[i].ID] = vals[i]
+		}
+		// Phis executed: count them as dynamic instructions.
+		t.tt.DynInstrs += int64(nphi)
+		t.r.steps += int64(nphi)
+		if t.prof != nil {
+			for i := 0; i < nphi; i++ {
+				t.prof[b.Instrs[i].Idx]++
+			}
+		}
+	}
+	t.cur = b
+	t.ip = nphi
+}
+
+// val evaluates an operand to its raw 64-bit pattern.
+func (t *tileCtx) val(v ir.Value) uint64 {
+	switch x := v.(type) {
+	case *ir.Const:
+		return x.Bits
+	case *ir.Param:
+		return t.regs[x.ID]
+	case *ir.Instr:
+		return t.regs[x.ID]
+	case *ir.Global:
+		return t.r.globals[x]
+	default:
+		panic(fmt.Sprintf("interp: unknown operand kind %T", v))
+	}
+}
+
+// step executes up to limit instructions, returning how many ran. It stops
+// early when the tile finishes or blocks on an empty recv queue.
+func (t *tileCtx) step(limit int) (int, error) {
+	executed := 0
+	for executed < limit && !t.done {
+		in := t.cur.Instrs[t.ip]
+		if t.prof != nil {
+			t.prof[in.Idx]++
+		}
+		if in.Op == ir.OpCall && in.Callee == "barrier" {
+			// SPMD barrier: register arrival, proceed once every tile has
+			// arrived at (or passed) the same barrier.
+			if !t.atBarrier {
+				t.atBarrier = true
+				t.barriers++
+			}
+			for _, other := range t.r.tiles {
+				if other.barriers < t.barriers {
+					t.blocked = true
+					return executed, nil
+				}
+			}
+			t.atBarrier = false
+			t.blocked = false
+			t.ip++
+			executed++
+			t.tt.DynInstrs++
+			t.r.steps++
+			continue
+		}
+		if in.Op == ir.OpCall && in.Callee == "recv" {
+			src := int(int64(t.val(in.Args[0])))
+			key := [2]int{src, t.id}
+			q := t.r.queues[key]
+			if len(q) == 0 {
+				t.blocked = true
+				return executed, nil
+			}
+			t.regs[in.ID] = q[0]
+			t.r.queues[key] = q[1:]
+			t.tt.Comm = append(t.tt.Comm, trace.CommEvent{Instr: int32(in.Idx), Partner: int32(src)})
+			t.blocked = false
+			t.ip++
+			executed++
+			t.tt.DynInstrs++
+			t.r.steps++
+			continue
+		}
+		if err := t.exec(in); err != nil {
+			return executed, err
+		}
+		executed++
+		t.tt.DynInstrs++
+		t.r.steps++
+	}
+	return executed, nil
+}
+
+func signExt(bits uint64, ty ir.Type) int64 {
+	switch ty {
+	case ir.I1:
+		return int64(bits & 1)
+	case ir.I8:
+		return int64(int8(bits))
+	case ir.I32:
+		return int64(int32(bits))
+	default:
+		return int64(bits)
+	}
+}
+
+func truncTo(v uint64, ty ir.Type) uint64 {
+	switch ty {
+	case ir.I1:
+		return v & 1
+	case ir.I8:
+		return v & 0xff
+	case ir.I32:
+		return v & 0xffffffff
+	default:
+		return v
+	}
+}
+
+func toFloat(bits uint64, ty ir.Type) float64 {
+	if ty == ir.F32 {
+		return float64(math.Float32frombits(uint32(bits)))
+	}
+	return math.Float64frombits(bits)
+}
+
+func fromFloat(v float64, ty ir.Type) uint64 {
+	if ty == ir.F32 {
+		return uint64(math.Float32bits(float32(v)))
+	}
+	return math.Float64bits(v)
+}
+
+// exec runs one non-recv instruction and advances control flow.
+func (t *tileCtx) exec(in *ir.Instr) error {
+	mem := t.r.mem
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpSDiv, ir.OpSRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr, ir.OpAShr:
+		a := t.val(in.Args[0])
+		b := t.val(in.Args[1])
+		ty := in.Ty
+		var res uint64
+		switch in.Op {
+		case ir.OpAdd:
+			res = a + b
+		case ir.OpSub:
+			res = a - b
+		case ir.OpMul:
+			res = a * b
+		case ir.OpSDiv:
+			sb := signExt(b, ty)
+			if sb == 0 {
+				return fmt.Errorf("interp: division by zero in %%%s", in.Ident)
+			}
+			res = uint64(signExt(a, ty) / sb)
+		case ir.OpSRem:
+			sb := signExt(b, ty)
+			if sb == 0 {
+				return fmt.Errorf("interp: remainder by zero in %%%s", in.Ident)
+			}
+			res = uint64(signExt(a, ty) % sb)
+		case ir.OpAnd:
+			res = a & b
+		case ir.OpOr:
+			res = a | b
+		case ir.OpXor:
+			res = a ^ b
+		case ir.OpShl:
+			res = a << (b & 63)
+		case ir.OpLShr:
+			res = truncTo(a, ty) >> (b & 63)
+		case ir.OpAShr:
+			res = uint64(signExt(a, ty) >> (b & 63))
+		}
+		t.regs[in.ID] = truncTo(res, ty)
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		ty := in.Ty
+		a := toFloat(t.val(in.Args[0]), in.Args[0].Type())
+		b := toFloat(t.val(in.Args[1]), in.Args[1].Type())
+		var res float64
+		switch in.Op {
+		case ir.OpFAdd:
+			res = a + b
+		case ir.OpFSub:
+			res = a - b
+		case ir.OpFMul:
+			res = a * b
+		case ir.OpFDiv:
+			res = a / b
+		}
+		t.regs[in.ID] = fromFloat(res, ty)
+	case ir.OpICmp:
+		a := signExt(t.val(in.Args[0]), in.Args[0].Type())
+		b := signExt(t.val(in.Args[1]), in.Args[1].Type())
+		t.regs[in.ID] = boolBits(cmpInt(in.Pred, a, b))
+	case ir.OpFCmp:
+		a := toFloat(t.val(in.Args[0]), in.Args[0].Type())
+		b := toFloat(t.val(in.Args[1]), in.Args[1].Type())
+		t.regs[in.ID] = boolBits(cmpFloat(in.Pred, a, b))
+	case ir.OpSelect:
+		if t.val(in.Args[0])&1 != 0 {
+			t.regs[in.ID] = t.val(in.Args[1])
+		} else {
+			t.regs[in.ID] = t.val(in.Args[2])
+		}
+	case ir.OpCast:
+		src := t.val(in.Args[0])
+		srcTy := in.Args[0].Type()
+		var res uint64
+		switch in.Cast {
+		case ir.CastTrunc:
+			res = truncTo(src, in.Ty)
+		case ir.CastZExt:
+			res = truncTo(src, srcTy)
+		case ir.CastSExt:
+			res = truncTo(uint64(signExt(src, srcTy)), in.Ty)
+		case ir.CastSIToFP:
+			res = fromFloat(float64(signExt(src, srcTy)), in.Ty)
+		case ir.CastFPToSI:
+			res = truncTo(uint64(int64(toFloat(src, srcTy))), in.Ty)
+		case ir.CastFPExt, ir.CastFPTrunc:
+			res = fromFloat(toFloat(src, srcTy), in.Ty)
+		case ir.CastBitcast:
+			res = src
+		default:
+			return fmt.Errorf("interp: bad cast kind in %%%s", in.Ident)
+		}
+		t.regs[in.ID] = res
+	case ir.OpGEP:
+		base := t.val(in.Args[0])
+		idx := signExt(t.val(in.Args[1]), in.Args[1].Type())
+		t.regs[in.ID] = uint64(int64(base) + idx*in.Scale)
+	case ir.OpLoad:
+		addr := t.val(in.Args[0])
+		t.record(in, addr, in.Ty, trace.KindLoad)
+		t.regs[in.ID] = mem.LoadScalar(addr, in.Ty)
+	case ir.OpStore:
+		addr := t.val(in.Args[1])
+		ty := in.Args[0].Type()
+		t.record(in, addr, ty, trace.KindStore)
+		mem.StoreScalar(addr, ty, t.val(in.Args[0]))
+	case ir.OpAtomicAdd:
+		addr := t.val(in.Args[0])
+		ty := in.Ty
+		t.record(in, addr, ty, trace.KindAtomic)
+		old := mem.LoadScalar(addr, ty)
+		var updated uint64
+		if ty.IsFloat() {
+			updated = fromFloat(toFloat(old, ty)+toFloat(t.val(in.Args[1]), ty), ty)
+		} else {
+			updated = truncTo(old+t.val(in.Args[1]), ty)
+		}
+		mem.StoreScalar(addr, ty, updated)
+		t.regs[in.ID] = old
+	case ir.OpBr:
+		t.enterBlock(in.Targets[0], t.cur)
+		return nil
+	case ir.OpCondBr:
+		if t.val(in.Args[0])&1 != 0 {
+			t.enterBlock(in.Targets[0], t.cur)
+		} else {
+			t.enterBlock(in.Targets[1], t.cur)
+		}
+		return nil
+	case ir.OpRet:
+		t.done = true
+		return nil
+	case ir.OpCall:
+		if err := t.call(in); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("interp: unhandled opcode %s", in.Op)
+	}
+	t.ip++
+	return nil
+}
+
+func (t *tileCtx) record(in *ir.Instr, addr uint64, ty ir.Type, kind uint8) {
+	t.tt.Mem = append(t.tt.Mem, trace.MemEvent{
+		Instr: int32(in.Idx),
+		Addr:  addr,
+		Size:  uint8(ty.Size()),
+		Kind:  kind,
+	})
+}
+
+func boolBits(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func cmpInt(p ir.CmpPred, a, b int64) bool {
+	switch p {
+	case ir.PredEQ:
+		return a == b
+	case ir.PredNE:
+		return a != b
+	case ir.PredLT:
+		return a < b
+	case ir.PredLE:
+		return a <= b
+	case ir.PredGT:
+		return a > b
+	case ir.PredGE:
+		return a >= b
+	}
+	return false
+}
+
+func cmpFloat(p ir.CmpPred, a, b float64) bool {
+	switch p {
+	case ir.PredEQ:
+		return a == b
+	case ir.PredNE:
+		return a != b
+	case ir.PredLT:
+		return a < b
+	case ir.PredLE:
+		return a <= b
+	case ir.PredGT:
+		return a > b
+	case ir.PredGE:
+		return a >= b
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mosaicsim/internal/ir"
+	"mosaicsim/internal/trace"
+)
+
+// IsAccCall reports whether an intrinsic name denotes an accelerator
+// invocation (the paper's accelerator API, §II-B).
+func IsAccCall(name string) bool { return strings.HasPrefix(name, "acc_") }
+
+// call executes an intrinsic (recv is handled by the scheduler in step).
+func (t *tileCtx) call(in *ir.Instr) error {
+	switch in.Callee {
+	case "tile_id":
+		t.regs[in.ID] = uint64(t.id)
+	case "num_tiles":
+		t.regs[in.ID] = uint64(t.r.opts.NumTiles)
+	case "send":
+		dst := int(int64(t.val(in.Args[0])))
+		if dst < 0 || dst >= t.r.opts.NumTiles {
+			return fmt.Errorf("interp: send to invalid tile %d", dst)
+		}
+		key := [2]int{t.id, dst}
+		t.r.queues[key] = append(t.r.queues[key], t.val(in.Args[1]))
+		t.tt.Comm = append(t.tt.Comm, trace.CommEvent{Instr: int32(in.Idx), Partner: int32(dst)})
+	case "sqrt":
+		t.unaryMath(in, math.Sqrt)
+	case "exp":
+		t.unaryMath(in, math.Exp)
+	case "log":
+		t.unaryMath(in, math.Log)
+	case "sin":
+		t.unaryMath(in, math.Sin)
+	case "cos":
+		t.unaryMath(in, math.Cos)
+	case "fabs":
+		t.unaryMath(in, math.Abs)
+	case "floor":
+		t.unaryMath(in, math.Floor)
+	case "pow":
+		a := toFloat(t.val(in.Args[0]), in.Args[0].Type())
+		b := toFloat(t.val(in.Args[1]), in.Args[1].Type())
+		t.regs[in.ID] = fromFloat(math.Pow(a, b), in.Ty)
+	case "fmin":
+		a := toFloat(t.val(in.Args[0]), in.Args[0].Type())
+		b := toFloat(t.val(in.Args[1]), in.Args[1].Type())
+		t.regs[in.ID] = fromFloat(math.Min(a, b), in.Ty)
+	case "fmax":
+		a := toFloat(t.val(in.Args[0]), in.Args[0].Type())
+		b := toFloat(t.val(in.Args[1]), in.Args[1].Type())
+		t.regs[in.ID] = fromFloat(math.Max(a, b), in.Ty)
+	default:
+		if IsAccCall(in.Callee) {
+			return t.accCall(in)
+		}
+		return fmt.Errorf("interp: unknown intrinsic %q", in.Callee)
+	}
+	return nil
+}
+
+func (t *tileCtx) unaryMath(in *ir.Instr, f func(float64) float64) {
+	v := toFloat(t.val(in.Args[0]), in.Args[0].Type())
+	t.regs[in.ID] = fromFloat(f(v), in.Ty)
+}
+
+// accCall records an accelerator invocation in the trace (the DTG "records
+// the relevant parameters, e.g. matrix dimensions") and runs the functional
+// implementation so memory reflects the accelerated computation.
+func (t *tileCtx) accCall(in *ir.Instr) error {
+	params := make([]int64, len(in.Args))
+	for i, a := range in.Args {
+		params[i] = int64(t.val(a))
+	}
+	t.tt.Acc = append(t.tt.Acc, trace.AccCall{Name: in.Callee, Params: params})
+	impl, ok := t.r.opts.Acc[in.Callee]
+	if !ok {
+		return fmt.Errorf("interp: no functional implementation registered for accelerator %q", in.Callee)
+	}
+	impl(t.r.mem, params)
+	return nil
+}

@@ -1,0 +1,205 @@
+// Package interp is MosaicSim-Go's Dynamic Trace Generator: a functional
+// interpreter for the IR that natively executes kernels over a byte-addressed
+// memory image and records the control-flow path and memory-address traces
+// the timing simulator replays (§II-A of the paper).
+//
+// SPMD execution follows the paper's model (§II-B): one kernel function runs
+// on T tiles, each querying its tile ID and the tile count. Tiles execute
+// cooperatively in a deterministic round-robin so inter-tile send/recv
+// (e.g. Decoupled Access/Execute slices) make progress without data races.
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mosaicsim/internal/ir"
+)
+
+// Memory is the simulated flat, little-endian, byte-addressed memory image.
+// Address 0 is kept unmapped so null pointers fault.
+type Memory struct {
+	data []byte
+	brk  uint64
+}
+
+// NewMemory returns a memory image of the given size in bytes with the
+// allocation pointer past a small null guard page.
+func NewMemory(size int64) *Memory {
+	if size < 8192 {
+		size = 8192
+	}
+	return &Memory{data: make([]byte, size), brk: 4096}
+}
+
+// Size returns the total size of the image in bytes.
+func (m *Memory) Size() int64 { return int64(len(m.data)) }
+
+// Alloc reserves size bytes aligned to align and returns the base address.
+// It panics if the image is exhausted; sizing is a harness decision.
+func (m *Memory) Alloc(size, align int64) uint64 {
+	if align <= 0 {
+		align = 8
+	}
+	a := (m.brk + uint64(align) - 1) &^ (uint64(align) - 1)
+	if a+uint64(size) > uint64(len(m.data)) {
+		panic(fmt.Sprintf("interp: out of simulated memory (want %d bytes at %d, have %d)", size, a, len(m.data)))
+	}
+	m.brk = a + uint64(size)
+	return a
+}
+
+// AllocGlobal reserves storage for a module global, cacheline aligned.
+func (m *Memory) AllocGlobal(g *ir.Global) uint64 { return m.Alloc(g.ByteSize(), 64) }
+
+func (m *Memory) check(addr uint64, size int64) {
+	if addr < 4096 || addr+uint64(size) > uint64(len(m.data)) {
+		panic(fmt.Sprintf("interp: memory access out of bounds: addr=%#x size=%d", addr, size))
+	}
+}
+
+// LoadScalar reads a value of type ty at addr, returning its raw 64-bit
+// pattern (floats use the IEEE bit patterns of their width).
+func (m *Memory) LoadScalar(addr uint64, ty ir.Type) uint64 {
+	m.check(addr, ty.Size())
+	switch ty.Size() {
+	case 1:
+		return uint64(m.data[addr])
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(m.data[addr:]))
+	case 8:
+		return binary.LittleEndian.Uint64(m.data[addr:])
+	}
+	panic("interp: load of void")
+}
+
+// StoreScalar writes the raw 64-bit pattern bits as a value of type ty.
+func (m *Memory) StoreScalar(addr uint64, ty ir.Type, bits uint64) {
+	m.check(addr, ty.Size())
+	switch ty.Size() {
+	case 1:
+		m.data[addr] = byte(bits)
+	case 4:
+		binary.LittleEndian.PutUint32(m.data[addr:], uint32(bits))
+	case 8:
+		binary.LittleEndian.PutUint64(m.data[addr:], bits)
+	default:
+		panic("interp: store of void")
+	}
+}
+
+// Typed convenience accessors used by harnesses, workload generators, and
+// functional accelerator implementations.
+
+// ReadF64 reads a float64 at addr.
+func (m *Memory) ReadF64(addr uint64) float64 {
+	return math.Float64frombits(m.LoadScalar(addr, ir.F64))
+}
+
+// WriteF64 writes a float64 at addr.
+func (m *Memory) WriteF64(addr uint64, v float64) {
+	m.StoreScalar(addr, ir.F64, math.Float64bits(v))
+}
+
+// ReadF32 reads a float32 at addr.
+func (m *Memory) ReadF32(addr uint64) float32 {
+	return math.Float32frombits(uint32(m.LoadScalar(addr, ir.F32)))
+}
+
+// WriteF32 writes a float32 at addr.
+func (m *Memory) WriteF32(addr uint64, v float32) {
+	m.StoreScalar(addr, ir.F32, uint64(math.Float32bits(v)))
+}
+
+// ReadI64 reads an int64 at addr.
+func (m *Memory) ReadI64(addr uint64) int64 { return int64(m.LoadScalar(addr, ir.I64)) }
+
+// WriteI64 writes an int64 at addr.
+func (m *Memory) WriteI64(addr uint64, v int64) { m.StoreScalar(addr, ir.I64, uint64(v)) }
+
+// ReadI32 reads an int32 at addr.
+func (m *Memory) ReadI32(addr uint64) int32 { return int32(m.LoadScalar(addr, ir.I32)) }
+
+// WriteI32 writes an int32 at addr.
+func (m *Memory) WriteI32(addr uint64, v int32) {
+	m.StoreScalar(addr, ir.I32, uint64(uint32(v)))
+}
+
+// ReadI8 reads a byte at addr.
+func (m *Memory) ReadI8(addr uint64) int8 { return int8(m.LoadScalar(addr, ir.I8)) }
+
+// WriteI8 writes a byte at addr.
+func (m *Memory) WriteI8(addr uint64, v int8) { m.StoreScalar(addr, ir.I8, uint64(uint8(v))) }
+
+// AllocF64 allocates and fills a float64 array, returning its base address.
+func (m *Memory) AllocF64(vals []float64) uint64 {
+	base := m.Alloc(int64(len(vals))*8, 64)
+	for i, v := range vals {
+		m.WriteF64(base+uint64(i)*8, v)
+	}
+	return base
+}
+
+// AllocF32 allocates and fills a float32 array, returning its base address.
+func (m *Memory) AllocF32(vals []float32) uint64 {
+	base := m.Alloc(int64(len(vals))*4, 64)
+	for i, v := range vals {
+		m.WriteF32(base+uint64(i)*4, v)
+	}
+	return base
+}
+
+// AllocI64 allocates and fills an int64 array, returning its base address.
+func (m *Memory) AllocI64(vals []int64) uint64 {
+	base := m.Alloc(int64(len(vals))*8, 64)
+	for i, v := range vals {
+		m.WriteI64(base+uint64(i)*8, v)
+	}
+	return base
+}
+
+// AllocI32 allocates and fills an int32 array, returning its base address.
+func (m *Memory) AllocI32(vals []int32) uint64 {
+	base := m.Alloc(int64(len(vals))*4, 64)
+	for i, v := range vals {
+		m.WriteI32(base+uint64(i)*4, v)
+	}
+	return base
+}
+
+// F64Slice copies n float64 values starting at addr.
+func (m *Memory) F64Slice(addr uint64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = m.ReadF64(addr + uint64(i)*8)
+	}
+	return out
+}
+
+// F32Slice copies n float32 values starting at addr.
+func (m *Memory) F32Slice(addr uint64, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = m.ReadF32(addr + uint64(i)*4)
+	}
+	return out
+}
+
+// I64Slice copies n int64 values starting at addr.
+func (m *Memory) I64Slice(addr uint64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = m.ReadI64(addr + uint64(i)*8)
+	}
+	return out
+}
+
+// I32Slice copies n int32 values starting at addr.
+func (m *Memory) I32Slice(addr uint64, n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = m.ReadI32(addr + uint64(i)*4)
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package ir
+
+// CFG holds derived control-flow information for one function: predecessor
+// lists, reverse postorder, and the dominator tree. It is computed once and
+// consumed by the verifier, the DDG generator, and compiler passes (e.g. the
+// DAE slicer).
+type CFG struct {
+	Fn    *Function
+	Preds [][]*Block // indexed by block ID
+	RPO   []*Block   // reverse postorder over reachable blocks
+	rpoID []int      // block ID -> position in RPO, -1 if unreachable
+	IDom  []*Block   // immediate dominator per block ID (entry -> nil)
+}
+
+// BuildCFG computes control-flow facts for f. AssignIDs must have run.
+func BuildCFG(f *Function) *CFG {
+	n := len(f.Blocks)
+	c := &CFG{
+		Fn:    f,
+		Preds: make([][]*Block, n),
+		rpoID: make([]int, n),
+		IDom:  make([]*Block, n),
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			c.Preds[s.ID] = append(c.Preds[s.ID], b)
+		}
+	}
+	// Postorder DFS from entry.
+	visited := make([]bool, n)
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		visited[b.ID] = true
+		for _, s := range b.Succs() {
+			if !visited[s.ID] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if entry := f.Entry(); entry != nil {
+		dfs(entry)
+	}
+	c.RPO = make([]*Block, len(post))
+	for i := range post {
+		c.RPO[i] = post[len(post)-1-i]
+	}
+	for i := range c.rpoID {
+		c.rpoID[i] = -1
+	}
+	for i, b := range c.RPO {
+		c.rpoID[b.ID] = i
+	}
+	c.computeDominators()
+	return c
+}
+
+// Reachable reports whether block b is reachable from the entry.
+func (c *CFG) Reachable(b *Block) bool { return c.rpoID[b.ID] >= 0 }
+
+// computeDominators runs the Cooper–Harvey–Kennedy iterative algorithm over
+// reverse postorder.
+func (c *CFG) computeDominators() {
+	if len(c.RPO) == 0 {
+		return
+	}
+	entry := c.RPO[0]
+	idom := make([]*Block, len(c.Fn.Blocks))
+	idom[entry.ID] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range c.RPO[1:] {
+			var newIDom *Block
+			for _, p := range c.Preds[b.ID] {
+				if !c.Reachable(p) || idom[p.ID] == nil {
+					continue
+				}
+				if newIDom == nil {
+					newIDom = p
+				} else {
+					newIDom = c.intersect(idom, p, newIDom)
+				}
+			}
+			if newIDom != nil && idom[b.ID] != newIDom {
+				idom[b.ID] = newIDom
+				changed = true
+			}
+		}
+	}
+	for _, b := range c.RPO {
+		if b == entry {
+			c.IDom[b.ID] = nil
+		} else {
+			c.IDom[b.ID] = idom[b.ID]
+		}
+	}
+}
+
+func (c *CFG) intersect(idom []*Block, a, b *Block) *Block {
+	for a != b {
+		for c.rpoID[a.ID] > c.rpoID[b.ID] {
+			a = idom[a.ID]
+		}
+		for c.rpoID[b.ID] > c.rpoID[a.ID] {
+			b = idom[b.ID]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether block a dominates block b (reflexively).
+func (c *CFG) Dominates(a, b *Block) bool {
+	if !c.Reachable(a) || !c.Reachable(b) {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := c.IDom[b.ID]
+		if next == nil {
+			return false
+		}
+		b = next
+	}
+}
+
+// DomTreeChildren returns the blocks immediately dominated by b.
+func (c *CFG) DomTreeChildren(b *Block) []*Block {
+	var out []*Block
+	for _, x := range c.RPO {
+		if c.IDom[x.ID] == b {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+package ir
+
+import "fmt"
+
+// Instr is a single static IR instruction. Instructions are SSA values: an
+// instruction that defines a result can be used as an operand elsewhere.
+//
+// A static instruction corresponds to a node of the static data-dependence
+// graph; each dynamic execution of it (one per dynamic basic block, DBB) is a
+// node of the dynamic graph the simulator schedules.
+type Instr struct {
+	Op    Opcode
+	Ty    Type    // result type (Void if no result)
+	Ident string  // SSA name, without the leading '%'
+	Pred  CmpPred // for OpICmp / OpFCmp
+	Cast  CastKind
+
+	// Operands in positional order. Conventions per opcode:
+	//   binary ops:  [lhs, rhs]
+	//   icmp/fcmp:   [lhs, rhs]
+	//   select:      [cond, ifTrue, ifFalse]
+	//   cast:        [src]
+	//   gep:         [base, index]           (byte offset = index * Scale)
+	//   load:        [addr]
+	//   store:       [value, addr]
+	//   atomicadd:   [addr, delta]
+	//   phi:         incoming values, aligned with Incoming blocks
+	//   br:          []                      (target in Targets[0])
+	//   condbr:      [cond]                  (then/else in Targets[0],[1])
+	//   ret:         [] or [value]
+	//   call:        arguments
+	Args []Value
+
+	// Scale is the element stride in bytes for OpGEP.
+	Scale int64
+
+	// Incoming lists the predecessor block for each phi operand.
+	Incoming []*Block
+
+	// Targets lists successor blocks for br (1) and condbr (2: then, else).
+	Targets []*Block
+
+	// Callee is the intrinsic name for OpCall.
+	Callee string
+
+	// Parent is the containing basic block.
+	Parent *Block
+
+	// ID is the dense per-function value ID assigned by Function.AssignIDs.
+	// Parameters and instructions share one ID space.
+	ID int
+
+	// Idx is the instruction's position within its function in layout order
+	// (used as the static-node ID by the DDG and the simulator).
+	Idx int
+}
+
+// Type implements Value.
+func (in *Instr) Type() Type { return in.Ty }
+
+// Name implements Value.
+func (in *Instr) Name() string { return in.Ident }
+
+// HasResult reports whether the instruction defines an SSA value.
+func (in *Instr) HasResult() bool { return in.Ty != Void }
+
+// IsTerminator reports whether the instruction ends its basic block.
+func (in *Instr) IsTerminator() bool { return in.Op.IsTerminator() }
+
+// IsMemory reports whether the instruction accesses simulated memory.
+func (in *Instr) IsMemory() bool { return in.Op.IsMemory() }
+
+// AddrOperand returns the operand holding the memory address for load, store
+// and atomicadd instructions, or nil for other opcodes.
+func (in *Instr) AddrOperand() Value {
+	switch in.Op {
+	case OpLoad:
+		return in.Args[0]
+	case OpStore:
+		return in.Args[1]
+	case OpAtomicAdd:
+		return in.Args[0]
+	}
+	return nil
+}
+
+// AccessType returns the scalar type a memory instruction transfers.
+func (in *Instr) AccessType() Type {
+	switch in.Op {
+	case OpLoad, OpAtomicAdd:
+		return in.Ty
+	case OpStore:
+		return in.Args[0].Type()
+	}
+	return Void
+}
+
+func (in *Instr) String() string {
+	s := in.Op.String()
+	if in.Ident != "" {
+		s = "%" + in.Ident + " = " + s
+	}
+	return fmt.Sprintf("%s (block %s)", s, blockName(in.Parent))
+}
+
+func blockName(b *Block) string {
+	if b == nil {
+		return "<detached>"
+	}
+	return b.Ident
+}
+
+// Block is a basic block: a single-entry, single-exit sequence of
+// instructions ending in a terminator. Each dynamic execution of a block is a
+// DBB (dynamic basic block) in MosaicSim's execution model.
+type Block struct {
+	Ident  string
+	Instrs []*Instr
+	Parent *Function
+
+	// ID is the block's dense index within its function, assigned at
+	// Function.AssignIDs time and used as the basic-block ID in control-flow
+	// traces.
+	ID int
+}
+
+// Terminator returns the block's final instruction, or nil if the block is
+// empty or unterminated (verification rejects both).
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if !last.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Succs returns the block's successor blocks in target order.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	return t.Targets
+}
+
+// append adds an instruction to the end of the block and sets its parent.
+func (b *Block) append(in *Instr) *Instr {
+	in.Parent = b
+	b.Instrs = append(b.Instrs, in)
+	return in
+}
+
+// Function is a kernel: a named collection of basic blocks in layout order,
+// with Blocks[0] as the entry block.
+type Function struct {
+	Ident  string
+	Params []*Param
+	Blocks []*Block
+	Parent *Module
+
+	numValues int // valid after AssignIDs
+	numInstrs int
+}
+
+// Name returns the function's name.
+func (f *Function) Name() string { return f.Ident }
+
+// Entry returns the entry block.
+func (f *Function) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// AssignIDs assigns dense IDs: block IDs in layout order, instruction Idx in
+// layout order, and a shared value-ID space over parameters followed by
+// result-producing instructions. It must be called (it is idempotent) before
+// the function is consumed by the DDG generator, interpreter, or simulator.
+func (f *Function) AssignIDs() {
+	id := 0
+	for i, p := range f.Params {
+		p.Index = i
+		p.ID = id
+		id++
+	}
+	idx := 0
+	for bi, b := range f.Blocks {
+		b.ID = bi
+		for _, in := range b.Instrs {
+			in.Idx = idx
+			idx++
+			if in.HasResult() {
+				in.ID = id
+				id++
+			} else {
+				in.ID = -1
+			}
+		}
+	}
+	f.numValues = id
+	f.numInstrs = idx
+}
+
+// NumValues returns the size of the dense value-ID space (parameters plus
+// result-producing instructions). Valid after AssignIDs.
+func (f *Function) NumValues() int { return f.numValues }
+
+// NumInstrs returns the number of static instructions. Valid after AssignIDs.
+func (f *Function) NumInstrs() int { return f.numInstrs }
+
+// InstrByIdx returns the static instruction with the given layout index.
+func (f *Function) InstrByIdx(idx int) *Instr {
+	for _, b := range f.Blocks {
+		if idx < len(b.Instrs) {
+			return b.Instrs[idx]
+		}
+		idx -= len(b.Instrs)
+	}
+	return nil
+}
+
+// Instrs returns all instructions in layout order.
+func (f *Function) Instrs() []*Instr {
+	out := make([]*Instr, 0, f.numInstrs)
+	for _, b := range f.Blocks {
+		out = append(out, b.Instrs...)
+	}
+	return out
+}
+
+// BlockByName returns the block with the given label, or nil.
+func (f *Function) BlockByName(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Ident == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Module is a compilation unit: kernels plus module-level array globals.
+type Module struct {
+	Ident   string
+	Funcs   []*Function
+	Globals []*Global
+}
+
+// NewModule returns an empty module with the given name.
+func NewModule(name string) *Module { return &Module{Ident: name} }
+
+// Func returns the function with the given name, or nil.
+func (m *Module) Func(name string) *Function {
+	for _, f := range m.Funcs {
+		if f.Ident == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global returns the global with the given name, or nil.
+func (m *Module) Global(name string) *Global {
+	for _, g := range m.Globals {
+		if g.Ident == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// AddGlobal declares a module-level array and returns it.
+func (m *Module) AddGlobal(name string, elem Type, count int64) *Global {
+	g := &Global{Ident: name, Elem: elem, Count: count}
+	m.Globals = append(m.Globals, g)
+	return g
+}

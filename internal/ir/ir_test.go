@@ -1,0 +1,500 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// vecAddSrc is the paper's Figure 3 example: for (i=0;i<4;i++) C[i]=A[i]+B[i],
+// expressed in the textual IR.
+const vecAddSrc = `
+module vecadd
+global @A f64 16
+global @B f64 16
+global @C f64 16
+
+func @kernel(%A: ptr, %B: ptr, %C: ptr, %n: i64) {
+entry:
+  br %loop
+loop:
+  %i = phi i64 [0, %entry], [%i.next, %loop]
+  %pa = gep %A, %i, 8
+  %a = load f64, %pa
+  %pb = gep %B, %i, 8
+  %b = load f64, %pb
+  %sum = fadd %a, %b
+  %pc = gep %C, %i, 8
+  store %sum, %pc
+  %i.next = add %i, 1
+  %done = icmp eq %i.next, %n
+  condbr %done, %exit, %loop
+exit:
+  ret
+}
+`
+
+func TestTypeSizes(t *testing.T) {
+	cases := []struct {
+		ty   Type
+		size int64
+	}{
+		{I1, 1}, {I8, 1}, {I32, 4}, {I64, 8}, {F32, 4}, {F64, 8}, {Ptr, 8}, {Void, 0},
+	}
+	for _, c := range cases {
+		if got := c.ty.Size(); got != c.size {
+			t.Errorf("%s.Size() = %d, want %d", c.ty, got, c.size)
+		}
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	for _, ty := range []Type{I1, I8, I32, I64} {
+		if !ty.IsInt() || ty.IsFloat() {
+			t.Errorf("%s should be int-only", ty)
+		}
+	}
+	for _, ty := range []Type{F32, F64} {
+		if !ty.IsFloat() || ty.IsInt() {
+			t.Errorf("%s should be float-only", ty)
+		}
+	}
+}
+
+func TestTypeRoundTrip(t *testing.T) {
+	for _, ty := range []Type{Void, I1, I8, I32, I64, F32, F64, Ptr} {
+		got, ok := TypeFromName(ty.String())
+		if !ok || got != ty {
+			t.Errorf("TypeFromName(%q) = %v, %v", ty.String(), got, ok)
+		}
+	}
+	if _, ok := TypeFromName("i128"); ok {
+		t.Error("TypeFromName accepted unknown type")
+	}
+}
+
+func TestOpcodeRoundTrip(t *testing.T) {
+	for op := Opcode(1); op < numOpcodes; op++ {
+		got, ok := OpcodeFromName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpcodeFromName(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+}
+
+func TestOpcodeClasses(t *testing.T) {
+	for _, op := range []Opcode{OpBr, OpCondBr, OpRet} {
+		if !op.IsTerminator() {
+			t.Errorf("%s should be a terminator", op)
+		}
+	}
+	for _, op := range []Opcode{OpLoad, OpStore, OpAtomicAdd} {
+		if !op.IsMemory() {
+			t.Errorf("%s should be a memory op", op)
+		}
+	}
+	if OpAdd.IsTerminator() || OpAdd.IsMemory() {
+		t.Error("add misclassified")
+	}
+}
+
+func TestConstValues(t *testing.T) {
+	c := ConstInt(I64, -42)
+	if c.Int() != -42 {
+		t.Errorf("ConstInt round trip: got %d", c.Int())
+	}
+	f := ConstFloat(F64, 3.5)
+	if f.Float() != 3.5 {
+		t.Errorf("ConstFloat round trip: got %g", f.Float())
+	}
+	f32 := ConstFloat(F32, 1.25)
+	if f32.Float() != 1.25 {
+		t.Errorf("ConstFloat f32 round trip: got %g", f32.Float())
+	}
+	if !strings.Contains(ConstBool(true).Name(), "1") {
+		t.Errorf("ConstBool(true).Name() = %q", ConstBool(true).Name())
+	}
+}
+
+func TestParseVecAdd(t *testing.T) {
+	m, err := Parse(vecAddSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m.Ident != "vecadd" {
+		t.Errorf("module name = %q", m.Ident)
+	}
+	if len(m.Globals) != 3 {
+		t.Fatalf("globals = %d, want 3", len(m.Globals))
+	}
+	f := m.Func("kernel")
+	if f == nil {
+		t.Fatal("kernel not found")
+	}
+	if len(f.Params) != 4 {
+		t.Fatalf("params = %d, want 4", len(f.Params))
+	}
+	if len(f.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(f.Blocks))
+	}
+	loop := f.BlockByName("loop")
+	if loop == nil {
+		t.Fatal("loop block missing")
+	}
+	if got := len(loop.Instrs); got != 11 {
+		t.Errorf("loop has %d instrs, want 11", got)
+	}
+	phi := loop.Instrs[0]
+	if phi.Op != OpPhi || len(phi.Args) != 2 || len(phi.Incoming) != 2 {
+		t.Errorf("first loop instr should be a 2-way phi, got %v", phi)
+	}
+	term := loop.Terminator()
+	if term == nil || term.Op != OpCondBr {
+		t.Errorf("loop terminator = %v, want condbr", term)
+	}
+	if term.Targets[0].Ident != "exit" || term.Targets[1].Ident != "loop" {
+		t.Errorf("condbr targets = %q, %q", term.Targets[0].Ident, term.Targets[1].Ident)
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	m1 := MustParse(vecAddSrc)
+	text := m1.String()
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nprinted:\n%s", err, text)
+	}
+	if m2.String() != text {
+		t.Errorf("print/parse/print not a fixed point:\nfirst:\n%s\nsecond:\n%s", text, m2.String())
+	}
+}
+
+func TestAssignIDs(t *testing.T) {
+	m := MustParse(vecAddSrc)
+	f := m.Func("kernel")
+	f.AssignIDs()
+	if f.NumInstrs() != 13 {
+		t.Errorf("NumInstrs = %d, want 13", f.NumInstrs())
+	}
+	// 4 params + 9 result-producing instructions (store/br/condbr/ret have none).
+	if f.NumValues() != 13 {
+		t.Errorf("NumValues = %d, want 13", f.NumValues())
+	}
+	seen := map[int]bool{}
+	for _, in := range f.Instrs() {
+		if in.HasResult() {
+			if seen[in.ID] {
+				t.Errorf("duplicate value ID %d", in.ID)
+			}
+			seen[in.ID] = true
+		}
+	}
+	if got := f.InstrByIdx(0).Op; got != OpBr {
+		t.Errorf("InstrByIdx(0) = %s, want br", got)
+	}
+	if got := f.InstrByIdx(f.NumInstrs() - 1).Op; got != OpRet {
+		t.Errorf("last instr = %s, want ret", got)
+	}
+	if f.InstrByIdx(f.NumInstrs()) != nil {
+		t.Error("InstrByIdx out of range should be nil")
+	}
+}
+
+func TestBuilderConstructsVerifiableLoop(t *testing.T) {
+	m := NewModule("built")
+	b := NewBuilder(m)
+	a := NewParam("A", Ptr)
+	n := NewParam("n", I64)
+	b.NewFunc("sumk", a, n)
+	entry := b.Cur
+	loop := b.Block("loop")
+	exit := b.Block("exit")
+	b.SetBlock(entry)
+	b.Br(loop)
+	b.SetBlock(loop)
+	i := b.Phi(I64)
+	acc := b.Phi(F64)
+	p := b.GEP(a, i, 8)
+	v := b.Load(F64, p)
+	acc2 := b.FAdd(acc, v)
+	i2 := b.Add(i, ConstInt(I64, 1))
+	done := b.ICmp(PredEQ, i2, n)
+	b.CondBr(done, exit, loop)
+	AddIncoming(i, ConstInt(I64, 0), entry)
+	AddIncoming(i, i2, loop)
+	AddIncoming(acc, ConstFloat(F64, 0), entry)
+	AddIncoming(acc, acc2, loop)
+	b.SetBlock(exit)
+	st := b.GEP(a, ConstInt(I64, 0), 8)
+	b.Store(acc2, st)
+	b.Ret(nil)
+	if err := b.Finish(); err != nil {
+		t.Fatalf("builder-made function fails verification: %v", err)
+	}
+}
+
+func TestVerifyCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			"missing terminator",
+			"func @f(%n: i64) {\nentry:\n  %x = add %n, 1\n}\n",
+			"terminator",
+		},
+		{
+			"use before def",
+			"func @f(%n: i64) {\nentry:\n  %y = add %x, 1\n  %x = add %n, 1\n  ret\n}\n",
+			"before its definition",
+		},
+		{
+			"phi wrong preds",
+			"func @f(%n: i64) {\nentry:\n  br %b\nb:\n  %p = phi i64 [1, %entry], [2, %b]\n  ret\n}\n",
+			"predecessor",
+		},
+		{
+			"float op int operand",
+			"func @f(%n: i64) {\nentry:\n  %x = fadd %n, %n\n  ret\n}\n",
+			"non-float",
+		},
+		{
+			"condbr non-bool",
+			"func @f(%n: i64) {\nentry:\n  condbr %n, %a, %b\na:\n  ret\nb:\n  ret\n}\n",
+			"i1",
+		},
+		{
+			"unknown block target",
+			"func @f(%n: i64) {\nentry:\n  br %nowhere\n}\n",
+			"nowhere",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err.Error(), c.want)
+			}
+		})
+	}
+}
+
+func TestVerifyModuleDuplicates(t *testing.T) {
+	m := NewModule("dup")
+	m.AddGlobal("g", I64, 4)
+	m.AddGlobal("g", I64, 4)
+	b := NewBuilder(m)
+	b.NewFunc("f")
+	b.Ret(nil)
+	err := VerifyModule(m)
+	if err == nil || !strings.Contains(err.Error(), "duplicate global") {
+		t.Errorf("want duplicate-global error, got %v", err)
+	}
+}
+
+func TestCFGAndDominators(t *testing.T) {
+	src := `
+func @diamond(%c: i1) {
+entry:
+  condbr %c, %then, %els
+then:
+  br %join
+els:
+  br %join
+join:
+  ret
+}
+`
+	m := MustParse(src)
+	f := m.Func("diamond")
+	cfg := BuildCFG(f)
+	entry, then, els, join := f.Blocks[0], f.Blocks[1], f.Blocks[2], f.Blocks[3]
+	if len(cfg.Preds[join.ID]) != 2 {
+		t.Errorf("join preds = %d, want 2", len(cfg.Preds[join.ID]))
+	}
+	if cfg.IDom[join.ID] != entry {
+		t.Errorf("idom(join) = %v, want entry", cfg.IDom[join.ID])
+	}
+	if !cfg.Dominates(entry, join) || !cfg.Dominates(entry, then) {
+		t.Error("entry should dominate everything")
+	}
+	if cfg.Dominates(then, join) || cfg.Dominates(els, join) {
+		t.Error("branch arms must not dominate the join")
+	}
+	if !cfg.Dominates(join, join) {
+		t.Error("dominance must be reflexive")
+	}
+	kids := cfg.DomTreeChildren(entry)
+	if len(kids) != 3 {
+		t.Errorf("entry dom-tree children = %d, want 3", len(kids))
+	}
+}
+
+func TestCFGLoop(t *testing.T) {
+	m := MustParse(vecAddSrc)
+	f := m.Func("kernel")
+	cfg := BuildCFG(f)
+	loop := f.BlockByName("loop")
+	if len(cfg.Preds[loop.ID]) != 2 {
+		t.Errorf("loop preds = %d, want 2 (entry + itself)", len(cfg.Preds[loop.ID]))
+	}
+	if cfg.IDom[loop.ID] != f.Entry() {
+		t.Error("idom(loop) should be entry")
+	}
+	if got := len(cfg.RPO); got != 3 {
+		t.Errorf("RPO covers %d blocks, want 3", got)
+	}
+	if cfg.RPO[0] != f.Entry() {
+		t.Error("RPO must start at entry")
+	}
+}
+
+func TestUnreachableBlockTolerated(t *testing.T) {
+	src := `
+func @f(%n: i64) {
+entry:
+  ret
+dead:
+  br %dead
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("unreachable blocks should verify: %v", err)
+	}
+	cfg := BuildCFG(m.Func("f"))
+	if cfg.Reachable(m.Func("f").BlockByName("dead")) {
+		t.Error("dead block should be unreachable")
+	}
+}
+
+func TestMemoryInstrAccessors(t *testing.T) {
+	m := MustParse(vecAddSrc)
+	f := m.Func("kernel")
+	var load, store *Instr
+	for _, in := range f.Instrs() {
+		switch in.Op {
+		case OpLoad:
+			if load == nil {
+				load = in
+			}
+		case OpStore:
+			store = in
+		}
+	}
+	if load == nil || store == nil {
+		t.Fatal("expected load and store in vecadd")
+	}
+	if load.AddrOperand() == nil || load.AccessType() != F64 {
+		t.Errorf("load accessors wrong: addr=%v ty=%v", load.AddrOperand(), load.AccessType())
+	}
+	if store.AddrOperand() == nil || store.AccessType() != F64 {
+		t.Errorf("store accessors wrong: addr=%v ty=%v", store.AddrOperand(), store.AccessType())
+	}
+	if add := f.InstrByIdx(1); add.AddrOperand() != nil {
+		t.Error("non-memory op should have nil AddrOperand")
+	}
+}
+
+func TestCallParsing(t *testing.T) {
+	src := `
+func @k() {
+entry:
+  %tid = call i64 tile_id()
+  %nt = call i64 num_tiles()
+  call void send(%tid, %nt)
+  %v = call i64 recv(%tid)
+  %r = call f64 sqrt(2.0)
+  ret
+}
+`
+	m := MustParse(src)
+	f := m.Func("k")
+	instrs := f.Instrs()
+	if instrs[0].Callee != "tile_id" || instrs[0].Ty != I64 || len(instrs[0].Args) != 0 {
+		t.Errorf("tile_id parsed wrong: %+v", instrs[0])
+	}
+	if instrs[2].Callee != "send" || instrs[2].Ty != Void || len(instrs[2].Args) != 2 {
+		t.Errorf("send parsed wrong: %+v", instrs[2])
+	}
+	if instrs[4].Callee != "sqrt" || instrs[4].Args[0].Type() != F64 {
+		t.Errorf("sqrt parsed wrong: %+v", instrs[4])
+	}
+}
+
+func TestGlobalValue(t *testing.T) {
+	g := &Global{Ident: "A", Elem: F64, Count: 100}
+	if g.Type() != Ptr {
+		t.Error("global should evaluate to a pointer")
+	}
+	if g.ByteSize() != 800 {
+		t.Errorf("ByteSize = %d, want 800", g.ByteSize())
+	}
+}
+
+// TestRoundTripProperty: randomly built straight-line functions survive
+// print -> parse -> print as a fixed point.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewModule("rt")
+		b := NewBuilder(m)
+		pa := NewParam("a", I64)
+		pb := NewParam("b", I64)
+		pf := NewParam("x", F64)
+		pp := NewParam("p", Ptr)
+		b.NewFunc("k", pa, pb, pf, pp)
+		intVals := []Value{pa, pb}
+		fltVals := []Value{pf}
+		n := 3 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(6) {
+			case 0:
+				v := b.Add(intVals[rng.Intn(len(intVals))], ConstInt(I64, int64(rng.Intn(100))))
+				intVals = append(intVals, v)
+			case 1:
+				v := b.Mul(intVals[rng.Intn(len(intVals))], intVals[rng.Intn(len(intVals))])
+				intVals = append(intVals, v)
+			case 2:
+				v := b.FAdd(fltVals[rng.Intn(len(fltVals))], ConstFloat(F64, float64(rng.Intn(50))+0.5))
+				fltVals = append(fltVals, v)
+			case 3:
+				addr := b.GEP(pp, intVals[rng.Intn(len(intVals))], 8)
+				v := b.Load(F64, addr)
+				fltVals = append(fltVals, v)
+			case 4:
+				addr := b.GEP(pp, intVals[rng.Intn(len(intVals))], 8)
+				b.Store(fltVals[rng.Intn(len(fltVals))], addr)
+			case 5:
+				v := b.ICmp(PredLT, intVals[rng.Intn(len(intVals))], intVals[rng.Intn(len(intVals))])
+				v2 := b.Select(v, intVals[rng.Intn(len(intVals))], intVals[rng.Intn(len(intVals))])
+				intVals = append(intVals, v2)
+			}
+		}
+		b.Ret(nil)
+		if err := b.Finish(); err != nil {
+			t.Logf("builder verify: %v", err)
+			return false
+		}
+		text1 := m.String()
+		m2, err := Parse(text1)
+		if err != nil {
+			t.Logf("reparse: %v\n%s", err, text1)
+			return false
+		}
+		text2 := m2.String()
+		if text1 != text2 {
+			t.Logf("not a fixed point:\n%s\nvs\n%s", text1, text2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

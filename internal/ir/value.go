@@ -1,0 +1,98 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is anything an instruction can take as an operand: constants,
+// function parameters, globals (array base addresses), and the results of
+// other instructions.
+type Value interface {
+	// Type returns the value's scalar type.
+	Type() Type
+	// Name returns the value's printed name (without sigil for constants).
+	Name() string
+}
+
+// Const is a compile-time constant. The payload is stored as a raw 64-bit
+// pattern; floats use math.Float64bits / Float32bits encodings widened to 64
+// bits for F64/F32 respectively.
+type Const struct {
+	Ty   Type
+	Bits uint64
+}
+
+// ConstInt returns an integer constant of the given type.
+func ConstInt(ty Type, v int64) *Const { return &Const{Ty: ty, Bits: uint64(v)} }
+
+// ConstBool returns an I1 constant.
+func ConstBool(b bool) *Const {
+	if b {
+		return &Const{Ty: I1, Bits: 1}
+	}
+	return &Const{Ty: I1, Bits: 0}
+}
+
+// ConstFloat returns a floating-point constant of type F32 or F64.
+func ConstFloat(ty Type, v float64) *Const {
+	if ty == F32 {
+		return &Const{Ty: F32, Bits: uint64(math.Float32bits(float32(v)))}
+	}
+	return &Const{Ty: F64, Bits: math.Float64bits(v)}
+}
+
+// Int returns the constant interpreted as a signed integer.
+func (c *Const) Int() int64 { return int64(c.Bits) }
+
+// Float returns the constant interpreted as a float of its type.
+func (c *Const) Float() float64 {
+	if c.Ty == F32 {
+		return float64(math.Float32frombits(uint32(c.Bits)))
+	}
+	return math.Float64frombits(c.Bits)
+}
+
+// Type implements Value.
+func (c *Const) Type() Type { return c.Ty }
+
+// Name implements Value.
+func (c *Const) Name() string {
+	if c.Ty.IsFloat() {
+		return fmt.Sprintf("%g", c.Float())
+	}
+	return fmt.Sprintf("%d", c.Int())
+}
+
+// Param is a formal parameter of a function. Parameters are runtime inputs
+// supplied by the harness (array base pointers, sizes, scalars).
+type Param struct {
+	Ty    Type
+	Ident string
+	Index int // position in the function signature
+	ID    int // dense value ID assigned by Function.AssignIDs
+}
+
+// Type implements Value.
+func (p *Param) Type() Type { return p.Ty }
+
+// Name implements Value.
+func (p *Param) Name() string { return p.Ident }
+
+// Global is a module-level array. Its address in simulated memory is assigned
+// by the interpreter's memory image at load time; in the IR it is referenced
+// by name and evaluates to its base address (type Ptr).
+type Global struct {
+	Ident string
+	Elem  Type  // element type
+	Count int64 // number of elements
+}
+
+// Type implements Value: referencing a global yields its base address.
+func (g *Global) Type() Type { return Ptr }
+
+// Name implements Value.
+func (g *Global) Name() string { return g.Ident }
+
+// ByteSize returns the total size of the global's storage in bytes.
+func (g *Global) ByteSize() int64 { return g.Elem.Size() * g.Count }

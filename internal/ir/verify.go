@@ -1,0 +1,310 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VerifyError describes a structural or type error found in a function.
+type VerifyError struct {
+	Fn    string
+	Block string
+	Instr string
+	Msg   string
+}
+
+func (e *VerifyError) Error() string {
+	loc := e.Fn
+	if e.Block != "" {
+		loc += ":" + e.Block
+	}
+	if e.Instr != "" {
+		loc += ":" + e.Instr
+	}
+	return fmt.Sprintf("ir verify %s: %s", loc, e.Msg)
+}
+
+// Verify checks structural invariants of f: every block is non-empty and ends
+// in exactly one terminator, phi nodes appear first and cover every
+// predecessor exactly once, operand types are consistent, and every use is
+// dominated by its definition. AssignIDs must have run.
+func Verify(f *Function) error {
+	var errs []error
+	fail := func(b *Block, in *Instr, format string, args ...any) {
+		e := &VerifyError{Fn: f.Ident, Msg: fmt.Sprintf(format, args...)}
+		if b != nil {
+			e.Block = b.Ident
+		}
+		if in != nil {
+			e.Instr = in.Op.String()
+			if in.Ident != "" {
+				e.Instr = "%" + in.Ident
+			}
+		}
+		errs = append(errs, e)
+	}
+
+	if len(f.Blocks) == 0 {
+		fail(nil, nil, "function has no blocks")
+		return errors.Join(errs...)
+	}
+
+	// Block-local structure.
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			fail(b, nil, "empty block")
+			continue
+		}
+		if b.Terminator() == nil {
+			fail(b, nil, "block does not end in a terminator")
+		}
+		inPhis := true
+		for i, in := range b.Instrs {
+			if in.IsTerminator() && i != len(b.Instrs)-1 {
+				fail(b, in, "terminator in the middle of a block")
+			}
+			if in.Op == OpPhi {
+				if !inPhis {
+					fail(b, in, "phi after non-phi instruction")
+				}
+			} else {
+				inPhis = false
+			}
+			checkInstr(f, b, in, fail)
+		}
+	}
+
+	cfg := BuildCFG(f)
+
+	// Phi incoming edges must exactly match predecessors.
+	for _, b := range f.Blocks {
+		if !cfg.Reachable(b) {
+			continue
+		}
+		preds := cfg.Preds[b.ID]
+		for _, in := range b.Instrs {
+			if in.Op != OpPhi {
+				break
+			}
+			if len(in.Args) != len(in.Incoming) {
+				fail(b, in, "phi has %d values but %d incoming blocks", len(in.Args), len(in.Incoming))
+				continue
+			}
+			if len(in.Incoming) != len(preds) {
+				fail(b, in, "phi covers %d predecessors, block has %d", len(in.Incoming), len(preds))
+			}
+			seen := map[*Block]bool{}
+			for _, from := range in.Incoming {
+				if seen[from] {
+					fail(b, in, "duplicate incoming block %q", from.Ident)
+				}
+				seen[from] = true
+				found := false
+				for _, p := range preds {
+					if p == from {
+						found = true
+						break
+					}
+				}
+				if !found {
+					fail(b, in, "incoming block %q is not a predecessor", from.Ident)
+				}
+			}
+		}
+	}
+
+	// Dominance: each non-phi use must be dominated by its definition; phi
+	// uses must be dominated at the end of the incoming block.
+	defBlock := map[Value]*Block{}
+	defPos := map[*Instr]int{}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.HasResult() {
+				defBlock[in] = b
+				defPos[in] = i
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		if !cfg.Reachable(b) {
+			continue
+		}
+		for pos, in := range b.Instrs {
+			for ai, arg := range in.Args {
+				def, ok := arg.(*Instr)
+				if !ok {
+					continue // constants, params, globals dominate everything
+				}
+				db, defined := defBlock[def]
+				if !defined {
+					fail(b, in, "operand %%%s is not defined in this function", def.Ident)
+					continue
+				}
+				if in.Op == OpPhi {
+					from := in.Incoming[ai]
+					if !cfg.Reachable(from) {
+						continue
+					}
+					if !cfg.Dominates(db, from) {
+						fail(b, in, "phi operand %%%s does not dominate incoming edge from %q", def.Ident, from.Ident)
+					}
+					continue
+				}
+				if db == b {
+					if defPos[def] >= pos {
+						fail(b, in, "use of %%%s before its definition", def.Ident)
+					}
+				} else if !cfg.Dominates(db, b) {
+					fail(b, in, "definition of %%%s does not dominate its use", def.Ident)
+				}
+			}
+		}
+	}
+
+	return errors.Join(errs...)
+}
+
+func checkInstr(f *Function, b *Block, in *Instr, fail func(*Block, *Instr, string, ...any)) {
+	argc := func(n int) bool {
+		if len(in.Args) != n {
+			fail(b, in, "expected %d operands, have %d", n, len(in.Args))
+			return false
+		}
+		return true
+	}
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr:
+		if argc(2) {
+			if !in.Ty.IsInt() && in.Ty != Ptr {
+				fail(b, in, "integer op with result type %s", in.Ty)
+			}
+			if in.Args[0].Type().IsFloat() || in.Args[1].Type().IsFloat() {
+				fail(b, in, "integer op with float operand")
+			}
+		}
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		if argc(2) {
+			if !in.Ty.IsFloat() {
+				fail(b, in, "float op with result type %s", in.Ty)
+			}
+			if !in.Args[0].Type().IsFloat() || !in.Args[1].Type().IsFloat() {
+				fail(b, in, "float op with non-float operand")
+			}
+		}
+	case OpICmp:
+		if argc(2) && in.Ty != I1 {
+			fail(b, in, "icmp result must be i1")
+		}
+	case OpFCmp:
+		if argc(2) {
+			if in.Ty != I1 {
+				fail(b, in, "fcmp result must be i1")
+			}
+			if !in.Args[0].Type().IsFloat() {
+				fail(b, in, "fcmp with non-float operand")
+			}
+		}
+	case OpSelect:
+		if argc(3) {
+			if in.Args[0].Type() != I1 {
+				fail(b, in, "select condition must be i1")
+			}
+			if in.Args[1].Type() != in.Args[2].Type() {
+				fail(b, in, "select arm types differ: %s vs %s", in.Args[1].Type(), in.Args[2].Type())
+			}
+		}
+	case OpCast:
+		if argc(1) && in.Cast == CastNone {
+			fail(b, in, "cast without a kind")
+		}
+	case OpGEP:
+		if argc(2) {
+			if in.Args[0].Type() != Ptr {
+				fail(b, in, "gep base must be ptr, have %s", in.Args[0].Type())
+			}
+			if in.Scale <= 0 {
+				fail(b, in, "gep scale must be positive, have %d", in.Scale)
+			}
+		}
+	case OpLoad:
+		if argc(1) {
+			if in.Args[0].Type() != Ptr {
+				fail(b, in, "load address must be ptr")
+			}
+			if in.Ty == Void {
+				fail(b, in, "load must have a result type")
+			}
+		}
+	case OpStore:
+		if argc(2) && in.Args[1].Type() != Ptr {
+			fail(b, in, "store address must be ptr")
+		}
+	case OpAtomicAdd:
+		if argc(2) && in.Args[0].Type() != Ptr {
+			fail(b, in, "atomicadd address must be ptr")
+		}
+	case OpPhi:
+		if len(in.Args) == 0 {
+			fail(b, in, "phi with no incoming values")
+		}
+		for _, a := range in.Args {
+			if a.Type() != in.Ty {
+				fail(b, in, "phi operand type %s != result type %s", a.Type(), in.Ty)
+			}
+		}
+	case OpBr:
+		if len(in.Targets) != 1 {
+			fail(b, in, "br must have exactly 1 target")
+		}
+	case OpCondBr:
+		if argc(1) {
+			if in.Args[0].Type() != I1 {
+				fail(b, in, "condbr condition must be i1")
+			}
+		}
+		if len(in.Targets) != 2 {
+			fail(b, in, "condbr must have exactly 2 targets")
+		}
+	case OpRet:
+		if len(in.Args) > 1 {
+			fail(b, in, "ret takes at most one value")
+		}
+	case OpCall:
+		if in.Callee == "" {
+			fail(b, in, "call without callee")
+		}
+	default:
+		fail(b, in, "unknown opcode %d", uint8(in.Op))
+	}
+	for _, t := range in.Targets {
+		if t.Parent != f {
+			fail(b, in, "branch target %q belongs to another function", t.Ident)
+		}
+	}
+}
+
+// VerifyModule verifies every function in m.
+func VerifyModule(m *Module) error {
+	var errs []error
+	seen := map[string]bool{}
+	for _, g := range m.Globals {
+		if seen["g:"+g.Ident] {
+			errs = append(errs, fmt.Errorf("ir verify %s: duplicate global @%s", m.Ident, g.Ident))
+		}
+		seen["g:"+g.Ident] = true
+		if g.Count <= 0 {
+			errs = append(errs, fmt.Errorf("ir verify %s: global @%s has non-positive count", m.Ident, g.Ident))
+		}
+	}
+	for _, f := range m.Funcs {
+		if seen["f:"+f.Ident] {
+			errs = append(errs, fmt.Errorf("ir verify %s: duplicate function @%s", m.Ident, f.Ident))
+		}
+		seen["f:"+f.Ident] = true
+		f.AssignIDs()
+		if err := Verify(f); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,79 @@
+package keras
+
+// The three deep-learning applications of §VII-C.
+
+// ConvNet is the residual CNN: an initial convolution with ReLU and batch
+// normalization, three residual blocks of convolutional + residual layers,
+// pooling, and a fully connected classifier. The SoC has no accelerator for
+// convolutional backpropagation, so its training improvement is modest.
+func ConvNet() *Model {
+	residual := func(ch int) []Layer {
+		return []Layer{
+			Conv2D{Filters: ch, Kernel: 3},
+			Elementwise{Kind: "batchnorm", OpsPerElem: 2},
+			Elementwise{Kind: "relu", OpsPerElem: 1},
+			Conv2D{Filters: ch, Kernel: 3},
+			Elementwise{Kind: "add", OpsPerElem: 1},
+			Elementwise{Kind: "relu", OpsPerElem: 1},
+		}
+	}
+	layers := []Layer{
+		Conv2D{Filters: 32, Kernel: 3},
+		Elementwise{Kind: "relu", OpsPerElem: 1},
+		Elementwise{Kind: "batchnorm", OpsPerElem: 2},
+	}
+	layers = append(layers, residual(32)...)
+	layers = append(layers, residual(32)...)
+	layers = append(layers, residual(32)...)
+	layers = append(layers,
+		MaxPool{Stride: 2},
+		Dense{Units: 8192},
+		Elementwise{Kind: "relu", OpsPerElem: 1},
+		Dense{Units: 10},
+	)
+	return &Model{Name: "ConvNet", Input: Shape{H: 32, W: 32, C: 3}, Layers: layers}
+}
+
+// GraphSage samples graph neighborhoods by random walk, embeds visited
+// nodes, and feeds the dense vectors through fully connected + ReLU layers.
+// Sampling and embedding have no accelerator and run on the host (§VII-C).
+func GraphSage() *Model {
+	return &Model{
+		Name:  "GraphSage",
+		Input: Shape{C: 2048},
+		Layers: []Layer{
+			HostStage{Kind: "random-walk", Ops: 800_000},
+			HostStage{Kind: "embedding", Ops: 320_000},
+			Dense{Units: 2048},
+			Elementwise{Kind: "relu", OpsPerElem: 1},
+			Dense{Units: 1024},
+			Elementwise{Kind: "relu", OpsPerElem: 1},
+			Dense{Units: 256},
+		},
+	}
+}
+
+// RecSys is the neural recommendation model: two fully connected + ReLU
+// blocks with batch normalization and dropout, then a final fully connected
+// output layer. Every stage is accelerator-handled, yielding the largest
+// improvement.
+func RecSys() *Model {
+	return &Model{
+		Name:  "RecSys",
+		Input: Shape{C: 4096},
+		Layers: []Layer{
+			Dense{Units: 2048},
+			Elementwise{Kind: "relu", OpsPerElem: 1},
+			Elementwise{Kind: "batchnorm", OpsPerElem: 2},
+			Elementwise{Kind: "dropout", OpsPerElem: 1},
+			Dense{Units: 1024},
+			Elementwise{Kind: "relu", OpsPerElem: 1},
+			Elementwise{Kind: "batchnorm", OpsPerElem: 2},
+			Elementwise{Kind: "dropout", OpsPerElem: 1},
+			Dense{Units: 512},
+		},
+	}
+}
+
+// Apps returns the §VII-C application set in paper order.
+func Apps() []*Model { return []*Model{ConvNet(), GraphSage(), RecSys()} }

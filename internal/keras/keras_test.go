@@ -1,0 +1,217 @@
+package keras
+
+import (
+	"testing"
+
+	"mosaicsim/internal/accel"
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/soc"
+)
+
+func TestShapesPropagate(t *testing.T) {
+	m := ConvNet()
+	in := m.Input
+	for _, l := range m.Layers {
+		out := l.Out(in)
+		if out.Elems() <= 0 {
+			t.Fatalf("layer %s produced empty shape %+v", l.Name(), out)
+		}
+		in = out
+	}
+	if in.C != 10 {
+		t.Errorf("ConvNet output classes = %d, want 10", in.C)
+	}
+}
+
+func TestConvCosts(t *testing.T) {
+	c := Conv2D{Filters: 8, Kernel: 3}
+	in := Shape{H: 4, W: 4, C: 2}
+	f := c.Fwd(in)
+	want := int64(4 * 4 * 9 * 2 * 8)
+	if f.MACs != want {
+		t.Errorf("conv fwd MACs = %d, want %d", f.MACs, want)
+	}
+	b := c.Bwd(in)
+	if b.MACs != 2*want {
+		t.Errorf("conv bwd MACs = %d, want %d", b.MACs, 2*want)
+	}
+	if c.Accelerated(false) != true || c.Accelerated(true) != false {
+		t.Error("conv fwd must be accelerated, bwd must not (paper §VII-C)")
+	}
+}
+
+func TestDenseCosts(t *testing.T) {
+	d := Dense{Units: 100}
+	f := d.Fwd(Shape{C: 50})
+	if f.MACs != 5000 {
+		t.Errorf("dense MACs = %d, want 5000", f.MACs)
+	}
+	if !d.Accelerated(true) {
+		t.Error("dense backprop is accelerated")
+	}
+}
+
+func TestHostStageNotAccelerated(t *testing.T) {
+	h := HostStage{Kind: "random-walk", Ops: 100}
+	if h.Accelerated(false) || h.Accelerated(true) {
+		t.Error("host stages must not be accelerated")
+	}
+	if h.Bwd(Shape{C: 1}).MACs != 0 {
+		t.Error("host stage has no backward pass")
+	}
+}
+
+func TestEstimatesPositiveAndSoCFaster(t *testing.T) {
+	core := DefaultOoOCore()
+	socp := DefaultSoC(8)
+	for _, m := range Apps() {
+		base := m.EstimateOnCore(core, 32)
+		opt := m.EstimateOnSoC(socp, 32)
+		if base.Cycles <= 0 || base.EnergyPJ <= 0 {
+			t.Fatalf("%s: empty core estimate %+v", m.Name, base)
+		}
+		if opt.Cycles <= 0 || opt.EnergyPJ <= 0 {
+			t.Fatalf("%s: empty SoC estimate %+v", m.Name, opt)
+		}
+		if opt.Cycles >= base.Cycles {
+			t.Errorf("%s: SoC (%d cycles) not faster than core (%d)", m.Name, opt.Cycles, base.Cycles)
+		}
+	}
+}
+
+// TestFig14Ordering checks the paper's qualitative result: RecSys (fully
+// accelerated) ≫ GraphSage (sampling on host) > ConvNet (conv backprop on
+// host), with magnitudes in the right bands (paper: 282×, 38×, 7.2×).
+func TestFig14Ordering(t *testing.T) {
+	core := DefaultOoOCore()
+	socp := DefaultSoC(8)
+	imp := map[string]float64{}
+	for _, m := range Apps() {
+		imp[m.Name] = m.EDPImprovement(core, socp, 32)
+	}
+	conv, sage, rec := imp["ConvNet"], imp["GraphSage"], imp["RecSys"]
+	t.Logf("EDP improvements: ConvNet=%.1f GraphSage=%.1f RecSys=%.1f", conv, sage, rec)
+	if !(rec > sage && sage > conv) {
+		t.Fatalf("ordering violated: ConvNet=%.1f GraphSage=%.1f RecSys=%.1f", conv, sage, rec)
+	}
+	if conv < 2 || conv > 30 {
+		t.Errorf("ConvNet improvement %.1f outside modest band (paper 7.2x)", conv)
+	}
+	if sage < 8 || sage > 150 {
+		t.Errorf("GraphSage improvement %.1f outside band (paper 38x)", sage)
+	}
+	if rec < 60 || rec > 1500 {
+		t.Errorf("RecSys improvement %.1f outside band (paper 282x)", rec)
+	}
+}
+
+func TestMoreInstancesHelp(t *testing.T) {
+	m := RecSys()
+	core := DefaultOoOCore()
+	one := m.EstimateOnSoC(DefaultSoC(1), 32)
+	eight := m.EstimateOnSoC(DefaultSoC(8), 32)
+	if eight.Cycles >= one.Cycles {
+		t.Errorf("8 instances (%d cycles) not faster than 1 (%d)", eight.Cycles, one.Cycles)
+	}
+	_ = core
+}
+
+func TestBatchScalesLinearly(t *testing.T) {
+	m := RecSys()
+	core := DefaultOoOCore()
+	b1 := m.EstimateOnCore(core, 1)
+	b8 := m.EstimateOnCore(core, 8)
+	if b8.Cycles != 8*b1.Cycles {
+		t.Errorf("batch scaling: %d vs 8*%d", b8.Cycles, b1.Cycles)
+	}
+}
+
+// liteModel builds a scaled-down app so the full-pipeline simulation of the
+// lowered kernel stays fast.
+func liteConvNet() *Model {
+	return &Model{
+		Name:  "ConvNet-lite",
+		Input: Shape{H: 8, W: 8, C: 3},
+		Layers: []Layer{
+			Conv2D{Filters: 8, Kernel: 3},
+			Elementwise{Kind: "relu", OpsPerElem: 1},
+			Conv2D{Filters: 8, Kernel: 3},
+			Elementwise{Kind: "relu", OpsPerElem: 1},
+			Dense{Units: 64},
+		},
+	}
+}
+
+func liteRecSys() *Model {
+	return &Model{
+		Name:  "RecSys-lite",
+		Input: Shape{C: 128},
+		Layers: []Layer{
+			Dense{Units: 128},
+			Elementwise{Kind: "relu", OpsPerElem: 1},
+			Dense{Units: 64},
+		},
+	}
+}
+
+// TestLoweredKernelSimulates runs a lowered model through the full compile ->
+// trace -> simulate pipeline (the paper's actual §VII-C mechanism) and checks
+// that accelerator invocations appear and help.
+func TestLoweredKernelSimulates(t *testing.T) {
+	m := liteRecSys()
+	host := config.OutOfOrderCore()
+	accels := map[string]soc.AccelModel{}
+	dp := accel.DesignPoint{PLMBytes: 256 << 10, Lanes: 16}
+	for _, name := range []string{"acc_sgemm", "acc_elementwise"} {
+		accels[name] = &accel.Model{Acc: accel.ByName(name, dp), Mode: accel.ModeClosedForm, SystemMHz: host.ClockMHz, MaxMemGBs: 24}
+	}
+	accelRes, err := m.SimulateTrainingStep(4, true, host, accels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := m.SimulateTrainingStep(4, false, host, accels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accelRes.AccelCalls == 0 {
+		t.Fatal("no accelerator invocations recorded in the lowered kernel")
+	}
+	if baseRes.AccelCalls != 0 {
+		t.Fatal("baseline lowering must not invoke accelerators")
+	}
+	if accelRes.Cycles >= baseRes.Cycles {
+		t.Errorf("accelerated training step (%d cycles) not faster than host-only (%d)", accelRes.Cycles, baseRes.Cycles)
+	}
+}
+
+// TestLoweredOrderingMatchesAnalytic: the full-pipeline simulation agrees
+// with the analytic model on which application benefits more — the fully
+// accelerated RecSys-lite over the conv-backprop-limited ConvNet-lite.
+func TestLoweredOrderingMatchesAnalytic(t *testing.T) {
+	host := config.OutOfOrderCore()
+	dp := accel.DesignPoint{PLMBytes: 256 << 10, Lanes: 16}
+	accels := map[string]soc.AccelModel{}
+	for _, name := range []string{"acc_sgemm", "acc_elementwise"} {
+		accels[name] = &accel.Model{Acc: accel.ByName(name, dp), Mode: accel.ModeClosedForm, SystemMHz: host.ClockMHz, MaxMemGBs: 24}
+	}
+	speedup := func(m *Model) float64 {
+		withAcc, err := m.SimulateTrainingStep(4, true, host, accels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hostOnly, err := m.SimulateTrainingStep(4, false, host, accels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(hostOnly.Cycles) / float64(withAcc.Cycles)
+	}
+	conv := speedup(liteConvNet())
+	rec := speedup(liteRecSys())
+	t.Logf("simulated training-step speedups: ConvNet-lite %.1fx, RecSys-lite %.1fx", conv, rec)
+	if rec <= conv {
+		t.Errorf("RecSys-lite (%.1fx) should gain more than ConvNet-lite (%.1fx): conv backprop stays on the host", rec, conv)
+	}
+	if conv <= 1 {
+		t.Errorf("ConvNet-lite speedup %.2fx; forward acceleration should still win", conv)
+	}
+}

@@ -1,0 +1,346 @@
+package mem
+
+import (
+	"fmt"
+
+	"mosaicsim/internal/config"
+)
+
+// CacheStats counts cache events for reporting and the energy model.
+type CacheStats struct {
+	Accesses        int64
+	Hits            int64
+	Misses          int64
+	Coalesced       int64 // merged into an existing MSHR
+	MSHRStalls      int64 // retried because all MSHRs were busy
+	Evictions       int64
+	Writebacks      int64
+	PrefetchIssued  int64
+	PrefetchUseful  int64 // demand hits on prefetched lines
+	WritebackMisses int64 // writebacks passed through to the next level
+}
+
+// HitRate returns hits / (hits + misses) for demand accesses.
+func (s *CacheStats) HitRate() float64 {
+	d := s.Hits + s.Misses
+	if d == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(d)
+}
+
+type cacheLine struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool
+	lastUse    int64
+}
+
+type timedReq struct {
+	ready int64
+	req   *Request
+}
+
+// mshr tracks one outstanding line fill and its coalesced waiters.
+type mshr struct {
+	waiters []*Request
+	dirty   bool // a write is waiting: line fills dirty
+}
+
+// Cache is one timing cache (§V-A): write-back, write-allocate, LRU,
+// configurable size/line/associativity/latency, MSHR coalescing, and an
+// optional stream prefetcher.
+type Cache struct {
+	Name  string
+	cfg   config.CacheConfig
+	next  Level
+	sets  [][]cacheLine
+	nsets uint64
+	shift uint
+	Stats CacheStats
+
+	inq   []timedReq
+	mshrs map[uint64]*mshr
+
+	// stream prefetcher state (§V-A): a small table of detected streams;
+	// consecutive same-stride line accesses on any tracked stream trigger
+	// prefetches of subsequent lines. Multiple entries let interleaved
+	// streams (stencil rows, multi-plane lattices) all be detected.
+	streams [prefetchStreams]streamEntry
+	clock   int64
+
+	inflight int // requests accepted but not yet completed/forwarded
+}
+
+// NewCache builds a cache in front of next.
+func NewCache(cfg config.CacheConfig, next Level) *Cache {
+	lines := cfg.SizeKB * 1024 / cfg.LineBytes
+	nsets := lines / cfg.Assoc
+	if nsets <= 0 || lines%cfg.Assoc != 0 {
+		panic(fmt.Sprintf("mem: cache %q geometry invalid (%d lines, %d ways)", cfg.Name, lines, cfg.Assoc))
+	}
+	c := &Cache{
+		Name:  cfg.Name,
+		cfg:   cfg,
+		next:  next,
+		nsets: uint64(nsets),
+		mshrs: map[uint64]*mshr{},
+	}
+	for s := 0; s < nsets; s++ {
+		c.sets = append(c.sets, make([]cacheLine, cfg.Assoc))
+	}
+	for ls := cfg.LineBytes; ls > 1; ls >>= 1 {
+		c.shift++
+	}
+	return c
+}
+
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.shift }
+func (c *Cache) setOf(line uint64) uint64    { return line % c.nsets }
+
+// Access implements Level.
+func (c *Cache) Access(req *Request, now int64) {
+	c.inflight++
+	c.inq = append(c.inq, timedReq{ready: now + c.cfg.LatencyCycles, req: req})
+}
+
+// Busy implements Level.
+func (c *Cache) Busy() bool { return c.inflight > 0 || len(c.mshrs) > 0 }
+
+// Tick implements Level: processes up to PortsPerCycle due requests.
+func (c *Cache) Tick(now int64) {
+	ports := c.cfg.PortsPerCycle
+	if ports <= 0 {
+		ports = 1
+	}
+	processed := 0
+	// Scan the queue head for due requests; retries are re-appended with a
+	// future ready time so this terminates.
+	for processed < ports && len(c.inq) > 0 {
+		if c.inq[0].ready > now {
+			break
+		}
+		tr := c.inq[0]
+		c.inq = c.inq[1:]
+		c.process(tr.req, now)
+		processed++
+	}
+}
+
+func (c *Cache) process(req *Request, now int64) {
+	line := c.lineAddr(req.Addr)
+	if req.Kind == Writeback {
+		// Inclusive write-back from an upper level: update the copy if
+		// present, otherwise pass through.
+		if cl := c.lookup(line); cl != nil {
+			cl.dirty = true
+			cl.lastUse = now
+		} else {
+			c.Stats.WritebackMisses++
+			c.next.Access(req, now)
+		}
+		c.inflight--
+		return
+	}
+
+	if req.Kind != Prefetch {
+		c.Stats.Accesses++
+	}
+	if cl := c.lookup(line); cl != nil {
+		// Hit.
+		cl.lastUse = now
+		if req.Kind == Write || req.Kind == Atomic {
+			cl.dirty = true
+		}
+		if req.Kind == Prefetch {
+			c.inflight--
+			return
+		}
+		c.Stats.Hits++
+		if cl.prefetched {
+			c.Stats.PrefetchUseful++
+			cl.prefetched = false
+		}
+		c.complete(req, now)
+		return
+	}
+
+	// Miss path.
+	if m, pending := c.mshrs[line]; pending {
+		if req.Kind == Prefetch {
+			c.inflight--
+			return
+		}
+		// Secondary miss: coalesced onto the pending fill, counted apart
+		// from primary misses.
+		c.Stats.Coalesced++
+		// The waiter stays in flight until the pending fill completes it.
+		m.waiters = append(m.waiters, req)
+		if req.Kind == Write || req.Kind == Atomic {
+			m.dirty = true
+		}
+		return
+	}
+	if c.cfg.MSHRs > 0 && len(c.mshrs) >= c.cfg.MSHRs {
+		if req.Kind == Prefetch {
+			c.inflight--
+			return
+		}
+		// All MSHRs busy: retry next cycle.
+		c.Stats.MSHRStalls++
+		c.inq = append(c.inq, timedReq{ready: now + 1, req: req})
+		return
+	}
+
+	m := &mshr{}
+	wasPrefetch := req.Kind == Prefetch
+	if !wasPrefetch {
+		c.Stats.Misses++
+		m.waiters = append(m.waiters, req)
+		if req.Kind == Write || req.Kind == Atomic {
+			m.dirty = true
+		}
+		c.maybePrefetch(line, now)
+	}
+	c.mshrs[line] = m
+	fillAddr := line << c.shift
+	c.next.Access(&Request{
+		Addr: fillAddr,
+		Size: c.cfg.LineBytes,
+		Kind: Read,
+		Done: func(t int64) { c.fill(line, wasPrefetch, t) },
+	}, now)
+}
+
+// lookup returns the resident line or nil.
+func (c *Cache) lookup(line uint64) *cacheLine {
+	set := c.sets[c.setOf(line)]
+	tag := line / c.nsets
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// fill installs a line returned by the next level and wakes its waiters.
+func (c *Cache) fill(line uint64, prefetched bool, now int64) {
+	set := c.sets[c.setOf(line)]
+	tag := line / c.nsets
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		oldest := set[0].lastUse
+		victim = 0
+		for i := range set {
+			if set[i].lastUse < oldest {
+				oldest = set[i].lastUse
+				victim = i
+			}
+		}
+		c.Stats.Evictions++
+		if set[victim].dirty {
+			c.Stats.Writebacks++
+			wbLine := set[victim].tag*c.nsets + c.setOf(line)
+			c.next.Access(&Request{
+				Addr: wbLine << c.shift,
+				Size: c.cfg.LineBytes,
+				Kind: Writeback,
+			}, now)
+		}
+	}
+	m := c.mshrs[line]
+	delete(c.mshrs, line)
+	set[victim] = cacheLine{tag: tag, valid: true, dirty: m != nil && m.dirty, prefetched: prefetched, lastUse: now}
+	if m != nil {
+		for _, w := range m.waiters {
+			c.complete(w, now)
+		}
+	}
+	if prefetched {
+		c.inflight-- // the prefetch request itself
+	}
+}
+
+func (c *Cache) complete(req *Request, now int64) {
+	c.inflight--
+	if req.Done != nil {
+		req.Done(now)
+	}
+}
+
+const (
+	prefetchStreams   = 8
+	prefetchMaxStride = 8 // in lines; larger jumps are not streams
+)
+
+type streamEntry struct {
+	valid   bool
+	last    uint64
+	stride  int64
+	streak  int
+	lastUse int64
+}
+
+// maybePrefetch runs the multi-stream detector on demand misses and issues
+// prefetches for subsequent lines when a constant-stride chain is seen.
+func (c *Cache) maybePrefetch(line uint64, now int64) {
+	if c.cfg.PrefetchDegree <= 0 {
+		return
+	}
+	c.clock++
+	// Match the miss against a tracked stream.
+	for i := range c.streams {
+		s := &c.streams[i]
+		if !s.valid {
+			continue
+		}
+		stride := int64(line) - int64(s.last)
+		if stride == 0 || stride > prefetchMaxStride || stride < -prefetchMaxStride {
+			continue
+		}
+		if stride == s.stride {
+			s.streak++
+		} else {
+			s.stride = stride
+			s.streak = 1
+		}
+		s.last = line
+		s.lastUse = c.clock
+		if s.streak < 2 {
+			return
+		}
+		for k := 1; k <= c.cfg.PrefetchDegree; k++ {
+			target := int64(line) + stride*int64(k)
+			if target < 0 {
+				break
+			}
+			c.Stats.PrefetchIssued++
+			c.inflight++
+			c.inq = append(c.inq, timedReq{
+				ready: now + c.cfg.LatencyCycles,
+				req:   &Request{Addr: uint64(target) << c.shift, Size: c.cfg.LineBytes, Kind: Prefetch},
+			})
+		}
+		return
+	}
+	// No stream matched: allocate the LRU entry.
+	victim := 0
+	for i := range c.streams {
+		if !c.streams[i].valid {
+			victim = i
+			break
+		}
+		if c.streams[i].lastUse < c.streams[victim].lastUse {
+			victim = i
+		}
+	}
+	c.streams[victim] = streamEntry{valid: true, last: line, lastUse: c.clock}
+}

@@ -1,0 +1,60 @@
+// Package mem implements MosaicSim-Go's memory hierarchy (§V of the paper):
+// configurable private/shared timing caches (write-back, write-allocate,
+// MSHR coalescing, stream prefetcher) and two DRAM models — SimpleDRAM
+// (minimum latency + epoch bandwidth throttling) and a cycle-level banked
+// model standing in for DRAMSim2.
+//
+// The hierarchy is a timing model only: it tracks address tags, never data
+// (§V-A: "MosaicSim is a timing simulator and therefore need not hold actual
+// data in the caches; the address tags suffice").
+package mem
+
+// Kind classifies a memory request.
+type Kind uint8
+
+// Request kinds.
+const (
+	Read Kind = iota
+	Write
+	Atomic // read-modify-write; fills like a read, dirties like a write
+	Prefetch
+	Writeback
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Atomic:
+		return "atomic"
+	case Prefetch:
+		return "prefetch"
+	case Writeback:
+		return "writeback"
+	}
+	return "kind?"
+}
+
+// isDemand reports whether the request has a consumer waiting on it.
+func (k Kind) isDemand() bool { return k == Read || k == Write || k == Atomic }
+
+// Request is one memory access flowing through the hierarchy. Done (if
+// non-nil) is invoked exactly once with the completion cycle.
+type Request struct {
+	Addr uint64
+	Size int
+	Kind Kind
+	Done func(now int64)
+}
+
+// Level is a stage of the hierarchy that accepts requests.
+type Level interface {
+	// Access enqueues a request arriving at cycle now.
+	Access(req *Request, now int64)
+	// Tick advances the level to cycle now, completing due requests.
+	Tick(now int64)
+	// Busy reports whether any request is still in flight at this level.
+	Busy() bool
+}

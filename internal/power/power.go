@@ -1,0 +1,42 @@
+// Package power converts simulation results into energy and energy-delay
+// product (EDP) estimates, the metric of the paper's TensorFlow case study
+// (§VII-C), combining per-instruction dynamic energy (§III-B), memory-system
+// access energy, accelerator power, and area-proportional static leakage.
+package power
+
+// Summary captures what the EDP computation needs from a run.
+type Summary struct {
+	Cycles    int64
+	ClockMHz  int
+	DynamicPJ float64 // accumulated dynamic energy
+	AreaMM2   float64 // active silicon, for leakage
+}
+
+// LeakageWPerMM2 is the static power density applied to active area.
+const LeakageWPerMM2 = 0.08
+
+// Seconds returns wall-clock time of the run.
+func (s Summary) Seconds() float64 {
+	if s.ClockMHz <= 0 {
+		return 0
+	}
+	return float64(s.Cycles) / (float64(s.ClockMHz) * 1e6)
+}
+
+// EnergyJ returns total energy in joules: dynamic plus leakage over time.
+func (s Summary) EnergyJ() float64 {
+	return s.DynamicPJ*1e-12 + LeakageWPerMM2*s.AreaMM2*s.Seconds()
+}
+
+// EDP returns the energy-delay product in joule-seconds.
+func (s Summary) EDP() float64 { return s.EnergyJ() * s.Seconds() }
+
+// Improvement returns how much better (×) opt is than base in EDP;
+// >1 means opt wins.
+func Improvement(base, opt Summary) float64 {
+	o := opt.EDP()
+	if o == 0 {
+		return 0
+	}
+	return base.EDP() / o
+}

@@ -1,0 +1,517 @@
+package pyfe
+
+import (
+	"strconv"
+
+	"mosaicsim/internal/cc"
+	"mosaicsim/internal/ir"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+	// declared tracks names per lexical block so first assignment becomes an
+	// inferred declaration (Numba's stable-type rule: the first assignment
+	// must lexically enclose all later uses).
+	declared []map[string]bool
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(text string) bool {
+	t := p.cur()
+	if (t.kind == tokPunct || t.kind == tokKeyword) && t.text == text {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) (token, error) {
+	if !p.accept(text) {
+		return token{}, errf(p.cur().line, "expected %q, found %q", text, p.describe())
+	}
+	return p.toks[p.pos-1], nil
+}
+
+func (p *parser) describe() string {
+	t := p.cur()
+	switch t.kind {
+	case tokNewline:
+		return "end of line"
+	case tokIndent:
+		return "indent"
+	case tokDedent:
+		return "dedent"
+	case tokEOF:
+		return "end of file"
+	}
+	return t.text
+}
+
+func (p *parser) expectKind(k tokKind, what string) (token, error) {
+	if p.cur().kind != k {
+		return token{}, errf(p.cur().line, "expected %s, found %q", what, p.describe())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) pushScope() { p.declared = append(p.declared, map[string]bool{}) }
+func (p *parser) popScope()  { p.declared = p.declared[:len(p.declared)-1] }
+func (p *parser) isDeclared(name string) bool {
+	for i := len(p.declared) - 1; i >= 0; i-- {
+		if p.declared[i][name] {
+			return true
+		}
+	}
+	return false
+}
+func (p *parser) declare(name string) { p.declared[len(p.declared)-1][name] = true }
+
+func (p *parser) parseFile() (*cc.File, error) {
+	f := &cc.File{}
+	for {
+		for p.cur().kind == tokNewline {
+			p.advance()
+		}
+		if p.cur().kind == tokEOF {
+			return f, nil
+		}
+		fn, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		f.Funcs = append(f.Funcs, fn)
+	}
+}
+
+// parseAnnotation reads a type annotation: a string literal ('double*') or a
+// bare name optionally followed by '*' or '[:]'.
+func (p *parser) parseAnnotation() (cc.CType, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString:
+		p.advance()
+		return typeFromAnnotation(t.line, t.text)
+	case tokName, tokKeyword:
+		p.advance()
+		name := t.text
+		if p.accept("*") {
+			name += "*"
+		} else if p.accept("[") {
+			if _, err := p.expect(":"); err != nil {
+				return cc.CType{}, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return cc.CType{}, err
+			}
+			name += "[:]"
+		}
+		return typeFromAnnotation(t.line, name)
+	default:
+		return cc.CType{}, errf(t.line, "expected a type annotation, found %q", p.describe())
+	}
+}
+
+func (p *parser) parseFunc() (*cc.FuncDecl, error) {
+	def, err := p.expect("def")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectKind(tokName, "function name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	fn := &cc.FuncDecl{Name: name.text, Ret: cc.CType{Kind: ir.Void}, Line: def.line}
+	p.pushScope()
+	defer p.popScope()
+	for !p.accept(")") {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.expectKind(tokName, "parameter name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseAnnotation()
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, cc.ParamDecl{Name: pn.text, Type: ty})
+		p.declare(pn.text)
+	}
+	if p.accept("->") {
+		ty, err := p.parseAnnotation()
+		if err != nil {
+			return nil, err
+		}
+		fn.Ret = ty
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// parseBlock parses ':' NEWLINE INDENT stmt+ DEDENT.
+func (p *parser) parseBlock() (*cc.BlockStmt, error) {
+	colon, err := p.expect(":")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKind(tokNewline, "newline"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKind(tokIndent, "indented block"); err != nil {
+		return nil, err
+	}
+	b := &cc.BlockStmt{Line: colon.line}
+	p.pushScope()
+	defer p.popScope()
+	for p.cur().kind != tokDedent && p.cur().kind != tokEOF {
+		if p.cur().kind == tokNewline {
+			p.advance()
+			continue
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	if p.cur().kind == tokDedent {
+		p.advance()
+	}
+	return b, nil
+}
+
+func (p *parser) endOfStmt() error {
+	if p.cur().kind == tokNewline {
+		p.advance()
+		return nil
+	}
+	if p.cur().kind == tokEOF || p.cur().kind == tokDedent {
+		return nil
+	}
+	return errf(p.cur().line, "unexpected %q at end of statement", p.describe())
+}
+
+func (p *parser) parseStmt() (cc.Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.text == "pass" && t.kind == tokKeyword:
+		p.advance()
+		return nil, p.endOfStmt()
+	case t.text == "break" && t.kind == tokKeyword:
+		p.advance()
+		return &cc.BreakStmt{Line: t.line}, p.endOfStmt()
+	case t.text == "continue" && t.kind == tokKeyword:
+		p.advance()
+		return &cc.ContinueStmt{Line: t.line}, p.endOfStmt()
+	case t.text == "return" && t.kind == tokKeyword:
+		p.advance()
+		st := &cc.ReturnStmt{Line: t.line}
+		if p.cur().kind != tokNewline && p.cur().kind != tokDedent && p.cur().kind != tokEOF {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = e
+		}
+		return st, p.endOfStmt()
+	case t.text == "if" && t.kind == tokKeyword:
+		return p.parseIf()
+	case t.text == "while" && t.kind == tokKeyword:
+		p.advance()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &cc.WhileStmt{Cond: cond, Body: body, Line: t.line}, nil
+	case t.text == "for" && t.kind == tokKeyword:
+		return p.parseFor()
+	default:
+		return p.parseSimple()
+	}
+}
+
+func (p *parser) parseIf() (cc.Stmt, error) {
+	t := p.advance() // 'if' or 'elif'
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &cc.IfStmt{Cond: cond, Then: then, Line: t.line}
+	switch {
+	case p.cur().text == "elif" && p.cur().kind == tokKeyword:
+		els, err := p.parseIf()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	case p.accept("else"):
+		els, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}
+
+// parseFor desugars `for i in range(a, b, c):` into a C-style for loop.
+func (p *parser) parseFor() (cc.Stmt, error) {
+	t := p.advance() // 'for'
+	name, err := p.expectKind(tokName, "loop variable")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("in"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("range"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []cc.Expr
+	for !p.accept(")") {
+		if len(args) > 0 {
+			if _, err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	var start, stop, step cc.Expr
+	switch len(args) {
+	case 1:
+		start, stop, step = &cc.IntLit{Value: 0, Line: t.line}, args[0], &cc.IntLit{Value: 1, Line: t.line}
+	case 2:
+		start, stop, step = args[0], args[1], &cc.IntLit{Value: 1, Line: t.line}
+	case 3:
+		start, stop, step = args[0], args[1], args[2]
+	default:
+		return nil, errf(t.line, "range() takes 1-3 arguments, got %d", len(args))
+	}
+	// Negative constant steps count down (the literal arrives either folded
+	// or as unary minus).
+	cmp := "<"
+	if lit, ok := step.(*cc.IntLit); ok && lit.Value < 0 {
+		cmp = ">"
+	} else if u, ok := step.(*cc.UnaryExpr); ok && u.Op == "-" {
+		if lit, ok := u.X.(*cc.IntLit); ok && lit.Value > 0 {
+			cmp = ">"
+		}
+	}
+	loopVar := &cc.Ident{Name: name.text, Line: name.line}
+	st := &cc.ForStmt{
+		Init: &cc.DeclStmt{Name: name.text, Type: cc.CType{Kind: ir.I64}, Init: start, Line: name.line},
+		Cond: &cc.BinaryExpr{Op: cmp, L: loopVar, R: stop, Line: t.line},
+		Post: &cc.AssignStmt{Target: loopVar, Op: "+=", Value: step, Line: t.line},
+		Line: t.line,
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// parseSimple parses assignments and expression statements. The first
+// assignment to an undeclared name becomes a type-inferred declaration.
+func (p *parser) parseSimple() (cc.Stmt, error) {
+	line := p.cur().line
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch op := p.cur().text; op {
+	case "=", "+=", "-=", "*=", "/=", "%=":
+		p.advance()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if id, ok := lhs.(*cc.Ident); ok && op == "=" && !p.isDeclared(id.Name) {
+			p.declare(id.Name)
+			return &cc.DeclStmt{Name: id.Name, Init: rhs, Line: line}, p.endOfStmt()
+		}
+		return &cc.AssignStmt{Target: lhs, Op: op, Value: rhs, Line: line}, p.endOfStmt()
+	default:
+		return &cc.ExprStmt{X: lhs, Line: line}, p.endOfStmt()
+	}
+}
+
+// ----- expressions -----
+
+var pyBinPrec = map[string]int{
+	"or": 1, "and": 2,
+	"==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"|": 4, "^": 5, "&": 6,
+	"+": 7, "-": 7,
+	"*": 8, "/": 8, "//": 8, "%": 8,
+}
+
+// pyToCCOp maps Python operator spellings onto the shared AST's C spellings.
+var pyToCCOp = map[string]string{"or": "||", "and": "&&", "//": "/"}
+
+func (p *parser) parseExpr() (cc.Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (cc.Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct && t.kind != tokKeyword {
+			return lhs, nil
+		}
+		prec, ok := pyBinPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		op := t.text
+		if mapped, ok := pyToCCOp[op]; ok {
+			op = mapped
+		}
+		lhs = &cc.BinaryExpr{Op: op, L: lhs, R: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) parseUnary() (cc.Expr, error) {
+	t := p.cur()
+	switch t.text {
+	case "-", "~":
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &cc.UnaryExpr{Op: t.text, X: x, Line: t.line}, nil
+	case "not":
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &cc.UnaryExpr{Op: "!", X: x, Line: t.line}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (cc.Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().text {
+		case "[":
+			line := p.advance().line
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &cc.IndexExpr{Base: x, Idx: idx, Line: line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (cc.Expr, error) {
+	t := p.cur()
+	switch {
+	case t.text == "(":
+		p.advance()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case t.kind == tokInt:
+		p.advance()
+		v, err := strconv.ParseInt(t.text, 0, 64)
+		if err != nil {
+			return nil, errf(t.line, "bad integer literal %q", t.text)
+		}
+		return &cc.IntLit{Value: v, Line: t.line}, nil
+	case t.kind == tokFloat:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, errf(t.line, "bad float literal %q", t.text)
+		}
+		return &cc.FloatLit{Value: v, Line: t.line}, nil
+	case t.text == "True" || t.text == "False":
+		p.advance()
+		return &cc.BoolLit{Value: t.text == "True", Line: t.line}, nil
+	case t.kind == tokName:
+		p.advance()
+		if p.accept("(") {
+			call := &cc.CallExpr{Name: t.text, Line: t.line}
+			for !p.accept(")") {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			return call, nil
+		}
+		return &cc.Ident{Name: t.text, Line: t.line}, nil
+	default:
+		return nil, errf(t.line, "unexpected %q", p.describe())
+	}
+}

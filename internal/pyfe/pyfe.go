@@ -1,0 +1,238 @@
+// Package pyfe is MosaicSim-Go's Python front end, mirroring the paper's
+// "prototype support for Python (via Numba)" (§II): kernels written in a
+// typed Python subset compile to the same AST as the C front end and share
+// its SSA code generator — the front-end plurality LLVM gives the original.
+//
+// The subset is what Numba-style nopython kernels look like:
+//
+//	def kernel(A: 'double*', B: 'double*', C: 'double*', n: 'long'):
+//	    for i in range(tile_id(), n, num_tiles()):
+//	        C[i] = A[i] + B[i]
+//
+// Parameters carry type annotations ('double*', 'long', float64, ...).
+// Local variables are declared by their first assignment (type inferred, as
+// Numba infers a stable type); that first assignment must lexically enclose
+// all later uses.
+package pyfe
+
+import (
+	"fmt"
+	"strings"
+
+	"mosaicsim/internal/cc"
+	"mosaicsim/internal/ir"
+)
+
+// Compile compiles Python-subset source to a verified IR module.
+func Compile(src, moduleName string) (*ir.Module, error) {
+	file, err := ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	return cc.CompileAST(file, moduleName)
+}
+
+// ParseFile parses the Python subset into the shared front-end AST.
+func ParseFile(src string) (*cc.File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseFile()
+}
+
+// Error is a front-end error with a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("pyfe: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ----- lexer (indentation-aware) -----
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIndent
+	tokDedent
+	tokName
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+var pyKeywords = map[string]bool{
+	"def": true, "for": true, "while": true, "if": true, "elif": true,
+	"else": true, "return": true, "in": true, "range": true, "break": true,
+	"continue": true, "pass": true, "and": true, "or": true, "not": true,
+	"True": true, "False": true,
+}
+
+var pyPuncts = []string{
+	"**", "//", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "->",
+	"+", "-", "*", "/", "%", "<", ">", "=", "(", ")", "[", "]", ":", ",", "&", "|", "^", "~",
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	indents := []int{0}
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := ln + 1
+		// Strip comments.
+		if i := strings.Index(raw, "#"); i >= 0 {
+			raw = raw[:i]
+		}
+		trimmed := strings.TrimRight(raw, " \t")
+		body := strings.TrimLeft(trimmed, " \t")
+		if body == "" {
+			continue // blank lines do not affect indentation
+		}
+		indent := 0
+		for _, ch := range trimmed[:len(trimmed)-len(body)] {
+			if ch == '\t' {
+				indent += 8
+			} else {
+				indent++
+			}
+		}
+		cur := indents[len(indents)-1]
+		switch {
+		case indent > cur:
+			indents = append(indents, indent)
+			toks = append(toks, token{tokIndent, "", line})
+		case indent < cur:
+			for len(indents) > 1 && indents[len(indents)-1] > indent {
+				indents = indents[:len(indents)-1]
+				toks = append(toks, token{tokDedent, "", line})
+			}
+			if indents[len(indents)-1] != indent {
+				return nil, errf(line, "inconsistent indentation")
+			}
+		}
+		if err := lexLine(body, line, &toks); err != nil {
+			return nil, err
+		}
+		toks = append(toks, token{tokNewline, "", line})
+	}
+	for len(indents) > 1 {
+		indents = indents[:len(indents)-1]
+		toks = append(toks, token{tokDedent, "", len(lines)})
+	}
+	toks = append(toks, token{tokEOF, "", len(lines)})
+	return toks, nil
+}
+
+func lexLine(body string, line int, toks *[]token) error {
+	i := 0
+	for i < len(body) {
+		c := body[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '\'' || c == '"':
+			j := strings.IndexByte(body[i+1:], c)
+			if j < 0 {
+				return errf(line, "unterminated string")
+			}
+			*toks = append(*toks, token{tokString, body[i+1 : i+1+j], line})
+			i += j + 2
+		case isNameStart(c):
+			j := i
+			for j < len(body) && isNameChar(body[j]) {
+				j++
+			}
+			word := body[i:j]
+			kind := tokName
+			if pyKeywords[word] {
+				kind = tokKeyword
+			}
+			*toks = append(*toks, token{kind, word, line})
+			i = j
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < len(body) && body[i+1] >= '0' && body[i+1] <= '9'):
+			j := i
+			isFloat := false
+			for j < len(body) {
+				ch := body[j]
+				if ch >= '0' && ch <= '9' {
+					j++
+				} else if ch == '.' || ch == 'e' || ch == 'E' {
+					isFloat = true
+					j++
+					if j < len(body) && (body[j] == '+' || body[j] == '-') && (body[j-1] == 'e' || body[j-1] == 'E') {
+						j++
+					}
+				} else {
+					break
+				}
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			*toks = append(*toks, token{kind, body[i:j], line})
+			i = j
+		default:
+			matched := false
+			for _, p := range pyPuncts {
+				if strings.HasPrefix(body[i:], p) {
+					*toks = append(*toks, token{tokPunct, p, line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return errf(line, "unexpected character %q", c)
+			}
+		}
+	}
+	return nil
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool { return isNameStart(c) || (c >= '0' && c <= '9') }
+
+// ----- type annotations -----
+
+var pyTypes = map[string]cc.CType{
+	"long": {Kind: ir.I64}, "int64": {Kind: ir.I64}, "intp": {Kind: ir.I64},
+	"int": {Kind: ir.I32}, "int32": {Kind: ir.I32},
+	"double": {Kind: ir.F64}, "float64": {Kind: ir.F64},
+	"float": {Kind: ir.F32}, "float32": {Kind: ir.F32},
+	"bool": {Kind: ir.I1}, "char": {Kind: ir.I8}, "int8": {Kind: ir.I8},
+	"long*": {Kind: ir.I64, Ptr: true}, "int64*": {Kind: ir.I64, Ptr: true},
+	"int*": {Kind: ir.I32, Ptr: true}, "int32*": {Kind: ir.I32, Ptr: true},
+	"double*": {Kind: ir.F64, Ptr: true}, "float64*": {Kind: ir.F64, Ptr: true},
+	"float*": {Kind: ir.F32, Ptr: true}, "float32*": {Kind: ir.F32, Ptr: true},
+	"char*": {Kind: ir.I8, Ptr: true}, "int8*": {Kind: ir.I8, Ptr: true},
+	// Numba-style array annotations.
+	"float64[:]": {Kind: ir.F64, Ptr: true}, "float32[:]": {Kind: ir.F32, Ptr: true},
+	"int64[:]": {Kind: ir.I64, Ptr: true}, "int32[:]": {Kind: ir.I32, Ptr: true},
+}
+
+func typeFromAnnotation(line int, ann string) (cc.CType, error) {
+	if t, ok := pyTypes[ann]; ok {
+		return t, nil
+	}
+	return cc.CType{}, errf(line, "unknown type annotation %q", ann)
+}

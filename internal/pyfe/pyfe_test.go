@@ -1,0 +1,305 @@
+package pyfe
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mosaicsim/internal/cc"
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/ddg"
+	"mosaicsim/internal/interp"
+	"mosaicsim/internal/ir"
+	"mosaicsim/internal/soc"
+)
+
+func runPy(t *testing.T, src string, mem *interp.Memory, args []uint64, tiles int) *interp.Result {
+	t.Helper()
+	mod, err := Compile(src, "py")
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	f := mod.Func("kernel")
+	if f == nil {
+		t.Fatal("no kernel")
+	}
+	res, err := interp.Run(f, mem, args, interp.Options{NumTiles: tiles})
+	if err != nil {
+		t.Fatalf("Run: %v\nIR:\n%s", err, f.String())
+	}
+	return res
+}
+
+func TestPythonVecAdd(t *testing.T) {
+	src := `
+def kernel(A: 'double*', B: 'double*', C: 'double*', n: 'long'):
+    for i in range(n):
+        C[i] = A[i] + B[i]
+`
+	mem := interp.NewMemory(1 << 20)
+	const n = 24
+	a, b := make([]float64, n), make([]float64, n)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = float64(3 * i)
+	}
+	pa, pb := mem.AllocF64(a), mem.AllocF64(b)
+	pc := mem.Alloc(n*8, 64)
+	runPy(t, src, mem, []uint64{pa, pb, pc, n}, 1)
+	for i := 0; i < n; i++ {
+		if got := mem.ReadF64(pc + uint64(i)*8); got != float64(4*i) {
+			t.Errorf("C[%d] = %g, want %d", i, got, 4*i)
+		}
+	}
+}
+
+func TestPythonSPMDAndIntrinsics(t *testing.T) {
+	src := `
+def kernel(out: float64[:], data: float64[:], n: long):
+    tid = tile_id()
+    nt = num_tiles()
+    for i in range(tid, n, nt):
+        v = sqrt(data[i])
+        atomic_add(out, v)
+`
+	mem := interp.NewMemory(1 << 20)
+	const n = 50
+	data := make([]float64, n)
+	want := 0.0
+	for i := range data {
+		data[i] = float64(i * i)
+		want += float64(i)
+	}
+	out := mem.AllocF64([]float64{0})
+	pd := mem.AllocF64(data)
+	runPy(t, src, mem, []uint64{out, pd, n}, 4)
+	if got := mem.ReadF64(out); math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestPythonControlFlow(t *testing.T) {
+	src := `
+def kernel(out: 'long*', n: 'long'):
+    total = 0
+    count = 0
+    for i in range(n):
+        if i % 3 == 0:
+            continue
+        elif i > 40:
+            break
+        else:
+            total += i
+        count += 1
+    j = 0
+    while j < 5:
+        total += 100
+        j += 1
+    out[0] = total
+    out[1] = count
+`
+	var total, count int64
+	for i := int64(0); i < 100; i++ {
+		if i%3 == 0 {
+			continue
+		} else if i > 40 {
+			break
+		} else {
+			total += i
+		}
+		count++
+	}
+	total += 500
+	mem := interp.NewMemory(1 << 20)
+	out := mem.Alloc(16, 8)
+	runPy(t, src, mem, []uint64{out, 100}, 1)
+	if got := mem.ReadI64(out); got != total {
+		t.Errorf("total = %d, want %d", got, total)
+	}
+	if got := mem.ReadI64(out + 8); got != count {
+		t.Errorf("count = %d, want %d", got, count)
+	}
+}
+
+func TestPythonNegativeRangeStep(t *testing.T) {
+	src := `
+def kernel(out: 'long*', n: 'long'):
+    s = 0
+    for i in range(n, 0, -1):
+        s += i
+    out[0] = s
+`
+	mem := interp.NewMemory(1 << 20)
+	out := mem.Alloc(8, 8)
+	runPy(t, src, mem, []uint64{out, 10}, 1)
+	if got := mem.ReadI64(out); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestPythonHelperFunctions(t *testing.T) {
+	// User-defined helpers inline across the shared code generator.
+	src := `
+def clamp(v: 'long', lo: 'long', hi: 'long') -> 'long':
+    if v < lo:
+        return lo
+    if v > hi:
+        return hi
+    return v
+
+def kernel(out: 'long*', n: 'long'):
+    for i in range(n):
+        out[i] = clamp(i - 3, 0, 5)
+`
+	mem := interp.NewMemory(1 << 20)
+	const n = 12
+	out := mem.Alloc(n*8, 8)
+	runPy(t, src, mem, []uint64{out, n}, 1)
+	for i := int64(0); i < n; i++ {
+		want := i - 3
+		if want < 0 {
+			want = 0
+		}
+		if want > 5 {
+			want = 5
+		}
+		if got := mem.ReadI64(out + uint64(i)*8); got != want {
+			t.Errorf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestPythonBooleansAndLogic(t *testing.T) {
+	src := `
+def kernel(out: 'long*', a: 'long', b: 'long'):
+    p = a > 0 and b > 0
+    q = a > 0 or b > 0
+    r = not p
+    if p:
+        out[0] = 1
+    else:
+        out[0] = 0
+    if q:
+        out[1] = 1
+    if r:
+        out[2] = 1
+`
+	mem := interp.NewMemory(1 << 20)
+	out := mem.Alloc(24, 8)
+	neg := int64(-2)
+	runPy(t, src, mem, []uint64{out, 7, uint64(neg)}, 1)
+	if mem.ReadI64(out) != 0 || mem.ReadI64(out+8) != 1 || mem.ReadI64(out+16) != 1 {
+		t.Errorf("logic results wrong: %d %d %d", mem.ReadI64(out), mem.ReadI64(out+8), mem.ReadI64(out+16))
+	}
+}
+
+func TestPythonKernelSimulates(t *testing.T) {
+	// The Python front end feeds the same DDG/trace/simulation pipeline.
+	src := `
+def kernel(A: 'double*', B: 'double*', n: 'long'):
+    for i in range(n):
+        B[i] = A[i] * 2.0 + 1.0
+`
+	mod, err := Compile(src, "py")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mod.Func("kernel")
+	mem := interp.NewMemory(1 << 22)
+	const n = 512
+	pa := mem.AllocF64(make([]float64, n))
+	pb := mem.Alloc(n*8, 64)
+	res, err := interp.Run(f, mem, []uint64{pa, pb, n}, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := soc.NewSPMD(&config.SystemConfig{
+		Name:  "py",
+		Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: 1}},
+		Mem:   config.TableIIMem(),
+	}, ddg.Build(f), res.Trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Result().Instrs != res.Trace.TotalDynInstrs() {
+		t.Error("simulated instruction count does not match trace")
+	}
+}
+
+// TestPythonAndCFrontEndsAgree compiles the same kernel through both front
+// ends and checks they compute identical results (shared semantics).
+func TestPythonAndCFrontEndsAgree(t *testing.T) {
+	py := `
+def kernel(A: 'long*', out: 'long*', n: 'long'):
+    acc = 0
+    for i in range(n):
+        if A[i] % 2 == 0:
+            acc += A[i] * 3
+        else:
+            acc -= A[i]
+    out[0] = acc
+`
+	cs := `
+void kernel(long* A, long* out, long n) {
+  long acc = 0;
+  for (long i = 0; i < n; i++) {
+    if (A[i] % 2 == 0) {
+      acc += A[i] * 3;
+    } else {
+      acc -= A[i];
+    }
+  }
+  out[0] = acc;
+}
+`
+	vals := make([]int64, 64)
+	for i := range vals {
+		vals[i] = int64(i*7 - 30)
+	}
+	pyMod, err := Compile(py, "py")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cMod, err := cc.Compile(cs, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := map[string]int64{}
+	for name, mod := range map[string]*ir.Module{"py": pyMod, "c": cMod} {
+		mem := interp.NewMemory(1 << 20)
+		pa := mem.AllocI64(vals)
+		out := mem.Alloc(8, 8)
+		if _, err := interp.Run(mod.Func("kernel"), mem, []uint64{pa, out, uint64(len(vals))}, interp.Options{}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		results[name] = mem.ReadI64(out)
+	}
+	if results["py"] != results["c"] {
+		t.Errorf("front ends disagree: python %d vs c %d", results["py"], results["c"])
+	}
+}
+
+func TestPythonErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"bad indent", "def kernel(n: 'long'):\n  x = 1\n    y = 2\n", "indent"},
+		{"unknown annotation", "def kernel(n: 'quux'):\n    pass\n", "annotation"},
+		{"undeclared aug-assign", "def kernel(n: 'long'):\n    x += 1\n", "undeclared"},
+		{"range arity", "def kernel(n: 'long'):\n    for i in range():\n        pass\n", "range"},
+		{"unterminated string", "def kernel(n: 'oops):\n    pass\n", "unterminated"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := strings.ReplaceAll(tc.src, "\\n", "\n")
+			_, err := Compile(src, "t")
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

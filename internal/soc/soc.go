@@ -1,0 +1,396 @@
+// Package soc implements MosaicSim-Go's Interleaver (§II): it composes tile
+// models (cores and accelerators), advances them cycle by cycle with
+// per-tile clock ratios, carries inter-tile messages through bounded
+// communication buffers, and drives the shared memory hierarchy —
+// "combining module behaviors into system-wide performance estimates".
+package soc
+
+import (
+	"fmt"
+
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/core"
+	"mosaicsim/internal/ddg"
+	"mosaicsim/internal/mem"
+	"mosaicsim/internal/trace"
+)
+
+// AccelResult is what an accelerator performance model reports for one
+// invocation (§IV-A): clock cycles, bytes moved to/from memory, and average
+// energy.
+type AccelResult struct {
+	Cycles   int64
+	Bytes    int64
+	EnergyPJ float64
+}
+
+// AccelModel is a pluggable accelerator tile model. Invoke receives the
+// traced invocation parameters and the number of already-outstanding
+// invocations of the same accelerator, so models can scale execution under
+// memory-bandwidth sharing (§IV-B).
+type AccelModel interface {
+	Invoke(params []int64, concurrent int) (AccelResult, error)
+}
+
+// TileSpec instantiates one tile: its core configuration, the kernel DDG it
+// replays, and its dynamic trace. DAE systems give different tiles different
+// kernels (§VII-A).
+type TileSpec struct {
+	Cfg   config.CoreConfig
+	Graph *ddg.Graph
+	TT    *trace.TileTrace
+}
+
+// Fabric is the Interleaver's message transport: bounded per-(src,dst) FIFOs
+// with a fixed transfer latency (§II-C; Table II communication buffers).
+// With a NoC configured, transfers additionally pay per-hop latency for the
+// Manhattan distance between the tiles on a 2D mesh — the "message module"
+// the paper lists as the natural extension of the tile model (§V-A).
+type Fabric struct {
+	Capacity int
+	Latency  int64
+	// Tiles is the number of tiles participating in barriers.
+	Tiles int
+	// MeshWidth > 0 arranges tiles on a 2D mesh of that width; HopCycles is
+	// the per-hop link latency.
+	MeshWidth int
+	HopCycles int64
+
+	queues map[[2]int][]*int64 // arrival cycles (pointers so futures can mature in place)
+
+	arrivals []int64 // per-tile barrier arrival counts
+
+	Sends     int64
+	Recvs     int64
+	FullStall int64
+	HopsTotal int64
+}
+
+// transferLatency returns the fabric latency from src to dst, including NoC
+// hops when a mesh is configured.
+func (f *Fabric) transferLatency(src, dst int) int64 {
+	lat := f.Latency
+	if f.MeshWidth > 0 {
+		sx, sy := src%f.MeshWidth, src/f.MeshWidth
+		dx, dy := dst%f.MeshWidth, dst/f.MeshWidth
+		hops := int64(abs(sx-dx) + abs(sy-dy))
+		f.HopsTotal += hops
+		lat += hops * f.HopCycles
+	}
+	return lat
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// NewFabric builds a fabric with the given buffer capacity (entries per
+// direction pair) and transfer latency in cycles.
+func NewFabric(capacity int, latency int64) *Fabric {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &Fabric{Capacity: capacity, Latency: latency, queues: map[[2]int][]*int64{}}
+}
+
+// TrySend implements core.Fabric.
+func (f *Fabric) TrySend(src, dst int, now int64) bool {
+	key := [2]int{src, dst}
+	q := f.queues[key]
+	if len(q) >= f.Capacity {
+		f.FullStall++
+		return false
+	}
+	arrival := now + f.transferLatency(src, dst)
+	f.queues[key] = append(q, &arrival)
+	f.Sends++
+	return true
+}
+
+// TrySendFuture implements core.Fabric: reserves a slot that matures when
+// the returned setter is called (DeSC terminal-load-buffer sends whose data
+// is still in flight).
+func (f *Fabric) TrySendFuture(src, dst int) (func(int64), bool) {
+	key := [2]int{src, dst}
+	q := f.queues[key]
+	if len(q) >= f.Capacity {
+		f.FullStall++
+		return nil, false
+	}
+	pending := int64(1<<62 - 1)
+	slot := &pending
+	f.queues[key] = append(q, slot)
+	f.Sends++
+	lat := f.transferLatency(src, dst)
+	return func(at int64) { *slot = at + lat }, true
+}
+
+// TryRecv implements core.Fabric.
+func (f *Fabric) TryRecv(dst, src int, now int64) bool {
+	key := [2]int{src, dst}
+	q := f.queues[key]
+	if len(q) == 0 || *q[0] > now {
+		return false
+	}
+	f.queues[key] = q[1:]
+	f.Recvs++
+	return true
+}
+
+// BarrierArrive implements core.Fabric: registers one tile's arrival at its
+// next barrier and returns that barrier's sequence number.
+func (f *Fabric) BarrierArrive(tile int) int64 {
+	for len(f.arrivals) <= tile {
+		f.arrivals = append(f.arrivals, 0)
+	}
+	f.arrivals[tile]++
+	return f.arrivals[tile] - 1
+}
+
+// BarrierReleased implements core.Fabric: true once every registered tile
+// has arrived at barrier seq. The tile count is fixed by the system.
+func (f *Fabric) BarrierReleased(seq int64) bool {
+	if f.Tiles <= 0 {
+		return true
+	}
+	if len(f.arrivals) < f.Tiles {
+		return false
+	}
+	for _, a := range f.arrivals {
+		if a <= seq {
+			return false
+		}
+	}
+	return true
+}
+
+// Pending reports messages still buffered anywhere.
+func (f *Fabric) Pending() int {
+	n := 0
+	for _, q := range f.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// System is a complete simulated SoC.
+type System struct {
+	Name   string
+	Cores  []*core.Core
+	Hier   *mem.Hierarchy
+	Fabric *Fabric
+
+	accels      map[string]AccelModel
+	outstanding map[string]int
+	AccelEnergy float64
+	AccelBytes  int64
+	AccelCalls  int64
+
+	Cycles int64
+}
+
+type memPort struct {
+	h    *mem.Hierarchy
+	core int
+}
+
+func (p memPort) Access(addr uint64, size int, kind mem.Kind, now int64, done func(int64)) {
+	p.h.AccessAt(p.core, addr, size, kind, now, done)
+}
+
+type accelPort struct {
+	s *System
+}
+
+// Invoke implements core.AccelInvoker: it queries the accelerator tile for
+// latency and resource usage (§IV-A) and schedules the completion.
+func (p accelPort) Invoke(name string, params []int64, now int64, done func(int64)) error {
+	m, ok := p.s.accels[name]
+	if !ok {
+		return fmt.Errorf("soc: no accelerator model registered for %q", name)
+	}
+	res, err := m.Invoke(params, p.s.outstanding[name])
+	if err != nil {
+		return err
+	}
+	p.s.outstanding[name]++
+	p.s.AccelEnergy += res.EnergyPJ
+	p.s.AccelBytes += res.Bytes
+	p.s.AccelCalls++
+	at := now + res.Cycles
+	name0 := name
+	doneWrapped := func(t int64) {
+		p.s.outstanding[name0]--
+		done(t)
+	}
+	// Completion is delivered through the invoking core's completion queue.
+	doneWrapped(at)
+	return nil
+}
+
+// New builds a system from per-tile specs, a memory configuration, and
+// accelerator models (may be nil).
+func New(name string, tiles []TileSpec, memCfg config.MemConfig, accels map[string]AccelModel) (*System, error) {
+	if len(tiles) == 0 {
+		return nil, fmt.Errorf("soc: system %q has no tiles", name)
+	}
+	maxClock := 0
+	for _, t := range tiles {
+		if t.Cfg.ClockMHz <= 0 {
+			return nil, fmt.Errorf("soc: tile %q has no clock", t.Cfg.Name)
+		}
+		if t.Cfg.ClockMHz > maxClock {
+			maxClock = t.Cfg.ClockMHz
+		}
+	}
+	s := &System{
+		Name:        name,
+		Hier:        mem.NewHierarchy(memCfg, len(tiles), maxClock),
+		accels:      accels,
+		outstanding: map[string]int{},
+	}
+	cap := tiles[0].Cfg.MaxMessages
+	s.Fabric = NewFabric(cap, 1)
+	s.Fabric.Tiles = len(tiles)
+	for i, t := range tiles {
+		c := core.New(i, t.Cfg, t.Graph, t.TT, memPort{h: s.Hier, core: i}, s.Fabric, accelPort{s: s})
+		c.SetClockScale(int64(maxClock), int64(t.Cfg.ClockMHz))
+		s.Cores = append(s.Cores, c)
+	}
+	return s, nil
+}
+
+// NewSPMD builds a homogeneous SPMD system: every core of cfg runs the same
+// kernel graph against its own tile trace.
+func NewSPMD(cfg *config.SystemConfig, g *ddg.Graph, tr *trace.Trace, accels map[string]AccelModel) (*System, error) {
+	var tiles []TileSpec
+	idx := 0
+	for _, cs := range cfg.Cores {
+		for i := 0; i < cs.Count; i++ {
+			if idx >= len(tr.Tiles) {
+				return nil, fmt.Errorf("soc: config wants more cores (%d+) than traced tiles (%d)", idx+1, len(tr.Tiles))
+			}
+			tiles = append(tiles, TileSpec{Cfg: cs.Core, Graph: g, TT: tr.Tiles[idx]})
+			idx++
+		}
+	}
+	if idx != len(tr.Tiles) {
+		return nil, fmt.Errorf("soc: trace has %d tiles but config instantiates %d cores", len(tr.Tiles), idx)
+	}
+	sys, err := New(cfg.Name, tiles, cfg.Mem, accels)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NoC != nil {
+		sys.Fabric.MeshWidth = cfg.NoC.MeshWidth
+		sys.Fabric.HopCycles = cfg.NoC.HopCycles
+	}
+	return sys, nil
+}
+
+// Run advances the system until every tile retires its trace and the memory
+// hierarchy drains, or the cycle limit is hit.
+func (s *System) Run(limit int64) error {
+	if limit <= 0 {
+		limit = 1 << 40
+	}
+	strides := make([]int, len(s.Cores))
+	maxClock := 0
+	for _, c := range s.Cores {
+		if c.Cfg.ClockMHz > maxClock {
+			maxClock = c.Cfg.ClockMHz
+		}
+	}
+	accum := make([]int, len(s.Cores))
+	for i, c := range s.Cores {
+		strides[i] = c.Cfg.ClockMHz
+		accum[i] = maxClock // step every core on cycle 0
+	}
+	for cycle := int64(0); cycle <= limit; cycle++ {
+		anyActive := false
+		for i, c := range s.Cores {
+			accum[i] += strides[i]
+			if accum[i] >= maxClock {
+				accum[i] -= maxClock
+				if c.Step(cycle) {
+					anyActive = true
+				}
+			} else if !c.Done() {
+				anyActive = true
+			}
+		}
+		s.Hier.Tick(cycle)
+		s.Cycles = cycle
+		if !anyActive && !s.Hier.Busy() {
+			return nil
+		}
+	}
+	return fmt.Errorf("soc: system %q exceeded %d cycles without completing", s.Name, limit)
+}
+
+// EnergyBreakdown attributes dynamic energy to system components.
+type EnergyBreakdown struct {
+	CoresPJ float64
+	L1PJ    float64
+	L2PJ    float64
+	LLCPJ   float64
+	DRAMPJ  float64
+	AccelPJ float64
+}
+
+// TotalPJ sums the components.
+func (e EnergyBreakdown) TotalPJ() float64 {
+	return e.CoresPJ + e.L1PJ + e.L2PJ + e.LLCPJ + e.DRAMPJ + e.AccelPJ
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	Cycles     int64
+	Instrs     int64
+	IPC        float64
+	EnergyPJ   float64
+	Energy     EnergyBreakdown
+	CoreStats  []core.Stats
+	L1         mem.CacheStats
+	L2         mem.CacheStats
+	LLC        mem.CacheStats
+	DRAM       mem.DRAMStats
+	AccelCalls int64
+	AccelBytes int64
+}
+
+// Result collects the system-wide estimate (§II "total system estimates").
+func (s *System) Result() Result {
+	r := Result{Cycles: s.Cycles}
+	for _, c := range s.Cores {
+		r.CoreStats = append(r.CoreStats, c.Stats)
+		r.Instrs += c.Stats.Instrs
+		r.EnergyPJ += c.Stats.EnergyPJ
+	}
+	if s.Cycles > 0 {
+		r.IPC = float64(r.Instrs) / float64(s.Cycles)
+	}
+	r.L1 = mem.TotalStats(s.Hier.L1s)
+	r.L2 = mem.TotalStats(s.Hier.L2s)
+	if s.Hier.LLC != nil {
+		r.LLC = s.Hier.LLC.Stats
+	}
+	r.DRAM = mem.DRAMStatsOf(s.Hier.DRAM)
+	// Per-component dynamic energy (§III-B instruction energies plus
+	// per-access memory-system costs).
+	r.Energy = EnergyBreakdown{
+		CoresPJ: r.EnergyPJ,
+		L1PJ:    float64(r.L1.Accesses) * config.EnergyL1AccessPJ,
+		L2PJ:    float64(r.L2.Accesses) * config.EnergyL2AccessPJ,
+		LLCPJ:   float64(r.LLC.Accesses) * config.EnergyLLCAccessPJ,
+		DRAMPJ:  float64(r.DRAM.Reads+r.DRAM.Writebacks) * config.EnergyDRAMAccessPJ,
+		AccelPJ: s.AccelEnergy,
+	}
+	r.EnergyPJ = r.Energy.TotalPJ()
+	r.AccelCalls = s.AccelCalls
+	r.AccelBytes = s.AccelBytes
+	return r
+}

@@ -1,0 +1,437 @@
+package soc
+
+import (
+	"strings"
+	"testing"
+
+	"mosaicsim/internal/cc"
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/ddg"
+	"mosaicsim/internal/interp"
+	"mosaicsim/internal/trace"
+)
+
+// traceSPMD compiles and traces a kernel across tiles.
+func traceSPMD(t *testing.T, src string, tiles int, setup func(m *interp.Memory) []uint64, acc map[string]interp.AccFunc) (*ddg.Graph, *trace.Trace) {
+	t.Helper()
+	mod, err := cc.Compile(src, "t")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f := mod.Func("kernel")
+	m := interp.NewMemory(1 << 24)
+	args := setup(m)
+	res, err := interp.Run(f, m, args, interp.Options{NumTiles: tiles, Acc: acc})
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	return ddg.Build(f), res.Trace
+}
+
+// Block partitioning keeps each tile's accesses line-local (a stride-by-
+// num_tiles partition with 64B lines would make every tile touch every
+// line).
+const spmdVecAdd = `
+void kernel(double* A, double* B, double* C, long n) {
+  long tid = tile_id();
+  long nt = num_tiles();
+  long chunk = (n + nt - 1) / nt;
+  long lo = tid * chunk;
+  long hi = lo + chunk;
+  if (hi > n) {
+    hi = n;
+  }
+  for (long i = lo; i < hi; i++) {
+    C[i] = A[i] + B[i];
+  }
+}
+`
+
+func vecSetup(n int) func(m *interp.Memory) []uint64 {
+	return func(m *interp.Memory) []uint64 {
+		pa := m.AllocF64(make([]float64, n))
+		pb := m.AllocF64(make([]float64, n))
+		pc := m.Alloc(int64(n)*8, 64)
+		return []uint64{pa, pb, pc, uint64(n)}
+	}
+}
+
+func runSPMD(t *testing.T, src string, cores int, coreCfg config.CoreConfig, setup func(m *interp.Memory) []uint64) Result {
+	t.Helper()
+	g, tr := traceSPMD(t, src, cores, setup, nil)
+	sys, err := NewSPMD(&config.SystemConfig{
+		Name:  "test",
+		Cores: []config.CoreSpec{{Core: coreCfg, Count: cores}},
+		Mem:   config.TableIIMem(),
+	}, g, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return sys.Result()
+}
+
+func TestSingleCoreEndToEnd(t *testing.T) {
+	r := runSPMD(t, spmdVecAdd, 1, config.OutOfOrderCore(), vecSetup(512))
+	if r.Cycles <= 0 || r.Instrs <= 0 {
+		t.Fatalf("empty result: %+v", r)
+	}
+	if r.IPC <= 0 || r.IPC > 4 {
+		t.Errorf("IPC = %.2f out of range", r.IPC)
+	}
+	if r.L1.Accesses == 0 {
+		t.Error("no L1 traffic recorded")
+	}
+	if r.DRAM.Reads == 0 {
+		t.Error("no DRAM traffic for a cold working set")
+	}
+	if r.EnergyPJ <= 0 {
+		t.Error("no energy estimate")
+	}
+}
+
+func TestMultiCoreScaling(t *testing.T) {
+	cycles := map[int]int64{}
+	for _, n := range []int{1, 2, 4} {
+		r := runSPMD(t, spmdVecAdd, n, config.OutOfOrderCore(), vecSetup(2048))
+		cycles[n] = r.Cycles
+	}
+	if !(cycles[1] > cycles[2] && cycles[2] > cycles[4]) {
+		t.Errorf("no parallel speedup: %v", cycles)
+	}
+	speedup4 := float64(cycles[1]) / float64(cycles[4])
+	if speedup4 < 1.8 {
+		t.Errorf("4-core speedup %.2fx too low", speedup4)
+	}
+}
+
+func TestDAEPairThroughFabric(t *testing.T) {
+	src := `
+void kernel(double* A, double* out, long n) {
+  long tid = tile_id();
+  if (tid == 0) {
+    for (long i = 0; i < n; i++) {
+      send(1, A[i]);
+    }
+  } else {
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) {
+      acc += recv_double(0);
+    }
+    out[0] = acc;
+  }
+}
+`
+	g, tr := traceSPMD(t, src, 2, func(m *interp.Memory) []uint64 {
+		vals := make([]float64, 400)
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		return []uint64{m.AllocF64(vals), m.Alloc(8, 8), 400}
+	}, nil)
+	sys, err := NewSPMD(&config.SystemConfig{
+		Name:  "dae",
+		Cores: []config.CoreSpec{{Core: config.InOrderCore(), Count: 2}},
+		Mem:   config.TableIIMem(),
+	}, g, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Fabric.Sends != 400 || sys.Fabric.Recvs != 400 {
+		t.Errorf("fabric sends=%d recvs=%d, want 400/400", sys.Fabric.Sends, sys.Fabric.Recvs)
+	}
+	if sys.Fabric.Pending() != 0 {
+		t.Errorf("%d messages stuck in fabric", sys.Fabric.Pending())
+	}
+}
+
+func TestFabricBackpressure(t *testing.T) {
+	f := NewFabric(2, 1)
+	if !f.TrySend(0, 1, 0) || !f.TrySend(0, 1, 0) {
+		t.Fatal("sends within capacity failed")
+	}
+	if f.TrySend(0, 1, 0) {
+		t.Error("send beyond capacity succeeded")
+	}
+	if f.FullStall != 1 {
+		t.Errorf("FullStall = %d", f.FullStall)
+	}
+	if f.TryRecv(1, 0, 0) {
+		t.Error("message consumed before its arrival cycle")
+	}
+	if !f.TryRecv(1, 0, 1) {
+		t.Error("matured message not consumed")
+	}
+	if !f.TrySend(0, 1, 5) {
+		t.Error("freed capacity not reusable")
+	}
+}
+
+type fixedAccel struct {
+	cycles int64
+	calls  int
+}
+
+func (a *fixedAccel) Invoke(params []int64, concurrent int) (AccelResult, error) {
+	a.calls++
+	return AccelResult{Cycles: a.cycles, Bytes: 1024, EnergyPJ: 5000}, nil
+}
+
+func TestAcceleratorThroughSystem(t *testing.T) {
+	src := `
+void kernel(double* A, long n) {
+  acc_fixed(A, n);
+  A[0] = 1.0;
+}
+`
+	g, tr := traceSPMD(t, src, 1, func(m *interp.Memory) []uint64 {
+		return []uint64{m.AllocF64(make([]float64, 16)), 16}
+	}, map[string]interp.AccFunc{"acc_fixed": func(m *interp.Memory, p []int64) {}})
+	sys, err := NewSPMD(&config.SystemConfig{
+		Name:  "accel",
+		Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: 1}},
+		Mem:   config.TableIIMem(),
+	}, g, tr, map[string]AccelModel{"acc_fixed": &fixedAccel{cycles: 30000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Result()
+	if r.Cycles < 30000 {
+		t.Errorf("cycles %d below accelerator latency", r.Cycles)
+	}
+	if r.AccelCalls != 1 || r.AccelBytes != 1024 {
+		t.Errorf("accel stats wrong: %+v", r)
+	}
+	if sys.AccelEnergy != 5000 {
+		t.Errorf("accel energy = %g", sys.AccelEnergy)
+	}
+}
+
+func TestMissingAcceleratorModelFails(t *testing.T) {
+	src := `
+void kernel(double* A, long n) {
+  acc_missing(A, n);
+}
+`
+	g, tr := traceSPMD(t, src, 1, func(m *interp.Memory) []uint64 {
+		return []uint64{m.AllocF64(make([]float64, 4)), 4}
+	}, map[string]interp.AccFunc{"acc_missing": func(m *interp.Memory, p []int64) {}})
+	sys, err := NewSPMD(&config.SystemConfig{
+		Name:  "x",
+		Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: 1}},
+		Mem:   config.TableIIMem(),
+	}, g, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("missing accelerator model should panic during simulation")
+		}
+	}()
+	_ = sys.Run(1_000_000)
+}
+
+func TestConfigTraceMismatch(t *testing.T) {
+	g, tr := traceSPMD(t, spmdVecAdd, 2, vecSetup(64), nil)
+	_, err := NewSPMD(&config.SystemConfig{
+		Name:  "bad",
+		Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: 4}},
+		Mem:   config.TableIIMem(),
+	}, g, tr, nil)
+	if err == nil || !strings.Contains(err.Error(), "traced tiles") {
+		t.Errorf("want tile-count mismatch error, got %v", err)
+	}
+}
+
+func TestSystemDeterminism(t *testing.T) {
+	a := runSPMD(t, spmdVecAdd, 4, config.OutOfOrderCore(), vecSetup(1024))
+	b := runSPMD(t, spmdVecAdd, 4, config.OutOfOrderCore(), vecSetup(1024))
+	if a.Cycles != b.Cycles || a.Instrs != b.Instrs {
+		t.Errorf("nondeterministic results: %d/%d vs %d/%d", a.Cycles, a.Instrs, b.Cycles, b.Instrs)
+	}
+}
+
+func TestMixedClockTiles(t *testing.T) {
+	fast := config.OutOfOrderCore() // 2000 MHz
+	slow := config.OutOfOrderCore()
+	slow.Name = "slow"
+	slow.ClockMHz = 1000
+	g, tr := traceSPMD(t, spmdVecAdd, 2, vecSetup(512), nil)
+	sys, err := New("mixed", []TileSpec{
+		{Cfg: fast, Graph: g, TT: tr.Tiles[0]},
+		{Cfg: slow, Graph: g, TT: tr.Tiles[1]},
+	}, config.TableIIMem(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	f, s := sys.Cores[0], sys.Cores[1]
+	if !f.Done() || !s.Done() {
+		t.Fatal("tiles not finished")
+	}
+	if s.FinishCycle() <= f.FinishCycle() {
+		t.Errorf("half-clock tile finished at %d, full-clock at %d; slow tile should finish later", s.FinishCycle(), f.FinishCycle())
+	}
+}
+
+func TestBandwidthBoundScalingIsSublinear(t *testing.T) {
+	// A streaming kernel with a tiny per-element compute: with DRAM
+	// bandwidth clamped hard, 8 cores cannot be 8x faster than 1.
+	src := spmdVecAdd
+	low := config.TableIIMem()
+	low.DRAM.BandwidthGBs = 2
+	cyc := map[int]int64{}
+	for _, n := range []int{1, 8} {
+		g, tr := traceSPMD(t, src, n, vecSetup(16384), nil)
+		sys, err := NewSPMD(&config.SystemConfig{
+			Name:  "bw",
+			Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: n}},
+			Mem:   low,
+		}, g, tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Run(1_000_000_000); err != nil {
+			t.Fatal(err)
+		}
+		cyc[n] = sys.Cycles
+	}
+	speedup := float64(cyc[1]) / float64(cyc[8])
+	if speedup > 6 {
+		t.Errorf("bandwidth-bound speedup %.2fx is implausibly linear", speedup)
+	}
+	if speedup < 1 {
+		t.Errorf("8 cores slower than 1: %.2fx", speedup)
+	}
+}
+
+func TestNoCHopLatency(t *testing.T) {
+	// On a 4-wide mesh, tile 0 -> tile 3 is 3 hops; with 5-cycle hops the
+	// message matures 15 cycles later than a directly-attached pair.
+	near := NewFabric(16, 1)
+	far := NewFabric(16, 1)
+	far.MeshWidth = 4
+	far.HopCycles = 5
+	if !near.TrySend(0, 3, 100) || !far.TrySend(0, 3, 100) {
+		t.Fatal("sends failed")
+	}
+	if !near.TryRecv(3, 0, 101) {
+		t.Error("flat fabric message should mature after base latency")
+	}
+	if far.TryRecv(3, 0, 101+14) {
+		t.Error("mesh message matured before the hop latency elapsed")
+	}
+	if !far.TryRecv(3, 0, 101+15) {
+		t.Error("mesh message never matured")
+	}
+	if far.HopsTotal != 3 {
+		t.Errorf("HopsTotal = %d, want 3", far.HopsTotal)
+	}
+}
+
+func TestNoCSlowsDAEPairs(t *testing.T) {
+	// The same DAE-style ping of messages costs more wall-clock on a mesh
+	// with slow links.
+	src := `
+void kernel(double* A, double* out, long n) {
+  long tid = tile_id();
+  if (tid == 0) {
+    for (long i = 0; i < n; i++) { send(3, A[i]); }
+  } else {
+    if (tid == 3) {
+      double acc = 0.0;
+      for (long i = 0; i < n; i++) { acc += recv_double(0); }
+      out[0] = acc;
+    }
+  }
+}
+`
+	run := func(noc *config.NoCConfig) int64 {
+		g, tr := traceSPMD(t, src, 4, func(m *interp.Memory) []uint64 {
+			return []uint64{m.AllocF64(make([]float64, 500)), m.Alloc(8, 8), 500}
+		}, nil)
+		cfg := &config.SystemConfig{
+			Name:  "noc",
+			Cores: []config.CoreSpec{{Core: config.InOrderCore(), Count: 4}},
+			Mem:   config.TableIIMem(),
+			NoC:   noc,
+		}
+		sys, err := NewSPMD(cfg, g, tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Cycles
+	}
+	flat := run(nil)
+	mesh := run(&config.NoCConfig{MeshWidth: 2, HopCycles: 40})
+	if mesh <= flat {
+		t.Errorf("mesh with 40-cycle hops (%d) should be slower than flat fabric (%d)", mesh, flat)
+	}
+}
+
+func TestDirectoryCoherenceThroughSystem(t *testing.T) {
+	// Four tiles atomically hammer one shared counter line: with the
+	// directory enabled, ownership ping-pongs and the run slows down.
+	src := `
+void kernel(long* ctr, long n) {
+  long tid = tile_id();
+  for (long i = 0; i < n; i++) {
+    atomic_add(ctr, 1);
+  }
+}
+`
+	run := func(directory bool) int64 {
+		g, tr := traceSPMD(t, src, 4, func(m *interp.Memory) []uint64 {
+			return []uint64{m.AllocI64([]int64{0}), 200}
+		}, nil)
+		mem := config.TableIIMem()
+		mem.Directory = directory
+		cfg := &config.SystemConfig{
+			Name:  "coh",
+			Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: 4}},
+			Mem:   mem,
+		}
+		sys, err := NewSPMD(cfg, g, tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if directory {
+			if sys.Hier.Dir == nil || sys.Hier.Dir.Stats.Invalidations == 0 {
+				t.Error("directory recorded no invalidations on a contended counter")
+			}
+		}
+		return sys.Cycles
+	}
+	coherent := run(true)
+	incoherent := run(false)
+	if coherent <= incoherent {
+		t.Errorf("coherent contended atomics (%d) should be slower than incoherent (%d)", coherent, incoherent)
+	}
+}
+
+func TestEnergyBreakdownSums(t *testing.T) {
+	r := runSPMD(t, spmdVecAdd, 2, config.OutOfOrderCore(), vecSetup(1024))
+	if r.Energy.CoresPJ <= 0 || r.Energy.L1PJ <= 0 || r.Energy.DRAMPJ <= 0 {
+		t.Errorf("missing energy components: %+v", r.Energy)
+	}
+	if diff := r.EnergyPJ - r.Energy.TotalPJ(); diff != 0 {
+		t.Errorf("EnergyPJ (%g) != component sum (%g)", r.EnergyPJ, r.Energy.TotalPJ())
+	}
+}

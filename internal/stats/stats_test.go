@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("Geomean(2,8) = %g, want 4", g)
+	}
+	if g := Geomean([]float64{1.099}); math.Abs(g-1.099) > 1e-12 {
+		t.Errorf("Geomean single = %g", g)
+	}
+	if !math.IsNaN(Geomean(nil)) {
+		t.Error("Geomean(nil) should be NaN")
+	}
+	if !math.IsNaN(Geomean([]float64{1, -1})) {
+		t.Error("Geomean with negatives should be NaN")
+	}
+}
+
+// Property: geomean is scale-equivariant: gm(k*x) = k*gm(x).
+func TestGeomeanScaleProperty(t *testing.T) {
+	f := func(raw []float64, k float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			x = math.Abs(x)
+			if x > 1e-6 && x < 1e6 && !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		k = math.Abs(k)
+		if k < 1e-3 || k > 1e3 || math.IsNaN(k) {
+			k = 2
+		}
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = k * x
+		}
+		a, b := Geomean(scaled), k*Geomean(xs)
+		return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndNormalize(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %g", m)
+	}
+	n := Normalize([]float64{10, 20}, 10)
+	if n[0] != 1 || n[1] != 2 {
+		t.Errorf("Normalize = %v", n)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig. 5", "bench", "accuracy")
+	tb.Row("bfs", 0.97)
+	tb.Row("tpacf", 3.29)
+	out := tb.String()
+	for _, want := range []string{"== Fig. 5 ==", "bench", "accuracy", "bfs", "0.97", "3.29", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.Row(1234567.0)
+	tb.Row(0.0000001)
+	tb.Row(math.NaN())
+	tb.Row(0.0)
+	out := tb.String()
+	if !strings.Contains(out, "e+06") || !strings.Contains(out, "e-07") {
+		t.Errorf("scientific formatting missing:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("NaN should render as '-':\n%s", out)
+	}
+}

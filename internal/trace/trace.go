@@ -1,0 +1,324 @@
+// Package trace defines MosaicSim-Go's dynamic trace artifacts: the
+// control-flow path (sequence of basic-block IDs), the memory-address stream
+// of every load/store/atomic, and recorded accelerator-invocation parameters.
+//
+// These are the two trace files the paper's Dynamic Trace Generator writes
+// after the instrumented native run (§II-A), plus the accelerator-parameter
+// trace used to match accelerator calls during simulation (§II-B). A compact
+// binary serialization supports the storage study of §VI-B.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Memory-access kinds.
+const (
+	KindLoad uint8 = iota
+	KindStore
+	KindAtomic
+)
+
+// MemEvent is one dynamic memory access.
+type MemEvent struct {
+	Instr int32  // static instruction index within the kernel
+	Addr  uint64 // simulated byte address
+	Size  uint8  // access size in bytes
+	Kind  uint8  // KindLoad, KindStore, or KindAtomic
+}
+
+// AccCall records the parameters of one accelerator invocation, captured by
+// the DTG so the simulator can configure the accelerator model (§II-B).
+type AccCall struct {
+	Name   string
+	Params []int64
+}
+
+// CommEvent records the partner tile of one dynamic send or recv (§II-C).
+// The timing simulator replays these to match messages through the
+// Interleaver without evaluating operand values.
+type CommEvent struct {
+	Instr   int32 // static instruction index
+	Partner int32 // destination tile for send, source tile for recv
+}
+
+// TileTrace holds the dynamic trace of a single tile's kernel execution.
+type TileTrace struct {
+	Tile      int32
+	BBPath    []int32     // basic-block IDs in launch order
+	Mem       []MemEvent  // memory accesses in program order
+	Acc       []AccCall   // accelerator invocations in program order
+	Comm      []CommEvent // send/recv partners in program order
+	DynInstrs int64       // dynamic instruction count
+}
+
+// Trace is the complete dynamic trace of one kernel run across all tiles.
+type Trace struct {
+	Kernel string
+	Tiles  []*TileTrace
+}
+
+// TotalDynInstrs returns the dynamic instruction count summed over tiles.
+func (t *Trace) TotalDynInstrs() int64 {
+	var n int64
+	for _, tt := range t.Tiles {
+		n += tt.DynInstrs
+	}
+	return n
+}
+
+// TotalMemEvents returns the number of memory accesses summed over tiles.
+func (t *Trace) TotalMemEvents() int64 {
+	var n int64
+	for _, tt := range t.Tiles {
+		n += int64(len(tt.Mem))
+	}
+	return n
+}
+
+const (
+	magic   = "MSTR"
+	version = 1
+)
+
+// WriteTo serializes the trace in the compact binary format. Control-flow IDs
+// are written as uvarints and addresses as zigzag deltas, mirroring how the
+// original traces stay "typically less than 1 GB" for the control path while
+// memory traces dominate (§VI-B).
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	buf := make([]byte, binary.MaxVarintLen64)
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf, v)
+		_, err := cw.Write(buf[:n])
+		return err
+	}
+	putI := func(v int64) error {
+		n := binary.PutVarint(buf, v)
+		_, err := cw.Write(buf[:n])
+		return err
+	}
+	putStr := func(s string) error {
+		if err := put(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := io.WriteString(cw, s)
+		return err
+	}
+
+	if _, err := io.WriteString(cw, magic); err != nil {
+		return cw.n, err
+	}
+	if err := put(version); err != nil {
+		return cw.n, err
+	}
+	if err := putStr(t.Kernel); err != nil {
+		return cw.n, err
+	}
+	if err := put(uint64(len(t.Tiles))); err != nil {
+		return cw.n, err
+	}
+	for _, tt := range t.Tiles {
+		if err := put(uint64(tt.Tile)); err != nil {
+			return cw.n, err
+		}
+		if err := put(uint64(tt.DynInstrs)); err != nil {
+			return cw.n, err
+		}
+		if err := put(uint64(len(tt.BBPath))); err != nil {
+			return cw.n, err
+		}
+		for _, id := range tt.BBPath {
+			if err := put(uint64(id)); err != nil {
+				return cw.n, err
+			}
+		}
+		if err := put(uint64(len(tt.Mem))); err != nil {
+			return cw.n, err
+		}
+		var prev uint64
+		for _, ev := range tt.Mem {
+			if err := put(uint64(ev.Instr)); err != nil {
+				return cw.n, err
+			}
+			if err := putI(int64(ev.Addr) - int64(prev)); err != nil {
+				return cw.n, err
+			}
+			prev = ev.Addr
+			if _, err := cw.Write([]byte{ev.Size, ev.Kind}); err != nil {
+				return cw.n, err
+			}
+		}
+		if err := put(uint64(len(tt.Acc))); err != nil {
+			return cw.n, err
+		}
+		for _, ac := range tt.Acc {
+			if err := putStr(ac.Name); err != nil {
+				return cw.n, err
+			}
+			if err := put(uint64(len(ac.Params))); err != nil {
+				return cw.n, err
+			}
+			for _, p := range ac.Params {
+				if err := putI(p); err != nil {
+					return cw.n, err
+				}
+			}
+		}
+		if err := put(uint64(len(tt.Comm))); err != nil {
+			return cw.n, err
+		}
+		for _, ce := range tt.Comm {
+			if err := put(uint64(ce.Instr)); err != nil {
+				return cw.n, err
+			}
+			if err := put(uint64(ce.Partner)); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// EncodedSize returns the serialized size in bytes without retaining the
+// encoding (used by the §VI-B storage-requirements experiment).
+func (t *Trace) EncodedSize() (int64, error) {
+	return t.WriteTo(io.Discard)
+}
+
+// Read deserializes a trace written by WriteTo.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(hdr) != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	ver, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	getStr := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	t := &Trace{}
+	if t.Kernel, err = getStr(); err != nil {
+		return nil, err
+	}
+	ntiles, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < ntiles; i++ {
+		tt := &TileTrace{}
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		tt.Tile = int32(v)
+		if v, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		tt.DynInstrs = int64(v)
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		tt.BBPath = make([]int32, n)
+		for j := range tt.BBPath {
+			if v, err = binary.ReadUvarint(br); err != nil {
+				return nil, err
+			}
+			tt.BBPath[j] = int32(v)
+		}
+		if n, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		tt.Mem = make([]MemEvent, n)
+		var prev uint64
+		for j := range tt.Mem {
+			if v, err = binary.ReadUvarint(br); err != nil {
+				return nil, err
+			}
+			d, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			addr := uint64(int64(prev) + d)
+			prev = addr
+			var sk [2]byte
+			if _, err := io.ReadFull(br, sk[:]); err != nil {
+				return nil, err
+			}
+			tt.Mem[j] = MemEvent{Instr: int32(v), Addr: addr, Size: sk[0], Kind: sk[1]}
+		}
+		if n, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		tt.Acc = make([]AccCall, n)
+		for j := range tt.Acc {
+			name, err := getStr()
+			if err != nil {
+				return nil, err
+			}
+			np, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			params := make([]int64, np)
+			for k := range params {
+				if params[k], err = binary.ReadVarint(br); err != nil {
+					return nil, err
+				}
+			}
+			tt.Acc[j] = AccCall{Name: name, Params: params}
+		}
+		if n, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		tt.Comm = make([]CommEvent, n)
+		for j := range tt.Comm {
+			if v, err = binary.ReadUvarint(br); err != nil {
+				return nil, err
+			}
+			p, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			tt.Comm[j] = CommEvent{Instr: int32(v), Partner: int32(p)}
+		}
+		t.Tiles = append(t.Tiles, tt)
+	}
+	return t, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

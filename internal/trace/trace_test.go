@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Kernel: "vecadd",
+		Tiles: []*TileTrace{
+			{
+				Tile:      0,
+				BBPath:    []int32{0, 2, 2, 2, 1},
+				Mem:       []MemEvent{{Instr: 3, Addr: 4096, Size: 8, Kind: KindLoad}, {Instr: 7, Addr: 8192, Size: 8, Kind: KindStore}},
+				Acc:       []AccCall{{Name: "acc_sgemm", Params: []int64{64, 64, 64}}},
+				DynInstrs: 46,
+			},
+			{
+				Tile:      1,
+				BBPath:    []int32{0, 1},
+				Mem:       []MemEvent{{Instr: 5, Addr: 100, Size: 4, Kind: KindAtomic}},
+				DynInstrs: 9,
+			},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Kernel != tr.Kernel || len(got.Tiles) != len(tr.Tiles) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range tr.Tiles {
+		w, g := tr.Tiles[i], got.Tiles[i]
+		if w.Tile != g.Tile || w.DynInstrs != g.DynInstrs {
+			t.Errorf("tile %d header mismatch", i)
+		}
+		if !reflect.DeepEqual(w.BBPath, g.BBPath) {
+			t.Errorf("tile %d bbpath mismatch: %v vs %v", i, w.BBPath, g.BBPath)
+		}
+		if !reflect.DeepEqual(w.Mem, g.Mem) {
+			t.Errorf("tile %d mem mismatch: %v vs %v", i, w.Mem, g.Mem)
+		}
+		if len(w.Acc) != len(g.Acc) {
+			t.Fatalf("tile %d acc count mismatch", i)
+		}
+		for j := range w.Acc {
+			if w.Acc[j].Name != g.Acc[j].Name || !reflect.DeepEqual(w.Acc[j].Params, g.Acc[j].Params) {
+				t.Errorf("tile %d acc %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestEncodedSizeMatchesWrite(t *testing.T) {
+	tr := sampleTrace()
+	sz, err := tr.EncodedSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if sz != int64(buf.Len()) {
+		t.Errorf("EncodedSize = %d, written = %d", sz, buf.Len())
+	}
+}
+
+func TestTotals(t *testing.T) {
+	tr := sampleTrace()
+	if tr.TotalDynInstrs() != 55 {
+		t.Errorf("TotalDynInstrs = %d, want 55", tr.TotalDynInstrs())
+	}
+	if tr.TotalMemEvents() != 3 {
+		t.Errorf("TotalMemEvents = %d, want 3", tr.TotalMemEvents())
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Read(bytes.NewReader([]byte("NOPE...."))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Truncated stream.
+	var buf bytes.Buffer
+	if _, err := sampleTrace().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated input should fail")
+	}
+}
+
+// TestDeltaEncodingProperty checks round-tripping of arbitrary address
+// streams, including address deltas that go backwards and wrap widely.
+func TestDeltaEncodingProperty(t *testing.T) {
+	f := func(addrs []uint64, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tt := &TileTrace{Tile: 0}
+		for i, a := range addrs {
+			// Keep addresses in a plausible 48-bit space so the int64 delta
+			// arithmetic used by the format is exact.
+			a &= (1 << 47) - 1
+			tt.Mem = append(tt.Mem, MemEvent{
+				Instr: int32(i % 1024),
+				Addr:  a,
+				Size:  uint8(1 << (rng.Intn(4))),
+				Kind:  uint8(rng.Intn(3)),
+			})
+		}
+		tr := &Trace{Kernel: "p", Tiles: []*TileTrace{tt}}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(tt.Mem) == 0 {
+			return len(got.Tiles[0].Mem) == 0
+		}
+		return reflect.DeepEqual(got.Tiles[0].Mem, tt.Mem)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBBPathProperty checks arbitrary control-flow paths survive round trips.
+func TestBBPathProperty(t *testing.T) {
+	f := func(path []int32) bool {
+		for i := range path {
+			if path[i] < 0 {
+				path[i] = -path[i]
+			}
+		}
+		tr := &Trace{Kernel: "p", Tiles: []*TileTrace{{BBPath: path}}}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		g := got.Tiles[0].BBPath
+		if len(path) == 0 {
+			return len(g) == 0
+		}
+		return reflect.DeepEqual(g, path)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

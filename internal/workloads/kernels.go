@@ -1,0 +1,352 @@
+package workloads
+
+// Kernel sources in the mini-C kernel language. All kernels are SPMD: they
+// partition work by tile_id()/num_tiles() in contiguous blocks, use
+// barrier() for level synchronization, and atomic_add for shared updates —
+// matching how the Parboil kernels are parallelized with OpenMP in the
+// paper's toolchain (§II-B).
+
+// partition boilerplate: computes [lo,hi) for this tile over n items.
+const partition = `
+  long tid = tile_id();
+  long nt = num_tiles();
+  long chunk = (n + nt - 1) / nt;
+  long lo = tid * chunk;
+  long hi = lo + chunk;
+  if (hi > n) { hi = n; }
+`
+
+// bfsSrc: level-synchronous breadth-first search over a CSR graph; the
+// frontier-update atomics make it memory-latency-bound (§VI-A: BFS is
+// latency-bound and the hardest to model due to atomic RMW).
+const bfsSrc = `
+void kernel(long* rowptr, long* cols, long* levels, long* visited, long n, long depth) {
+` + partition + `
+  for (long lvl = 0; lvl < depth; lvl++) {
+    for (long u = lo; u < hi; u++) {
+      if (levels[u] == lvl) {
+        for (long e = rowptr[u]; e < rowptr[u+1]; e++) {
+          long v = cols[e];
+          if (levels[v] < 0) {
+            levels[v] = lvl + 1;
+            atomic_add(visited, 1);
+          }
+        }
+      }
+    }
+    barrier();
+  }
+}
+`
+
+// cutcpSrc: cutoff Coulombic potential on a 3D grid (compute-bound; inverse
+// square roots dominate).
+const cutcpSrc = `
+void kernel(double* ax, double* ay, double* az, double* aq, double* grid,
+            long natoms, long g, double h, double cut2) {
+  long n = g * g * g;
+` + partition + `
+  for (long p = lo; p < hi; p++) {
+    long iz = p / (g * g);
+    long rem = p % (g * g);
+    long iy = rem / g;
+    long ix = rem % g;
+    double x = (double)ix * h;
+    double y = (double)iy * h;
+    double z = (double)iz * h;
+    double acc = 0.0;
+    for (long a = 0; a < natoms; a++) {
+      double dx = ax[a] - x;
+      double dy = ay[a] - y;
+      double dz = az[a] - z;
+      double r2 = dx*dx + dy*dy + dz*dz;
+      if (r2 < cut2 && r2 > 0.000001) {
+        acc += aq[a] * (1.0 / sqrt(r2) - 1.0 / sqrt(cut2));
+      }
+    }
+    grid[p] = acc;
+  }
+}
+`
+
+// histoSrc: saturating histogram (§VI-A's second accelerator kernel);
+// scattered atomic increments with a 255 saturation check.
+const histoSrc = `
+void kernel(int* img, int* hist, long n, long bins) {
+` + partition + `
+  for (long i = lo; i < hi; i++) {
+    long v = (long)img[i];
+    if (v < 0) { v = 0; }
+    if (v >= bins) { v = bins - 1; }
+    if (hist[v] < 255) {
+      atomic_add(hist + v, 1);
+    }
+  }
+}
+`
+
+// lbmSrc: lattice-Boltzmann-style streaming/collision over five distribution
+// planes of a 2D lattice (bandwidth-bound: ~10 doubles of traffic per cell
+// per sweep).
+const lbmSrc = `
+void kernel(double* src, double* dst, long nx, long ny) {
+  long n = (nx - 2) * (ny - 2);
+` + partition + `
+  long plane = nx * ny;
+  for (long p = lo; p < hi; p++) {
+    long iy = p / (nx - 2) + 1;
+    long ix = p % (nx - 2) + 1;
+    long c = iy * nx + ix;
+    double f0 = src[c];
+    double fe = src[plane + c - 1];
+    double fw = src[2*plane + c + 1];
+    double fn = src[3*plane + c + nx];
+    double fs = src[4*plane + c - nx];
+    double rho = f0 + fe + fw + fn + fs;
+    double eq = rho * 0.2;
+    double omega = 0.6;
+    dst[c] = f0 + omega * (eq - f0);
+    dst[plane + c] = fe + omega * (eq - fe);
+    dst[2*plane + c] = fw + omega * (eq - fw);
+    dst[3*plane + c] = fn + omega * (eq - fn);
+    dst[4*plane + c] = fs + omega * (eq - fs);
+  }
+}
+`
+
+// griddingSrc: MRI gridding — scattered k-space samples splatted onto a 2D
+// grid with bilinear weights via atomic accumulation (irregular writes).
+const griddingSrc = `
+void kernel(double* sx, double* sy, double* sv, double* grid, long n, long g) {
+` + partition + `
+  for (long s = lo; s < hi; s++) {
+    double gx = sx[s];
+    double gy = sy[s];
+    long ix = (long)gx;
+    long iy = (long)gy;
+    if (ix < 0) { ix = 0; }
+    if (iy < 0) { iy = 0; }
+    if (ix > g - 2) { ix = g - 2; }
+    if (iy > g - 2) { iy = g - 2; }
+    double fx = gx - (double)ix;
+    double fy = gy - (double)iy;
+    double v = sv[s];
+    atomic_add(grid + (iy * g + ix), v * (1.0 - fx) * (1.0 - fy));
+    atomic_add(grid + (iy * g + ix + 1), v * fx * (1.0 - fy));
+    atomic_add(grid + ((iy + 1) * g + ix), v * (1.0 - fx) * fy);
+    atomic_add(grid + ((iy + 1) * g + ix + 1), v * fx * fy);
+  }
+}
+`
+
+// mriqSrc: MRI Q-matrix computation — per-voxel trigonometric accumulation
+// over all k-space samples (heavily compute-bound).
+const mriqSrc = `
+void kernel(double* kx, double* ky, double* kz, double* phi,
+            double* vx, double* vy, double* vz,
+            double* outR, double* outI, long n, long nk) {
+` + partition + `
+  for (long v = lo; v < hi; v++) {
+    double x = vx[v];
+    double y = vy[v];
+    double z = vz[v];
+    double qr = 0.0;
+    double qi = 0.0;
+    for (long k = 0; k < nk; k++) {
+      double ph = 6.283185307179586 * (kx[k]*x + ky[k]*y + kz[k]*z);
+      qr += phi[k] * cos(ph);
+      qi += phi[k] * sin(ph);
+    }
+    outR[v] = qr;
+    outI[v] = qi;
+  }
+}
+`
+
+// sadSrc: sums of absolute differences for block matching between two
+// frames (integer compute-bound; §VI-A's highest-IPC kernel).
+const sadSrc = `
+void kernel(int* cur, int* ref, long* best, long w, long bdim, long win) {
+  long nbx = (w - 2 * win) / bdim;
+  long n = nbx * nbx;
+` + partition + `
+  for (long b = lo; b < hi; b++) {
+    long by = (b / nbx) * bdim + win;
+    long bx = (b % nbx) * bdim + win;
+    long bestSad = 1000000000;
+    for (long dy = -win; dy <= win; dy++) {
+      for (long dx = -win; dx <= win; dx++) {
+        long sad = 0;
+        for (long j = 0; j < bdim; j++) {
+          for (long i = 0; i < bdim; i++) {
+            long cc = (long)cur[(by + j) * w + bx + i];
+            long rr = (long)ref[(by + j + dy) * w + bx + i + dx];
+            long d = cc - rr;
+            if (d < 0) { d = -d; }
+            sad += d;
+          }
+        }
+        if (sad < bestSad) { bestSad = sad; }
+      }
+    }
+    best[b] = bestSad;
+  }
+}
+`
+
+// sgemmSrc: single-precision dense matrix multiplication (compute-bound,
+// near-linear scaling in the paper's Fig. 8).
+const sgemmSrc = `
+void kernel(float* A, float* B, float* C, long dim) {
+  long n = dim;
+` + partition + `
+  for (long i = lo; i < hi; i++) {
+    for (long j = 0; j < dim; j++) {
+      float acc = 0.0;
+      for (long k = 0; k < dim; k++) {
+        acc += A[i*dim+k] * B[k*dim+j];
+      }
+      C[i*dim+j] = acc;
+    }
+  }
+}
+`
+
+// sgemmAccelSrc: the same product offloaded to the §VI-A matrix-multiply
+// accelerator; tile 0 invokes, the rest idle (Fig. 12's accelerator bar).
+const sgemmAccelSrc = `
+void kernel(float* A, float* B, float* C, long dim) {
+  long tid = tile_id();
+  if (tid == 0) {
+    acc_sgemm(A, B, C, dim, dim, dim);
+  }
+}
+`
+
+// spmvSrc: CSR sparse matrix-vector product (bandwidth-bound with an
+// irregular gather of x; sublinear scaling in the paper's Fig. 9).
+const spmvSrc = `
+void kernel(long* rowptr, long* cols, double* vals, double* x, double* y, long n) {
+` + partition + `
+  for (long r = lo; r < hi; r++) {
+    double acc = 0.0;
+    for (long e = rowptr[r]; e < rowptr[r+1]; e++) {
+      acc += vals[e] * x[cols[e]];
+    }
+    y[r] = acc;
+  }
+}
+`
+
+// stencilSrc: 2D 5-point Jacobi sweep (bandwidth-bound).
+const stencilSrc = `
+void kernel(double* src, double* dst, long nx, long ny) {
+  long n = (nx - 2) * (ny - 2);
+` + partition + `
+  for (long p = lo; p < hi; p++) {
+    long iy = p / (nx - 2) + 1;
+    long ix = p % (nx - 2) + 1;
+    long c = iy * nx + ix;
+    dst[c] = 0.2 * (src[c] + src[c-1] + src[c+1] + src[c-nx] + src[c+nx]);
+  }
+}
+`
+
+// tpacfSrc: two-point angular correlation — all-pairs dot products binned
+// into a shared histogram (compute plus atomics).
+const tpacfSrc = `
+void kernel(double* px, double* py, double* pz, long* hist, long n, long bins) {
+` + partition + `
+  for (long i = lo; i < hi; i++) {
+    double xi = px[i];
+    double yi = py[i];
+    double zi = pz[i];
+    for (long j = i + 1; j < n; j++) {
+      double dot = xi*px[j] + yi*py[j] + zi*pz[j];
+      double ang = sqrt(fabs(2.0 - 2.0 * dot));
+      long bin = (long)(ang * (double)bins * 0.5);
+      if (bin >= bins) { bin = bins - 1; }
+      if (bin < 0) { bin = 0; }
+      atomic_add(hist + bin, 1);
+    }
+  }
+}
+`
+
+// projectionSrc: bipartite graph projection (§VII-A) — every pair of edges
+// of a left-side vertex updates a projection edge. Updates are partitioned
+// owner-computes (tile = u mod num_tiles) so the irregular read-modify-write
+// of the projection matrix needs no atomics; each update's load is the
+// memory-latency bottleneck the DAE case study tolerates.
+const projectionSrc = `
+void kernel(long* rows, long* cols, double* wts, double* proj, long nA, long nP) {
+  long tid = tile_id();
+  long nt = num_tiles();
+  for (long a = 0; a < nA; a++) {
+    long start = rows[a];
+    long end = rows[a+1];
+    for (long e1 = start; e1 < end; e1++) {
+      long u = cols[e1];
+      if (u % nt == tid) {
+        double w1 = wts[e1];
+        for (long e2 = start; e2 < end; e2++) {
+          long v = cols[e2];
+          if (u != v) {
+            long idx = u * nP + v;
+            proj[idx] = proj[idx] + w1 * wts[e2];
+          }
+        }
+      }
+    }
+  }
+}
+`
+
+// combinedSrc: the §VII-B combined kernel — Sinkhorn-style alternation of a
+// dense SGEMM phase and a sparse EWSD phase, separated by barriers. The
+// dense phase partitions output rows; the sparse phase partitions nonzeros.
+const combinedSrc = `
+void kernel(float* A, float* B, float* C, long dim,
+            long* pos, double* vals, double* dense, double* out,
+            long nnz, long iters) {
+  long tid = tile_id();
+  long nt = num_tiles();
+  long rchunk = (dim + nt - 1) / nt;
+  long rlo = tid * rchunk;
+  long rhi = rlo + rchunk;
+  if (rhi > dim) { rhi = dim; }
+  long schunk = (nnz + nt - 1) / nt;
+  long slo = tid * schunk;
+  long shi = slo + schunk;
+  if (shi > nnz) { shi = nnz; }
+  for (long it = 0; it < iters; it++) {
+    for (long i = rlo; i < rhi; i++) {
+      for (long j = 0; j < dim; j++) {
+        float acc = 0.0;
+        for (long k = 0; k < dim; k++) {
+          acc += A[i*dim+k] * B[k*dim+j];
+        }
+        C[i*dim+j] = acc;
+      }
+    }
+    barrier();
+    for (long s = slo; s < shi; s++) {
+      out[s] = vals[s] * dense[pos[s]];
+    }
+    barrier();
+  }
+}
+`
+
+// ewsdSrc: element-wise sparse⊙dense product (§VII-B): for each stored
+// nonzero, gather the dense operand at an irregular position and scale —
+// memory-latency-bound.
+const ewsdSrc = `
+void kernel(long* pos, double* vals, double* dense, double* out, long n) {
+` + partition + `
+  for (long k = lo; k < hi; k++) {
+    long idx = pos[k];
+    out[k] = vals[k] * dense[idx];
+  }
+}
+`

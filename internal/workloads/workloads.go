@@ -1,0 +1,887 @@
+// Package workloads provides MosaicSim-Go's benchmark suite: the eleven
+// Parboil-style kernels of the paper's accuracy study (§VI-A), plus the
+// case-study kernels — bipartite graph projection (§VII-A), the element-wise
+// sparse⊙dense product EWSD, and the dense SGEMM microbenchmarks with and
+// without accelerator offload (§VII-B). Each workload carries its kernel
+// source, a deterministic synthetic input generator, and a correctness check
+// against a plain Go implementation.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"mosaicsim/internal/accel"
+	"mosaicsim/internal/cc"
+	"mosaicsim/internal/ddg"
+	"mosaicsim/internal/interp"
+	"mosaicsim/internal/ir"
+	"mosaicsim/internal/soc"
+	"mosaicsim/internal/trace"
+)
+
+// Scale selects a workload size.
+type Scale int
+
+// Workload scales: Tiny for unit tests, Small for the experiment harness,
+// Large for longer studies.
+const (
+	Tiny Scale = iota
+	Small
+	Large
+)
+
+// pick returns the scale-appropriate value.
+func pick[T any](s Scale, tiny, small, large T) T {
+	switch s {
+	case Tiny:
+		return tiny
+	case Large:
+		return large
+	default:
+		return small
+	}
+}
+
+// Instance is one generated run of a workload.
+type Instance struct {
+	Args []uint64
+	// Check validates simulated memory against a Go reference; nil-safe.
+	Check func(mem *interp.Memory) error
+	// Acc maps accelerator intrinsics the kernel calls to functional
+	// implementations for the DTG.
+	Acc map[string]interp.AccFunc
+}
+
+// Workload is one benchmark.
+type Workload struct {
+	Name string
+	Desc string
+	Src  string
+	// Setup allocates and fills inputs deterministically.
+	Setup func(mem *interp.Memory, s Scale) Instance
+
+	once sync.Once
+	mod  *ir.Module
+	err  error
+}
+
+// Kernel compiles (once) and returns the workload's kernel function.
+func (w *Workload) Kernel() (*ir.Function, error) {
+	w.once.Do(func() {
+		w.mod, w.err = cc.Compile(w.Src, w.Name)
+	})
+	if w.err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, w.err)
+	}
+	return w.mod.Func("kernel"), nil
+}
+
+// MemBytes is the simulated-memory image size used for workload runs.
+const MemBytes = 1 << 26
+
+// Trace compiles, sets up, and natively executes the workload on the given
+// tile count, returning the DDG and dynamic trace (running the correctness
+// check first).
+func (w *Workload) Trace(tiles int, s Scale) (*ddg.Graph, *trace.Trace, error) {
+	f, err := w.Kernel()
+	if err != nil {
+		return nil, nil, err
+	}
+	mem := interp.NewMemory(MemBytes)
+	inst := w.Setup(mem, s)
+	res, err := interp.Run(f, mem, inst.Args, interp.Options{NumTiles: tiles, Acc: inst.Acc})
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	if inst.Check != nil {
+		if err := inst.Check(mem); err != nil {
+			return nil, nil, fmt.Errorf("workload %s: result check: %w", w.Name, err)
+		}
+	}
+	return ddg.Build(f), res.Trace, nil
+}
+
+func rng(name string) *rand.Rand {
+	var seed int64 = 42
+	for _, c := range name {
+		seed = seed*131 + int64(c)
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+func approxEq(a, b float64) bool {
+	d := math.Abs(a - b)
+	return d <= 1e-6*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// BFS builds the bfs workload.
+func BFS() *Workload {
+	return &Workload{
+		Name: "bfs",
+		Desc: "level-synchronous breadth-first search (latency-bound, atomics)",
+		Src:  bfsSrc,
+		Setup: func(mem *interp.Memory, s Scale) Instance {
+			// Sized so the Small working set (cols+levels) overflows the
+			// private caches, keeping BFS memory-latency-bound as in the
+			// paper's characterization.
+			n := pick(s, 200, 60000, 400000)
+			deg := 4
+			r := rng("bfs")
+			rowptr := make([]int64, n+1)
+			var cols []int64
+			for u := 0; u < n; u++ {
+				rowptr[u] = int64(len(cols))
+				// A ring edge keeps the graph connected; extra random edges
+				// make the frontier irregular.
+				cols = append(cols, int64((u+1)%n))
+				for d := 1; d < deg; d++ {
+					cols = append(cols, int64(r.Intn(n)))
+				}
+			}
+			rowptr[n] = int64(len(cols))
+			levels := make([]int64, n)
+			for i := range levels {
+				levels[i] = -1
+			}
+			levels[0] = 0
+			// Reference BFS and its depth.
+			want := goBFS(rowptr, cols, n)
+			depth := int64(0)
+			for _, l := range want {
+				if l > depth {
+					depth = l
+				}
+			}
+			pr := mem.AllocI64(rowptr)
+			pc := mem.AllocI64(cols)
+			pl := mem.AllocI64(levels)
+			pv := mem.AllocI64([]int64{0})
+			return Instance{
+				Args: []uint64{pr, pc, pl, pv, uint64(n), uint64(depth + 1)},
+				Check: func(mem *interp.Memory) error {
+					got := mem.I64Slice(pl, n)
+					for i := range want {
+						if got[i] != want[i] {
+							return fmt.Errorf("levels[%d] = %d, want %d", i, got[i], want[i])
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+func goBFS(rowptr, cols []int64, n int) []int64 {
+	levels := make([]int64, n)
+	for i := range levels {
+		levels[i] = -1
+	}
+	levels[0] = 0
+	frontier := []int64{0}
+	for lvl := int64(0); len(frontier) > 0; lvl++ {
+		var next []int64
+		for _, u := range frontier {
+			for e := rowptr[u]; e < rowptr[u+1]; e++ {
+				v := cols[e]
+				if levels[v] < 0 {
+					levels[v] = lvl + 1
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return levels
+}
+
+// CUTCP builds the cutoff-Coulombic-potential workload.
+func CUTCP() *Workload {
+	return &Workload{
+		Name: "cutcp",
+		Desc: "cutoff Coulombic potential on a 3D grid (compute-bound)",
+		Src:  cutcpSrc,
+		Setup: func(mem *interp.Memory, s Scale) Instance {
+			g := pick(s, 6, 12, 24)
+			natoms := pick(s, 32, 128, 512)
+			h, cut2 := 0.5, 4.0
+			r := rng("cutcp")
+			ax := make([]float64, natoms)
+			ay := make([]float64, natoms)
+			az := make([]float64, natoms)
+			aq := make([]float64, natoms)
+			for i := 0; i < natoms; i++ {
+				ax[i] = r.Float64() * float64(g) * h
+				ay[i] = r.Float64() * float64(g) * h
+				az[i] = r.Float64() * float64(g) * h
+				aq[i] = r.Float64()*2 - 1
+			}
+			pax, pay, paz, paq := mem.AllocF64(ax), mem.AllocF64(ay), mem.AllocF64(az), mem.AllocF64(aq)
+			np := g * g * g
+			pg := mem.Alloc(int64(np)*8, 64)
+			return Instance{
+				Args: []uint64{pax, pay, paz, paq, pg, uint64(natoms), uint64(g), interp.ArgF64(h), interp.ArgF64(cut2)},
+				Check: func(mem *interp.Memory) error {
+					// Spot-check a handful of grid points.
+					for _, p := range []int{0, np / 3, np - 1} {
+						ix, iy, iz := p%g, (p/g)%g, p/(g*g)
+						x, y, z := float64(ix)*h, float64(iy)*h, float64(iz)*h
+						want := 0.0
+						for a := 0; a < natoms; a++ {
+							dx, dy, dz := ax[a]-x, ay[a]-y, az[a]-z
+							r2 := dx*dx + dy*dy + dz*dz
+							if r2 < cut2 && r2 > 1e-6 {
+								want += aq[a] * (1/math.Sqrt(r2) - 1/math.Sqrt(cut2))
+							}
+						}
+						if got := mem.ReadF64(pg + uint64(p)*8); !approxEq(got, want) {
+							return fmt.Errorf("grid[%d] = %g, want %g", p, got, want)
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// HISTO builds the saturating-histogram workload.
+func HISTO() *Workload {
+	return &Workload{
+		Name: "histo",
+		Desc: "saturating image histogram (scattered atomics)",
+		Src:  histoSrc,
+		Setup: func(mem *interp.Memory, s Scale) Instance {
+			n := pick(s, 2000, 40000, 400000)
+			bins := 256
+			r := rng("histo")
+			img := make([]int32, n)
+			want := make([]int32, bins)
+			for i := range img {
+				// Skewed distribution saturates hot bins, as in Parboil.
+				v := int32(r.NormFloat64()*30 + 128)
+				if v < 0 {
+					v = 0
+				}
+				if v >= int32(bins) {
+					v = int32(bins) - 1
+				}
+				img[i] = v
+				if want[v] < 255 {
+					want[v]++
+				}
+			}
+			pi := mem.AllocI32(img)
+			ph := mem.AllocI32(make([]int32, bins))
+			return Instance{
+				Args: []uint64{pi, ph, uint64(n), uint64(bins)},
+				Check: func(mem *interp.Memory) error {
+					got := mem.I32Slice(ph, bins)
+					for b := range want {
+						if got[b] != want[b] {
+							return fmt.Errorf("hist[%d] = %d, want %d", b, got[b], want[b])
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// LBM builds the lattice-Boltzmann workload.
+func LBM() *Workload {
+	return &Workload{
+		Name: "lbm",
+		Desc: "lattice-Boltzmann collide/stream sweep (bandwidth-bound)",
+		Src:  lbmSrc,
+		Setup: func(mem *interp.Memory, s Scale) Instance {
+			nx := pick(s, 18, 66, 258)
+			ny := nx
+			cells := nx * ny
+			r := rng("lbm")
+			src := make([]float64, 5*cells)
+			for i := range src {
+				src[i] = r.Float64()
+			}
+			ps := mem.AllocF64(src)
+			pd := mem.Alloc(int64(5*cells)*8, 64)
+			return Instance{
+				Args: []uint64{ps, pd, uint64(nx), uint64(ny)},
+				Check: func(mem *interp.Memory) error {
+					// Check one interior cell's relaxation.
+					ix, iy := nx/2, ny/2
+					c := iy*nx + ix
+					f := [5]float64{
+						src[c], src[cells+c-1], src[2*cells+c+1],
+						src[3*cells+c+nx], src[4*cells+c-nx],
+					}
+					rho := f[0] + f[1] + f[2] + f[3] + f[4]
+					eq := rho * 0.2
+					want := f[0] + 0.6*(eq-f[0])
+					if got := mem.ReadF64(pd + uint64(c)*8); !approxEq(got, want) {
+						return fmt.Errorf("dst[%d] = %g, want %g", c, got, want)
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// MRIGridding builds the MRI gridding workload.
+func MRIGridding() *Workload {
+	return &Workload{
+		Name: "mri-gridding",
+		Desc: "k-space sample gridding with bilinear splatting (irregular atomics)",
+		Src:  griddingSrc,
+		Setup: func(mem *interp.Memory, s Scale) Instance {
+			n := pick(s, 500, 10000, 100000)
+			g := pick(s, 16, 64, 128)
+			r := rng("mri-gridding")
+			sx := make([]float64, n)
+			sy := make([]float64, n)
+			sv := make([]float64, n)
+			want := make([]float64, g*g)
+			for i := 0; i < n; i++ {
+				sx[i] = r.Float64() * float64(g-1)
+				sy[i] = r.Float64() * float64(g-1)
+				sv[i] = r.Float64()
+				ix, iy := int(sx[i]), int(sy[i])
+				if ix > g-2 {
+					ix = g - 2
+				}
+				if iy > g-2 {
+					iy = g - 2
+				}
+				fx, fy := sx[i]-float64(ix), sy[i]-float64(iy)
+				want[iy*g+ix] += sv[i] * (1 - fx) * (1 - fy)
+				want[iy*g+ix+1] += sv[i] * fx * (1 - fy)
+				want[(iy+1)*g+ix] += sv[i] * (1 - fx) * fy
+				want[(iy+1)*g+ix+1] += sv[i] * fx * fy
+			}
+			px, py, pv := mem.AllocF64(sx), mem.AllocF64(sy), mem.AllocF64(sv)
+			pg := mem.Alloc(int64(g*g)*8, 64)
+			return Instance{
+				Args: []uint64{px, py, pv, pg, uint64(n), uint64(g)},
+				Check: func(mem *interp.Memory) error {
+					got := mem.F64Slice(pg, g*g)
+					for i := range want {
+						if !approxEq(got[i], want[i]) {
+							return fmt.Errorf("grid[%d] = %g, want %g", i, got[i], want[i])
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// MRIQ builds the MRI Q-matrix workload.
+func MRIQ() *Workload {
+	return &Workload{
+		Name: "mri-q",
+		Desc: "MRI Q-matrix trigonometric accumulation (compute-bound)",
+		Src:  mriqSrc,
+		Setup: func(mem *interp.Memory, s Scale) Instance {
+			n := pick(s, 24, 128, 1024)  // voxels
+			nk := pick(s, 64, 256, 2048) // k-space samples
+			r := rng("mri-q")
+			mk := func(count int, scale float64) []float64 {
+				v := make([]float64, count)
+				for i := range v {
+					v[i] = (r.Float64()*2 - 1) * scale
+				}
+				return v
+			}
+			kx, ky, kz, phi := mk(nk, 0.5), mk(nk, 0.5), mk(nk, 0.5), mk(nk, 1)
+			vx, vy, vz := mk(n, 1), mk(n, 1), mk(n, 1)
+			pkx, pky, pkz, pphi := mem.AllocF64(kx), mem.AllocF64(ky), mem.AllocF64(kz), mem.AllocF64(phi)
+			pvx, pvy, pvz := mem.AllocF64(vx), mem.AllocF64(vy), mem.AllocF64(vz)
+			pr := mem.Alloc(int64(n)*8, 64)
+			pi := mem.Alloc(int64(n)*8, 64)
+			return Instance{
+				Args: []uint64{pkx, pky, pkz, pphi, pvx, pvy, pvz, pr, pi, uint64(n), uint64(nk)},
+				Check: func(mem *interp.Memory) error {
+					for _, v := range []int{0, n / 2, n - 1} {
+						var qr, qi float64
+						for k := 0; k < nk; k++ {
+							ph := 2 * math.Pi * (kx[k]*vx[v] + ky[k]*vy[v] + kz[k]*vz[v])
+							qr += phi[k] * math.Cos(ph)
+							qi += phi[k] * math.Sin(ph)
+						}
+						if got := mem.ReadF64(pr + uint64(v)*8); !approxEq(got, qr) {
+							return fmt.Errorf("outR[%d] = %g, want %g", v, got, qr)
+						}
+						if got := mem.ReadF64(pi + uint64(v)*8); !approxEq(got, qi) {
+							return fmt.Errorf("outI[%d] = %g, want %g", v, got, qi)
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// SAD builds the block-matching workload.
+func SAD() *Workload {
+	return &Workload{
+		Name: "sad",
+		Desc: "block-matching sums of absolute differences (integer compute-bound)",
+		Src:  sadSrc,
+		Setup: func(mem *interp.Memory, s Scale) Instance {
+			w := pick(s, 32, 64, 128)
+			bdim, win := 8, 2
+			r := rng("sad")
+			cur := make([]int32, w*w)
+			ref := make([]int32, w*w)
+			for i := range cur {
+				cur[i] = int32(r.Intn(256))
+				ref[i] = int32(r.Intn(256))
+			}
+			nbx := (w - 2*win) / bdim
+			nb := nbx * nbx
+			pc, pr := mem.AllocI32(cur), mem.AllocI32(ref)
+			pb := mem.Alloc(int64(nb)*8, 64)
+			return Instance{
+				Args: []uint64{pc, pr, pb, uint64(w), uint64(bdim), uint64(win)},
+				Check: func(mem *interp.Memory) error {
+					for _, b := range []int{0, nb - 1} {
+						by := (b/nbx)*bdim + win
+						bx := (b%nbx)*bdim + win
+						best := int64(1000000000)
+						for dy := -win; dy <= win; dy++ {
+							for dx := -win; dx <= win; dx++ {
+								var sad int64
+								for j := 0; j < bdim; j++ {
+									for i := 0; i < bdim; i++ {
+										d := int64(cur[(by+j)*w+bx+i]) - int64(ref[(by+j+dy)*w+bx+i+dx])
+										if d < 0 {
+											d = -d
+										}
+										sad += d
+									}
+								}
+								if sad < best {
+									best = sad
+								}
+							}
+						}
+						if got := mem.ReadI64(pb + uint64(b)*8); got != best {
+							return fmt.Errorf("best[%d] = %d, want %d", b, got, best)
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// SGEMM builds the dense matrix-multiply workload.
+func SGEMM() *Workload {
+	return &Workload{
+		Name: "sgemm",
+		Desc: "single-precision dense matrix multiplication (compute-bound)",
+		Src:  sgemmSrc,
+		Setup: func(mem *interp.Memory, s Scale) Instance {
+			return sgemmSetup(mem, s)
+		},
+	}
+}
+
+func sgemmSetup(mem *interp.Memory, s Scale) Instance {
+	dim := pick(s, 12, 40, 160)
+	r := rng("sgemm")
+	a := make([]float32, dim*dim)
+	b := make([]float32, dim*dim)
+	for i := range a {
+		a[i] = r.Float32()
+		b[i] = r.Float32()
+	}
+	pa, pb := mem.AllocF32(a), mem.AllocF32(b)
+	pc := mem.Alloc(int64(dim*dim)*4, 64)
+	return Instance{
+		Args: []uint64{pa, pb, pc, uint64(dim)},
+		Acc:  accel.FuncRegistry(),
+		Check: func(mem *interp.Memory) error {
+			for _, idx := range []int{0, dim*dim/2 + dim/3, dim*dim - 1} {
+				i, j := idx/dim, idx%dim
+				var want float32
+				for k := 0; k < dim; k++ {
+					want += a[i*dim+k] * b[k*dim+j]
+				}
+				got := mem.ReadF32(pc + uint64(idx)*4)
+				if math.Abs(float64(got-want)) > 1e-3 {
+					return fmt.Errorf("C[%d] = %g, want %g", idx, got, want)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// SGEMMAccel builds the accelerator-offloaded SGEMM microbenchmark.
+func SGEMMAccel() *Workload {
+	return &Workload{
+		Name: "sgemm-accel",
+		Desc: "SGEMM offloaded to the fixed-function accelerator (§VII-B)",
+		Src:  sgemmAccelSrc,
+		Setup: func(mem *interp.Memory, s Scale) Instance {
+			return sgemmSetup(mem, s)
+		},
+	}
+}
+
+// SPMV builds the sparse matrix-vector workload.
+func SPMV() *Workload {
+	return &Workload{
+		Name: "spmv",
+		Desc: "CSR sparse matrix-vector product (bandwidth-bound)",
+		Src:  spmvSrc,
+		Setup: func(mem *interp.Memory, s Scale) Instance {
+			// A rectangular matrix: few rows over a huge column space, so
+			// the x-vector gathers exceed the LLC and 8 streaming cores
+			// oversubscribe DRAM bandwidth (Fig. 9's sublinear scaling).
+			n := pick(s, 300, 16000, 60000)
+			m := pick(s, 1<<15, 1<<22, 1<<22) // x-vector length
+			nnzPerRow := pick(s, 8, 12, 12)
+			r := rng("spmv")
+			rowptr := make([]int64, n+1)
+			var cols []int64
+			var vals []float64
+			for row := 0; row < n; row++ {
+				rowptr[row] = int64(len(cols))
+				for k := 0; k < nnzPerRow; k++ {
+					cols = append(cols, int64(r.Intn(m)))
+					vals = append(vals, r.Float64())
+				}
+			}
+			rowptr[n] = int64(len(cols))
+			x := make([]float64, m)
+			for i := range x {
+				x[i] = r.Float64()
+			}
+			pr := mem.AllocI64(rowptr)
+			pc := mem.AllocI64(cols)
+			pv := mem.AllocF64(vals)
+			px := mem.AllocF64(x)
+			py := mem.Alloc(int64(n)*8, 64)
+			return Instance{
+				Args: []uint64{pr, pc, pv, px, py, uint64(n)},
+				Check: func(mem *interp.Memory) error {
+					for _, row := range []int{0, n / 2, n - 1} {
+						want := 0.0
+						for e := rowptr[row]; e < rowptr[row+1]; e++ {
+							want += vals[e] * x[cols[e]]
+						}
+						if got := mem.ReadF64(py + uint64(row)*8); !approxEq(got, want) {
+							return fmt.Errorf("y[%d] = %g, want %g", row, got, want)
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// Stencil builds the Jacobi-stencil workload.
+func Stencil() *Workload {
+	return &Workload{
+		Name: "stencil",
+		Desc: "2D 5-point Jacobi sweep (bandwidth-bound)",
+		Src:  stencilSrc,
+		Setup: func(mem *interp.Memory, s Scale) Instance {
+			nx := pick(s, 20, 130, 512)
+			ny := nx
+			r := rng("stencil")
+			src := make([]float64, nx*ny)
+			for i := range src {
+				src[i] = r.Float64()
+			}
+			ps := mem.AllocF64(src)
+			pd := mem.Alloc(int64(nx*ny)*8, 64)
+			return Instance{
+				Args: []uint64{ps, pd, uint64(nx), uint64(ny)},
+				Check: func(mem *interp.Memory) error {
+					for _, p := range []int{nx + 1, nx*ny/2 + 3, nx*ny - nx - 2} {
+						want := 0.2 * (src[p] + src[p-1] + src[p+1] + src[p-nx] + src[p+nx])
+						if got := mem.ReadF64(pd + uint64(p)*8); !approxEq(got, want) {
+							return fmt.Errorf("dst[%d] = %g, want %g", p, got, want)
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// TPACF builds the two-point angular-correlation workload.
+func TPACF() *Workload {
+	return &Workload{
+		Name: "tpacf",
+		Desc: "two-point angular correlation histogram (compute + atomics)",
+		Src:  tpacfSrc,
+		Setup: func(mem *interp.Memory, s Scale) Instance {
+			n := pick(s, 48, 300, 2000)
+			bins := 32
+			r := rng("tpacf")
+			px := make([]float64, n)
+			py := make([]float64, n)
+			pz := make([]float64, n)
+			for i := 0; i < n; i++ {
+				// Random unit vectors.
+				x, y, z := r.NormFloat64(), r.NormFloat64(), r.NormFloat64()
+				norm := math.Sqrt(x*x + y*y + z*z)
+				px[i], py[i], pz[i] = x/norm, y/norm, z/norm
+			}
+			want := make([]int64, bins)
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					dot := px[i]*px[j] + py[i]*py[j] + pz[i]*pz[j]
+					ang := math.Sqrt(math.Abs(2 - 2*dot))
+					bin := int(ang * float64(bins) * 0.5)
+					if bin >= bins {
+						bin = bins - 1
+					}
+					if bin < 0 {
+						bin = 0
+					}
+					want[bin]++
+				}
+			}
+			ppx, ppy, ppz := mem.AllocF64(px), mem.AllocF64(py), mem.AllocF64(pz)
+			ph := mem.AllocI64(make([]int64, bins))
+			return Instance{
+				Args: []uint64{ppx, ppy, ppz, ph, uint64(n), uint64(bins)},
+				Check: func(mem *interp.Memory) error {
+					got := mem.I64Slice(ph, bins)
+					for b := range want {
+						if got[b] != want[b] {
+							return fmt.Errorf("hist[%d] = %d, want %d", b, got[b], want[b])
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// Projection builds the bipartite graph projection workload (§VII-A).
+func Projection() *Workload {
+	return &Workload{
+		Name: "projection",
+		Desc: "bipartite graph projection (memory-latency-bound, §VII-A)",
+		Src:  projectionSrc,
+		Setup: func(mem *interp.Memory, s Scale) Instance {
+			// The projection matrix (nP² doubles) deliberately exceeds the
+			// private caches so the irregular updates are latency-bound.
+			nA := pick(s, 60, 400, 2000)
+			deg := 6
+			nP := pick(s, 768, 1024, 2048)
+			r := rng("projection")
+			rows := make([]int64, nA+1)
+			var cols []int64
+			var wts []float64
+			for a := 0; a < nA; a++ {
+				rows[a] = int64(len(cols))
+				for d := 0; d < deg; d++ {
+					cols = append(cols, int64(r.Intn(nP)))
+					wts = append(wts, r.Float64())
+				}
+			}
+			rows[nA] = int64(len(cols))
+			want := make([]float64, nP*nP)
+			for a := 0; a < nA; a++ {
+				for e1 := rows[a]; e1 < rows[a+1]; e1++ {
+					for e2 := rows[a]; e2 < rows[a+1]; e2++ {
+						u, v := cols[e1], cols[e2]
+						if u != v {
+							want[u*int64(nP)+v] += wts[e1] * wts[e2]
+						}
+					}
+				}
+			}
+			pr := mem.AllocI64(rows)
+			pc := mem.AllocI64(cols)
+			pw := mem.AllocF64(wts)
+			pp := mem.Alloc(int64(nP*nP)*8, 64)
+			return Instance{
+				Args: []uint64{pr, pc, pw, pp, uint64(nA), uint64(nP)},
+				Check: func(mem *interp.Memory) error {
+					got := mem.F64Slice(pp, nP*nP)
+					for i := range want {
+						if !approxEq(got[i], want[i]) {
+							return fmt.Errorf("proj[%d] = %g, want %g", i, got[i], want[i])
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// EWSD builds the element-wise sparse⊙dense workload (§VII-B).
+func EWSD() *Workload {
+	return &Workload{
+		Name: "ewsd",
+		Desc: "element-wise sparse⊙dense product (memory-latency-bound, §VII-B)",
+		Src:  ewsdSrc,
+		Setup: func(mem *interp.Memory, s Scale) Instance {
+			// The dense operand exceeds the private caches so each gather is
+			// a long-latency access (the EWSD premise of §VII-B).
+			nnz := pick(s, 600, 8000, 100000)
+			denseN := pick(s, 1<<19, 1<<20, 1<<22)
+			r := rng("ewsd")
+			pos := make([]int64, nnz)
+			vals := make([]float64, nnz)
+			for i := range pos {
+				pos[i] = int64(r.Intn(denseN))
+				vals[i] = r.Float64()
+			}
+			dense := make([]float64, denseN)
+			for i := range dense {
+				dense[i] = r.Float64()
+			}
+			pp := mem.AllocI64(pos)
+			pv := mem.AllocF64(vals)
+			pd := mem.AllocF64(dense)
+			po := mem.Alloc(int64(nnz)*8, 64)
+			return Instance{
+				Args: []uint64{pp, pv, pd, po, uint64(nnz)},
+				Check: func(mem *interp.Memory) error {
+					for _, k := range []int{0, nnz / 2, nnz - 1} {
+						want := vals[k] * dense[pos[k]]
+						if got := mem.ReadF64(po + uint64(k)*8); !approxEq(got, want) {
+							return fmt.Errorf("out[%d] = %g, want %g", k, got, want)
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// Combined builds the §VII-B combined kernel: alternating dense (SGEMM) and
+// sparse (EWSD) phases. denseFrac steers the dataset mix: the fraction of
+// single-core cycles spent in the dense phase (the paper's dense-heavy /
+// equal / sparse-heavy kernels use 0.75 / 0.5 / 0.25).
+func Combined(name string, denseFrac float64) *Workload {
+	return &Workload{
+		Name: name,
+		Desc: fmt.Sprintf("alternating SGEMM/EWSD phases (%d%% dense, §VII-B)", int(denseFrac*100)),
+		Src:  combinedSrc,
+		Setup: func(mem *interp.Memory, s Scale) Instance {
+			// Baseline single-core costs scale as dim³ (dense) and nnz·L
+			// (sparse, L ≈ DRAM latency); sizes below hold the requested
+			// mix approximately at Small scale.
+			dim := pick(s, 10, 24, 48)
+			nnzBase := pick(s, 300, 3000, 20000)
+			nnz := int(float64(nnzBase) * (1 - denseFrac) * 2)
+			if nnz < 64 {
+				nnz = 64
+			}
+			dim = int(float64(dim) * (0.6 + denseFrac))
+			denseN := pick(s, 1<<18, 1<<20, 1<<22)
+			iters := 2
+			r := rng(name)
+			a := make([]float32, dim*dim)
+			bm := make([]float32, dim*dim)
+			for i := range a {
+				a[i] = r.Float32()
+				bm[i] = r.Float32()
+			}
+			pos := make([]int64, nnz)
+			vals := make([]float64, nnz)
+			for i := range pos {
+				pos[i] = int64(r.Intn(denseN))
+				vals[i] = r.Float64()
+			}
+			dvec := make([]float64, denseN)
+			for i := range dvec {
+				dvec[i] = r.Float64()
+			}
+			pa, pb := mem.AllocF32(a), mem.AllocF32(bm)
+			pc := mem.Alloc(int64(dim*dim)*4, 64)
+			pp := mem.AllocI64(pos)
+			pv := mem.AllocF64(vals)
+			pd := mem.AllocF64(dvec)
+			po := mem.Alloc(int64(nnz)*8, 64)
+			return Instance{
+				Args: []uint64{pa, pb, pc, uint64(dim), pp, pv, pd, po, uint64(nnz), uint64(iters)},
+				Check: func(mem *interp.Memory) error {
+					for _, idx := range []int{0, dim*dim - 1} {
+						i, j := idx/dim, idx%dim
+						var want float32
+						for k := 0; k < dim; k++ {
+							want += a[i*dim+k] * bm[k*dim+j]
+						}
+						if got := mem.ReadF32(pc + uint64(idx)*4); math.Abs(float64(got-want)) > 1e-3 {
+							return fmt.Errorf("C[%d] = %g, want %g", idx, got, want)
+						}
+					}
+					for _, k := range []int{0, nnz - 1} {
+						want := vals[k] * dvec[pos[k]]
+						if got := mem.ReadF64(po + uint64(k)*8); !approxEq(got, want) {
+							return fmt.Errorf("out[%d] = %g, want %g", k, got, want)
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// Parboil returns the eleven Parboil-style kernels in the paper's Fig. 5
+// order.
+func Parboil() []*Workload {
+	return []*Workload{
+		BFS(), CUTCP(), HISTO(), LBM(), MRIGridding(), MRIQ(),
+		SAD(), SGEMM(), SPMV(), Stencil(), TPACF(),
+	}
+}
+
+// All returns every workload, Parboil plus the case-study kernels.
+func All() []*Workload {
+	return append(Parboil(), SGEMMAccel(), Projection(), EWSD(),
+		Combined("combined-equal", 0.5))
+}
+
+// DefaultAccelModels returns closed-form performance models for the three
+// §VI-A accelerators, scaled to the given system clock. The design point
+// (large PLM, modest 4-lane datapath) is the one whose speedup over an
+// in-order software baseline matches the paper's Fig. 12 accelerator bar.
+func DefaultAccelModels(systemMHz int) map[string]soc.AccelModel {
+	dp := accel.DesignPoint{PLMBytes: 256 << 10, Lanes: 4}
+	out := map[string]soc.AccelModel{}
+	for _, name := range []string{"acc_sgemm", "acc_histo", "acc_elementwise"} {
+		out[name] = &accel.Model{
+			Acc:       accel.ByName(name, dp),
+			Mode:      accel.ModeClosedForm,
+			SystemMHz: systemMHz,
+			MaxMemGBs: 24,
+		}
+	}
+	return out
+}
+
+// ByName finds a workload.
+func ByName(name string) *Workload {
+	for _, w := range All() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}
