@@ -70,6 +70,26 @@ func BenchmarkFig13Combined(b *testing.B) {
 func BenchmarkFig14DNNEDP(b *testing.B) { runExperiment(b, "fig14", "RecSys") }
 func BenchmarkStorage(b *testing.B)     { runExperiment(b, "storage", "sgemm") }
 
+// benchmarkSweep drives a batch of experiments through one Runner at the
+// given worker-pool width; the serial/parallel pair below quantifies the
+// sweep engine's throughput win (output is identical either way, per
+// TestParallelSweepDeterminism).
+func benchmarkSweep(b *testing.B, jobs int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(workloads.Tiny)
+		r.Jobs = jobs
+		for _, id := range []string{"fig5", "fig11", "fig12"} {
+			if _, err := r.Run(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchmarkSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchmarkSweep(b, 0) }
+
 // BenchmarkSimulatorMIPS measures raw simulation speed in millions of
 // simulated instructions per host second (§VI-B reports 0.47 MIPS
 // single-threaded for the original; Sniper 0.45, gem5 0.053).

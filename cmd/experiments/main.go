@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	experiments [-scale tiny|small|large] [-run id[,id...]|all]
+//	experiments [-scale tiny|small|large] [-run id[,id...]|all] [-jobs N]
 //
 // Experiment IDs: fig1 tab1 tab2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13 fig14 storage.
+//
+// Independent simulations fan out across -jobs workers (default: all CPU
+// cores). Results are collected by index, so stdout is byte-identical for
+// every -jobs value; per-experiment timing goes to stderr.
 package main
 
 import (
@@ -17,12 +21,14 @@ import (
 	"time"
 
 	"mosaicsim/internal/experiments"
+	"mosaicsim/internal/parallel"
 	"mosaicsim/internal/workloads"
 )
 
 func main() {
 	scale := flag.String("scale", "small", "workload scale: tiny, small, or large")
 	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = all CPU cores)")
 	flag.Parse()
 
 	var s workloads.Scale
@@ -42,15 +48,33 @@ func main() {
 	if *run != "all" {
 		ids = strings.Split(*run, ",")
 	}
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	if *jobs > 0 {
+		parallel.SetLimit(*jobs)
+	}
 	r := experiments.NewRunner(s)
-	for _, id := range ids {
+	// Experiments and their internal legs share one worker budget; outputs
+	// are buffered and printed in request order.
+	outs := make([]string, len(ids))
+	took := make([]time.Duration, len(ids))
+	err := parallel.ForErr(0, len(ids), func(i int) error {
 		start := time.Now()
-		rep, err := r.Run(strings.TrimSpace(id))
+		rep, err := r.Run(ids[i])
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
-			os.Exit(1)
+			return fmt.Errorf("experiment %s: %w", ids[i], err)
 		}
-		fmt.Println(rep.String())
-		fmt.Printf("(%s regenerated in %v)\n\n", rep.ID, time.Since(start).Round(time.Millisecond))
+		outs[i] = rep.String()
+		took[i] = time.Since(start)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i := range ids {
+		fmt.Println(outs[i])
+		fmt.Fprintf(os.Stderr, "(%s regenerated in %v)\n", ids[i], took[i].Round(time.Millisecond))
 	}
 }

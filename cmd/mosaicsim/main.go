@@ -8,7 +8,11 @@
 //	mosaicsim -list
 //	mosaicsim -workload sgemm -tiles 4 -core ooo
 //	mosaicsim -workload spmv -config sys.json -json
+//	mosaicsim -workload bfs,spmv,sgemm -tiles 8 -jobs 4
 //	mosaicsim -workload bfs -tiles 8 -coherence -mesh 4 -branch dynamic
+//
+// -workload accepts a comma-separated list; the runs fan out across -jobs
+// workers (default: all CPU cores) and outputs print in list order.
 //
 // (For external kernel sources, use mosaic-ddg -src to inspect compilation
 // and the library API to drive simulation.)
@@ -18,16 +22,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"mosaicsim/internal/config"
+	"mosaicsim/internal/parallel"
 	"mosaicsim/internal/soc"
 	"mosaicsim/internal/stats"
 	"mosaicsim/internal/workloads"
 )
 
 func main() {
-	workload := flag.String("workload", "", "built-in workload name (see -list)")
+	workload := flag.String("workload", "", "built-in workload name, or a comma-separated list (see -list)")
 	list := flag.Bool("list", false, "list built-in workloads")
 	tiles := flag.Int("tiles", 1, "SPMD tile count")
 	coreKind := flag.String("core", "ooo", "core model: ooo, inorder, xeon")
@@ -41,6 +48,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the result as JSON instead of tables")
 	cfgPath := flag.String("config", "", "system configuration JSON (overrides -core/-mem)")
 	saveCfg := flag.String("save-config", "", "write the effective system configuration to a JSON file and exit")
+	jobs := flag.Int("jobs", 0, "max concurrent workload simulations (0 = all CPU cores)")
 	flag.Parse()
 
 	if *list {
@@ -53,68 +61,79 @@ func main() {
 		fmt.Fprintln(os.Stderr, "need -workload (or -list); see -h")
 		os.Exit(2)
 	}
-	w := workloads.ByName(*workload)
-	if w == nil {
-		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *workload)
-		os.Exit(2)
+	var ws []*workloads.Workload
+	for _, name := range strings.Split(*workload, ",") {
+		name = strings.TrimSpace(name)
+		w := workloads.ByName(name)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		ws = append(ws, w)
 	}
 
-	var sc *config.SystemConfig
-	if *cfgPath != "" {
-		var err error
-		sc, err = config.Load(*cfgPath)
+	configFor := func(w *workloads.Workload) (*config.SystemConfig, error) {
+		var sc *config.SystemConfig
+		if *cfgPath != "" {
+			var err error
+			sc, err = config.Load(*cfgPath)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			var core config.CoreConfig
+			switch *coreKind {
+			case "ooo":
+				core = config.OutOfOrderCore()
+			case "inorder":
+				core = config.InOrderCore()
+			case "xeon":
+				core = config.XeonLikeCore()
+			default:
+				return nil, fmt.Errorf("unknown core %q", *coreKind)
+			}
+			mem := config.TableIIMem()
+			if *memKind == "tab1" {
+				mem = config.TableIMem()
+			}
+			sc = &config.SystemConfig{
+				Name:  fmt.Sprintf("%s-%dx%s", w.Name, *tiles, *coreKind),
+				Cores: []config.CoreSpec{{Core: core, Count: *tiles}},
+				Mem:   mem,
+			}
+		}
+		switch *dram {
+		case "":
+		case "simple":
+			sc.Mem.DRAM.Model = config.DRAMSimple
+		case "banked":
+			bw := sc.Mem.DRAM.BandwidthGBs
+			sc.Mem.DRAM = config.BankedDRAMDefaults(bw)
+		default:
+			return nil, fmt.Errorf("unknown DRAM model %q", *dram)
+		}
+		if *coherence {
+			sc.Mem.Directory = true
+		}
+		if *mesh > 0 {
+			sc.NoC = &config.NoCConfig{MeshWidth: *mesh, HopCycles: *hop}
+		}
+		if *branch != "" {
+			for i := range sc.Cores {
+				sc.Cores[i].Core.Branch = config.BranchPredictor(*branch)
+			}
+		}
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+		return sc, nil
+	}
+
+	if *saveCfg != "" {
+		sc, err := configFor(ws[0])
 		if err != nil {
 			fatal(err)
 		}
-	} else {
-		var core config.CoreConfig
-		switch *coreKind {
-		case "ooo":
-			core = config.OutOfOrderCore()
-		case "inorder":
-			core = config.InOrderCore()
-		case "xeon":
-			core = config.XeonLikeCore()
-		default:
-			fmt.Fprintf(os.Stderr, "unknown core %q\n", *coreKind)
-			os.Exit(2)
-		}
-		mem := config.TableIIMem()
-		if *memKind == "tab1" {
-			mem = config.TableIMem()
-		}
-		sc = &config.SystemConfig{
-			Name:  fmt.Sprintf("%s-%dx%s", w.Name, *tiles, *coreKind),
-			Cores: []config.CoreSpec{{Core: core, Count: *tiles}},
-			Mem:   mem,
-		}
-	}
-	switch *dram {
-	case "":
-	case "simple":
-		sc.Mem.DRAM.Model = config.DRAMSimple
-	case "banked":
-		bw := sc.Mem.DRAM.BandwidthGBs
-		sc.Mem.DRAM = config.BankedDRAMDefaults(bw)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown DRAM model %q\n", *dram)
-		os.Exit(2)
-	}
-	if *coherence {
-		sc.Mem.Directory = true
-	}
-	if *mesh > 0 {
-		sc.NoC = &config.NoCConfig{MeshWidth: *mesh, HopCycles: *hop}
-	}
-	if *branch != "" {
-		for i := range sc.Cores {
-			sc.Cores[i].Core.Branch = config.BranchPredictor(*branch)
-		}
-	}
-	if err := sc.Validate(); err != nil {
-		fatal(err)
-	}
-	if *saveCfg != "" {
 		if err := sc.Save(*saveCfg); err != nil {
 			fatal(err)
 		}
@@ -122,44 +141,73 @@ func main() {
 		return
 	}
 
-	var ws workloads.Scale
+	var wScale workloads.Scale
 	switch *scale {
 	case "tiny":
-		ws = workloads.Tiny
+		wScale = workloads.Tiny
 	case "large":
-		ws = workloads.Large
+		wScale = workloads.Large
 	default:
-		ws = workloads.Small
+		wScale = workloads.Small
 	}
 
-	fmt.Printf("compiling and tracing %s (%d tiles, %s scale)...\n", w.Name, *tiles, *scale)
-	g, tr, err := w.Trace(*tiles, ws)
+	// Each workload simulates independently; outputs are buffered and
+	// printed in list order so -jobs never reorders or interleaves them.
+	if *jobs > 0 {
+		parallel.SetLimit(*jobs)
+	}
+	outs := make([]string, len(ws))
+	err := parallel.ForErr(0, len(ws), func(i int) error {
+		out, err := runOne(ws[i], configFor, wScale, *tiles, *scale, *asJSON)
+		outs[i] = out
+		return err
+	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("trace: %d dynamic instructions, %d memory events\n",
+	for _, out := range outs {
+		fmt.Print(out)
+	}
+}
+
+// runOne traces and simulates one workload, returning its full rendered
+// output.
+func runOne(w *workloads.Workload, configFor func(*workloads.Workload) (*config.SystemConfig, error),
+	wScale workloads.Scale, tiles int, scale string, asJSON bool) (string, error) {
+	sc, err := configFor(w)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "compiling and tracing %s (%d tiles, %s scale)...\n", w.Name, tiles, scale)
+	g, tr, err := w.Trace(tiles, wScale)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&sb, "trace: %d dynamic instructions, %d memory events\n",
 		tr.TotalDynInstrs(), tr.TotalMemEvents())
 
 	accels := workloads.DefaultAccelModels(sc.Cores[0].Core.ClockMHz)
 	sys, err := soc.NewSPMD(sc, g, tr, accels)
 	if err != nil {
-		fatal(err)
+		return "", err
 	}
 	if err := sys.Run(0); err != nil {
-		fatal(err)
+		return "", err
 	}
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+	if asJSON {
+		enc := json.NewEncoder(&sb)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(sys.Result()); err != nil {
-			fatal(err)
+			return "", err
 		}
-		return
+		return sb.String(), nil
 	}
-	printResult(sys)
+	printResult(&sb, sys)
+	return sb.String(), nil
 }
 
-func printResult(sys *soc.System) {
+func printResult(out io.Writer, sys *soc.System) {
 	r := sys.Result()
 	tbl := stats.NewTable("simulation result", "metric", "value")
 	tbl.Row("cycles", r.Cycles)
@@ -186,14 +234,14 @@ func printResult(sys *soc.System) {
 		tbl.Row("accelerator calls", r.AccelCalls)
 		tbl.Row("accelerator bytes", r.AccelBytes)
 	}
-	fmt.Println(tbl.String())
+	fmt.Fprintln(out, tbl.String())
 
 	per := stats.NewTable("per-tile", "tile", "instrs", "IPC", "loads", "stores", "sends", "recvs", "MAO stalls", "comm stalls")
 	for i, c := range sys.Cores {
 		s := c.Stats
 		per.Row(i, s.Instrs, s.IPC(), s.Loads, s.Stores, s.Sends, s.Recvs, s.MAOStalls, s.CommStalls)
 	}
-	fmt.Println(per.String())
+	fmt.Fprintln(out, per.String())
 }
 
 func fatal(err error) {

@@ -4,15 +4,23 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
 	"strings"
 
 	"mosaicsim/internal/experiments"
+	"mosaicsim/internal/parallel"
 	"mosaicsim/internal/trends"
 )
 
 func main() {
+	jobs := flag.Int("jobs", 0, "max concurrent simulations for the shared sweep engine (0 = all CPU cores)")
+	flag.Parse()
+	if *jobs > 0 {
+		parallel.SetLimit(*jobs)
+	}
+
 	fmt.Println(experiments.Fig1().String())
 
 	// ASCII sketch: log10 scale, F = frequency (MHz), C = logical cores.

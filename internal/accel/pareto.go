@@ -1,6 +1,10 @@
 package accel
 
-import "sort"
+import (
+	"sort"
+
+	"mosaicsim/internal/parallel"
+)
 
 // Design-space exploration helpers (§IV-B): "HLS allows for seamless
 // generation and evaluation of multiple RTL implementations ... The SoC
@@ -16,16 +20,22 @@ type EvaluatedPoint struct {
 }
 
 // Evaluate runs the pipeline model of the accelerator built by mk at every
-// design point for the given invocation parameters.
+// design point for the given invocation parameters. Points are independent,
+// so they fan out across the sweep engine's shared worker pool; results are
+// collected by index, keeping the output order deterministic.
 func Evaluate(mk func(DesignPoint) *Accelerator, points []DesignPoint, params []int64) ([]EvaluatedPoint, error) {
-	out := make([]EvaluatedPoint, 0, len(points))
-	for _, dp := range points {
-		a := mk(dp)
+	out := make([]EvaluatedPoint, len(points))
+	err := parallel.ForErr(0, len(points), func(i int) error {
+		a := mk(points[i])
 		cycles, err := a.SimulatePipeline(params)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, EvaluatedPoint{DP: dp, AreaUM: a.AreaUM2(), Cycles: cycles})
+		out[i] = EvaluatedPoint{DP: points[i], AreaUM: a.AreaUM2(), Cycles: cycles}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"mosaicsim/internal/config"
 	"mosaicsim/internal/href"
+	"mosaicsim/internal/parallel"
 	"mosaicsim/internal/stats"
 	"mosaicsim/internal/workloads"
 )
@@ -32,24 +33,34 @@ func (r *Runner) Fig5() (*Report, error) {
 	tbl := stats.NewTable("Fig. 5 — runtime accuracy factor vs reference machine",
 		"benchmark", "mosaic cycles", "reference cycles", "accuracy", "paper")
 	values := map[string]float64{}
-	var factors []float64
-	for _, w := range workloads.Parboil() {
-		g, tr, err := r.traced(w, 1)
+	ws := workloads.Parboil()
+	simC := make([]int64, len(ws))
+	refC := make([]int64, len(ws))
+	err := parallel.ForErr(r.Jobs, len(ws), func(i int) error {
+		g, tr, err := r.traced(ws[i], 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sim, err := simulate(config.XeonSystem(1), g, tr, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ref, err := href.Measure(g, tr)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		acc := float64(sim.Cycles) / float64(ref)
+		simC[i], refC[i] = sim.Cycles, ref
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var factors []float64
+	for i, w := range ws {
+		acc := float64(simC[i]) / float64(refC[i])
 		factors = append(factors, acc)
 		values[w.Name] = acc
-		tbl.Row(w.Name, sim.Cycles, ref, acc, paperFig5[w.Name])
+		tbl.Row(w.Name, simC[i], refC[i], acc, paperFig5[w.Name])
 	}
 	gm := stats.Geomean(factors)
 	values["geomean"] = gm
@@ -67,19 +78,26 @@ func (r *Runner) Fig6() (*Report, error) {
 		name string
 		ipc  float64
 	}
-	var rows []row
+	ws := workloads.Parboil()
+	rows := make([]row, len(ws))
 	values := map[string]float64{}
-	for _, w := range workloads.Parboil() {
-		g, tr, err := r.traced(w, 1)
+	err := parallel.ForErr(r.Jobs, len(ws), func(i int) error {
+		g, tr, err := r.traced(ws[i], 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sim, err := simulate(config.XeonSystem(1), g, tr, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row{w.Name, sim.IPC})
-		values[w.Name] = sim.IPC
+		rows[i] = row{ws[i].Name, sim.IPC}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rw := range rows {
+		values[rw.name] = rw.ipc
 	}
 	for i := 0; i < len(rows); i++ {
 		for j := i + 1; j < len(rows); j++ {
@@ -108,21 +126,31 @@ func (r *Runner) FigScaling(id, workload string) (*Report, error) {
 	threads := []int{1, 2, 4, 8}
 	simCycles := map[int]int64{}
 	refCycles := map[int]int64{}
-	for _, t := range threads {
+	simArr := make([]int64, len(threads))
+	refArr := make([]int64, len(threads))
+	err := parallel.ForErr(r.Jobs, len(threads), func(i int) error {
+		t := threads[i]
 		g, tr, err := r.traced(w, t)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sim, err := simulate(config.XeonSystem(t), g, tr, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ref, err := href.Measure(g, tr)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		simCycles[t] = sim.Cycles
-		refCycles[t] = ref
+		simArr[i], refArr[i] = sim.Cycles, ref
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range threads {
+		simCycles[t] = simArr[i]
+		refCycles[t] = refArr[i]
 	}
 	tbl := stats.NewTable(
 		fmt.Sprintf("%s — %s scaling (speedup over 1 thread)", figTitle(id), workload),
@@ -156,19 +184,31 @@ func (r *Runner) Storage() (*Report, error) {
 	tbl := stats.NewTable("§VI-B — trace storage requirements",
 		"benchmark", "dyn. instrs", "mem events", "trace bytes", "bytes/instr")
 	values := map[string]float64{}
-	for _, w := range workloads.Parboil() {
-		_, tr, err := r.traced(w, 1)
+	ws := workloads.Parboil()
+	type sizes struct {
+		bytes, instrs, events int64
+	}
+	rows := make([]sizes, len(ws))
+	err := parallel.ForErr(r.Jobs, len(ws), func(i int) error {
+		_, tr, err := r.traced(ws[i], 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var buf bytes.Buffer
 		n, err := tr.WriteTo(&buf)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		per := float64(n) / float64(tr.TotalDynInstrs())
-		values[w.Name] = float64(n)
-		tbl.Row(w.Name, tr.TotalDynInstrs(), tr.TotalMemEvents(), n, per)
+		rows[i] = sizes{bytes: n, instrs: tr.TotalDynInstrs(), events: tr.TotalMemEvents()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		per := float64(rows[i].bytes) / float64(rows[i].instrs)
+		values[w.Name] = float64(rows[i].bytes)
+		tbl.Row(w.Name, rows[i].instrs, rows[i].events, rows[i].bytes, per)
 	}
 	return &Report{
 		ID: "storage", Title: "Trace storage", Table: tbl, Values: values,

@@ -151,30 +151,18 @@ func (r *Runner) Fig11() (*Report, error) {
 	mem := config.TableIIMem()
 	ino, ooo := config.InOrderCore(), config.OutOfOrderCore()
 
-	base, err := r.cyclesOn(w, ino, 1, mem, nil)
+	c, err := r.legs([]func() (int64, error){
+		func() (int64, error) { return r.cyclesOn(w, ino, 1, mem, nil) },
+		func() (int64, error) { return r.cyclesOn(w, ooo, 1, mem, nil) },
+		func() (int64, error) { return r.cyclesOn(w, ino, 2, mem, nil) },
+		func() (int64, error) { return r.daeCycles(w, 1, mem, nil) },
+		func() (int64, error) { return r.cyclesOn(w, ino, 8, mem, nil) },
+		func() (int64, error) { return r.daeCycles(w, 4, mem, nil) },
+	})
 	if err != nil {
 		return nil, err
 	}
-	oooC, err := r.cyclesOn(w, ooo, 1, mem, nil)
-	if err != nil {
-		return nil, err
-	}
-	homo2, err := r.cyclesOn(w, ino, 2, mem, nil)
-	if err != nil {
-		return nil, err
-	}
-	dae1, err := r.daeCycles(w, 1, mem, nil)
-	if err != nil {
-		return nil, err
-	}
-	homo8, err := r.cyclesOn(w, ino, 8, mem, nil)
-	if err != nil {
-		return nil, err
-	}
-	dae4, err := r.daeCycles(w, 4, mem, nil)
-	if err != nil {
-		return nil, err
-	}
+	base, oooC, homo2, dae1, homo8, dae4 := c[0], c[1], c[2], c[3], c[4], c[5]
 
 	sp := func(c int64) float64 { return float64(base) / float64(c) }
 	tbl := stats.NewTable("Fig. 11 — graph projection speedups (vs 1 in-order core)",
@@ -210,54 +198,39 @@ func (r *Runner) Fig12() (*Report, error) {
 	accels := workloads.DefaultAccelModels(ino.ClockMHz)
 
 	type sysResult map[string]float64
-	eval := func(w *workloads.Workload) (sysResult, error) {
-		base, err := r.cyclesOn(w, ino, 1, mem, accels)
-		if err != nil {
-			return nil, err
+	// Every measurement across both workloads is an independent leg; the
+	// sweep engine fans them all out at once and results are assembled by
+	// index. The SGEMM 1-InO leg doubles as the accelerator bar's baseline.
+	mkLegs := func(w *workloads.Workload) []func() (int64, error) {
+		return []func() (int64, error){
+			func() (int64, error) { return r.cyclesOn(w, ino, 1, mem, accels) },
+			func() (int64, error) { return r.cyclesOn(w, ino, 4, mem, accels) },
+			func() (int64, error) { return r.cyclesOn(w, ino, 8, mem, accels) },
+			func() (int64, error) { return r.cyclesOn(w, ooo, 1, mem, accels) },
+			func() (int64, error) { return r.daeCycles(w, 4, mem, accels) },
 		}
+	}
+	legNames := []string{"1 InO", "4 InO", "8 InO", "1 OoO", "4+4 InO DAE"}
+	fns := append(mkLegs(workloads.EWSD()), mkLegs(workloads.SGEMM())...)
+	fns = append(fns, func() (int64, error) {
+		return r.cyclesOn(workloads.SGEMMAccel(), ino, 1, mem, accels)
+	})
+	c, err := r.legs(fns)
+	if err != nil {
+		return nil, err
+	}
+	assemble := func(c []int64) sysResult {
 		out := sysResult{"1 InO": 1}
-		if c, err := r.cyclesOn(w, ino, 4, mem, accels); err == nil {
-			out["4 InO"] = float64(base) / float64(c)
-		} else {
-			return nil, err
+		for i := 1; i < len(legNames); i++ {
+			out[legNames[i]] = float64(c[0]) / float64(c[i])
 		}
-		if c, err := r.cyclesOn(w, ino, 8, mem, accels); err == nil {
-			out["8 InO"] = float64(base) / float64(c)
-		} else {
-			return nil, err
-		}
-		if c, err := r.cyclesOn(w, ooo, 1, mem, accels); err == nil {
-			out["1 OoO"] = float64(base) / float64(c)
-		} else {
-			return nil, err
-		}
-		if c, err := r.daeCycles(w, 4, mem, accels); err == nil {
-			out["4+4 InO DAE"] = float64(base) / float64(c)
-		} else {
-			return nil, err
-		}
-		return out, nil
+		return out
 	}
-
-	ewsd, err := eval(workloads.EWSD())
-	if err != nil {
-		return nil, err
-	}
-	sg, err := eval(workloads.SGEMM())
-	if err != nil {
-		return nil, err
-	}
+	ewsd := assemble(c[:5])
+	sg := assemble(c[5:10])
 	// Accelerator bar: SGEMM offloaded, normalized to the same 1-InO
 	// software baseline.
-	sgBase, err := r.cyclesOn(workloads.SGEMM(), ino, 1, mem, accels)
-	if err != nil {
-		return nil, err
-	}
-	accC, err := r.cyclesOn(workloads.SGEMMAccel(), ino, 1, mem, accels)
-	if err != nil {
-		return nil, err
-	}
-	sg["Accel"] = float64(sgBase) / float64(accC)
+	sg["Accel"] = float64(c[5]) / float64(c[10])
 
 	order := []string{"1 InO", "4 InO", "8 InO", "1 OoO", "4+4 InO DAE", "Accel"}
 	paperE := map[string]float64{"1 InO": 1, "4 InO": 3.3, "8 InO": 4.8, "1 OoO": 3.6, "4+4 InO DAE": 6}
@@ -292,41 +265,37 @@ func (r *Runner) Fig13() (*Report, error) {
 	accels := workloads.DefaultAccelModels(ino.ClockMHz)
 
 	sgw, ew := workloads.SGEMM(), workloads.EWSD()
-	phase := func(w *workloads.Workload, useAccelForSGEMM bool) (map[string]int64, error) {
+	// Phase measurements for both workloads plus the SGEMM accelerator
+	// offload are independent legs fanned out together.
+	legNames := []string{"4 InO", "8 InO", "1 OoO", "4+4 InO DAE", "base"}
+	mkLegs := func(w *workloads.Workload) []func() (int64, error) {
+		return []func() (int64, error){
+			func() (int64, error) { return r.cyclesOn(w, ino, 4, mem, accels) },
+			func() (int64, error) { return r.cyclesOn(w, ino, 8, mem, accels) },
+			func() (int64, error) { return r.cyclesOn(w, ooo, 1, mem, accels) },
+			func() (int64, error) { return r.daeCycles(w, 4, mem, accels) },
+			func() (int64, error) { return r.cyclesOn(w, ino, 1, mem, accels) },
+		}
+	}
+	fns := append(mkLegs(sgw), mkLegs(ew)...)
+	fns = append(fns, func() (int64, error) {
+		return r.cyclesOn(workloads.SGEMMAccel(), ino, 1, mem, accels)
+	})
+	c, err := r.legs(fns)
+	if err != nil {
+		return nil, err
+	}
+	assemble := func(c []int64) map[string]int64 {
 		out := map[string]int64{}
-		var err error
-		if out["4 InO"], err = r.cyclesOn(w, ino, 4, mem, accels); err != nil {
-			return nil, err
+		for i, n := range legNames {
+			out[n] = c[i]
 		}
-		if out["8 InO"], err = r.cyclesOn(w, ino, 8, mem, accels); err != nil {
-			return nil, err
-		}
-		if out["1 OoO"], err = r.cyclesOn(w, ooo, 1, mem, accels); err != nil {
-			return nil, err
-		}
-		if out["4+4 InO DAE"], err = r.daeCycles(w, 4, mem, accels); err != nil {
-			return nil, err
-		}
-		if w == sgw && useAccelForSGEMM {
-			if out["4+4 InO DAE w/Accel"], err = r.cyclesOn(workloads.SGEMMAccel(), ino, 1, mem, accels); err != nil {
-				return nil, err
-			}
-		} else {
-			out["4+4 InO DAE w/Accel"] = out["4+4 InO DAE"]
-		}
-		if out["base"], err = r.cyclesOn(w, ino, 1, mem, accels); err != nil {
-			return nil, err
-		}
-		return out, nil
+		return out
 	}
-	sgT, err := phase(sgw, true)
-	if err != nil {
-		return nil, err
-	}
-	ewT, err := phase(ew, false)
-	if err != nil {
-		return nil, err
-	}
+	sgT := assemble(c[:5])
+	ewT := assemble(c[5:10])
+	sgT["4+4 InO DAE w/Accel"] = c[10]
+	ewT["4+4 InO DAE w/Accel"] = ewT["4+4 InO DAE"]
 
 	systems := []string{"4 InO", "8 InO", "1 OoO", "4+4 InO DAE", "4+4 InO DAE w/Accel"}
 	mixes := []struct {

@@ -9,12 +9,14 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mosaicsim/internal/config"
 	"mosaicsim/internal/dae"
 	"mosaicsim/internal/ddg"
 	"mosaicsim/internal/interp"
 	"mosaicsim/internal/ir"
+	"mosaicsim/internal/parallel"
 	"mosaicsim/internal/soc"
 	"mosaicsim/internal/stats"
 	"mosaicsim/internal/trace"
@@ -39,36 +41,102 @@ func (r *Report) String() string {
 }
 
 // Runner executes experiments at a chosen workload scale with caching of
-// traces shared between experiments.
+// traces shared between experiments. A Runner's methods are safe for
+// concurrent use: independent simulation legs within one experiment fan out
+// across the sweep engine's worker pool (internal/parallel), and whole
+// experiments may run concurrently from the CLI.
 type Runner struct {
 	Scale workloads.Scale
+	// Jobs bounds the fan-out of this runner's sweeps: 0 shares the
+	// process-global parallel.SetLimit budget, 1 forces serial execution,
+	// n > 1 requests a dedicated pool of n workers.
+	Jobs int
 
+	mu         sync.Mutex
 	traceCache map[string]*tracedKernel
+	daeCache   map[string]*slicedKernel
 }
 
 type tracedKernel struct {
+	once  sync.Once
 	graph *ddg.Graph
 	tr    *trace.Trace
+	err   error
+}
+
+type slicedKernel struct {
+	once   sync.Once
+	slices *dae.Slices
+	ag, eg *ddg.Graph
+	err    error
 }
 
 // NewRunner builds a Runner; Small is the scale the paper-facing harness
 // uses.
 func NewRunner(s workloads.Scale) *Runner {
-	return &Runner{Scale: s, traceCache: map[string]*tracedKernel{}}
+	return &Runner{
+		Scale:      s,
+		traceCache: map[string]*tracedKernel{},
+		daeCache:   map[string]*slicedKernel{},
+	}
 }
 
 // traced returns (cached) DDG + trace for a workload at a tile count.
+// Concurrent legs asking for the same kernel share one tracing run
+// (singleflight), so the cache stays effective under the parallel sweeps.
 func (r *Runner) traced(w *workloads.Workload, tiles int) (*ddg.Graph, *trace.Trace, error) {
 	key := fmt.Sprintf("%s/%d/%d", w.Name, tiles, r.Scale)
-	if c, ok := r.traceCache[key]; ok {
-		return c.graph, c.tr, nil
+	r.mu.Lock()
+	c, ok := r.traceCache[key]
+	if !ok {
+		c = &tracedKernel{}
+		r.traceCache[key] = c
 	}
-	g, tr, err := w.Trace(tiles, r.Scale)
-	if err != nil {
-		return nil, nil, err
+	r.mu.Unlock()
+	c.once.Do(func() { c.graph, c.tr, c.err = w.Trace(tiles, r.Scale) })
+	return c.graph, c.tr, c.err
+}
+
+// sliced returns (cached) DAE access/execute slices and their DDGs for a
+// workload, with the same singleflight discipline as traced.
+func (r *Runner) sliced(w *workloads.Workload) (*slicedKernel, error) {
+	r.mu.Lock()
+	c, ok := r.daeCache[w.Name]
+	if !ok {
+		c = &slicedKernel{}
+		r.daeCache[w.Name] = c
 	}
-	r.traceCache[key] = &tracedKernel{graph: g, tr: tr}
-	return g, tr, nil
+	r.mu.Unlock()
+	c.once.Do(func() {
+		f, err := w.Kernel()
+		if err != nil {
+			c.err = err
+			return
+		}
+		s, err := dae.Slice(f)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.slices = s
+		c.ag, c.eg = ddg.Build(s.Access), ddg.Build(s.Execute)
+	})
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c, nil
+}
+
+// legs runs independent cycle-count measurements across the runner's worker
+// pool, collecting results by index so callers stay deterministic.
+func (r *Runner) legs(fns []func() (int64, error)) ([]int64, error) {
+	out := make([]int64, len(fns))
+	err := parallel.ForErr(r.Jobs, len(fns), func(i int) error {
+		c, err := fns[i]()
+		out[i] = c
+		return err
+	})
+	return out, err
 }
 
 // simulate runs a homogeneous system over a traced kernel.
@@ -108,14 +176,11 @@ func (r *Runner) cyclesOn(w *workloads.Workload, core config.CoreConfig, count i
 // daeCycles slices a workload into access/execute pairs, traces the pair
 // system, and simulates it on in-order cores (§VII-A).
 func (r *Runner) daeCycles(w *workloads.Workload, pairs int, mem config.MemConfig, accels map[string]soc.AccelModel) (int64, error) {
-	f, err := w.Kernel()
+	sk, err := r.sliced(w)
 	if err != nil {
 		return 0, err
 	}
-	s, err := dae.Slice(f)
-	if err != nil {
-		return 0, err
-	}
+	s, ag, eg := sk.slices, sk.ag, sk.eg
 	var fns []*ir.Function
 	for i := 0; i < pairs; i++ {
 		fns = append(fns, s.Access, s.Execute)
@@ -131,7 +196,6 @@ func (r *Runner) daeCycles(w *workloads.Workload, pairs int, mem config.MemConfi
 			return 0, fmt.Errorf("dae %s: result check: %w", w.Name, err)
 		}
 	}
-	ag, eg := ddg.Build(s.Access), ddg.Build(s.Execute)
 	ino := config.InOrderCore()
 	// DAE cores carry the DeSC structures: communication queues, the
 	// terminal load buffer, and the store address/value buffers (§VII-A).

@@ -189,6 +189,30 @@ func TestStorageMemoryTracesDominate(t *testing.T) {
 	}
 }
 
+// TestParallelSweepDeterminism: the sweep engine must not change results —
+// the same experiments rendered with a serial runner and an 8-worker runner
+// are byte-identical.
+func TestParallelSweepDeterminism(t *testing.T) {
+	render := func(jobs int) string {
+		r := tinyRunner()
+		r.Jobs = jobs
+		var sb strings.Builder
+		for _, id := range []string{"fig5", "fig11", "fig12"} {
+			rep, err := r.Run(id)
+			if err != nil {
+				t.Fatalf("jobs=%d %s: %v", jobs, id, err)
+			}
+			sb.WriteString(rep.String())
+		}
+		return sb.String()
+	}
+	serial := render(1)
+	fanned := render(8)
+	if serial != fanned {
+		t.Errorf("jobs=1 and jobs=8 outputs differ:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", serial, fanned)
+	}
+}
+
 func TestTablesRender(t *testing.T) {
 	for _, rep := range []*Report{Fig1(), Tab1(), Tab2()} {
 		out := rep.String()

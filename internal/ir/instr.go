@@ -1,6 +1,9 @@
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Instr is a single static IR instruction. Instructions are SSA values: an
 // instruction that defines a result can be used as an operand elsewhere.
@@ -161,8 +164,9 @@ type Function struct {
 	Blocks []*Block
 	Parent *Module
 
-	numValues int // valid after AssignIDs
-	numInstrs int
+	assignOnce sync.Once
+	numValues  int // valid after AssignIDs
+	numInstrs  int
 }
 
 // Name returns the function's name.
@@ -180,7 +184,14 @@ func (f *Function) Entry() *Block {
 // layout order, and a shared value-ID space over parameters followed by
 // result-producing instructions. It must be called (it is idempotent) before
 // the function is consumed by the DDG generator, interpreter, or simulator.
+// The assignment runs once per function: consumers (ddg.Build, dae.Slice)
+// call it defensively on functions that may be shared across concurrent
+// sweep legs, and redundant re-writes would race with readers.
 func (f *Function) AssignIDs() {
+	f.assignOnce.Do(f.assignIDs)
+}
+
+func (f *Function) assignIDs() {
 	id := 0
 	for i, p := range f.Params {
 		p.Index = i

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"container/heap"
 	"fmt"
 
 	"mosaicsim/internal/config"
@@ -37,11 +38,6 @@ type cacheLine struct {
 	lastUse    int64
 }
 
-type timedReq struct {
-	ready int64
-	req   *Request
-}
-
 // mshr tracks one outstanding line fill and its coalesced waiters.
 type mshr struct {
 	waiters []*Request
@@ -60,7 +56,13 @@ type Cache struct {
 	shift uint
 	Stats CacheStats
 
-	inq   []timedReq
+	// inq orders pending requests by (ready, arrival seq) in a min-heap, so
+	// an MSHR-stall retry due at now+1 is processed before entries with
+	// larger ready times queued ahead of it. (A plain FIFO head-of-line
+	// blocks such retries behind not-yet-due requests, inflating miss
+	// latency, and its append/[1:] slicing made Tick O(n) under retries.)
+	inq   reqHeap
+	inseq int64
 	mshrs map[uint64]*mshr
 
 	// stream prefetcher state (§V-A): a small table of detected streams;
@@ -87,8 +89,11 @@ func NewCache(cfg config.CacheConfig, next Level) *Cache {
 		nsets: uint64(nsets),
 		mshrs: map[uint64]*mshr{},
 	}
+	// One slab for all sets: pre-sized, contiguous, no per-set allocations.
+	slab := make([]cacheLine, lines)
+	c.sets = make([][]cacheLine, nsets)
 	for s := 0; s < nsets; s++ {
-		c.sets = append(c.sets, make([]cacheLine, cfg.Assoc))
+		c.sets[s] = slab[s*cfg.Assoc : (s+1)*cfg.Assoc : (s+1)*cfg.Assoc]
 	}
 	for ls := cfg.LineBytes; ls > 1; ls >>= 1 {
 		c.shift++
@@ -102,7 +107,13 @@ func (c *Cache) setOf(line uint64) uint64    { return line % c.nsets }
 // Access implements Level.
 func (c *Cache) Access(req *Request, now int64) {
 	c.inflight++
-	c.inq = append(c.inq, timedReq{ready: now + c.cfg.LatencyCycles, req: req})
+	c.enqueue(req, now+c.cfg.LatencyCycles)
+}
+
+// enqueue adds a request to the pending heap at its ready time.
+func (c *Cache) enqueue(req *Request, ready int64) {
+	c.inseq++
+	heap.Push(&c.inq, reqItem{ready: ready, seq: c.inseq, req: req})
 }
 
 // Busy implements Level.
@@ -115,15 +126,14 @@ func (c *Cache) Tick(now int64) {
 		ports = 1
 	}
 	processed := 0
-	// Scan the queue head for due requests; retries are re-appended with a
-	// future ready time so this terminates.
+	// Pop due requests in (ready, seq) order; retries re-enter the heap with
+	// a future ready time so this terminates.
 	for processed < ports && len(c.inq) > 0 {
 		if c.inq[0].ready > now {
 			break
 		}
-		tr := c.inq[0]
-		c.inq = c.inq[1:]
-		c.process(tr.req, now)
+		it := heap.Pop(&c.inq).(reqItem)
+		c.process(it.req, now)
 		processed++
 	}
 }
@@ -189,7 +199,7 @@ func (c *Cache) process(req *Request, now int64) {
 		}
 		// All MSHRs busy: retry next cycle.
 		c.Stats.MSHRStalls++
-		c.inq = append(c.inq, timedReq{ready: now + 1, req: req})
+		c.enqueue(req, now+1)
 		return
 	}
 
@@ -324,10 +334,7 @@ func (c *Cache) maybePrefetch(line uint64, now int64) {
 			}
 			c.Stats.PrefetchIssued++
 			c.inflight++
-			c.inq = append(c.inq, timedReq{
-				ready: now + c.cfg.LatencyCycles,
-				req:   &Request{Addr: uint64(target) << c.shift, Size: c.cfg.LineBytes, Kind: Prefetch},
-			})
+			c.enqueue(&Request{Addr: uint64(target) << c.shift, Size: c.cfg.LineBytes, Kind: Prefetch}, now+c.cfg.LatencyCycles)
 		}
 		return
 	}

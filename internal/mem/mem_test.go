@@ -266,6 +266,56 @@ func TestMSHRStallRetries(t *testing.T) {
 	}
 }
 
+// holdLevel is a next level that parks every fill until released, so tests
+// control exactly when an MSHR frees.
+type holdLevel struct {
+	pending []*Request
+}
+
+func (h *holdLevel) Access(r *Request, now int64) { h.pending = append(h.pending, r) }
+func (h *holdLevel) Tick(int64)                   {}
+func (h *holdLevel) Busy() bool                   { return len(h.pending) > 0 }
+func (h *holdLevel) release(now int64) {
+	for _, r := range h.pending {
+		if r.Done != nil {
+			r.Done(now)
+		}
+	}
+	h.pending = nil
+}
+
+// TestMSHRRetryNotBlockedByLaterEntries: an MSHR-stall retry (ready = now+1)
+// must be processed as soon as the MSHR frees, not wait behind a later entry
+// with a larger ready time. The FIFO inq head-of-line blocked exactly this.
+func TestMSHRRetryNotBlockedByLaterEntries(t *testing.T) {
+	next := &holdLevel{}
+	cfg := config.CacheConfig{Name: "L1", SizeKB: 4, LineBytes: 64, Assoc: 4,
+		LatencyCycles: 20, MSHRs: 1, PortsPerCycle: 4}
+	c := NewCache(cfg, next)
+	// A (due t=20) takes the only MSHR; its fill is held until t=45.
+	// B (due t=40) stalls on the full MSHR and retries from t=41.
+	// C (due t=60) is a later long-latency entry queued behind B's retries.
+	var doneB int64 = -1
+	c.Access(&Request{Addr: 0x00000, Size: 8, Kind: Read, Done: func(int64) {}}, 0)
+	c.Access(&Request{Addr: 0x10000, Size: 8, Kind: Read, Done: func(at int64) { doneB = at }}, 20)
+	c.Access(&Request{Addr: 0x20000, Size: 8, Kind: Read, Done: func(int64) {}}, 40)
+	for now := int64(0); now <= 100; now++ {
+		c.Tick(now)
+		if now >= 45 {
+			next.release(now)
+		}
+	}
+	if c.Stats.MSHRStalls == 0 {
+		t.Fatal("scenario did not exercise MSHR stalls")
+	}
+	if doneB < 0 {
+		t.Fatal("stalled request never completed")
+	}
+	if doneB >= 60 {
+		t.Errorf("retry completed at %d: head-of-line blocked behind the ready=60 entry", doneB)
+	}
+}
+
 func TestThreeLevelHierarchy(t *testing.T) {
 	l2 := testCacheCfg("L2", 64, 6, 0)
 	llc := testCacheCfg("LLC", 256, 18, 0)

@@ -1,0 +1,135 @@
+// Package parallel is the bounded worker pool behind MosaicSim-Go's sweep
+// engine. Independent simulations (experiment legs, DSE points, Pareto
+// sweeps) fan out across a fixed number of workers while every result is
+// collected by index, so a sweep's output is byte-identical no matter how
+// many workers ran it or in which order they finished.
+//
+// The pool budget is process-global: nested sweeps (an experiment fan-out
+// whose legs themselves fan out) share one token pool instead of
+// multiplying worker counts. A call that asks for an explicit width (jobs >
+// 0) gets a dedicated pool of that width — tests and callers that need a
+// known concurrency level use this.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	mu     sync.Mutex
+	limit  int           // 0 = GOMAXPROCS
+	tokens chan struct{} // capacity Limit()-1; admits helper goroutines
+)
+
+// Limit returns the global worker budget: the value set by SetLimit, or
+// GOMAXPROCS when unset.
+func Limit() int {
+	mu.Lock()
+	defer mu.Unlock()
+	if limit > 0 {
+		return limit
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetLimit sets the global worker budget shared by every For call that does
+// not request an explicit width (n <= 0 restores the GOMAXPROCS default).
+// Call it once at startup — typically from a -jobs flag — before sweeps run.
+func SetLimit(n int) {
+	mu.Lock()
+	defer mu.Unlock()
+	limit = n
+	tokens = nil // re-sized lazily against the new budget
+}
+
+// tokenPool returns the helper-admission channel for the current budget.
+func tokenPool() chan struct{} {
+	mu.Lock()
+	defer mu.Unlock()
+	if tokens == nil {
+		n := limit
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		// n-1 helper tokens: the calling goroutine is the n-th worker.
+		cap := n - 1
+		if cap < 0 {
+			cap = 0
+		}
+		tokens = make(chan struct{}, cap)
+		for i := 0; i < cap; i++ {
+			tokens <- struct{}{}
+		}
+	}
+	return tokens
+}
+
+// For runs fn(i) for every i in [0, n) and waits for all of them.
+//
+// jobs > 0 requests a dedicated pool of exactly min(jobs, n) workers;
+// jobs <= 0 uses the calling goroutine plus as many helpers as the global
+// budget has free. The caller always participates, so For never blocks
+// waiting for capacity, and nested calls cannot deadlock.
+func For(jobs, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	if jobs > 0 {
+		// Dedicated pool: exact width, independent of the global budget.
+		for w := 0; w < jobs-1 && w < n-1; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+	} else {
+		// Shared pool: admit helpers while global tokens are free.
+		pool := tokenPool()
+	admit:
+		for w := 0; w < n-1; w++ {
+			select {
+			case <-pool:
+				wg.Add(1)
+				go func() {
+					defer func() {
+						pool <- struct{}{}
+						wg.Done()
+					}()
+					work()
+				}()
+			default:
+				break admit // budget exhausted
+			}
+		}
+	}
+	work()
+	wg.Wait()
+}
+
+// ForErr is For over fallible legs. Every leg runs (no short-circuiting, so
+// result slices the legs fill stay deterministic); the returned error is the
+// lowest-indexed one, matching what a serial loop would have hit first.
+func ForErr(jobs, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	For(jobs, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	const n = 1000
+	counts := make([]int32, n)
+	For(8, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForSerialWhenJobsOne(t *testing.T) {
+	// jobs=1 must run on the calling goroutine only, in index order.
+	var order []int
+	For(1, 50, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("jobs=1 ran out of order: %v", order[:i+1])
+		}
+	}
+	if len(order) != 50 {
+		t.Fatalf("ran %d of 50 legs", len(order))
+	}
+}
+
+func TestForDedicatedWidthIsBounded(t *testing.T) {
+	const jobs, n = 4, 64
+	var cur, peak int32
+	var mu sync.Mutex
+	For(jobs, n, func(i int) {
+		c := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if c > peak {
+			peak = c
+		}
+		mu.Unlock()
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > jobs {
+		t.Errorf("observed %d concurrent workers, pool width is %d", peak, jobs)
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	e3, e7 := errors.New("leg 3"), errors.New("leg 7")
+	ran := make([]int32, 10)
+	err := ForErr(4, 10, func(i int) error {
+		atomic.AddInt32(&ran[i], 1)
+		switch i {
+		case 3:
+			return e3
+		case 7:
+			return e7
+		}
+		return nil
+	})
+	if err != e3 {
+		t.Errorf("want the serial-order first error (leg 3), got %v", err)
+	}
+	for i, c := range ran {
+		if c != 1 {
+			t.Errorf("leg %d ran %d times; ForErr must not short-circuit", i, c)
+		}
+	}
+}
+
+func TestSharedBudgetRespectsSetLimit(t *testing.T) {
+	SetLimit(2)
+	defer SetLimit(0)
+	var cur, peak int32
+	var mu sync.Mutex
+	For(0, 32, func(i int) {
+		c := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if c > peak {
+			peak = c
+		}
+		mu.Unlock()
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > 2 {
+		t.Errorf("shared pool ran %d concurrent workers with limit 2", peak)
+	}
+}
+
+func TestNestedSharedPoolsDoNotMultiply(t *testing.T) {
+	SetLimit(3)
+	defer SetLimit(0)
+	var cur, peak int32
+	var mu sync.Mutex
+	For(0, 4, func(i int) {
+		For(0, 8, func(j int) {
+			c := atomic.AddInt32(&cur, 1)
+			mu.Lock()
+			if c > peak {
+				peak = c
+			}
+			mu.Unlock()
+			atomic.AddInt32(&cur, -1)
+		})
+	})
+	if peak > 3 {
+		t.Errorf("nested sweeps peaked at %d concurrent workers with limit 3", peak)
+	}
+}
+
+func TestZeroAndNegativeN(t *testing.T) {
+	ran := false
+	For(4, 0, func(i int) { ran = true })
+	For(0, -1, func(i int) { ran = true })
+	if ran {
+		t.Error("no legs should run for n <= 0")
+	}
+	if err := ForErr(2, 0, func(i int) error { return errors.New("x") }); err != nil {
+		t.Errorf("empty sweep returned %v", err)
+	}
+}

@@ -6,11 +6,13 @@
 package soc
 
 import (
+	"container/heap"
 	"fmt"
 
 	"mosaicsim/internal/config"
 	"mosaicsim/internal/core"
 	"mosaicsim/internal/ddg"
+	"mosaicsim/internal/ir"
 	"mosaicsim/internal/mem"
 	"mosaicsim/internal/trace"
 )
@@ -56,9 +58,12 @@ type Fabric struct {
 	MeshWidth int
 	HopCycles int64
 
-	queues map[[2]int][]*int64 // arrival cycles (pointers so futures can mature in place)
+	queues map[[2]int]*msgRing // arrival cycles (pointers so futures can mature in place)
 
 	arrivals []int64 // per-tile barrier arrival counts
+	// participants marks the tiles that execute barrier ops; nil means every
+	// tile in [0, Tiles) does (the legacy rule for hand-built fabrics).
+	participants []bool
 
 	Sends     int64
 	Recvs     int64
@@ -87,25 +92,68 @@ func abs(x int) int {
 	return x
 }
 
+// msgRing is a FIFO of in-flight message arrival cycles backed by a ring
+// buffer. The previous append/[1:] slice pattern kept the whole backing
+// array reachable across a run and re-allocated on every wraparound; the
+// ring reuses one buffer at steady state.
+type msgRing struct {
+	buf  []*int64
+	head int
+	n    int
+}
+
+func (r *msgRing) len() int { return r.n }
+
+func (r *msgRing) push(p *int64) {
+	if r.n == len(r.buf) {
+		grown := make([]*int64, max(4, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+}
+
+func (r *msgRing) front() *int64 { return r.buf[r.head] }
+
+func (r *msgRing) pop() {
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+}
+
 // NewFabric builds a fabric with the given buffer capacity (entries per
 // direction pair) and transfer latency in cycles.
 func NewFabric(capacity int, latency int64) *Fabric {
 	if capacity <= 0 {
 		capacity = 512
 	}
-	return &Fabric{Capacity: capacity, Latency: latency, queues: map[[2]int][]*int64{}}
+	return &Fabric{Capacity: capacity, Latency: latency, queues: map[[2]int]*msgRing{}}
+}
+
+// queue returns (allocating on first use) the FIFO for one (src,dst) pair.
+func (f *Fabric) queue(src, dst int) *msgRing {
+	key := [2]int{src, dst}
+	q := f.queues[key]
+	if q == nil {
+		q = &msgRing{}
+		f.queues[key] = q
+	}
+	return q
 }
 
 // TrySend implements core.Fabric.
 func (f *Fabric) TrySend(src, dst int, now int64) bool {
-	key := [2]int{src, dst}
-	q := f.queues[key]
-	if len(q) >= f.Capacity {
+	q := f.queue(src, dst)
+	if q.len() >= f.Capacity {
 		f.FullStall++
 		return false
 	}
 	arrival := now + f.transferLatency(src, dst)
-	f.queues[key] = append(q, &arrival)
+	q.push(&arrival)
 	f.Sends++
 	return true
 }
@@ -114,15 +162,14 @@ func (f *Fabric) TrySend(src, dst int, now int64) bool {
 // the returned setter is called (DeSC terminal-load-buffer sends whose data
 // is still in flight).
 func (f *Fabric) TrySendFuture(src, dst int) (func(int64), bool) {
-	key := [2]int{src, dst}
-	q := f.queues[key]
-	if len(q) >= f.Capacity {
+	q := f.queue(src, dst)
+	if q.len() >= f.Capacity {
 		f.FullStall++
 		return nil, false
 	}
 	pending := int64(1<<62 - 1)
 	slot := &pending
-	f.queues[key] = append(q, slot)
+	q.push(slot)
 	f.Sends++
 	lat := f.transferLatency(src, dst)
 	return func(at int64) { *slot = at + lat }, true
@@ -130,12 +177,11 @@ func (f *Fabric) TrySendFuture(src, dst int) (func(int64), bool) {
 
 // TryRecv implements core.Fabric.
 func (f *Fabric) TryRecv(dst, src int, now int64) bool {
-	key := [2]int{src, dst}
-	q := f.queues[key]
-	if len(q) == 0 || *q[0] > now {
+	q := f.queues[[2]int{src, dst}]
+	if q == nil || q.len() == 0 || *q.front() > now {
 		return false
 	}
-	f.queues[key] = q[1:]
+	q.pop()
 	f.Recvs++
 	return true
 }
@@ -150,9 +196,28 @@ func (f *Fabric) BarrierArrive(tile int) int64 {
 	return f.arrivals[tile] - 1
 }
 
-// BarrierReleased implements core.Fabric: true once every registered tile
-// has arrived at barrier seq. The tile count is fixed by the system.
+// SetBarrierParticipants registers which tiles take part in barriers.
+// System construction derives this from the traces: a tile whose trace
+// executes no barrier ops never arrives, and requiring it (as the legacy
+// all-tiles rule did) deadlocks the whole system until the cycle limit.
+func (f *Fabric) SetBarrierParticipants(parts []bool) {
+	f.participants = parts
+	f.arrivals = make([]int64, len(parts))
+}
+
+// BarrierReleased implements core.Fabric: true once every participating tile
+// has arrived at barrier seq.
 func (f *Fabric) BarrierReleased(seq int64) bool {
+	if f.participants != nil {
+		for tile, in := range f.participants {
+			if in && (tile >= len(f.arrivals) || f.arrivals[tile] <= seq) {
+				return false
+			}
+		}
+		return true
+	}
+	// Legacy rule for hand-built fabrics: every tile in [0, Tiles)
+	// participates.
 	if f.Tiles <= 0 {
 		return true
 	}
@@ -171,7 +236,7 @@ func (f *Fabric) BarrierReleased(seq int64) bool {
 func (f *Fabric) Pending() int {
 	n := 0
 	for _, q := range f.queues {
-		n += len(q)
+		n += q.len()
 	}
 	return n
 }
@@ -185,11 +250,42 @@ type System struct {
 
 	accels      map[string]AccelModel
 	outstanding map[string]int
+	accelEvents accelEventHeap // scheduled outstanding[] decrements
 	AccelEnergy float64
 	AccelBytes  int64
 	AccelCalls  int64
 
 	Cycles int64
+}
+
+// accelEvent schedules the release of one outstanding accelerator
+// invocation at its simulated completion cycle.
+type accelEvent struct {
+	at   int64
+	name string
+}
+
+type accelEventHeap []accelEvent
+
+func (h accelEventHeap) Len() int           { return len(h) }
+func (h accelEventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h accelEventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *accelEventHeap) Push(x any)        { *h = append(*h, x.(accelEvent)) }
+func (h *accelEventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// releaseAccelsDue retires accelerator invocations whose completion cycle
+// has been reached, so outstanding[] reflects simulated time.
+func (s *System) releaseAccelsDue(now int64) {
+	for s.accelEvents.Len() > 0 && s.accelEvents[0].at <= now {
+		ev := heap.Pop(&s.accelEvents).(accelEvent)
+		s.outstanding[ev.name]--
+	}
 }
 
 type memPort struct {
@@ -221,13 +317,14 @@ func (p accelPort) Invoke(name string, params []int64, now int64, done func(int6
 	p.s.AccelBytes += res.Bytes
 	p.s.AccelCalls++
 	at := now + res.Cycles
-	name0 := name
-	doneWrapped := func(t int64) {
-		p.s.outstanding[name0]--
-		done(t)
-	}
-	// Completion is delivered through the invoking core's completion queue.
-	doneWrapped(at)
+	// The invocation stays outstanding until simulated time reaches its
+	// completion cycle: Run drains the decrement there, so overlapping
+	// invocations observe each other and the §IV-B bandwidth-sharing model
+	// engages. (The old code decremented synchronously inside this call,
+	// which made `concurrent` always 0.) Completion is delivered through
+	// the invoking core's completion queue via done.
+	heap.Push(&p.s.accelEvents, accelEvent{at: at, name: name})
+	done(at)
 	return nil
 }
 
@@ -255,12 +352,61 @@ func New(name string, tiles []TileSpec, memCfg config.MemConfig, accels map[stri
 	cap := tiles[0].Cfg.MaxMessages
 	s.Fabric = NewFabric(cap, 1)
 	s.Fabric.Tiles = len(tiles)
+	// Register barrier participants from the traces: a tile whose trace
+	// executes no barrier ops must not be waited on, and participating
+	// tiles with unequal barrier counts would deadlock — report that here
+	// instead of burning the cycle limit.
+	counts := barrierCounts(tiles)
+	parts := make([]bool, len(tiles))
+	ref := -1
+	for i, n := range counts {
+		parts[i] = n > 0
+		if n == 0 {
+			continue
+		}
+		if ref < 0 {
+			ref = i
+		} else if counts[ref] != n {
+			return nil, fmt.Errorf(
+				"soc: system %q would deadlock at a barrier: tile %d (%s) executes %d barrier ops but tile %d (%s) executes %d",
+				name, ref, tiles[ref].Cfg.Name, counts[ref], i, tiles[i].Cfg.Name, n)
+		}
+	}
+	s.Fabric.SetBarrierParticipants(parts)
 	for i, t := range tiles {
 		c := core.New(i, t.Cfg, t.Graph, t.TT, memPort{h: s.Hier, core: i}, s.Fabric, accelPort{s: s})
 		c.SetClockScale(int64(maxClock), int64(t.Cfg.ClockMHz))
 		s.Cores = append(s.Cores, c)
 	}
 	return s, nil
+}
+
+// barrierCounts returns, per tile, how many barrier ops its trace executes:
+// the per-block barrier count of its kernel graph summed along its traced
+// block path. Graphs are scanned once even when tiles share them (SPMD).
+func barrierCounts(tiles []TileSpec) []int64 {
+	perGraph := map[*ddg.Graph][]int64{}
+	counts := make([]int64, len(tiles))
+	for i, t := range tiles {
+		per, ok := perGraph[t.Graph]
+		if !ok {
+			per = make([]int64, len(t.Graph.Blocks))
+			for b, bg := range t.Graph.Blocks {
+				for _, sn := range bg.Nodes {
+					if sn.Instr.Op == ir.OpCall && sn.Instr.Callee == "barrier" {
+						per[b]++
+					}
+				}
+			}
+			perGraph[t.Graph] = per
+		}
+		var total int64
+		for _, b := range t.TT.BBPath {
+			total += per[b]
+		}
+		counts[i] = total
+	}
+	return counts
 }
 
 // NewSPMD builds a homogeneous SPMD system: every core of cfg runs the same
@@ -310,6 +456,7 @@ func (s *System) Run(limit int64) error {
 		accum[i] = maxClock // step every core on cycle 0
 	}
 	for cycle := int64(0); cycle <= limit; cycle++ {
+		s.releaseAccelsDue(cycle)
 		anyActive := false
 		for i, c := range s.Cores {
 			accum[i] += strides[i]

@@ -215,6 +215,126 @@ void kernel(double* A, long n) {
 	}
 }
 
+// concAccel records the highest `concurrent` value any invocation observed.
+type concAccel struct {
+	cycles  int64
+	maxConc int
+}
+
+func (a *concAccel) Invoke(params []int64, concurrent int) (AccelResult, error) {
+	if concurrent > a.maxConc {
+		a.maxConc = concurrent
+	}
+	return AccelResult{Cycles: a.cycles, Bytes: 64, EnergyPJ: 1}, nil
+}
+
+// TestAccelConcurrencyObserved: two tiles invoke the same long-running
+// accelerator at nearly the same cycle, so the second invocation must see
+// concurrent > 0. The old accounting decremented outstanding[] synchronously
+// inside Invoke, so concurrent was always 0 and the §IV-B bandwidth-sharing
+// scaling never engaged.
+func TestAccelConcurrencyObserved(t *testing.T) {
+	src := `
+void kernel(double* A, long n) {
+  acc_fixed(A, n);
+  A[tile_id()] = 1.0;
+}
+`
+	g, tr := traceSPMD(t, src, 2, func(m *interp.Memory) []uint64 {
+		return []uint64{m.AllocF64(make([]float64, 16)), 16}
+	}, map[string]interp.AccFunc{"acc_fixed": func(m *interp.Memory, p []int64) {}})
+	ca := &concAccel{cycles: 50000}
+	sys, err := NewSPMD(&config.SystemConfig{
+		Name:  "conc",
+		Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: 2}},
+		Mem:   config.TableIIMem(),
+	}, g, tr, map[string]AccelModel{"acc_fixed": ca})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if sys.AccelCalls != 2 {
+		t.Fatalf("accel calls = %d, want 2", sys.AccelCalls)
+	}
+	if ca.maxConc < 1 {
+		t.Error("overlapping invocations observed concurrent = 0: outstanding[] is decremented before simulated completion")
+	}
+}
+
+// TestBarrierWithNonParticipantTile: a heterogeneous (DAE-style) system where
+// one tile's trace has barrier ops and the other's has none must complete.
+// The legacy all-tiles barrier rule waited on the barrier-free tile forever
+// and burned the whole cycle limit.
+func TestBarrierWithNonParticipantTile(t *testing.T) {
+	barSrc := `
+void kernel(double* A, long n) {
+  A[0] = 1.0;
+  barrier();
+  A[1] = 2.0;
+}
+`
+	plainSrc := `
+void kernel(double* A, long n) {
+  for (long i = 0; i < n; i++) {
+    A[i] = 3.0;
+  }
+}
+`
+	setup := func(m *interp.Memory) []uint64 {
+		return []uint64{m.AllocF64(make([]float64, 64)), 64}
+	}
+	gB, trB := traceSPMD(t, barSrc, 1, setup, nil)
+	gP, trP := traceSPMD(t, plainSrc, 1, setup, nil)
+	sys, err := New("hetero-barrier", []TileSpec{
+		{Cfg: config.InOrderCore(), Graph: gB, TT: trB.Tiles[0]},
+		{Cfg: config.InOrderCore(), Graph: gP, TT: trP.Tiles[0]},
+	}, config.TableIIMem(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(10_000_000); err != nil {
+		t.Fatalf("system with a barrier-free tile did not complete: %v", err)
+	}
+	for i, c := range sys.Cores {
+		if !c.Done() {
+			t.Errorf("tile %d never finished", i)
+		}
+	}
+}
+
+// TestBarrierCountMismatchIsError: participating tiles whose traces execute
+// different numbers of barriers are a guaranteed deadlock; New must say so
+// instead of letting Run burn the cycle limit.
+func TestBarrierCountMismatchIsError(t *testing.T) {
+	oneSrc := `
+void kernel(double* A, long n) {
+  barrier();
+  A[0] = 1.0;
+}
+`
+	twoSrc := `
+void kernel(double* A, long n) {
+  barrier();
+  A[1] = 2.0;
+  barrier();
+}
+`
+	setup := func(m *interp.Memory) []uint64 {
+		return []uint64{m.AllocF64(make([]float64, 16)), 16}
+	}
+	g1, tr1 := traceSPMD(t, oneSrc, 1, setup, nil)
+	g2, tr2 := traceSPMD(t, twoSrc, 1, setup, nil)
+	_, err := New("mismatch", []TileSpec{
+		{Cfg: config.InOrderCore(), Graph: g1, TT: tr1.Tiles[0]},
+		{Cfg: config.InOrderCore(), Graph: g2, TT: tr2.Tiles[0]},
+	}, config.TableIIMem(), nil)
+	if err == nil || !strings.Contains(err.Error(), "barrier") {
+		t.Errorf("want descriptive barrier-deadlock error, got %v", err)
+	}
+}
+
 func TestMissingAcceleratorModelFails(t *testing.T) {
 	src := `
 void kernel(double* A, long n) {
