@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"mosaicsim/internal/config"
@@ -49,7 +51,35 @@ func main() {
 	cfgPath := flag.String("config", "", "system configuration JSON (overrides -core/-mem)")
 	saveCfg := flag.String("save-config", "", "write the effective system configuration to a JSON file and exit")
 	jobs := flag.Int("jobs", 0, "max concurrent workload simulations (0 = all CPU cores)")
+	noskip := flag.Bool("noskip", false, "disable event-horizon cycle skipping (naive cycle-by-cycle loop)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, w := range workloads.All() {
@@ -158,7 +188,7 @@ func main() {
 	}
 	outs := make([]string, len(ws))
 	err := parallel.ForErr(0, len(ws), func(i int) error {
-		out, err := runOne(ws[i], configFor, wScale, *tiles, *scale, *asJSON)
+		out, err := runOne(ws[i], configFor, wScale, *tiles, *scale, *asJSON, *noskip)
 		outs[i] = out
 		return err
 	})
@@ -173,7 +203,7 @@ func main() {
 // runOne traces and simulates one workload, returning its full rendered
 // output.
 func runOne(w *workloads.Workload, configFor func(*workloads.Workload) (*config.SystemConfig, error),
-	wScale workloads.Scale, tiles int, scale string, asJSON bool) (string, error) {
+	wScale workloads.Scale, tiles int, scale string, asJSON, noskip bool) (string, error) {
 	sc, err := configFor(w)
 	if err != nil {
 		return "", err
@@ -192,6 +222,7 @@ func runOne(w *workloads.Workload, configFor func(*workloads.Workload) (*config.
 	if err != nil {
 		return "", err
 	}
+	sys.DisableCycleSkipping = noskip
 	if err := sys.Run(0); err != nil {
 		return "", err
 	}
@@ -234,6 +265,9 @@ func printResult(out io.Writer, sys *soc.System) {
 		tbl.Row("accelerator calls", r.AccelCalls)
 		tbl.Row("accelerator bytes", r.AccelBytes)
 	}
+	tbl.Row("cycles stepped", sys.SteppedCycles)
+	tbl.Row("cycles skipped", sys.SkippedCycles)
+	tbl.Row("skip fraction", stats.SkipFraction(sys.SteppedCycles, sys.SkippedCycles))
 	fmt.Fprintln(out, tbl.String())
 
 	per := stats.NewTable("per-tile", "tile", "instrs", "IPC", "loads", "stores", "sends", "recvs", "MAO stalls", "comm stalls")

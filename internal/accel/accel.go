@@ -17,6 +17,7 @@ package accel
 
 import (
 	"fmt"
+	"slices"
 
 	"mosaicsim/internal/soc"
 )
@@ -45,11 +46,20 @@ type DesignPoint struct {
 }
 
 // Accelerator is one fixed-function accelerator at a chosen design point.
+// The plan memo makes an Accelerator single-system state, like soc.System:
+// share design points across systems, not Accelerator values.
 type Accelerator struct {
 	Name string
 	DP   DesignPoint
 	// Plan tiles an invocation into pipeline chunk groups.
 	Plan func(params []int64, dp DesignPoint) ([]Group, error)
+
+	// memoParams/memoGroups cache the most recent Plan result: one Invoke
+	// needs the groups two to three times (timing model + transferred bytes),
+	// and workloads invoke an accelerator with identical parameters over and
+	// over, so a single entry captures nearly all repetition.
+	memoParams []int64
+	memoGroups []Group
 	// PowerW is the average power (the paper back-annotates it from RTL
 	// switching activity; here it scales with lanes and PLM).
 	PowerW float64
@@ -83,6 +93,21 @@ func (a *Accelerator) dmaCycles(n int64) int64 {
 	return (n+bpc-1)/bpc + dmaSetupCycles + int64(a.NoCHops*nocHopCycles)
 }
 
+// plan returns the chunk groups for params, consulting the single-entry memo
+// before calling the accelerator's Plan function.
+func (a *Accelerator) plan(params []int64) ([]Group, error) {
+	if a.memoGroups != nil && slices.Equal(a.memoParams, params) {
+		return a.memoGroups, nil
+	}
+	groups, err := a.Plan(params, a.DP)
+	if err != nil {
+		return nil, err
+	}
+	a.memoParams = append(a.memoParams[:0], params...)
+	a.memoGroups = groups
+	return groups, nil
+}
+
 // pipeState carries the three process completion times through the chunk
 // recurrence.
 type pipeState struct {
@@ -103,7 +128,7 @@ func (a *Accelerator) stepChunk(s pipeState, ch Chunk) pipeState {
 // chunk runs are fast-forwarded after the recurrence reaches steady state,
 // which keeps the result exact. Cycles are at the accelerator clock.
 func (a *Accelerator) SimulatePipeline(params []int64) (int64, error) {
-	groups, err := a.Plan(params, a.DP)
+	groups, err := a.plan(params)
 	if err != nil {
 		return 0, err
 	}
@@ -142,7 +167,7 @@ func (a *Accelerator) SimulatePipeline(params []int64) (int64, error) {
 // count; the pipeline time is the bottleneck total plus fill/drain of the
 // other processes.
 func (a *Accelerator) ClosedForm(params []int64) (int64, error) {
-	groups, err := a.Plan(params, a.DP)
+	groups, err := a.plan(params)
 	if err != nil {
 		return 0, err
 	}
@@ -180,7 +205,7 @@ func (a *Accelerator) EmulateFPGA(params []int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	groups, err := a.Plan(params, a.DP)
+	groups, err := a.plan(params)
 	if err != nil {
 		return 0, err
 	}
@@ -195,7 +220,7 @@ func (a *Accelerator) EmulateFPGA(params []int64) (int64, error) {
 // Bytes returns the total bytes an invocation transfers to/from memory
 // ("an expression to calculate the number of bytes transferred", §IV-B).
 func (a *Accelerator) Bytes(params []int64) (int64, error) {
-	groups, err := a.Plan(params, a.DP)
+	groups, err := a.plan(params)
 	if err != nil {
 		return 0, err
 	}

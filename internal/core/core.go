@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 
 	"mosaicsim/internal/config"
@@ -105,14 +104,30 @@ type dynNode struct {
 	barrierSeq     int64
 	barrierArrived bool
 
+	// maoPos is 1 + the node's absolute position in the MAO stream (0 = not
+	// a memory op); complete uses it to clear the node's MAO slot so pooled
+	// nodes are never scanned through stale pointers.
+	maoPos int64
+	// doneAdj is added to the completion cycle delivered through doneCB
+	// (atomic read-modify-write extra latency).
+	doneAdj int64
+	// doneCB is the node's completion callback, allocated once per pooled
+	// node and reused across recycles (it captures only the stable node and
+	// core pointers).
+	doneCB func(int64)
+
 	// free marks instructions fused into neighbors on the reference ISA
 	// (e.g. gep folded into a load's addressing mode): they retire without
 	// consuming issue width, functional units, or latency.
 	free bool
 
 	// fusedLoad is the pending load whose data this send forwards (DeSC
-	// terminal load buffer); nil for ordinary sends.
+	// terminal load buffer); nil for ordinary sends. fusedSeq is the load's
+	// seq at bind time: if the pointed-at node was recycled for a younger
+	// instruction the seqs no longer match and the load is treated as
+	// completed (which it was, or it could not have been recycled).
 	fusedLoad *dynNode
+	fusedSeq  int64
 	// parkable marks a recv whose value only feeds a store (DeSC store
 	// value buffer): it may leave the in-order pipe and drain when the
 	// message arrives.
@@ -131,6 +146,7 @@ type dynDBB struct {
 	blockID    int
 	remaining  int // uncompleted nodes (live-DBB accounting)
 	term       *dynNode
+	termDone   bool // terminator completed (read instead of term.state, which may be recycled)
 	mispredict bool // launch of the successor pays the penalty
 }
 
@@ -159,9 +175,9 @@ type Core struct {
 	window     []*dynNode
 	windowHead int // index of the oldest unretired node in window
 
-	liveDBB  map[int]int // static block ID -> live DBB count
-	lastDBB  *dynDBB     // most recently launched DBB
-	launchAt int64       // earliest cycle the next DBB may launch (after penalty)
+	liveDBB  []int   // static block ID -> live DBB count
+	lastDBB  *dynDBB // most recently launched DBB
+	launchAt int64   // earliest cycle the next DBB may launch (after penalty)
 
 	ready readyHeap
 	// issuePtr is the in-order issue cursor into window (InOrder mode).
@@ -174,8 +190,10 @@ type Core struct {
 	// MAO (LSQ): memory nodes in program order, pruned as they complete.
 	mao         []*dynNode
 	maoHead     int
-	maoInUse    int // issued-but-incomplete memory ops (capacity check)
-	outstanding int // issued-but-incomplete nodes of any kind
+	maoBase     int64 // absolute MAO position of mao[0] (post-compaction offset)
+	maoTotal    int64 // absolute MAO positions handed out
+	maoInUse    int   // issued-but-incomplete memory ops (capacity check)
+	outstanding int   // issued-but-incomplete nodes of any kind
 
 	fuBusy [config.NumClasses]int
 
@@ -191,6 +209,19 @@ type Core struct {
 
 	// freeMask marks static instructions as fused idioms (see SetFreeInstrs).
 	freeMask []bool
+
+	// progress counts state-changing events (launches, issues, completions,
+	// drains, barrier arrivals). The Interleaver compares successive readings
+	// to detect frozen tiles and engage event-horizon cycle skipping.
+	progress uint64
+
+	// Hot-path pools: dynamic nodes and DBBs are recycled at retire instead
+	// of allocated per launch, and launchOne's per-launch node buffer is a
+	// reused scratch slice.
+	freeNodes []*dynNode
+	freeDBBs  []*dynDBB
+	scratch   []*dynNode
+	deferred  []*dynNode
 
 	// gshare dynamic-predictor state (config.BranchDynamic).
 	bpHistory  uint32
@@ -213,11 +244,57 @@ func New(id int, cfg config.CoreConfig, g *ddg.Graph, tt *trace.TileTrace, memp 
 		fabric:   fabric,
 		accel:    accel,
 		lastDyn:  make([]*dynNode, g.Fn.NumInstrs()),
-		liveDBB:  map[int]int{},
+		liveDBB:  make([]int, len(g.Blocks)),
 		clockNum: 1,
 		clockDen: 1,
 	}
+	// Preallocate the hot-path backing arrays from the trace length so the
+	// steady state never grows them. total is the tile's dynamic instruction
+	// count; small traces get exactly-sized arrays.
+	total := 0
+	for _, b := range tt.BBPath {
+		total += len(g.Blocks[b].Nodes)
+	}
+	wcap := min(total, 2*cfg.WindowSize+64)
+	c.window = make([]*dynNode, 0, wcap)
+	c.freeNodes = make([]*dynNode, 0, wcap)
+	c.ready = make(readyHeap, 0, min(total, cfg.WindowSize+8))
+	c.completions = make(completionHeap, 0, min(total, cfg.WindowSize+8))
+	c.mao = make([]*dynNode, 0, min(total, 2*cfg.LSQSize+64))
 	return c
+}
+
+// allocNode pops a recycled dynamic node (or allocates a fresh one),
+// resetting every field while keeping the dependents/onComplete backing
+// arrays and the node's completion callback.
+func (c *Core) allocNode() *dynNode {
+	if k := len(c.freeNodes); k > 0 {
+		n := c.freeNodes[k-1]
+		c.freeNodes = c.freeNodes[:k-1]
+		deps, cbs, done := n.dependents[:0], n.onComplete[:0], n.doneCB
+		*n = dynNode{dependents: deps, onComplete: cbs, doneCB: done}
+		return n
+	}
+	return &dynNode{}
+}
+
+// recycleNode returns a retired node to the pool. Dangling references are
+// severed (lastDyn) or guarded by seq checks (fusedLoad) / nil MAO slots.
+func (c *Core) recycleNode(n *dynNode) {
+	if idx := n.in.Idx; idx < len(c.lastDyn) && c.lastDyn[idx] == n {
+		c.lastDyn[idx] = nil
+	}
+	c.freeNodes = append(c.freeNodes, n)
+}
+
+func (c *Core) allocDBB(bid, nodes int) *dynDBB {
+	if k := len(c.freeDBBs); k > 0 {
+		d := c.freeDBBs[k-1]
+		c.freeDBBs = c.freeDBBs[:k-1]
+		*d = dynDBB{blockID: bid, remaining: nodes}
+		return d
+	}
+	return &dynDBB{blockID: bid, remaining: nodes}
 }
 
 // SetFreeInstrs marks static instructions (by layout index) as fused idioms
@@ -252,11 +329,49 @@ func (c *Core) FinishCycle() int64 { return c.finishCycle }
 // readyHeap orders issue-ready nodes by program order.
 type readyHeap []*dynNode
 
-func (h readyHeap) Len() int           { return len(h) }
-func (h readyHeap) Less(i, j int) bool { return h[i].seq < h[j].seq }
-func (h readyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x any)        { *h = append(*h, x.(*dynNode)) }
-func (h *readyHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h readyHeap) Len() int { return len(h) }
+
+// push and pop are typed equivalents of container/heap's Push/Pop with the
+// identical sift sequence, minus the interface boxing that allocated on every
+// call in the simulator's hottest loop.
+func (h *readyHeap) push(n *dynNode) {
+	a := append(*h, n)
+	*h = a
+	j := len(a) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if a[j].seq >= a[i].seq {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+		j = i
+	}
+}
+
+func (h *readyHeap) pop() *dynNode {
+	a := *h
+	n := len(a) - 1
+	a[0], a[n] = a[n], a[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && a[j2].seq < a[j].seq {
+			j = j2
+		}
+		if a[j].seq >= a[i].seq {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+		i = j
+	}
+	v := a[n]
+	a[n] = nil
+	*h = a[:n]
+	return v
+}
 
 type completion struct {
 	at   int64
@@ -265,15 +380,48 @@ type completion struct {
 
 type completionHeap []completion
 
-func (h completionHeap) Len() int           { return len(h) }
-func (h completionHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x any)        { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
+func (h completionHeap) Len() int { return len(h) }
+
+// push and pop mirror container/heap's algorithm exactly (same compares, same
+// swaps, so entries with equal due times pop in the same order) but are typed:
+// the old heap.Interface path boxed a completion struct per Push and per Pop,
+// which was the single largest allocation source in the simulator.
+func (h *completionHeap) push(v completion) {
+	a := append(*h, v)
+	*h = a
+	j := len(a) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if a[j].at >= a[i].at {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+		j = i
+	}
+}
+
+func (h *completionHeap) pop() completion {
+	a := *h
+	n := len(a) - 1
+	a[0], a[n] = a[n], a[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && a[j2].at < a[j].at {
+			j = j2
+		}
+		if a[j].at >= a[i].at {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+		i = j
+	}
+	v := a[n]
+	a[n] = completion{}
+	*h = a[:n]
 	return v
 }
 
@@ -288,6 +436,7 @@ func (c *Core) Step(now int64) bool {
 	// already left the pipeline.
 	for len(c.pendingDrain) > 0 && c.fabric.TryRecv(c.ID, c.pendingDrain[0], now) {
 		c.pendingDrain = c.pendingDrain[1:]
+		c.progress++
 	}
 	c.launchDBBs(now)
 	c.issue(now)
@@ -296,6 +445,7 @@ func (c *Core) Step(now int64) bool {
 		c.finished = true
 		c.finishCycle = now
 		c.Stats.Cycles = now
+		c.progress++
 		return false
 	}
 	c.Stats.Cycles = now
@@ -305,7 +455,7 @@ func (c *Core) Step(now int64) bool {
 // processCompletions retires timing events due at or before now.
 func (c *Core) processCompletions(now int64) {
 	for c.completions.Len() > 0 && c.completions[0].at <= now {
-		ev := heap.Pop(&c.completions).(completion)
+		ev := c.completions.pop()
 		c.complete(ev.node, now)
 	}
 }
@@ -319,10 +469,11 @@ func (c *Core) complete(n *dynNode, now int64) {
 	n.state = stateCompleted
 	n.doneAt = now
 	c.outstanding--
+	c.progress++
 	for _, cb := range n.onComplete {
 		cb(now)
 	}
-	n.onComplete = nil
+	n.onComplete = n.onComplete[:0]
 	if !n.free {
 		if lim := c.Cfg.FULimit(n.class); lim > 0 {
 			c.fuBusy[n.class]--
@@ -331,45 +482,70 @@ func (c *Core) complete(n *dynNode, now int64) {
 			c.maoInUse--
 		}
 	}
+	// Clear the node's MAO slot so ordering scans never chase a pointer into
+	// a recycled node (slots are pruned/compacted lazily by tryIssueMem).
+	if n.maoPos != 0 {
+		if i := n.maoPos - 1 - c.maoBase; i >= 0 && i < int64(len(c.mao)) && c.mao[i] == n {
+			c.mao[i] = nil
+		}
+	}
 	c.Stats.Instrs++
 	c.Stats.EnergyPJ += config.EnergyPerClassPJ[n.class]
+	// A mispredicted terminator releases the next launch only after the
+	// misprediction penalty (§III-C).
+	if n == n.dbb.term {
+		n.dbb.termDone = true
+		if n.dbb.mispredict {
+			c.launchAt = now + c.scaleLat(c.Cfg.MispredictPenalty)
+		}
+	}
 	n.dbb.remaining--
 	if n.dbb.remaining == 0 {
 		c.liveDBB[n.dbb.blockID]--
-	}
-	// A mispredicted terminator releases the next launch only after the
-	// misprediction penalty (§III-C).
-	if n == n.dbb.term && n.dbb.mispredict {
-		c.launchAt = now + c.scaleLat(c.Cfg.MispredictPenalty)
+		if n.dbb != c.lastDBB {
+			c.freeDBBs = append(c.freeDBBs, n.dbb)
+		}
 	}
 	for _, d := range n.dependents {
 		d.parentsLeft--
 		if d.parentsLeft == 0 && d.state == stateWaiting {
 			d.state = stateReady
 			if !c.Cfg.InOrder {
-				heap.Push(&c.ready, d)
+				c.ready.push(d)
 			}
 		}
 	}
 }
 
-// memDone is the callback given to the memory hierarchy.
+// memDone is the callback given to the memory hierarchy. The closure is
+// allocated once per pooled node and reused across recycles: it captures only
+// the stable node and core pointers and reads the per-incarnation latency
+// adjustment (doneAdj) at fire time.
 func (c *Core) memDone(n *dynNode) func(int64) {
-	return func(at int64) {
-		heap.Push(&c.completions, completion{at: at, node: n})
+	if n.doneCB == nil {
+		n.doneCB = func(at int64) {
+			c.completions.push(completion{at: at + n.doneAdj, node: n})
+		}
 	}
+	return n.doneCB
 }
 
 // retire slides the instruction window (ROB) forward over completed nodes
 // (§III-A "ROB").
 func (c *Core) retire() {
 	for c.windowHead < len(c.window) && c.window[c.windowHead].state == stateCompleted {
-		c.window[c.windowHead] = nil // release for GC
+		c.recycleNode(c.window[c.windowHead])
+		c.window[c.windowHead] = nil
 		c.windowHead++
 	}
-	// Periodically compact the retired prefix.
+	// Periodically compact the retired prefix in place (no fresh backing
+	// array: the window reuses its allocation for the whole run).
 	if c.windowHead > 4096 && c.windowHead*2 > len(c.window) {
-		c.window = append([]*dynNode(nil), c.window[c.windowHead:]...)
+		k := copy(c.window, c.window[c.windowHead:])
+		for i := k; i < len(c.window); i++ {
+			c.window[i] = nil
+		}
+		c.window = c.window[:k]
 		c.issuePtr -= c.windowHead
 		if c.issuePtr < 0 {
 			c.issuePtr = 0
@@ -430,12 +606,12 @@ func (c *Core) launchDBBs(now int64) {
 			case config.BranchStatic, config.BranchDynamic:
 				if c.lastDBB.mispredict {
 					// Wait for the terminator, then pay the penalty.
-					if c.lastDBB.term.state != stateCompleted || now < c.launchAt {
+					if !c.lastDBB.termDone || now < c.launchAt {
 						return
 					}
 				}
 			default: // BranchNone
-				if c.lastDBB.term.state != stateCompleted {
+				if !c.lastDBB.termDone {
 					return
 				}
 			}
@@ -463,17 +639,21 @@ func (c *Core) launchOne(bid int) {
 	}
 	c.bbCursor++
 
-	d := &dynDBB{blockID: bid, remaining: len(bg.Nodes)}
+	d := c.allocDBB(bid, len(bg.Nodes))
 	c.liveDBB[bid]++
-	nodes := make([]*dynNode, len(bg.Nodes))
+	// nodes is a per-core scratch buffer: every position is overwritten below
+	// before any read, so stale tail pointers are never observed.
+	if cap(c.scratch) < len(bg.Nodes) {
+		c.scratch = make([]*dynNode, len(bg.Nodes))
+	}
+	nodes := c.scratch[:len(bg.Nodes)]
 	for pos := range bg.Nodes {
 		sn := &bg.Nodes[pos]
-		n := &dynNode{
-			in:    sn.Instr,
-			class: Classify(sn.Instr),
-			seq:   c.seqCounter,
-			dbb:   d,
-		}
+		n := c.allocNode()
+		n.in = sn.Instr
+		n.class = Classify(sn.Instr)
+		n.seq = c.seqCounter
+		n.dbb = d
 		if c.freeMask != nil && sn.Instr.Idx < len(c.freeMask) {
 			n.free = c.freeMask[sn.Instr.Idx]
 		}
@@ -504,6 +684,7 @@ func (c *Core) launchOne(bid int) {
 				// buffer) drains without stalling the core.
 				if n.in.Op == ir.OpCall && n.in.Callee == "send" && parent.in.Op == ir.OpLoad {
 					n.fusedLoad = parent
+					n.fusedSeq = parent.seq
 					return
 				}
 				if (n.in.Op == ir.OpStore || n.in.Op == ir.OpAtomicAdd) &&
@@ -549,6 +730,8 @@ func (c *Core) launchOne(bid int) {
 			default:
 				n.memKind = mem.Atomic
 			}
+			c.maoTotal++
+			n.maoPos = c.maoTotal
 			c.mao = append(c.mao, n)
 		case sn.Instr.Op == ir.OpCall && (sn.Instr.Callee == "send" || sn.Instr.Callee == "recv"):
 			if c.commCursor >= len(c.tt.Comm) {
@@ -570,7 +753,7 @@ func (c *Core) launchOne(bid int) {
 		if n.parentsLeft == 0 {
 			n.state = stateReady
 			if !c.Cfg.InOrder {
-				heap.Push(&c.ready, n)
+				c.ready.push(n)
 			}
 		}
 	}
@@ -592,7 +775,13 @@ func (c *Core) launchOne(bid int) {
 			}
 		}
 	}
+	// The displaced lastDBB stays live only while it gates the next launch;
+	// once replaced, recycle it if every node already completed.
+	if old := c.lastDBB; old != nil && old != d && old.remaining == 0 {
+		c.freeDBBs = append(c.freeDBBs, old)
+	}
 	c.lastDBB = d
+	c.progress++
 }
 
 // gsharePredict predicts one conditional branch with a gshare predictor and
@@ -636,14 +825,14 @@ func (c *Core) issue(now int64) {
 		return
 	}
 	issued := 0
-	var deferred []*dynNode
+	deferred := c.deferred[:0]
 	windowLimit := c.windowBaseSeq() + int64(c.Cfg.WindowSize)
 	for issued < c.Cfg.IssueWidth && c.ready.Len() > 0 {
 		n := c.ready[0]
 		if n.free {
 			// Fused idiom: retires instantly without consuming issue
 			// bandwidth, waking dependents within this cycle.
-			heap.Pop(&c.ready)
+			c.ready.pop()
 			n.state = stateIssued
 			c.outstanding++
 			c.complete(n, now)
@@ -654,16 +843,18 @@ func (c *Core) issue(now int64) {
 			c.Stats.WindowStalls++
 			break
 		}
-		heap.Pop(&c.ready)
+		c.ready.pop()
 		if ok := c.tryIssue(n, now); ok {
 			issued++
 		} else {
 			deferred = append(deferred, n)
 		}
 	}
-	for _, n := range deferred {
-		heap.Push(&c.ready, n)
+	for i, n := range deferred {
+		c.ready.push(n)
+		deferred[i] = nil
 	}
+	c.deferred = deferred[:0]
 }
 
 // issueInOrder models a scoreboarded in-order pipeline: instructions issue
@@ -680,7 +871,7 @@ func (c *Core) issueInOrder(now int64) {
 		if !c.tryIssue(c.ready[0], now) {
 			break
 		}
-		heap.Pop(&c.ready)
+		c.ready.pop()
 	}
 	issued := 0
 	for issued < c.Cfg.IssueWidth {
@@ -714,7 +905,7 @@ func (c *Core) issueInOrder(now int64) {
 		// ordering parks and drains later instead of stalling the pipeline.
 		if n.class == config.ClassMem && n.memKind != mem.Read &&
 			c.maoInUse+c.ready.Len() < c.Cfg.LSQSize && c.maoOrderBlocked(n) {
-			heap.Push(&c.ready, n)
+			c.ready.push(n)
 			c.issuePtr++
 			issued++
 			continue
@@ -751,7 +942,9 @@ func (c *Core) tryIssue(n *dynNode, now int64) bool {
 	case n.class == config.ClassMem:
 		return c.tryIssueMem(n, now)
 	case n.in.Op == ir.OpCall && n.in.Callee == "send":
-		if n.fusedLoad != nil && n.fusedLoad.state != stateCompleted {
+		// A recycled fused load (seq mismatch) necessarily completed before it
+		// was retired and repooled, so the plain-send path below is correct.
+		if n.fusedLoad != nil && n.fusedLoad.seq == n.fusedSeq && n.fusedLoad.state != stateCompleted {
 			// Terminal load buffer: reserve the slot now; the message
 			// matures when the load's data returns.
 			set, ok := c.fabric.TrySendFuture(c.ID, n.partner)
@@ -775,6 +968,9 @@ func (c *Core) tryIssue(n *dynNode, now int64) bool {
 		if !n.barrierArrived {
 			n.barrierSeq = c.fabric.BarrierArrive(c.ID)
 			n.barrierArrived = true
+			// Arrival is a state change other tiles observe even though this
+			// tile stalls, so it must defeat idle detection.
+			c.progress++
 		}
 		if !c.fabric.BarrierReleased(n.barrierSeq) {
 			c.Stats.CommStalls++
@@ -809,6 +1005,7 @@ func (c *Core) tryIssue(n *dynNode, now int64) bool {
 func (c *Core) markIssued(n *dynNode) {
 	n.state = stateIssued
 	c.outstanding++
+	c.progress++
 	if lim := c.Cfg.FULimit(n.class); lim > 0 {
 		c.fuBusy[n.class]++
 	}
@@ -816,7 +1013,7 @@ func (c *Core) markIssued(n *dynNode) {
 
 func (c *Core) issueFixed(n *dynNode, now, latency int64) {
 	c.markIssued(n)
-	heap.Push(&c.completions, completion{at: now + c.scaleLat(latency), node: n})
+	c.completions.push(completion{at: now + c.scaleLat(latency), node: n})
 }
 
 // tryIssueMem enforces MAO ordering (§II-A "Data Dependencies") and LSQ
@@ -826,13 +1023,18 @@ func (c *Core) tryIssueMem(n *dynNode, now int64) bool {
 		c.Stats.MAOStalls++
 		return false
 	}
-	// Prune completed prefix.
-	for c.maoHead < len(c.mao) && c.mao[c.maoHead].state == stateCompleted {
-		c.mao[c.maoHead] = nil
+	// Prune the completed prefix: complete() nils slots, so a nil entry is a
+	// finished access.
+	for c.maoHead < len(c.mao) && c.mao[c.maoHead] == nil {
 		c.maoHead++
 	}
 	if c.maoHead > 4096 && c.maoHead*2 > len(c.mao) {
-		c.mao = append([]*dynNode(nil), c.mao[c.maoHead:]...)
+		k := copy(c.mao, c.mao[c.maoHead:])
+		for i := k; i < len(c.mao); i++ {
+			c.mao[i] = nil
+		}
+		c.mao = c.mao[:k]
+		c.maoBase += int64(c.maoHead)
 		c.maoHead = 0
 	}
 	if c.maoOrderBlocked(n) {
@@ -849,10 +1051,9 @@ func (c *Core) tryIssueMem(n *dynNode, now int64) bool {
 		c.Stats.Stores++
 	default:
 		c.Stats.Atomics++
-		if extra := c.Cfg.AtomicExtraLatency; extra > 0 {
-			inner := done
-			done = func(t int64) { inner(t + extra) }
-		}
+		// Read-modify-write surcharge, applied inside the reusable doneCB
+		// instead of wrapping it in a fresh closure per access.
+		n.doneAdj = c.Cfg.AtomicExtraLatency
 	}
 	c.memp.Access(n.addr, n.memSize, n.memKind, now, done)
 	return true
@@ -874,11 +1075,11 @@ func (c *Core) maoOrderBlocked(n *dynNode) bool {
 	isStore := n.memKind != mem.Read
 	for i := c.maoHead; i < len(c.mao); i++ {
 		older := c.mao[i]
-		if older == nil || older.seq >= n.seq {
-			break
+		if older == nil {
+			continue // completed mid-list entry (slot cleared by complete)
 		}
-		if older.state == stateCompleted {
-			continue
+		if older.seq >= n.seq {
+			break
 		}
 		olderIsStore := older.memKind != mem.Read
 		if !isStore && !olderIsStore {
@@ -894,4 +1095,55 @@ func (c *Core) maoOrderBlocked(n *dynNode) bool {
 
 func overlaps(a, b *dynNode) bool {
 	return a.addr < b.addr+uint64(b.memSize) && b.addr < a.addr+uint64(a.memSize)
+}
+
+// Progress returns a monotone counter of state-changing events (launches,
+// issues, completions, drains, barrier arrivals). Two equal readings around a
+// Step mean the step observably did nothing except advance per-cycle stall
+// counters.
+func (c *Core) Progress() uint64 { return c.progress }
+
+// NextEvent returns a lower bound on the next global cycle at which this
+// tile's state can change *on its own* (pending completions, the mispredict
+// launch release). Externally triggered changes — memory returns, fabric
+// arrivals, barrier releases — are accounted by the owning component's
+// horizon. mem.HorizonNone means no self-scheduled event.
+func (c *Core) NextEvent(now int64) int64 {
+	if c.finished {
+		return mem.HorizonNone
+	}
+	h := mem.HorizonNone
+	if c.completions.Len() > 0 && c.completions[0].at < h {
+		h = c.completions[0].at
+	}
+	if c.lastDBB != nil && c.lastDBB.mispredict && c.lastDBB.termDone && now < c.launchAt && c.launchAt < h {
+		h = c.launchAt
+	}
+	return h
+}
+
+// StallSnapshot captures the stall counters that advance every stalled cycle
+// even when the tile's architectural state is frozen. The Interleaver
+// brackets a tile's Step with snapshots and replays the constant per-step
+// delta over skipped cycles so results stay bit-identical to the naive loop.
+type StallSnapshot struct {
+	MAO, FU, Window, Comm int64
+}
+
+// StallCounters reads the current per-cycle stall counters.
+func (c *Core) StallCounters() StallSnapshot {
+	return StallSnapshot{c.Stats.MAOStalls, c.Stats.FUStalls, c.Stats.WindowStalls, c.Stats.CommStalls}
+}
+
+// AddStallCycles replays the per-step stall delta d for k elided steps.
+func (c *Core) AddStallCycles(d StallSnapshot, k int64) {
+	c.Stats.MAOStalls += d.MAO * k
+	c.Stats.FUStalls += d.FU * k
+	c.Stats.WindowStalls += d.Window * k
+	c.Stats.CommStalls += d.Comm * k
+}
+
+// Sub returns the element-wise difference a - b.
+func (a StallSnapshot) Sub(b StallSnapshot) StallSnapshot {
+	return StallSnapshot{a.MAO - b.MAO, a.FU - b.FU, a.Window - b.Window, a.Comm - b.Comm}
 }

@@ -461,3 +461,26 @@ func TestGsharePredictsUnconditional(t *testing.T) {
 		t.Errorf("too many mispredicts on a simple loop: %d", c.Stats.Mispredict)
 	}
 }
+
+// TestStepSteadyStateAllocs pins the zero-alloc contract of the simulation
+// hot path: once the node/DBB pools and backing arrays are warm, stepping the
+// core must not allocate at all. A regression here silently multiplies GC
+// pressure by the dynamic instruction count.
+func TestStepSteadyStateAllocs(t *testing.T) {
+	g, tt := traceKernel(t, indepSrc, setupTwoArrays(4096))
+	c := New(0, config.OutOfOrderCore(), g, tt, &fakeMem{lat: 8}, &fakeFabric{}, nil)
+	now := int64(0)
+	for i := 0; i < 2000; i++ {
+		if !c.Step(now) {
+			t.Fatal("core finished during warmup; grow the workload")
+		}
+		now++
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		c.Step(now)
+		now++
+	})
+	if avg != 0 {
+		t.Errorf("core.Step allocates %.2f objects/cycle in steady state, want 0", avg)
+	}
+}

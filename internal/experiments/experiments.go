@@ -196,6 +196,7 @@ func (r *Runner) daeCycles(w *workloads.Workload, pairs int, mem config.MemConfi
 			return 0, fmt.Errorf("dae %s: result check: %w", w.Name, err)
 		}
 	}
+	m.Release()
 	ino := config.InOrderCore()
 	// DAE cores carry the DeSC structures: communication queues, the
 	// terminal load buffer, and the store address/value buffers (§VII-A).

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"mosaicsim/internal/ir"
 )
@@ -22,15 +23,44 @@ import (
 type Memory struct {
 	data []byte
 	brk  uint64
+	hi   uint64 // one past the highest byte ever stored (bounds pooled-reuse zeroing)
 }
 
+// bufPool recycles image backing buffers across runs. Every buffer in the
+// pool is entirely zero: Release clears the stored-to prefix before putting a
+// buffer back, and bytes past a buffer's previous length were never written.
+var bufPool sync.Pool
+
 // NewMemory returns a memory image of the given size in bytes with the
-// allocation pointer past a small null guard page.
+// allocation pointer past a small null guard page. Images are recycled
+// through an internal pool when callers Release them; a trace-generation
+// harness that churns through large images otherwise spends a significant
+// share of its time zeroing fresh allocations.
 func NewMemory(size int64) *Memory {
 	if size < 8192 {
 		size = 8192
 	}
+	if v := bufPool.Get(); v != nil {
+		if buf := v.([]byte); int64(cap(buf)) >= size {
+			return &Memory{data: buf[:size], brk: 4096}
+		}
+		// Too small for this request: drop it and let the GC take it.
+	}
 	return &Memory{data: make([]byte, size), brk: 4096}
+}
+
+// Release returns the image's backing buffer to the pool after zeroing the
+// written prefix, detaching it from the Memory (further accesses fault). Call
+// it only once the image's contents are dead — traces record addresses, not
+// data, so trace generators can release as soon as result checks pass.
+func (m *Memory) Release() {
+	if m.data == nil {
+		return
+	}
+	clear(m.data[:m.hi])
+	buf := m.data
+	m.data = nil
+	bufPool.Put(buf) //nolint:staticcheck // slice header boxing is two words, not the buffer
 }
 
 // Size returns the total size of the image in bytes.
@@ -77,6 +107,9 @@ func (m *Memory) LoadScalar(addr uint64, ty ir.Type) uint64 {
 // StoreScalar writes the raw 64-bit pattern bits as a value of type ty.
 func (m *Memory) StoreScalar(addr uint64, ty ir.Type, bits uint64) {
 	m.check(addr, ty.Size())
+	if end := addr + uint64(ty.Size()); end > m.hi {
+		m.hi = end
+	}
 	switch ty.Size() {
 	case 1:
 		m.data[addr] = byte(bits)

@@ -1,7 +1,6 @@
 package mem
 
 import (
-	"container/heap"
 	"fmt"
 
 	"mosaicsim/internal/config"
@@ -65,6 +64,11 @@ type Cache struct {
 	inseq int64
 	mshrs map[uint64]*mshr
 
+	// freeMshrs recycles MSHR entries (waiter slices keep their capacity).
+	freeMshrs []*mshr
+	// events counts observable state changes (see Level.Events).
+	events int64
+
 	// stream prefetcher state (§V-A): a small table of detected streams;
 	// consecutive same-stride line accesses on any tracked stream trigger
 	// prefetches of subsequent lines. Multiple entries let interleaved
@@ -107,13 +111,31 @@ func (c *Cache) setOf(line uint64) uint64    { return line % c.nsets }
 // Access implements Level.
 func (c *Cache) Access(req *Request, now int64) {
 	c.inflight++
+	c.events++
 	c.enqueue(req, now+c.cfg.LatencyCycles)
+}
+
+// Events implements Level.
+func (c *Cache) Events() int64 { return c.events }
+
+// NextEvent implements Level: the head of the pending heap bounds the next
+// self-scheduled state change. (An MSHR-full retry is re-queued at now+1, so
+// a stalled cache deliberately reports an adjacent horizon: the retry itself
+// mutates the queue every cycle and must be simulated, not skipped.)
+func (c *Cache) NextEvent(now int64) int64 {
+	if len(c.inq) == 0 {
+		return HorizonNone
+	}
+	if r := c.inq[0].ready; r > now {
+		return r
+	}
+	return now + 1
 }
 
 // enqueue adds a request to the pending heap at its ready time.
 func (c *Cache) enqueue(req *Request, ready int64) {
 	c.inseq++
-	heap.Push(&c.inq, reqItem{ready: ready, seq: c.inseq, req: req})
+	c.inq.push(reqItem{ready: ready, seq: c.inseq, req: req})
 }
 
 // Busy implements Level.
@@ -132,13 +154,14 @@ func (c *Cache) Tick(now int64) {
 		if c.inq[0].ready > now {
 			break
 		}
-		it := heap.Pop(&c.inq).(reqItem)
+		it := c.inq.pop()
 		c.process(it.req, now)
 		processed++
 	}
 }
 
 func (c *Cache) process(req *Request, now int64) {
+	c.events++
 	line := c.lineAddr(req.Addr)
 	if req.Kind == Writeback {
 		// Inclusive write-back from an upper level: update the copy if
@@ -146,6 +169,7 @@ func (c *Cache) process(req *Request, now int64) {
 		if cl := c.lookup(line); cl != nil {
 			cl.dirty = true
 			cl.lastUse = now
+			putRequest(req)
 		} else {
 			c.Stats.WritebackMisses++
 			c.next.Access(req, now)
@@ -165,6 +189,7 @@ func (c *Cache) process(req *Request, now int64) {
 		}
 		if req.Kind == Prefetch {
 			c.inflight--
+			putRequest(req)
 			return
 		}
 		c.Stats.Hits++
@@ -180,6 +205,7 @@ func (c *Cache) process(req *Request, now int64) {
 	if m, pending := c.mshrs[line]; pending {
 		if req.Kind == Prefetch {
 			c.inflight--
+			putRequest(req)
 			return
 		}
 		// Secondary miss: coalesced onto the pending fill, counted apart
@@ -195,6 +221,7 @@ func (c *Cache) process(req *Request, now int64) {
 	if c.cfg.MSHRs > 0 && len(c.mshrs) >= c.cfg.MSHRs {
 		if req.Kind == Prefetch {
 			c.inflight--
+			putRequest(req)
 			return
 		}
 		// All MSHRs busy: retry next cycle.
@@ -203,7 +230,7 @@ func (c *Cache) process(req *Request, now int64) {
 		return
 	}
 
-	m := &mshr{}
+	m := c.allocMshr()
 	wasPrefetch := req.Kind == Prefetch
 	if !wasPrefetch {
 		c.Stats.Misses++
@@ -214,13 +241,26 @@ func (c *Cache) process(req *Request, now int64) {
 		c.maybePrefetch(line, now)
 	}
 	c.mshrs[line] = m
-	fillAddr := line << c.shift
-	c.next.Access(&Request{
-		Addr: fillAddr,
-		Size: c.cfg.LineBytes,
-		Kind: Read,
-		Done: func(t int64) { c.fill(line, wasPrefetch, t) },
-	}, now)
+	fill := getRequest()
+	fill.Addr = line << c.shift
+	fill.Size = c.cfg.LineBytes
+	fill.Kind = Read
+	fill.Done = func(t int64) { c.fill(line, wasPrefetch, t) }
+	c.next.Access(fill, now)
+	if wasPrefetch {
+		// The prefetch request dead-ends here; only the fill lives on.
+		putRequest(req)
+	}
+}
+
+// allocMshr pops a recycled MSHR entry or allocates a fresh one.
+func (c *Cache) allocMshr() *mshr {
+	if k := len(c.freeMshrs); k > 0 {
+		m := c.freeMshrs[k-1]
+		c.freeMshrs = c.freeMshrs[:k-1]
+		return m
+	}
+	return &mshr{}
 }
 
 // lookup returns the resident line or nil.
@@ -237,6 +277,7 @@ func (c *Cache) lookup(line uint64) *cacheLine {
 
 // fill installs a line returned by the next level and wakes its waiters.
 func (c *Cache) fill(line uint64, prefetched bool, now int64) {
+	c.events++
 	set := c.sets[c.setOf(line)]
 	tag := line / c.nsets
 	victim := -1
@@ -258,21 +299,24 @@ func (c *Cache) fill(line uint64, prefetched bool, now int64) {
 		c.Stats.Evictions++
 		if set[victim].dirty {
 			c.Stats.Writebacks++
-			wbLine := set[victim].tag*c.nsets + c.setOf(line)
-			c.next.Access(&Request{
-				Addr: wbLine << c.shift,
-				Size: c.cfg.LineBytes,
-				Kind: Writeback,
-			}, now)
+			wb := getRequest()
+			wb.Addr = (set[victim].tag*c.nsets + c.setOf(line)) << c.shift
+			wb.Size = c.cfg.LineBytes
+			wb.Kind = Writeback
+			c.next.Access(wb, now)
 		}
 	}
 	m := c.mshrs[line]
 	delete(c.mshrs, line)
 	set[victim] = cacheLine{tag: tag, valid: true, dirty: m != nil && m.dirty, prefetched: prefetched, lastUse: now}
 	if m != nil {
-		for _, w := range m.waiters {
+		for i, w := range m.waiters {
 			c.complete(w, now)
+			m.waiters[i] = nil
 		}
+		m.waiters = m.waiters[:0]
+		m.dirty = false
+		c.freeMshrs = append(c.freeMshrs, m)
 	}
 	if prefetched {
 		c.inflight-- // the prefetch request itself
@@ -284,6 +328,7 @@ func (c *Cache) complete(req *Request, now int64) {
 	if req.Done != nil {
 		req.Done(now)
 	}
+	putRequest(req)
 }
 
 const (
@@ -334,7 +379,11 @@ func (c *Cache) maybePrefetch(line uint64, now int64) {
 			}
 			c.Stats.PrefetchIssued++
 			c.inflight++
-			c.enqueue(&Request{Addr: uint64(target) << c.shift, Size: c.cfg.LineBytes, Kind: Prefetch}, now+c.cfg.LatencyCycles)
+			pr := getRequest()
+			pr.Addr = uint64(target) << c.shift
+			pr.Size = c.cfg.LineBytes
+			pr.Kind = Prefetch
+			c.enqueue(pr, now+c.cfg.LatencyCycles)
 		}
 		return
 	}

@@ -1,8 +1,6 @@
 package mem
 
 import (
-	"container/heap"
-
 	"mosaicsim/internal/config"
 )
 
@@ -27,15 +25,55 @@ type reqItem struct {
 type reqHeap []reqItem
 
 func (h reqHeap) Len() int { return len(h) }
-func (h reqHeap) Less(i, j int) bool {
+
+func (h reqHeap) less(i, j int) bool {
 	if h[i].ready != h[j].ready {
 		return h[i].ready < h[j].ready
 	}
 	return h[i].seq < h[j].seq
 }
-func (h reqHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *reqHeap) Push(x any)   { *h = append(*h, x.(reqItem)) }
-func (h *reqHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// push and pop replicate container/heap's sift sequence without boxing each
+// reqItem through an interface (an allocation per queue operation on the
+// miss path).
+func (h *reqHeap) push(v reqItem) {
+	a := append(*h, v)
+	*h = a
+	j := len(a) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !a.less(j, i) {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+		j = i
+	}
+}
+
+func (h *reqHeap) pop() reqItem {
+	a := *h
+	n := len(a) - 1
+	a[0], a[n] = a[n], a[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && a.less(j2, j) {
+			j = j2
+		}
+		if !a.less(j, i) {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+		i = j
+	}
+	v := a[n]
+	a[n] = reqItem{}
+	*h = a[:n]
+	return v
+}
 
 // SimpleDRAM is the paper's in-house DRAM model (§V-B): every request waits
 // at least MinLatency, and completions are throttled to the configured
@@ -52,6 +90,7 @@ type SimpleDRAM struct {
 	seq      int64
 	curEpoch int64
 	used     int64
+	events   int64
 }
 
 // NewSimpleDRAM builds a SimpleDRAM for a core clock in MHz; bandwidth is
@@ -87,11 +126,42 @@ func (d *SimpleDRAM) Access(req *Request, now int64) {
 	}
 	d.Stats.Bytes += int64(req.Size)
 	d.seq++
-	heap.Push(&d.pq, reqItem{ready: now + d.minLat, seq: d.seq, req: req})
+	d.events++
+	d.pq.push(reqItem{ready: now + d.minLat, seq: d.seq, req: req})
 }
 
 // Busy implements Level.
 func (d *SimpleDRAM) Busy() bool { return d.pq.Len() > 0 }
+
+// Events implements Level.
+func (d *SimpleDRAM) Events() int64 { return d.events }
+
+// NextEvent implements Level. A throttled DRAM promises nothing before the
+// epoch boundary that resets the bandwidth budget — but it still reports the
+// head's due cycle when that comes first, because the per-cycle Throttled
+// stall accrual starts there and the Interleaver re-samples its stall deltas
+// at every horizon.
+func (d *SimpleDRAM) NextEvent(now int64) int64 {
+	if d.pq.Len() == 0 {
+		return HorizonNone
+	}
+	ready := d.pq[0].ready
+	if d.used >= d.maxPerEpoch && now/d.epochCycles == d.curEpoch {
+		boundary := (now/d.epochCycles + 1) * d.epochCycles
+		if ready > now && ready < boundary {
+			return ready
+		}
+		return boundary
+	}
+	if ready <= now {
+		return now + 1
+	}
+	return ready
+}
+
+// AddThrottleStalls replays the per-cycle throttle accounting for n elided
+// ticks of a frozen (due-but-over-budget) state.
+func (d *SimpleDRAM) AddThrottleStalls(n int64) { d.Stats.Throttled += n }
 
 // Tick implements Level: returns as many minimum-latency-served requests as
 // the epoch's bandwidth budget allows.
@@ -106,11 +176,13 @@ func (d *SimpleDRAM) Tick(now int64) {
 			d.Stats.Throttled++
 			return
 		}
-		it := heap.Pop(&d.pq).(reqItem)
+		it := d.pq.pop()
 		d.used++
+		d.events++
 		if it.req.Done != nil {
 			it.req.Done(now)
 		}
+		putRequest(it.req)
 	}
 }
 
@@ -122,10 +194,11 @@ type BankedDRAM struct {
 	Stats DRAMStats
 	cfg   config.DRAMConfig
 
-	queue []bankedReq
-	banks []bankState
-	done  reqHeap
-	seq   int64
+	queue  []bankedReq
+	banks  []bankState
+	done   reqHeap
+	seq    int64
+	events int64
 }
 
 type bankedReq struct {
@@ -165,20 +238,49 @@ func (d *BankedDRAM) Access(req *Request, now int64) {
 	row := req.Addr / rowBytes
 	bank := int(row) % len(d.banks)
 	d.seq++
+	d.events++
 	d.queue = append(d.queue, bankedReq{req: req, bank: bank, row: row, seq: d.seq})
 }
 
 // Busy implements Level.
 func (d *BankedDRAM) Busy() bool { return len(d.queue) > 0 || d.done.Len() > 0 }
 
+// Events implements Level.
+func (d *BankedDRAM) Events() int64 { return d.events }
+
+// NextEvent implements Level: the earliest of the next completion and the
+// next bank becoming free for a queued request. A request whose bank is free
+// now may only be deferred by channel arbitration, i.e. by one cycle.
+func (d *BankedDRAM) NextEvent(now int64) int64 {
+	h := HorizonNone
+	if d.done.Len() > 0 && d.done[0].ready < h {
+		h = d.done[0].ready
+	}
+	for i := range d.queue {
+		nf := d.banks[d.queue[i].bank].nextFree
+		if nf <= now {
+			return now + 1
+		}
+		if nf < h {
+			h = nf
+		}
+	}
+	if h <= now {
+		return now + 1
+	}
+	return h
+}
+
 // Tick implements Level: FR-FCFS — issue row hits first, then the oldest
 // request whose bank is free; one issue per channel per cycle.
 func (d *BankedDRAM) Tick(now int64) {
 	for d.done.Len() > 0 && d.done[0].ready <= now {
-		it := heap.Pop(&d.done).(reqItem)
+		it := d.done.pop()
+		d.events++
 		if it.req.Done != nil {
 			it.req.Done(now)
 		}
+		putRequest(it.req)
 	}
 	channels := d.cfg.Channels
 	if channels <= 0 {
@@ -207,7 +309,8 @@ func (d *BankedDRAM) Tick(now int64) {
 		b.hasRow = true
 		b.openRow = br.row
 		b.nextFree = now + lat
-		heap.Push(&d.done, reqItem{ready: now + lat, seq: br.seq, req: br.req})
+		d.events++
+		d.done.push(reqItem{ready: now + lat, seq: br.seq, req: br.req})
 	}
 }
 

@@ -44,7 +44,9 @@ func NewHierarchy(cfg config.MemConfig, numCores, clockMHz int) *Hierarchy {
 
 // Access sends a demand request from a core into its private L1.
 func (h *Hierarchy) Access(core int, addr uint64, size int, kind Kind, done func(now int64)) {
-	h.L1s[core].Access(&Request{Addr: addr, Size: size, Kind: kind, Done: done}, 0)
+	req := getRequest()
+	req.Addr, req.Size, req.Kind, req.Done = addr, size, kind, done
+	h.L1s[core].Access(req, 0)
 }
 
 // AccessAt is Access with an explicit issue cycle. With the directory
@@ -63,16 +65,18 @@ func (h *Hierarchy) AccessAt(core int, addr uint64, size int, kind Kind, now int
 			}
 			if dirty {
 				// The recalled dirty copy flushes to the shared level.
-				h.shared.Access(&Request{
-					Addr: line * uint64(h.cfg.L1.LineBytes),
-					Size: h.cfg.L1.LineBytes,
-					Kind: Writeback,
-				}, now)
+				wb := getRequest()
+				wb.Addr = line * uint64(h.cfg.L1.LineBytes)
+				wb.Size = h.cfg.L1.LineBytes
+				wb.Kind = Writeback
+				h.shared.Access(wb, now)
 			}
 		}
 		now += penalty
 	}
-	h.L1s[core].Access(&Request{Addr: addr, Size: size, Kind: kind, Done: done}, now)
+	req := getRequest()
+	req.Addr, req.Size, req.Kind, req.Done = addr, size, kind, done
+	h.L1s[core].Access(req, now)
 }
 
 // Tick advances every level one cycle, DRAM first so fills propagate upward
@@ -113,6 +117,61 @@ func (h *Hierarchy) Busy() bool {
 
 // LineBytes returns the L1 line size.
 func (h *Hierarchy) LineBytes() int { return h.cfg.L1.LineBytes }
+
+// Progress sums the event counters of every level; two equal readings mean
+// no level changed observable state in between.
+func (h *Hierarchy) Progress() int64 {
+	p := h.DRAM.Events()
+	if h.LLC != nil {
+		p += h.LLC.Events()
+	}
+	for _, l2 := range h.L2s {
+		p += l2.Events()
+	}
+	for _, l1 := range h.L1s {
+		p += l1.Events()
+	}
+	return p
+}
+
+// NextEvent returns the earliest self-scheduled event across all levels
+// (HorizonNone when the whole hierarchy is drained).
+func (h *Hierarchy) NextEvent(now int64) int64 {
+	hz := h.DRAM.NextEvent(now)
+	if h.LLC != nil {
+		if e := h.LLC.NextEvent(now); e < hz {
+			hz = e
+		}
+	}
+	for _, l2 := range h.L2s {
+		if e := l2.NextEvent(now); e < hz {
+			hz = e
+		}
+	}
+	for _, l1 := range h.L1s {
+		if e := l1.NextEvent(now); e < hz {
+			hz = e
+		}
+	}
+	return hz
+}
+
+// ThrottleStalls reads the DRAM bandwidth-throttle counter (SimpleDRAM
+// only), which advances every stalled cycle and is therefore replayed — not
+// skipped — over elided cycles.
+func (h *Hierarchy) ThrottleStalls() int64 {
+	if d, ok := h.DRAM.(*SimpleDRAM); ok {
+		return d.Stats.Throttled
+	}
+	return 0
+}
+
+// AddThrottleStalls replays n elided cycles of throttle accounting.
+func (h *Hierarchy) AddThrottleStalls(n int64) {
+	if d, ok := h.DRAM.(*SimpleDRAM); ok {
+		d.AddThrottleStalls(n)
+	}
+}
 
 // TotalStats sums cache stats across a level slice.
 func TotalStats(caches []*Cache) CacheStats {

@@ -275,6 +275,8 @@ type holdLevel struct {
 func (h *holdLevel) Access(r *Request, now int64) { h.pending = append(h.pending, r) }
 func (h *holdLevel) Tick(int64)                   {}
 func (h *holdLevel) Busy() bool                   { return len(h.pending) > 0 }
+func (h *holdLevel) NextEvent(int64) int64        { return HorizonNone }
+func (h *holdLevel) Events() int64                { return 0 }
 func (h *holdLevel) release(now int64) {
 	for _, r := range h.pending {
 		if r.Done != nil {
@@ -554,5 +556,34 @@ func TestLRUWithinAssociativity(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCacheHitSteadyStateAllocs pins the zero-alloc contract of the cache hit
+// path: with the request pool and pending-heap capacity warm, a demand hit
+// (Access through the hierarchy, then the ticks that retire it) must not
+// allocate.
+func TestCacheHitSteadyStateAllocs(t *testing.T) {
+	h := NewHierarchy(config.TableIIMem(), 1, 2000)
+	now := int64(0)
+	step := func() {
+		h.Access(0, 1<<16, 8, Read, nil)
+		for i := 0; i < 4; i++ {
+			h.Tick(now)
+			now++
+		}
+	}
+	// Warm up: the first access misses to DRAM, fills the line, and seeds the
+	// request pool; keep going until the hierarchy fully drains.
+	for i := 0; i < 500; i++ {
+		step()
+	}
+	for h.Busy() {
+		h.Tick(now)
+		now++
+	}
+	avg := testing.AllocsPerRun(200, step)
+	if avg != 0 {
+		t.Errorf("cache hit path allocates %.2f objects/access in steady state, want 0", avg)
 	}
 }

@@ -9,6 +9,8 @@
 // data in the caches; the address tags suffice").
 package mem
 
+import "sync"
+
 // Kind classifies a memory request.
 type Kind uint8
 
@@ -47,7 +49,15 @@ type Request struct {
 	Size int
 	Kind Kind
 	Done func(now int64)
+
+	// pooled marks requests drawn from the package pool; externally
+	// constructed requests are never recycled.
+	pooled bool
 }
+
+// HorizonNone is the NextEvent result meaning "no self-scheduled event":
+// the component's state cannot change until some other component acts on it.
+const HorizonNone = int64(1) << 62
 
 // Level is a stage of the hierarchy that accepts requests.
 type Level interface {
@@ -57,4 +67,36 @@ type Level interface {
 	Tick(now int64)
 	// Busy reports whether any request is still in flight at this level.
 	Busy() bool
+	// NextEvent returns a lower bound on the next cycle at which this level
+	// can change observable state on its own (queued work becoming due),
+	// or HorizonNone when it has no self-scheduled work. Changes triggered
+	// by other components (a new Access) are accounted by their initiator.
+	NextEvent(now int64) int64
+	// Events returns a monotone counter incremented on every observable
+	// state change (request accepted, processed, or completed). Per-cycle
+	// stall accounting (e.g. bandwidth throttling) is NOT an event: it is
+	// replayed arithmetically over skipped cycles.
+	Events() int64
+}
+
+// reqPool recycles Requests created inside the hierarchy (demand accesses,
+// line fills, writebacks, prefetches). It is a sync.Pool because requests
+// cross level boundaries and concurrent simulations share the package.
+var reqPool = sync.Pool{New: func() any { return new(Request) }}
+
+// getRequest draws a recyclable request from the pool.
+func getRequest() *Request {
+	r := reqPool.Get().(*Request)
+	r.pooled = true
+	return r
+}
+
+// putRequest recycles a finished pool-drawn request; externally constructed
+// requests (tests, library callers) pass through untouched.
+func putRequest(r *Request) {
+	if !r.pooled {
+		return
+	}
+	*r = Request{}
+	reqPool.Put(r)
 }

@@ -6,7 +6,6 @@
 package soc
 
 import (
-	"container/heap"
 	"fmt"
 
 	"mosaicsim/internal/config"
@@ -158,6 +157,10 @@ func (f *Fabric) TrySend(src, dst int, now int64) bool {
 	return true
 }
 
+// futureArrival is the arrival-cycle sentinel for a reserved slot whose
+// maturity cycle is not yet known (TrySendFuture).
+const futureArrival = int64(1<<62 - 1)
+
 // TrySendFuture implements core.Fabric: reserves a slot that matures when
 // the returned setter is called (DeSC terminal-load-buffer sends whose data
 // is still in flight).
@@ -167,7 +170,7 @@ func (f *Fabric) TrySendFuture(src, dst int) (func(int64), bool) {
 		f.FullStall++
 		return nil, false
 	}
-	pending := int64(1<<62 - 1)
+	pending := futureArrival
 	slot := &pending
 	q.push(slot)
 	f.Sends++
@@ -241,6 +244,22 @@ func (f *Fabric) Pending() int {
 	return n
 }
 
+// frontArrivals calls fn(dst, at) with the front arrival cycle of every
+// non-empty queue. Only the front can be consumed (FIFO), so it alone bounds
+// the queue's next event; slots reserved by TrySendFuture (arrival unknown)
+// are skipped — they mature through a load completion, which the owning
+// core's horizon already covers.
+func (f *Fabric) frontArrivals(fn func(dst int, at int64)) {
+	for key, q := range f.queues {
+		if q.len() == 0 {
+			continue
+		}
+		if at := *q.front(); at < futureArrival {
+			fn(key[1], at)
+		}
+	}
+}
+
 // System is a complete simulated SoC.
 type System struct {
 	Name   string
@@ -256,6 +275,15 @@ type System struct {
 	AccelCalls  int64
 
 	Cycles int64
+
+	// SteppedCycles counts Interleaver iterations actually simulated;
+	// SkippedCycles counts cycles advanced arithmetically by event-horizon
+	// skipping. Their sum is the simulated cycle count.
+	SteppedCycles int64
+	SkippedCycles int64
+	// DisableCycleSkipping forces the naive cycle-by-cycle loop (the
+	// equivalence-test reference and the -noskip flag).
+	DisableCycleSkipping bool
 }
 
 // accelEvent schedules the release of one outstanding accelerator
@@ -267,15 +295,46 @@ type accelEvent struct {
 
 type accelEventHeap []accelEvent
 
-func (h accelEventHeap) Len() int           { return len(h) }
-func (h accelEventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h accelEventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *accelEventHeap) Push(x any)        { *h = append(*h, x.(accelEvent)) }
-func (h *accelEventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
+func (h accelEventHeap) Len() int { return len(h) }
+
+// push and pop follow container/heap's exact sift sequence (equal-time events
+// keep the same pop order) without boxing an accelEvent per operation.
+func (h *accelEventHeap) push(v accelEvent) {
+	a := append(*h, v)
+	*h = a
+	j := len(a) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if a[j].at >= a[i].at {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+		j = i
+	}
+}
+
+func (h *accelEventHeap) pop() accelEvent {
+	a := *h
+	n := len(a) - 1
+	a[0], a[n] = a[n], a[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && a[j2].at < a[j].at {
+			j = j2
+		}
+		if a[j].at >= a[i].at {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+		i = j
+	}
+	v := a[n]
+	a[n] = accelEvent{}
+	*h = a[:n]
 	return v
 }
 
@@ -283,7 +342,7 @@ func (h *accelEventHeap) Pop() any {
 // has been reached, so outstanding[] reflects simulated time.
 func (s *System) releaseAccelsDue(now int64) {
 	for s.accelEvents.Len() > 0 && s.accelEvents[0].at <= now {
-		ev := heap.Pop(&s.accelEvents).(accelEvent)
+		ev := s.accelEvents.pop()
 		s.outstanding[ev.name]--
 	}
 }
@@ -323,7 +382,7 @@ func (p accelPort) Invoke(name string, params []int64, now int64, done func(int6
 	// engages. (The old code decremented synchronously inside this call,
 	// which made `concurrent` always 0.) Completion is delivered through
 	// the invoking core's completion queue via done.
-	heap.Push(&p.s.accelEvents, accelEvent{at: at, name: name})
+	p.s.accelEvents.push(accelEvent{at: at, name: name})
 	done(at)
 	return nil
 }
@@ -437,45 +496,201 @@ func NewSPMD(cfg *config.SystemConfig, g *ddg.Graph, tr *trace.Trace, accels map
 	return sys, nil
 }
 
+// DefaultCycleLimit guards Run(0) against runaway simulations.
+const DefaultCycleLimit = int64(1) << 40
+
 // Run advances the system until every tile retires its trace and the memory
-// hierarchy drains, or the cycle limit is hit.
+// hierarchy drains, or the cycle limit is hit (limit <= 0 selects
+// DefaultCycleLimit).
+//
+// The Interleaver normally busy-ticks every tile and the hierarchy each
+// cycle. When an iteration makes zero forward progress and every live tile
+// has confirmed a frozen step, the loop instead jumps to the minimum
+// next-event horizon across all components (event-horizon cycle skipping),
+// advancing the per-tile clock accumulators arithmetically and replaying the
+// per-cycle stall counters so results are bit-identical to the naive loop.
 func (s *System) Run(limit int64) error {
-	if limit <= 0 {
-		limit = 1 << 40
+	effLimit := limit
+	if effLimit <= 0 {
+		effLimit = DefaultCycleLimit
 	}
-	strides := make([]int, len(s.Cores))
-	maxClock := 0
+	nc := len(s.Cores)
+	var maxClock int64
 	for _, c := range s.Cores {
-		if c.Cfg.ClockMHz > maxClock {
-			maxClock = c.Cfg.ClockMHz
+		if m := int64(c.Cfg.ClockMHz); m > maxClock {
+			maxClock = m
 		}
 	}
-	accum := make([]int, len(s.Cores))
+	strides := make([]int64, nc)
+	accum := make([]int64, nc)
+	// Event-horizon bookkeeping: idleOK[i] records that core i stepped
+	// without making progress since the last progress event anywhere, and
+	// stallDelta/commDelta hold the stall-counter increments of that frozen
+	// step (constant while the state stays frozen).
+	idleOK := make([]bool, nc)
+	stallDelta := make([]core.StallSnapshot, nc)
+	commDelta := make([]int64, nc)
 	for i, c := range s.Cores {
-		strides[i] = c.Cfg.ClockMHz
+		strides[i] = int64(c.Cfg.ClockMHz)
 		accum[i] = maxClock // step every core on cycle 0
 	}
-	for cycle := int64(0); cycle <= limit; cycle++ {
+	progress := func() uint64 {
+		p := uint64(s.Hier.Progress())
+		for _, c := range s.Cores {
+			p += c.Progress()
+		}
+		return p
+	}
+	last := progress()
+	for cycle := int64(0); cycle <= effLimit; cycle++ {
 		s.releaseAccelsDue(cycle)
 		anyActive := false
 		for i, c := range s.Cores {
 			accum[i] += strides[i]
 			if accum[i] >= maxClock {
 				accum[i] -= maxClock
+				pp := c.Progress()
+				ps := c.StallCounters()
+				pf := s.Fabric.FullStall
 				if c.Step(cycle) {
 					anyActive = true
+				}
+				if c.Progress() == pp {
+					// Frozen step: its stall increments repeat verbatim
+					// until something, somewhere, makes progress.
+					stallDelta[i] = c.StallCounters().Sub(ps)
+					commDelta[i] = s.Fabric.FullStall - pf
+					idleOK[i] = true
 				}
 			} else if !c.Done() {
 				anyActive = true
 			}
 		}
+		thr0 := s.Hier.ThrottleStalls()
 		s.Hier.Tick(cycle)
+		thrTick := s.Hier.ThrottleStalls() - thr0
 		s.Cycles = cycle
+		s.SteppedCycles++
 		if !anyActive && !s.Hier.Busy() {
 			return nil
 		}
+		if s.DisableCycleSkipping {
+			continue
+		}
+		if cur := progress(); cur != last {
+			// Progress invalidates every frozen-step confirmation: a tile
+			// that idled against the old state may act on the new one.
+			last = cur
+			for i := range idleOK {
+				idleOK[i] = false
+			}
+			continue
+		}
+		confirmed := true
+		for i, c := range s.Cores {
+			if !c.Done() && !idleOK[i] {
+				confirmed = false
+				break
+			}
+		}
+		if !confirmed {
+			continue
+		}
+		// Every component is provably frozen: jump to the earliest cycle at
+		// which any of them can act. A horizon past the limit (including a
+		// true deadlock, HorizonNone everywhere) exits through the timeout
+		// path immediately instead of burning the remaining cycles.
+		target := s.horizon(cycle, accum, strides, maxClock, effLimit)
+		if target > effLimit+1 {
+			target = effLimit + 1
+		}
+		if target <= cycle+1 {
+			continue
+		}
+		delta := target - 1 - cycle // whole iterations elided
+		for i, c := range s.Cores {
+			// Advance the clock-ratio accumulator arithmetically: k is the
+			// number of (frozen) steps core i would have taken.
+			base := accum[i] / maxClock
+			adv := accum[i] + delta*strides[i]
+			k := adv/maxClock - base
+			accum[i] = adv - k*maxClock
+			if k > 0 && !c.Done() {
+				c.AddStallCycles(stallDelta[i], k)
+				s.Fabric.FullStall += commDelta[i] * k
+			}
+		}
+		s.Hier.AddThrottleStalls(thrTick * delta)
+		s.SkippedCycles += delta
+		s.Cycles = target - 1
+		cycle = target - 1 // the loop increment lands on target
 	}
-	return fmt.Errorf("soc: system %q exceeded %d cycles without completing", s.Name, limit)
+	if limit <= 0 {
+		return fmt.Errorf("soc: system %q exceeded the default cycle limit of %d (2^40) without completing; pass Run a larger limit if the workload is genuinely that long", s.Name, effLimit)
+	}
+	return fmt.Errorf("soc: system %q exceeded the cycle limit of %d without completing", s.Name, effLimit)
+}
+
+// horizon returns the earliest global cycle > now at which any component can
+// change state, given that every component is frozen at now. Core-local
+// events (completions, the mispredict launch release) and inbound fabric
+// messages only take effect when the owning tile's clock edge arrives, so
+// they are mapped through nextEdgeCycle.
+func (s *System) horizon(now int64, accum, strides []int64, maxClock, effLimit int64) int64 {
+	target := mem.HorizonNone
+	consider := func(idx int, ev int64) {
+		if ev >= mem.HorizonNone {
+			return
+		}
+		if ev > effLimit+1 {
+			ev = effLimit + 1 // keep the edge arithmetic far from overflow
+		}
+		u := nextEdgeCycle(now, ev, accum[idx], strides[idx], maxClock)
+		if u < target {
+			target = u
+		}
+	}
+	for i, c := range s.Cores {
+		if c.Done() {
+			continue
+		}
+		consider(i, c.NextEvent(now))
+	}
+	if e := s.Hier.NextEvent(now); e < mem.HorizonNone {
+		if e <= now {
+			e = now + 1
+		}
+		if e < target {
+			target = e
+		}
+	}
+	s.Fabric.frontArrivals(func(dst int, at int64) {
+		// A message already mature (at <= now) is part of the frozen state:
+		// the destination observed and ignored it, so it cannot trigger a
+		// future change.
+		if at <= now || dst < 0 || dst >= len(s.Cores) || s.Cores[dst].Done() {
+			return
+		}
+		consider(dst, at)
+	})
+	return target
+}
+
+// nextEdgeCycle returns the first cycle u >= max(ev, now+1) at which a core
+// with accumulator a (sampled after the iteration at now), stride s, and
+// system clock M takes a step. The loop's recurrence steps the core at
+// now+j iff floor((a+j*s)/M) > floor((a+(j-1)*s)/M).
+func nextEdgeCycle(now, ev, a, s, m int64) int64 {
+	j0 := ev - now
+	if j0 < 1 {
+		j0 = 1
+	}
+	c0 := (a + (j0-1)*s) / m
+	j := j0
+	if need := ((c0+1)*m - a + s - 1) / s; need > j {
+		j = need
+	}
+	return now + j
 }
 
 // EnergyBreakdown attributes dynamic energy to system components.

@@ -555,3 +555,66 @@ func TestEnergyBreakdownSums(t *testing.T) {
 		t.Errorf("EnergyPJ (%g) != component sum (%g)", r.EnergyPJ, r.Energy.TotalPJ())
 	}
 }
+
+// TestRunCycleLimitError exercises the timeout path: the error must name the
+// effective limit so users can tell a too-small explicit limit from the 2^40
+// default guard.
+func TestRunCycleLimitError(t *testing.T) {
+	g, tr := traceSPMD(t, spmdVecAdd, 1, vecSetup(512), nil)
+	sys, err := NewSPMD(&config.SystemConfig{
+		Name:  "limit-test",
+		Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: 1}},
+		Mem:   config.TableIIMem(),
+	}, g, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.Run(10)
+	if err == nil {
+		t.Fatal("Run(10) completed a 512-element vecadd; expected a cycle-limit error")
+	}
+	if !strings.Contains(err.Error(), "cycle limit of 10") {
+		t.Errorf("timeout error does not surface the effective limit: %v", err)
+	}
+}
+
+// TestCycleSkippingAccounting checks the Interleaver's skip counters: the
+// reported cycle count must equal stepped + skipped - 1 (cycles are
+// zero-based), skipping must engage on an idle-heavy run, and disabling it
+// must both zero the skip counter and leave the simulated result unchanged.
+func TestCycleSkippingAccounting(t *testing.T) {
+	build := func() *System {
+		g, tr := traceSPMD(t, spmdVecAdd, 1, vecSetup(512), nil)
+		sys, err := NewSPMD(&config.SystemConfig{
+			Name:  "skip-test",
+			Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: 1}},
+			Mem:   config.TableIIMem(),
+		}, g, tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	skip := build()
+	if err := skip.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if skip.SkippedCycles == 0 {
+		t.Error("cycle skipping never engaged on a DRAM-latency-bound run")
+	}
+	if got := skip.SteppedCycles + skip.SkippedCycles; got != skip.Cycles+1 {
+		t.Errorf("stepped (%d) + skipped (%d) = %d, want cycles+1 = %d",
+			skip.SteppedCycles, skip.SkippedCycles, got, skip.Cycles+1)
+	}
+	naive := build()
+	naive.DisableCycleSkipping = true
+	if err := naive.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if naive.SkippedCycles != 0 {
+		t.Errorf("naive loop reported %d skipped cycles", naive.SkippedCycles)
+	}
+	if naive.Cycles != skip.Cycles {
+		t.Errorf("cycle counts diverge: naive %d, skipping %d", naive.Cycles, skip.Cycles)
+	}
+}

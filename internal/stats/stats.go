@@ -37,6 +37,17 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
+// SkipFraction returns the share of simulated cycles the Interleaver elided
+// via event-horizon cycle skipping: skipped / (stepped + skipped). Zero when
+// nothing ran.
+func SkipFraction(stepped, skipped int64) float64 {
+	total := stepped + skipped
+	if total <= 0 {
+		return 0
+	}
+	return float64(skipped) / float64(total)
+}
+
 // Normalize divides each element by base, e.g. to express speedups relative
 // to a baseline system.
 func Normalize(xs []float64, base float64) []float64 {

@@ -1,0 +1,122 @@
+package workloads
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/soc"
+)
+
+// buildAndRun simulates one traced workload with cycle skipping on or off and
+// returns the full Result plus the number of cycles the Interleaver elided.
+func buildAndRun(t *testing.T, sc *config.SystemConfig, w *Workload, tiles int, noskip bool) (soc.Result, int64) {
+	t.Helper()
+	g, tr, err := w.Trace(tiles, Tiny)
+	if err != nil {
+		t.Fatalf("trace %s: %v", w.Name, err)
+	}
+	accels := DefaultAccelModels(sc.Cores[0].Core.ClockMHz)
+	sys, err := soc.NewSPMD(sc, g, tr, accels)
+	if err != nil {
+		t.Fatalf("build %s: %v", w.Name, err)
+	}
+	sys.DisableCycleSkipping = noskip
+	if err := sys.Run(0); err != nil {
+		t.Fatalf("run %s: %v", w.Name, err)
+	}
+	return sys.Result(), sys.SkippedCycles
+}
+
+// TestCycleSkippingEquivalence runs every built-in workload with
+// event-horizon cycle skipping forced off and then on, asserting the two
+// Result structs are deeply equal — cycles, IPC, energy, per-core stall
+// counters, cache and DRAM stats. This is the tentpole's bit-identity
+// contract: skipping is an execution strategy, never a model change.
+func TestCycleSkippingEquivalence(t *testing.T) {
+	var totalSkipped atomic.Int64
+	const tiles = 2
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			sc := &config.SystemConfig{
+				Name:  w.Name,
+				Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: tiles}},
+				Mem:   config.TableIIMem(),
+			}
+			ref, refSkipped := buildAndRun(t, sc, w, tiles, true)
+			if refSkipped != 0 {
+				t.Fatalf("naive loop reported %d skipped cycles", refSkipped)
+			}
+			opt, skipped := buildAndRun(t, sc, w, tiles, false)
+			totalSkipped.Add(skipped)
+			if !reflect.DeepEqual(ref, opt) {
+				t.Errorf("results diverge with cycle skipping enabled:\nnaive: %+v\nskip:  %+v", ref, opt)
+			}
+		})
+	}
+	t.Cleanup(func() {
+		if totalSkipped.Load() == 0 {
+			t.Error("cycle skipping never engaged on any workload; the equivalence check is vacuous")
+		}
+	})
+}
+
+// TestCycleSkippingEquivalenceConfigs re-checks bit-identity on the system
+// shapes whose timing paths differ most from the default: in-order cores,
+// banked DRAM, the directory coherence extension, a NoC mesh, and tiles with
+// unequal clocks (where skipped cycles must advance the clock-ratio
+// accumulators arithmetically).
+func TestCycleSkippingEquivalenceConfigs(t *testing.T) {
+	cases := []struct {
+		name     string
+		workload string
+		tiles    int
+		mutate   func(*config.SystemConfig)
+	}{
+		{"inorder", "spmv", 2, func(sc *config.SystemConfig) {
+			sc.Cores[0].Core = config.InOrderCore()
+		}},
+		{"banked-dram", "bfs", 2, func(sc *config.SystemConfig) {
+			sc.Mem.DRAM = config.BankedDRAMDefaults(sc.Mem.DRAM.BandwidthGBs)
+		}},
+		{"coherence", "sgemm", 2, func(sc *config.SystemConfig) {
+			sc.Mem.Directory = true
+		}},
+		{"mesh", "bfs", 4, func(sc *config.SystemConfig) {
+			sc.NoC = &config.NoCConfig{MeshWidth: 2, HopCycles: 4}
+		}},
+		{"mixed-clocks", "spmv", 2, func(sc *config.SystemConfig) {
+			slow := sc.Cores[0].Core
+			slow.ClockMHz = sc.Cores[0].Core.ClockMHz / 2
+			sc.Cores = []config.CoreSpec{{Core: sc.Cores[0].Core, Count: 1}, {Core: slow, Count: 1}}
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			w := ByName(tc.workload)
+			if w == nil {
+				t.Fatalf("unknown workload %q", tc.workload)
+			}
+			sc := &config.SystemConfig{
+				Name:  tc.name,
+				Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: tc.tiles}},
+				Mem:   config.TableIIMem(),
+			}
+			tc.mutate(sc)
+			total := 0
+			for _, cs := range sc.Cores {
+				total += cs.Count
+			}
+			ref, _ := buildAndRun(t, sc, w, total, true)
+			opt, _ := buildAndRun(t, sc, w, total, false)
+			if !reflect.DeepEqual(ref, opt) {
+				t.Errorf("results diverge with cycle skipping enabled:\nnaive: %+v\nskip:  %+v", ref, opt)
+			}
+		})
+	}
+}

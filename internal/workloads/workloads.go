@@ -101,6 +101,9 @@ func (w *Workload) Trace(tiles int, s Scale) (*ddg.Graph, *trace.Trace, error) {
 			return nil, nil, fmt.Errorf("workload %s: result check: %w", w.Name, err)
 		}
 	}
+	// The trace records addresses, never data: the image is dead once the
+	// result check passes, so its buffer goes back to the interp pool.
+	mem.Release()
 	return ddg.Build(f), res.Trace, nil
 }
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite and archive the results as JSON.
+#
+# Usage:
+#   scripts/bench.sh [bench-regex] [output.json]
+#
+# Runs `go test -bench` with -benchmem at the repo root (the paper-artifact
+# benchmarks live there; they run at Tiny workload scale), converts the text
+# output with cmd/benchjson, and writes BENCH_<date>.json (or the given
+# output path). The raw text output is echoed to stderr so interactive runs
+# still show progress.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN="${1:-.}"
+OUT="${2:-BENCH_$(date -u +%F).json}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run='^$' -bench="$PATTERN" -benchmem . | tee "$RAW" >&2
+go run ./cmd/benchjson -in "$RAW" -o "$OUT"
+echo "wrote $OUT" >&2
