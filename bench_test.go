@@ -8,6 +8,7 @@ package mosaicsim
 // same code at Small scale for the EXPERIMENTS.md numbers.
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -26,7 +27,7 @@ func runExperiment(b *testing.B, id, metric string) {
 	var val float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(workloads.Tiny)
-		rep, err := r.Run(id)
+		rep, err := r.Run(context.Background(), id)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -80,7 +81,7 @@ func benchmarkSweep(b *testing.B, jobs int) {
 		r := experiments.NewRunner(workloads.Tiny)
 		r.Jobs = jobs
 		for _, id := range []string{"fig5", "fig11", "fig12"} {
-			if _, err := r.Run(id); err != nil {
+			if _, err := r.Run(context.Background(), id); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -107,7 +108,7 @@ func BenchmarkSimulatorMIPS(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := sys.Run(0); err != nil {
+		if err := sys.Run(context.Background(), 0); err != nil {
 			b.Fatal(err)
 		}
 		instrs += sys.Result().Instrs
@@ -136,7 +137,7 @@ func simCyclesAt(b *testing.B, w *workloads.Workload, core config.CoreConfig, me
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := sys.Run(0); err != nil {
+	if err := sys.Run(context.Background(), 0); err != nil {
 		b.Fatal(err)
 	}
 	return sys.Cycles
@@ -304,7 +305,7 @@ func BenchmarkAblationCoherence(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := sys.Run(0); err != nil {
+			if err := sys.Run(context.Background(), 0); err != nil {
 				b.Fatal(err)
 			}
 			return sys.Cycles
@@ -362,7 +363,7 @@ void kernel(double* A, double* out, long n) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := sys.Run(0); err != nil {
+			if err := sys.Run(context.Background(), 0); err != nil {
 				b.Fatal(err)
 			}
 			return sys.Cycles

@@ -3,17 +3,20 @@
 //
 // Usage:
 //
-//	experiments [-scale tiny|small|large] [-run id[,id...]|all] [-jobs N]
+//	experiments [-scale tiny|small|large] [-run id[,id...]|all] [-jobs N] [-timeout D]
 //
 // Experiment IDs: fig1 tab1 tab2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13 fig14 storage.
 //
 // Independent simulations fan out across -jobs workers (default: all CPU
 // cores). Results are collected by index, so stdout is byte-identical for
-// every -jobs value; per-experiment timing goes to stderr.
+// every -jobs value; per-experiment timing goes to stderr. -timeout bounds
+// the whole regeneration's wall-clock time: expiry aborts in-flight
+// simulations and abandons queued legs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,10 +30,17 @@ import (
 	"mosaicsim/internal/workloads"
 )
 
+// main delegates to realMain so deferred cleanups (the pprof profile
+// writers) run on every exit path.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	scale := flag.String("scale", "small", "workload scale: tiny, small, or large")
 	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = all CPU cores)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole regeneration (0 = none)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -39,12 +49,12 @@ func main() {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -53,13 +63,12 @@ func main() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return
 			}
 			defer f.Close()
 			runtime.GC() // materialize the final live set
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
 			}
 		}()
 	}
@@ -74,27 +83,40 @@ func main() {
 		s = workloads.Large
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
-		os.Exit(2)
+		return 2
 	}
 
 	ids := experiments.IDs()
 	if *run != "all" {
 		ids = strings.Split(*run, ",")
 	}
+	// Validate every requested id up front: an unknown id fails immediately
+	// (with a did-you-mean suggestion) instead of after earlier experiments
+	// have already run.
 	for i := range ids {
 		ids[i] = strings.TrimSpace(ids[i])
+		if err := experiments.Resolve(ids[i]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
 	}
 	if *jobs > 0 {
 		parallel.SetLimit(*jobs)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	r := experiments.NewRunner(s)
 	// Experiments and their internal legs share one worker budget; outputs
 	// are buffered and printed in request order.
 	outs := make([]string, len(ids))
 	took := make([]time.Duration, len(ids))
-	err := parallel.ForErr(0, len(ids), func(i int) error {
+	err := parallel.ForErrCtx(ctx, 0, len(ids), func(i int) error {
 		start := time.Now()
-		rep, err := r.Run(ids[i])
+		rep, err := r.Run(ctx, ids[i])
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", ids[i], err)
 		}
@@ -104,10 +126,11 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	for i := range ids {
 		fmt.Println(outs[i])
 		fmt.Fprintf(os.Stderr, "(%s regenerated in %v)\n", ids[i], took[i].Round(time.Millisecond))
 	}
+	return 0
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"mosaicsim/internal/cc"
 	"mosaicsim/internal/ddg"
 	"mosaicsim/internal/ir"
+	"mosaicsim/internal/sim"
 	"mosaicsim/internal/stats"
 	"mosaicsim/internal/workloads"
 )
@@ -29,15 +31,24 @@ func main() {
 	flag.Parse()
 
 	var f *ir.Function
+	var g *ddg.Graph
 	switch {
 	case *workload != "":
-		w := workloads.ByName(*workload)
-		if w == nil {
-			fatal(fmt.Errorf("unknown workload %q", *workload))
-		}
-		var err error
-		f, err = w.Kernel()
+		// Built-in workloads go through the session engine's Compile and
+		// DDG stages, sharing the process-wide artifact cache.
+		w, err := workloads.Resolve(*workload)
 		if err != nil {
+			fatal(err)
+		}
+		s, err := sim.NewSession(sim.Options{Workload: w})
+		if err != nil {
+			fatal(err)
+		}
+		ctx := context.Background()
+		if f, err = s.Compile(ctx); err != nil {
+			fatal(err)
+		}
+		if g, err = s.Graph(ctx); err != nil {
 			fatal(err)
 		}
 	case *src != "":
@@ -53,6 +64,7 @@ func main() {
 		if f == nil {
 			fatal(fmt.Errorf("no function %q in %s", *fn, *src))
 		}
+		g = ddg.Build(f)
 	default:
 		fmt.Fprintln(os.Stderr, "need -workload or -src; see -h")
 		os.Exit(2)
@@ -61,7 +73,6 @@ func main() {
 	if *printIR {
 		fmt.Println(f.String())
 	}
-	g := ddg.Build(f)
 	if *dot {
 		fmt.Print(g.DOT())
 		return

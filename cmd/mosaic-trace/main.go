@@ -10,12 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
 	"mosaicsim/internal/interp"
+	"mosaicsim/internal/sim"
 	"mosaicsim/internal/stats"
 	"mosaicsim/internal/trace"
 	"mosaicsim/internal/workloads"
@@ -47,9 +49,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "need -workload or -read; see -h")
 		os.Exit(2)
 	}
-	w := workloads.ByName(*workload)
-	if w == nil {
-		fatal(fmt.Errorf("unknown workload %q", *workload))
+	w, err := workloads.Resolve(*workload)
+	if err != nil {
+		fatal(err)
 	}
 	var ws workloads.Scale
 	switch *scale {
@@ -64,7 +66,13 @@ func main() {
 		profileRun(w, *tiles, ws, *hot)
 		return
 	}
-	_, tr, err := w.Trace(*tiles, ws)
+	// The trace comes from the session engine's Trace stage — the same
+	// compile/trace path (and artifact cache) the simulator drivers use.
+	s, err := sim.NewSession(sim.Options{Workload: w, Scale: ws, Tiles: *tiles})
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := s.Trace(context.Background())
 	if err != nil {
 		fatal(err)
 	}

@@ -1,7 +1,9 @@
 // Command mosaicsim is the main simulator driver: it compiles a kernel (a
 // built-in workload or a mini-C source file), generates its dynamic traces
 // with the built-in DTG, simulates it on a configured system, and reports
-// the system-wide performance estimate (§II of the paper).
+// the system-wide performance estimate (§II of the paper). Each run is a
+// sim.Session, so the CLI, the experiment harness, and the library API all
+// drive the same engine.
 //
 // Usage:
 //
@@ -10,15 +12,19 @@
 //	mosaicsim -workload spmv -config sys.json -json
 //	mosaicsim -workload bfs,spmv,sgemm -tiles 8 -jobs 4
 //	mosaicsim -workload bfs -tiles 8 -coherence -mesh 4 -branch dynamic
+//	mosaicsim -workload lbm -tiles 8 -timeout 30s
 //
 // -workload accepts a comma-separated list; the runs fan out across -jobs
 // workers (default: all CPU cores) and outputs print in list order.
+// -timeout bounds the whole sweep's wall-clock time: when it expires,
+// in-flight simulations abort mid-run and queued ones are abandoned.
 //
 // (For external kernel sources, use mosaic-ddg -src to inspect compilation
 // and the library API to drive simulation.)
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,12 +36,20 @@ import (
 
 	"mosaicsim/internal/config"
 	"mosaicsim/internal/parallel"
+	"mosaicsim/internal/sim"
 	"mosaicsim/internal/soc"
 	"mosaicsim/internal/stats"
 	"mosaicsim/internal/workloads"
 )
 
+// main delegates to run so every exit path unwinds run's defers — the pprof
+// CPU/heap profile writers in particular, which os.Exit inside the work loop
+// would otherwise skip.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	workload := flag.String("workload", "", "built-in workload name, or a comma-separated list (see -list)")
 	list := flag.Bool("list", false, "list built-in workloads")
 	tiles := flag.Int("tiles", 1, "SPMD tile count")
@@ -48,9 +62,10 @@ func main() {
 	hop := flag.Int64("hop", 4, "NoC per-hop latency in cycles (with -mesh)")
 	branch := flag.String("branch", "", "override branch predictor: none, static, dynamic, perfect")
 	asJSON := flag.Bool("json", false, "emit the result as JSON instead of tables")
-	cfgPath := flag.String("config", "", "system configuration JSON (overrides -core/-mem)")
+	cfgPath := flag.String("config", "", "system configuration JSON (overrides -core/-mem/-tiles)")
 	saveCfg := flag.String("save-config", "", "write the effective system configuration to a JSON file and exit")
 	jobs := flag.Int("jobs", 0, "max concurrent workload simulations (0 = all CPU cores)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = none)")
 	noskip := flag.Bool("noskip", false, "disable event-horizon cycle skipping (naive cycle-by-cycle loop)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -59,11 +74,11 @@ func main() {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -72,6 +87,7 @@ func main() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
 				fatal(err)
+				return
 			}
 			defer f.Close()
 			runtime.GC() // materialize the final live set
@@ -85,19 +101,20 @@ func main() {
 		for _, w := range workloads.All() {
 			fmt.Printf("%-14s %s\n", w.Name, w.Desc)
 		}
-		return
+		return 0
 	}
 	if *workload == "" {
 		fmt.Fprintln(os.Stderr, "need -workload (or -list); see -h")
-		os.Exit(2)
+		return 2
 	}
+	// Validate the whole list up front: an unknown name fails immediately
+	// (with a did-you-mean suggestion) instead of after earlier runs.
 	var ws []*workloads.Workload
 	for _, name := range strings.Split(*workload, ",") {
-		name = strings.TrimSpace(name)
-		w := workloads.ByName(name)
-		if w == nil {
-			fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", name)
-			os.Exit(2)
+		w, err := workloads.Resolve(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mosaicsim:", err)
+			return 2
 		}
 		ws = append(ws, w)
 	}
@@ -162,13 +179,13 @@ func main() {
 	if *saveCfg != "" {
 		sc, err := configFor(ws[0])
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		if err := sc.Save(*saveCfg); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *saveCfg)
-		return
+		return 0
 	}
 
 	var wScale workloads.Scale
@@ -181,51 +198,68 @@ func main() {
 		wScale = workloads.Small
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	// Each workload simulates independently; outputs are buffered and
 	// printed in list order so -jobs never reorders or interleaves them.
 	if *jobs > 0 {
 		parallel.SetLimit(*jobs)
 	}
 	outs := make([]string, len(ws))
-	err := parallel.ForErr(0, len(ws), func(i int) error {
-		out, err := runOne(ws[i], configFor, wScale, *tiles, *scale, *asJSON, *noskip)
+	err := parallel.ForErrCtx(ctx, 0, len(ws), func(i int) error {
+		out, err := runOne(ctx, ws[i], configFor, wScale, *scale, *asJSON, *noskip)
 		outs[i] = out
 		return err
 	})
-	if err != nil {
-		fatal(err)
-	}
 	for _, out := range outs {
 		fmt.Print(out)
 	}
+	if err != nil {
+		return fatal(err)
+	}
+	return 0
 }
 
-// runOne traces and simulates one workload, returning its full rendered
-// output.
-func runOne(w *workloads.Workload, configFor func(*workloads.Workload) (*config.SystemConfig, error),
-	wScale workloads.Scale, tiles int, scale string, asJSON, noskip bool) (string, error) {
+// runOne traces and simulates one workload as a sim.Session, returning its
+// full rendered output.
+func runOne(ctx context.Context, w *workloads.Workload, configFor func(*workloads.Workload) (*config.SystemConfig, error),
+	wScale workloads.Scale, scale string, asJSON, noskip bool) (string, error) {
 	sc, err := configFor(w)
 	if err != nil {
 		return "", err
 	}
+	s, err := sim.NewSession(sim.Options{
+		Workload:             w,
+		Scale:                wScale,
+		Config:               sc,
+		Accels:               workloads.DefaultAccelModels(sc.Cores[0].Core.ClockMHz),
+		DisableCycleSkipping: noskip,
+	})
+	if err != nil {
+		return "", err
+	}
+	tiles := 0
+	for _, cs := range sc.Cores {
+		tiles += cs.Count
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "compiling and tracing %s (%d tiles, %s scale)...\n", w.Name, tiles, scale)
-	g, tr, err := w.Trace(tiles, wScale)
+	tr, err := s.Trace(ctx)
 	if err != nil {
 		return "", err
 	}
 	fmt.Fprintf(&sb, "trace: %d dynamic instructions, %d memory events\n",
 		tr.TotalDynInstrs(), tr.TotalMemEvents())
 
-	accels := workloads.DefaultAccelModels(sc.Cores[0].Core.ClockMHz)
-	sys, err := soc.NewSPMD(sc, g, tr, accels)
-	if err != nil {
+	if _, err := s.Run(ctx); err != nil {
 		return "", err
 	}
-	sys.DisableCycleSkipping = noskip
-	if err := sys.Run(0); err != nil {
-		return "", err
-	}
+	sys := s.System()
 	if asJSON {
 		enc := json.NewEncoder(&sb)
 		enc.SetIndent("", "  ")
@@ -278,7 +312,9 @@ func printResult(out io.Writer, sys *soc.System) {
 	fmt.Fprintln(out, per.String())
 }
 
-func fatal(err error) {
+// fatal reports err and returns the failure exit code for run to return, so
+// deferred cleanups (profiles) still execute.
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "mosaicsim:", err)
-	os.Exit(1)
+	return 1
 }

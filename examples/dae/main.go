@@ -2,41 +2,27 @@
 // bipartite graph projection kernel is sliced by the DeSC-style compiler
 // pass into access and execute slices; the heterogeneous pair system is
 // traced and simulated against single-core and homogeneous baselines at
-// equal silicon area.
+// equal silicon area. Every measurement is a sim.Session — the SPMD
+// baselines and the DAE pairs differ only in Options.Slicing — and the
+// sessions share compilations, slices, and traces through the engine's
+// artifact cache.
 //
 // Run with: go run ./examples/dae
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"mosaicsim/internal/config"
-	"mosaicsim/internal/dae"
-	"mosaicsim/internal/ddg"
-	"mosaicsim/internal/interp"
-	"mosaicsim/internal/ir"
-	"mosaicsim/internal/soc"
+	"mosaicsim/internal/sim"
 	"mosaicsim/internal/workloads"
 )
 
 func main() {
+	ctx := context.Background()
 	w := workloads.Projection()
-	f, err := w.Kernel()
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 1. Compiler pass: slice into access and execute.
-	s, err := dae.Slice(f)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("sliced @%s: %d communicated loads, %d communicated store values\n",
-		f.Ident, s.CommLoads, s.CommStores)
-	fmt.Printf("access slice: %d instructions; execute slice: %d instructions\n\n",
-		s.Access.NumInstrs(), s.Execute.NumInstrs())
-
 	mem := config.TableIIMem()
 	ino := config.InOrderCore()
 	ooo := config.OutOfOrderCore()
@@ -47,54 +33,60 @@ func main() {
 	daeCore.WindowSize = 64
 	daeCore.LSQSize = 12
 
-	// Homogeneous systems.
+	// 1. Compiler pass: a DAE session's artifact carries the access and
+	// execute slices next to the pair trace.
+	probe, err := sim.NewSession(sim.Options{
+		Workload: w, Scale: workloads.Small, Slicing: sim.SliceDAE, Tiles: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	art, err := probe.Artifact(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := art.Slices
+	fmt.Printf("sliced @%s: %d communicated loads, %d communicated store values\n",
+		art.Fn.Ident, s.CommLoads, s.CommStores)
+	fmt.Printf("access slice: %d instructions; execute slice: %d instructions\n\n",
+		s.Access.NumInstrs(), s.Execute.NumInstrs())
+
+	// Homogeneous SPMD systems.
 	homo := func(core config.CoreConfig, n int) int64 {
-		g, tr, err := w.Trace(n, workloads.Small)
+		sess, err := sim.NewSession(sim.Options{
+			Workload: w, Scale: workloads.Small,
+			Config: &config.SystemConfig{
+				Name: "homo", Cores: []config.CoreSpec{{Core: core, Count: n}}, Mem: mem,
+			},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		sys, err := soc.NewSPMD(&config.SystemConfig{
-			Name: "homo", Cores: []config.CoreSpec{{Core: core, Count: n}}, Mem: mem,
-		}, g, tr, nil)
+		res, err := sess.Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := sys.Run(0); err != nil {
-			log.Fatal(err)
-		}
-		return sys.Cycles
+		return res.Cycles
 	}
 
-	// DAE pair systems: even tiles access, odd tiles execute.
+	// DAE pair systems: even tiles access, odd tiles execute. The engine
+	// validates the sliced kernels' results during tracing, so a wrong
+	// transformation fails here rather than producing plausible timing.
 	daeRun := func(pairs int) int64 {
-		var fns []*ir.Function
-		for i := 0; i < pairs; i++ {
-			fns = append(fns, s.Access, s.Execute)
-		}
-		m := interp.NewMemory(workloads.MemBytes)
-		inst := w.Setup(m, workloads.Small)
-		res, err := interp.RunTiles(fns, m, inst.Args, interp.Options{})
+		sess, err := sim.NewSession(sim.Options{
+			Workload: w, Scale: workloads.Small, Slicing: sim.SliceDAE,
+			Config: &config.SystemConfig{
+				Name: "dae", Cores: []config.CoreSpec{{Core: daeCore, Count: 2 * pairs}}, Mem: mem,
+			},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := inst.Check(m); err != nil {
-			log.Fatalf("DAE slices computed a wrong result: %v", err)
-		}
-		ag, eg := ddg.Build(s.Access), ddg.Build(s.Execute)
-		var tiles []soc.TileSpec
-		for i := 0; i < pairs; i++ {
-			tiles = append(tiles,
-				soc.TileSpec{Cfg: daeCore, Graph: ag, TT: res.Trace.Tiles[2*i]},
-				soc.TileSpec{Cfg: daeCore, Graph: eg, TT: res.Trace.Tiles[2*i+1]})
-		}
-		sys, err := soc.New("dae", tiles, mem, nil)
+		res, err := sess.Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := sys.Run(0); err != nil {
-			log.Fatal(err)
-		}
-		return sys.Cycles
+		return res.Cycles
 	}
 
 	base := homo(ino, 1)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -78,11 +79,12 @@ func main() {
 	for _, name := range []string{"acc_sgemm", "acc_elementwise"} {
 		models[name] = &accel.Model{Acc: accel.ByName(name, dp), Mode: accel.ModeClosedForm, SystemMHz: host.ClockMHz, MaxMemGBs: 24}
 	}
-	withAcc, err := lite.SimulateTrainingStep(4, true, host, models)
+	ctx := context.Background()
+	withAcc, err := lite.SimulateTrainingStep(ctx, 4, true, host, models)
 	if err != nil {
 		log.Fatal(err)
 	}
-	hostOnly, err := lite.SimulateTrainingStep(4, false, host, models)
+	hostOnly, err := lite.SimulateTrainingStep(ctx, 4, false, host, models)
 	if err != nil {
 		log.Fatal(err)
 	}

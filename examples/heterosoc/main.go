@@ -1,17 +1,22 @@
 // Heterosoc: a §VII-B style heterogeneous SoC study. The same dense
 // matrix-multiply runs three ways — on in-order cores, on an out-of-order
 // core, and offloaded to the fixed-function SGEMM accelerator — showing the
-// plug-and-play tile composition the paper's Interleaver enables.
+// plug-and-play tile composition the paper's Interleaver enables. Each
+// system is one sim.Session over a shared artifact cache, so the software
+// kernel compiles and traces once per tile count no matter how many systems
+// replay it.
 //
 // Run with: go run ./examples/heterosoc
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"mosaicsim/internal/accel"
 	"mosaicsim/internal/config"
+	"mosaicsim/internal/sim"
 	"mosaicsim/internal/soc"
 	"mosaicsim/internal/workloads"
 )
@@ -42,30 +47,31 @@ func main() {
 		{"accelerator SoC", hw, config.InOrderCore(), 1},
 	}
 
+	ctx := context.Background()
 	var baseline int64
 	for _, s := range systems {
-		g, tr, err := s.w.Trace(s.n, workloads.Small)
+		sess, err := sim.NewSession(sim.Options{
+			Workload: s.w,
+			Scale:    workloads.Small,
+			Config: &config.SystemConfig{
+				Name:  s.name,
+				Cores: []config.CoreSpec{{Core: s.core, Count: s.n}},
+				Mem:   config.TableIIMem(),
+			},
+			Accels: models,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg := &config.SystemConfig{
-			Name:  s.name,
-			Cores: []config.CoreSpec{{Core: s.core, Count: s.n}},
-			Mem:   config.TableIIMem(),
-		}
-		sys, err := soc.NewSPMD(cfg, g, tr, models)
+		r, err := sess.Run(ctx)
 		if err != nil {
-			log.Fatal(err)
-		}
-		if err := sys.Run(0); err != nil {
 			log.Fatal(err)
 		}
 		if baseline == 0 {
-			baseline = sys.Cycles
+			baseline = r.Cycles
 		}
-		r := sys.Result()
 		fmt.Printf("%-16s %10d cycles   speedup %6.1fx   IPC %5.2f   accel calls %d\n",
-			s.name, sys.Cycles, float64(baseline)/float64(sys.Cycles), r.IPC, r.AccelCalls)
+			s.name, r.Cycles, float64(baseline)/float64(r.Cycles), r.IPC, r.AccelCalls)
 	}
 	fmt.Println("\nThe accelerator dominates the compute-bound dense kernel (Fig. 12's ~45x bar).")
 }

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"mosaicsim"
 )
@@ -74,4 +76,30 @@ func main() {
 	}
 	fmt.Printf("simulated: %d cycles, IPC %.2f, L1 hit rate %.1f%%, %d DRAM line fills, %.1f uJ\n",
 		res.Cycles, res.IPC, 100*res.L1.HitRate(), res.DRAM.Reads, res.EnergyPJ/1e6)
+
+	// 4. The same pipeline as one cancellable Session: an ad-hoc workload
+	// wraps the kernel source plus the input setup, and the engine owns
+	// compile → DDG → trace → build → run under a context.
+	w := &mosaicsim.Workload{
+		Name: "vecadd",
+		Src:  src,
+		Setup: func(mem *mosaicsim.Memory, _ mosaicsim.Scale) mosaicsim.Instance {
+			pa := mem.AllocF64(a)
+			pb := mem.AllocF64(b)
+			pc := mem.Alloc(n*8, 64)
+			return mosaicsim.Instance{Args: []uint64{pa, pb, pc, n}}
+		},
+	}
+	sess, err := mosaicsim.NewSession(mosaicsim.SessionOptions{Workload: w, Config: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	sres, err := sess.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session:   %d cycles, IPC %.2f (same engine the CLI and harness drive)\n",
+		sres.Cycles, sres.IPC)
 }

@@ -1,6 +1,7 @@
 package dae
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -327,7 +328,7 @@ func TestDAETimingSpeedup(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := sys.Run(500_000_000); err != nil {
+		if err := sys.Run(context.Background(), 500_000_000); err != nil {
 			t.Fatal(err)
 		}
 		return sys.Cycles

@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"mosaicsim/internal/config"
 	"mosaicsim/internal/href"
 	"mosaicsim/internal/parallel"
+	"mosaicsim/internal/sim"
+	"mosaicsim/internal/soc"
 	"mosaicsim/internal/stats"
 	"mosaicsim/internal/workloads"
 )
@@ -26,30 +29,41 @@ var paperFig6 = map[string]float64{
 	"cutcp": 2.48, "sgemm": 3.05, "sad": 3.7,
 }
 
+// xeonRun simulates a workload on the Table I Xeon substitute at a thread
+// count; the session shares its traced artifact with the href legs through
+// the runner's cache.
+func (r *Runner) xeonRun(ctx context.Context, w *workloads.Workload, threads int) (soc.Result, error) {
+	s, err := r.session(w, sim.Options{Config: config.XeonSystem(threads)})
+	if err != nil {
+		return soc.Result{}, err
+	}
+	return s.Run(ctx)
+}
+
 // Fig5 reproduces the accuracy study: simulated cycles over
 // reference-machine cycles per Parboil benchmark, with the geomean the paper
 // reports as 1.099x.
-func (r *Runner) Fig5() (*Report, error) {
+func (r *Runner) Fig5(ctx context.Context) (*Report, error) {
 	tbl := stats.NewTable("Fig. 5 — runtime accuracy factor vs reference machine",
 		"benchmark", "mosaic cycles", "reference cycles", "accuracy", "paper")
 	values := map[string]float64{}
 	ws := workloads.Parboil()
 	simC := make([]int64, len(ws))
 	refC := make([]int64, len(ws))
-	err := parallel.ForErr(r.Jobs, len(ws), func(i int) error {
-		g, tr, err := r.traced(ws[i], 1)
+	err := parallel.ForErrCtx(ctx, r.Jobs, len(ws), func(i int) error {
+		art, err := r.artifact(ctx, ws[i], 1)
 		if err != nil {
 			return err
 		}
-		sim, err := simulate(config.XeonSystem(1), g, tr, nil)
+		res, err := r.xeonRun(ctx, ws[i], 1)
 		if err != nil {
 			return err
 		}
-		ref, err := href.Measure(g, tr)
+		ref, err := href.MeasureCtx(ctx, art.Graph, art.Trace)
 		if err != nil {
 			return err
 		}
-		simC[i], refC[i] = sim.Cycles, ref
+		simC[i], refC[i] = res.Cycles, ref
 		return nil
 	})
 	if err != nil {
@@ -73,7 +87,7 @@ func (r *Runner) Fig5() (*Report, error) {
 
 // Fig6 reproduces the IPC characterization: lower IPC = memory-bound, higher
 // = compute-bound, sorted ascending as in the paper.
-func (r *Runner) Fig6() (*Report, error) {
+func (r *Runner) Fig6(ctx context.Context) (*Report, error) {
 	type row struct {
 		name string
 		ipc  float64
@@ -81,16 +95,12 @@ func (r *Runner) Fig6() (*Report, error) {
 	ws := workloads.Parboil()
 	rows := make([]row, len(ws))
 	values := map[string]float64{}
-	err := parallel.ForErr(r.Jobs, len(ws), func(i int) error {
-		g, tr, err := r.traced(ws[i], 1)
+	err := parallel.ForErrCtx(ctx, r.Jobs, len(ws), func(i int) error {
+		res, err := r.xeonRun(ctx, ws[i], 1)
 		if err != nil {
 			return err
 		}
-		sim, err := simulate(config.XeonSystem(1), g, tr, nil)
-		if err != nil {
-			return err
-		}
-		rows[i] = row{ws[i].Name, sim.IPC}
+		rows[i] = row{ws[i].Name, res.IPC}
 		return nil
 	})
 	if err != nil {
@@ -118,7 +128,7 @@ func (r *Runner) Fig6() (*Report, error) {
 
 // FigScaling reproduces Figs. 7-9: simulated vs reference speedups for 1, 2,
 // 4, 8 threads, normalized to single-thread performance per model.
-func (r *Runner) FigScaling(id, workload string) (*Report, error) {
+func (r *Runner) FigScaling(ctx context.Context, id, workload string) (*Report, error) {
 	w := workloads.ByName(workload)
 	if w == nil {
 		return nil, fmt.Errorf("no workload %q", workload)
@@ -128,21 +138,21 @@ func (r *Runner) FigScaling(id, workload string) (*Report, error) {
 	refCycles := map[int]int64{}
 	simArr := make([]int64, len(threads))
 	refArr := make([]int64, len(threads))
-	err := parallel.ForErr(r.Jobs, len(threads), func(i int) error {
+	err := parallel.ForErrCtx(ctx, r.Jobs, len(threads), func(i int) error {
 		t := threads[i]
-		g, tr, err := r.traced(w, t)
+		art, err := r.artifact(ctx, w, t)
 		if err != nil {
 			return err
 		}
-		sim, err := simulate(config.XeonSystem(t), g, tr, nil)
+		res, err := r.xeonRun(ctx, w, t)
 		if err != nil {
 			return err
 		}
-		ref, err := href.Measure(g, tr)
+		ref, err := href.MeasureCtx(ctx, art.Graph, art.Trace)
 		if err != nil {
 			return err
 		}
-		simArr[i], refArr[i] = sim.Cycles, ref
+		simArr[i], refArr[i] = res.Cycles, ref
 		return nil
 	})
 	if err != nil {
@@ -180,7 +190,7 @@ func figTitle(id string) string {
 
 // Storage reproduces the §VI-B storage study: encoded trace sizes per
 // benchmark.
-func (r *Runner) Storage() (*Report, error) {
+func (r *Runner) Storage(ctx context.Context) (*Report, error) {
 	tbl := stats.NewTable("§VI-B — trace storage requirements",
 		"benchmark", "dyn. instrs", "mem events", "trace bytes", "bytes/instr")
 	values := map[string]float64{}
@@ -189,17 +199,17 @@ func (r *Runner) Storage() (*Report, error) {
 		bytes, instrs, events int64
 	}
 	rows := make([]sizes, len(ws))
-	err := parallel.ForErr(r.Jobs, len(ws), func(i int) error {
-		_, tr, err := r.traced(ws[i], 1)
+	err := parallel.ForErrCtx(ctx, r.Jobs, len(ws), func(i int) error {
+		art, err := r.artifact(ctx, ws[i], 1)
 		if err != nil {
 			return err
 		}
 		var buf bytes.Buffer
-		n, err := tr.WriteTo(&buf)
+		n, err := art.Trace.WriteTo(&buf)
 		if err != nil {
 			return err
 		}
-		rows[i] = sizes{bytes: n, instrs: tr.TotalDynInstrs(), events: tr.TotalMemEvents()}
+		rows[i] = sizes{bytes: n, instrs: art.Trace.TotalDynInstrs(), events: art.Trace.TotalMemEvents()}
 		return nil
 	})
 	if err != nil {

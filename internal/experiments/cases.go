@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mosaicsim/internal/accel"
@@ -146,18 +147,18 @@ func paramsForWorkload(name string, totalBytes int64) []int64 {
 // Fig11 reproduces the DAE case study on bipartite graph projection: single
 // cores, homogeneous parallel scaling, and DAE pairs at OoO-area-equivalence
 // (8 in-order cores = 4 DAE pairs ≈ 1 OoO core by Table II areas).
-func (r *Runner) Fig11() (*Report, error) {
+func (r *Runner) Fig11(ctx context.Context) (*Report, error) {
 	w := workloads.Projection()
 	mem := config.TableIIMem()
 	ino, ooo := config.InOrderCore(), config.OutOfOrderCore()
 
-	c, err := r.legs([]func() (int64, error){
-		func() (int64, error) { return r.cyclesOn(w, ino, 1, mem, nil) },
-		func() (int64, error) { return r.cyclesOn(w, ooo, 1, mem, nil) },
-		func() (int64, error) { return r.cyclesOn(w, ino, 2, mem, nil) },
-		func() (int64, error) { return r.daeCycles(w, 1, mem, nil) },
-		func() (int64, error) { return r.cyclesOn(w, ino, 8, mem, nil) },
-		func() (int64, error) { return r.daeCycles(w, 4, mem, nil) },
+	c, err := r.legs(ctx, []func(context.Context) (int64, error){
+		func(ctx context.Context) (int64, error) { return r.cyclesOn(ctx, w, ino, 1, mem, nil) },
+		func(ctx context.Context) (int64, error) { return r.cyclesOn(ctx, w, ooo, 1, mem, nil) },
+		func(ctx context.Context) (int64, error) { return r.cyclesOn(ctx, w, ino, 2, mem, nil) },
+		func(ctx context.Context) (int64, error) { return r.daeCycles(ctx, w, 1, mem, nil) },
+		func(ctx context.Context) (int64, error) { return r.cyclesOn(ctx, w, ino, 8, mem, nil) },
+		func(ctx context.Context) (int64, error) { return r.daeCycles(ctx, w, 4, mem, nil) },
 	})
 	if err != nil {
 		return nil, err
@@ -192,7 +193,7 @@ func (r *Runner) Fig11() (*Report, error) {
 // Fig12 reproduces the sparse/dense microbenchmark study: EWSD and SGEMM
 // across in-order scaling, an OoO core, DAE pairs, and (for SGEMM) the
 // fixed-function accelerator.
-func (r *Runner) Fig12() (*Report, error) {
+func (r *Runner) Fig12(ctx context.Context) (*Report, error) {
 	mem := config.TableIIMem()
 	ino, ooo := config.InOrderCore(), config.OutOfOrderCore()
 	accels := workloads.DefaultAccelModels(ino.ClockMHz)
@@ -201,21 +202,21 @@ func (r *Runner) Fig12() (*Report, error) {
 	// Every measurement across both workloads is an independent leg; the
 	// sweep engine fans them all out at once and results are assembled by
 	// index. The SGEMM 1-InO leg doubles as the accelerator bar's baseline.
-	mkLegs := func(w *workloads.Workload) []func() (int64, error) {
-		return []func() (int64, error){
-			func() (int64, error) { return r.cyclesOn(w, ino, 1, mem, accels) },
-			func() (int64, error) { return r.cyclesOn(w, ino, 4, mem, accels) },
-			func() (int64, error) { return r.cyclesOn(w, ino, 8, mem, accels) },
-			func() (int64, error) { return r.cyclesOn(w, ooo, 1, mem, accels) },
-			func() (int64, error) { return r.daeCycles(w, 4, mem, accels) },
+	mkLegs := func(w *workloads.Workload) []func(context.Context) (int64, error) {
+		return []func(context.Context) (int64, error){
+			func(ctx context.Context) (int64, error) { return r.cyclesOn(ctx, w, ino, 1, mem, accels) },
+			func(ctx context.Context) (int64, error) { return r.cyclesOn(ctx, w, ino, 4, mem, accels) },
+			func(ctx context.Context) (int64, error) { return r.cyclesOn(ctx, w, ino, 8, mem, accels) },
+			func(ctx context.Context) (int64, error) { return r.cyclesOn(ctx, w, ooo, 1, mem, accels) },
+			func(ctx context.Context) (int64, error) { return r.daeCycles(ctx, w, 4, mem, accels) },
 		}
 	}
 	legNames := []string{"1 InO", "4 InO", "8 InO", "1 OoO", "4+4 InO DAE"}
 	fns := append(mkLegs(workloads.EWSD()), mkLegs(workloads.SGEMM())...)
-	fns = append(fns, func() (int64, error) {
-		return r.cyclesOn(workloads.SGEMMAccel(), ino, 1, mem, accels)
+	fns = append(fns, func(ctx context.Context) (int64, error) {
+		return r.cyclesOn(ctx, workloads.SGEMMAccel(), ino, 1, mem, accels)
 	})
-	c, err := r.legs(fns)
+	c, err := r.legs(ctx, fns)
 	if err != nil {
 		return nil, err
 	}
@@ -259,7 +260,7 @@ func (r *Runner) Fig12() (*Report, error) {
 // serially with dataset mixes chosen by their share of baseline (1 InO)
 // cycles; serial-phase composition makes each architecture's combined time
 // the weighted sum of its phase times.
-func (r *Runner) Fig13() (*Report, error) {
+func (r *Runner) Fig13(ctx context.Context) (*Report, error) {
 	mem := config.TableIIMem()
 	ino, ooo := config.InOrderCore(), config.OutOfOrderCore()
 	accels := workloads.DefaultAccelModels(ino.ClockMHz)
@@ -268,20 +269,20 @@ func (r *Runner) Fig13() (*Report, error) {
 	// Phase measurements for both workloads plus the SGEMM accelerator
 	// offload are independent legs fanned out together.
 	legNames := []string{"4 InO", "8 InO", "1 OoO", "4+4 InO DAE", "base"}
-	mkLegs := func(w *workloads.Workload) []func() (int64, error) {
-		return []func() (int64, error){
-			func() (int64, error) { return r.cyclesOn(w, ino, 4, mem, accels) },
-			func() (int64, error) { return r.cyclesOn(w, ino, 8, mem, accels) },
-			func() (int64, error) { return r.cyclesOn(w, ooo, 1, mem, accels) },
-			func() (int64, error) { return r.daeCycles(w, 4, mem, accels) },
-			func() (int64, error) { return r.cyclesOn(w, ino, 1, mem, accels) },
+	mkLegs := func(w *workloads.Workload) []func(context.Context) (int64, error) {
+		return []func(context.Context) (int64, error){
+			func(ctx context.Context) (int64, error) { return r.cyclesOn(ctx, w, ino, 4, mem, accels) },
+			func(ctx context.Context) (int64, error) { return r.cyclesOn(ctx, w, ino, 8, mem, accels) },
+			func(ctx context.Context) (int64, error) { return r.cyclesOn(ctx, w, ooo, 1, mem, accels) },
+			func(ctx context.Context) (int64, error) { return r.daeCycles(ctx, w, 4, mem, accels) },
+			func(ctx context.Context) (int64, error) { return r.cyclesOn(ctx, w, ino, 1, mem, accels) },
 		}
 	}
 	fns := append(mkLegs(sgw), mkLegs(ew)...)
-	fns = append(fns, func() (int64, error) {
-		return r.cyclesOn(workloads.SGEMMAccel(), ino, 1, mem, accels)
+	fns = append(fns, func(ctx context.Context) (int64, error) {
+		return r.cyclesOn(ctx, workloads.SGEMMAccel(), ino, 1, mem, accels)
 	})
-	c, err := r.legs(fns)
+	c, err := r.legs(ctx, fns)
 	if err != nil {
 		return nil, err
 	}

@@ -4,22 +4,23 @@
 // models, the DAE compiler pass, and the DNN performance models. Each
 // experiment returns both a rendered table and machine-readable values so
 // the CLI, the benchmarks, and the tests share one implementation.
+//
+// All simulation legs run through the session engine (internal/sim): one
+// content-keyed artifact cache per Runner replaces the former private
+// trace/DAE caches, and the sweep context cancels queued legs and
+// in-flight simulations alike.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"mosaicsim/internal/config"
-	"mosaicsim/internal/dae"
-	"mosaicsim/internal/ddg"
-	"mosaicsim/internal/interp"
-	"mosaicsim/internal/ir"
 	"mosaicsim/internal/parallel"
+	"mosaicsim/internal/sim"
 	"mosaicsim/internal/soc"
 	"mosaicsim/internal/stats"
-	"mosaicsim/internal/trace"
 	"mosaicsim/internal/workloads"
 )
 
@@ -40,11 +41,11 @@ func (r *Report) String() string {
 	return s
 }
 
-// Runner executes experiments at a chosen workload scale with caching of
-// traces shared between experiments. A Runner's methods are safe for
-// concurrent use: independent simulation legs within one experiment fan out
-// across the sweep engine's worker pool (internal/parallel), and whole
-// experiments may run concurrently from the CLI.
+// Runner executes experiments at a chosen workload scale. A Runner's methods
+// are safe for concurrent use: independent simulation legs within one
+// experiment fan out across the sweep engine's worker pool
+// (internal/parallel), whole experiments may run concurrently from the CLI,
+// and every leg is a sim.Session sharing the Runner's artifact cache.
 type Runner struct {
 	Scale workloads.Scale
 	// Jobs bounds the fan-out of this runner's sweeps: 0 shares the
@@ -52,103 +53,45 @@ type Runner struct {
 	// n > 1 requests a dedicated pool of n workers.
 	Jobs int
 
-	mu         sync.Mutex
-	traceCache map[string]*tracedKernel
-	daeCache   map[string]*slicedKernel
+	cache *sim.Cache
 }
 
-type tracedKernel struct {
-	once  sync.Once
-	graph *ddg.Graph
-	tr    *trace.Trace
-	err   error
-}
-
-type slicedKernel struct {
-	once   sync.Once
-	slices *dae.Slices
-	ag, eg *ddg.Graph
-	err    error
-}
-
-// NewRunner builds a Runner; Small is the scale the paper-facing harness
-// uses.
+// NewRunner builds a Runner with a private artifact cache; Small is the
+// scale the paper-facing harness uses.
 func NewRunner(s workloads.Scale) *Runner {
-	return &Runner{
-		Scale:      s,
-		traceCache: map[string]*tracedKernel{},
-		daeCache:   map[string]*slicedKernel{},
-	}
+	return &Runner{Scale: s, cache: sim.NewCache()}
 }
 
-// traced returns (cached) DDG + trace for a workload at a tile count.
-// Concurrent legs asking for the same kernel share one tracing run
-// (singleflight), so the cache stays effective under the parallel sweeps.
-func (r *Runner) traced(w *workloads.Workload, tiles int) (*ddg.Graph, *trace.Trace, error) {
-	key := fmt.Sprintf("%s/%d/%d", w.Name, tiles, r.Scale)
-	r.mu.Lock()
-	c, ok := r.traceCache[key]
-	if !ok {
-		c = &tracedKernel{}
-		r.traceCache[key] = c
-	}
-	r.mu.Unlock()
-	c.once.Do(func() { c.graph, c.tr, c.err = w.Trace(tiles, r.Scale) })
-	return c.graph, c.tr, c.err
+// session opens a sim.Session for one measurement leg against the runner's
+// shared cache.
+func (r *Runner) session(w *workloads.Workload, opts sim.Options) (*sim.Session, error) {
+	opts.Workload = w
+	opts.Scale = r.Scale
+	opts.Cache = r.cache
+	return sim.NewSession(opts)
 }
 
-// sliced returns (cached) DAE access/execute slices and their DDGs for a
-// workload, with the same singleflight discipline as traced.
-func (r *Runner) sliced(w *workloads.Workload) (*slicedKernel, error) {
-	r.mu.Lock()
-	c, ok := r.daeCache[w.Name]
-	if !ok {
-		c = &slicedKernel{}
-		r.daeCache[w.Name] = c
+// artifact returns the (cached) compile/DDG/trace bundle for a workload at a
+// tile count.
+func (r *Runner) artifact(ctx context.Context, w *workloads.Workload, tiles int) (*sim.Artifact, error) {
+	s, err := r.session(w, sim.Options{Tiles: tiles})
+	if err != nil {
+		return nil, err
 	}
-	r.mu.Unlock()
-	c.once.Do(func() {
-		f, err := w.Kernel()
-		if err != nil {
-			c.err = err
-			return
-		}
-		s, err := dae.Slice(f)
-		if err != nil {
-			c.err = err
-			return
-		}
-		c.slices = s
-		c.ag, c.eg = ddg.Build(s.Access), ddg.Build(s.Execute)
-	})
-	if c.err != nil {
-		return nil, c.err
-	}
-	return c, nil
+	return s.Artifact(ctx)
 }
 
 // legs runs independent cycle-count measurements across the runner's worker
 // pool, collecting results by index so callers stay deterministic.
-func (r *Runner) legs(fns []func() (int64, error)) ([]int64, error) {
+// Cancelling ctx abandons queued legs and aborts running simulations.
+func (r *Runner) legs(ctx context.Context, fns []func(context.Context) (int64, error)) ([]int64, error) {
 	out := make([]int64, len(fns))
-	err := parallel.ForErr(r.Jobs, len(fns), func(i int) error {
-		c, err := fns[i]()
+	err := parallel.ForErrCtx(ctx, r.Jobs, len(fns), func(i int) error {
+		c, err := fns[i](ctx)
 		out[i] = c
 		return err
 	})
 	return out, err
-}
-
-// simulate runs a homogeneous system over a traced kernel.
-func simulate(cfg *config.SystemConfig, g *ddg.Graph, tr *trace.Trace, accels map[string]soc.AccelModel) (soc.Result, error) {
-	sys, err := soc.NewSPMD(cfg, g, tr, accels)
-	if err != nil {
-		return soc.Result{}, err
-	}
-	if err := sys.Run(0); err != nil {
-		return soc.Result{}, err
-	}
-	return sys.Result(), nil
 }
 
 // system builds a homogeneous Table II style system config.
@@ -161,12 +104,12 @@ func system(name string, core config.CoreConfig, count int, mem config.MemConfig
 }
 
 // cyclesOn runs workload w on a homogeneous system and returns cycles.
-func (r *Runner) cyclesOn(w *workloads.Workload, core config.CoreConfig, count int, mem config.MemConfig, accels map[string]soc.AccelModel) (int64, error) {
-	g, tr, err := r.traced(w, count)
+func (r *Runner) cyclesOn(ctx context.Context, w *workloads.Workload, core config.CoreConfig, count int, mem config.MemConfig, accels map[string]soc.AccelModel) (int64, error) {
+	s, err := r.session(w, sim.Options{Config: system(w.Name, core, count, mem), Accels: accels})
 	if err != nil {
 		return 0, err
 	}
-	res, err := simulate(system(w.Name, core, count, mem), g, tr, accels)
+	res, err := s.Run(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -175,28 +118,7 @@ func (r *Runner) cyclesOn(w *workloads.Workload, core config.CoreConfig, count i
 
 // daeCycles slices a workload into access/execute pairs, traces the pair
 // system, and simulates it on in-order cores (§VII-A).
-func (r *Runner) daeCycles(w *workloads.Workload, pairs int, mem config.MemConfig, accels map[string]soc.AccelModel) (int64, error) {
-	sk, err := r.sliced(w)
-	if err != nil {
-		return 0, err
-	}
-	s, ag, eg := sk.slices, sk.ag, sk.eg
-	var fns []*ir.Function
-	for i := 0; i < pairs; i++ {
-		fns = append(fns, s.Access, s.Execute)
-	}
-	m := interp.NewMemory(workloads.MemBytes)
-	inst := w.Setup(m, r.Scale)
-	res, err := interp.RunTiles(fns, m, inst.Args, interp.Options{Acc: inst.Acc})
-	if err != nil {
-		return 0, fmt.Errorf("dae trace %s: %w", w.Name, err)
-	}
-	if inst.Check != nil {
-		if err := inst.Check(m); err != nil {
-			return 0, fmt.Errorf("dae %s: result check: %w", w.Name, err)
-		}
-	}
-	m.Release()
+func (r *Runner) daeCycles(ctx context.Context, w *workloads.Workload, pairs int, mem config.MemConfig, accels map[string]soc.AccelModel) (int64, error) {
 	ino := config.InOrderCore()
 	// DAE cores carry the DeSC structures: communication queues, the
 	// terminal load buffer, and the store address/value buffers (§VII-A).
@@ -205,20 +127,19 @@ func (r *Runner) daeCycles(w *workloads.Workload, pairs int, mem config.MemConfi
 	ino.DecoupledSupply = true
 	ino.WindowSize = 64
 	ino.LSQSize = 12
-	var tiles []soc.TileSpec
-	for i := 0; i < pairs; i++ {
-		tiles = append(tiles,
-			soc.TileSpec{Cfg: ino, Graph: ag, TT: res.Trace.Tiles[2*i]},
-			soc.TileSpec{Cfg: ino, Graph: eg, TT: res.Trace.Tiles[2*i+1]})
-	}
-	sys, err := soc.New(w.Name+"-dae", tiles, mem, accels)
+	s, err := r.session(w, sim.Options{
+		Slicing: sim.SliceDAE,
+		Config:  system(w.Name+"-dae", ino, 2*pairs, mem),
+		Accels:  accels,
+	})
 	if err != nil {
 		return 0, err
 	}
-	if err := sys.Run(0); err != nil {
+	res, err := s.Run(ctx)
+	if err != nil {
 		return 0, err
 	}
-	return sys.Cycles, nil
+	return res.Cycles, nil
 }
 
 // IDs lists the experiment identifiers in paper order.
@@ -229,8 +150,22 @@ func IDs() []string {
 	}
 }
 
-// Run executes one experiment by ID.
-func (r *Runner) Run(id string) (*Report, error) {
+// Resolve validates an experiment id up front, failing unknown ids with a
+// did-you-mean suggestion instead of mid-sweep after earlier legs have run.
+func Resolve(id string) error {
+	for _, known := range IDs() {
+		if id == known {
+			return nil
+		}
+	}
+	if s := stats.Closest(id, IDs()); s != "" {
+		return fmt.Errorf("experiments: unknown id %q (did you mean %q? have %v)", id, s, IDs())
+	}
+	return fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+}
+
+// Run executes one experiment by ID under ctx.
+func (r *Runner) Run(ctx context.Context, id string) (*Report, error) {
 	switch id {
 	case "fig1":
 		return Fig1(), nil
@@ -239,29 +174,29 @@ func (r *Runner) Run(id string) (*Report, error) {
 	case "tab2":
 		return Tab2(), nil
 	case "fig5":
-		return r.Fig5()
+		return r.Fig5(ctx)
 	case "fig6":
-		return r.Fig6()
+		return r.Fig6(ctx)
 	case "fig7":
-		return r.FigScaling("fig7", "bfs")
+		return r.FigScaling(ctx, "fig7", "bfs")
 	case "fig8":
-		return r.FigScaling("fig8", "sgemm")
+		return r.FigScaling(ctx, "fig8", "sgemm")
 	case "fig9":
-		return r.FigScaling("fig9", "spmv")
+		return r.FigScaling(ctx, "fig9", "spmv")
 	case "fig10":
 		return Fig10(), nil
 	case "fig11":
-		return r.Fig11()
+		return r.Fig11(ctx)
 	case "fig12":
-		return r.Fig12()
+		return r.Fig12(ctx)
 	case "fig13":
-		return r.Fig13()
+		return r.Fig13(ctx)
 	case "fig14":
 		return Fig14(), nil
 	case "storage":
-		return r.Storage()
+		return r.Storage(ctx)
 	default:
-		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+		return nil, Resolve(id)
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ func tinyRunner() *Runner { return NewRunner(workloads.Tiny) }
 func TestIDsAllRunnable(t *testing.T) {
 	r := tinyRunner()
 	for _, id := range IDs() {
-		rep, err := r.Run(id)
+		rep, err := r.Run(context.Background(), id)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -27,13 +28,13 @@ func TestIDsAllRunnable(t *testing.T) {
 			t.Errorf("%s: empty table", id)
 		}
 	}
-	if _, err := r.Run("fig99"); err == nil {
+	if _, err := r.Run(context.Background(), "fig99"); err == nil {
 		t.Error("unknown experiment id accepted")
 	}
 }
 
 func TestFig5GeomeanPlausible(t *testing.T) {
-	rep, err := tinyRunner().Fig5()
+	rep, err := tinyRunner().Fig5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestFig6ComputeBeatsMemoryBound(t *testing.T) {
 	// At Tiny scale working sets fit in the caches, so absolute memory-bound
 	// rankings (bfs lowest) only emerge at the Small scale the harness uses;
 	// the robust Tiny-scale shape is compute-bound > streaming-bound.
-	rep, err := tinyRunner().Fig6()
+	rep, err := tinyRunner().Fig6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestFig6ComputeBeatsMemoryBound(t *testing.T) {
 }
 
 func TestFig8SGEMMNearLinear(t *testing.T) {
-	rep, err := tinyRunner().FigScaling("fig8", "sgemm")
+	rep, err := tinyRunner().FigScaling(context.Background(), "fig8", "sgemm")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestFig8SGEMMNearLinear(t *testing.T) {
 }
 
 func TestFig9SPMVSublinear(t *testing.T) {
-	rep, err := tinyRunner().FigScaling("fig9", "spmv")
+	rep, err := tinyRunner().FigScaling(context.Background(), "fig9", "spmv")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestFig10ModelAccuracy(t *testing.T) {
 }
 
 func TestFig11DAEWins(t *testing.T) {
-	rep, err := tinyRunner().Fig11()
+	rep, err := tinyRunner().Fig11(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestFig11DAEWins(t *testing.T) {
 }
 
 func TestFig12AccelDominatesSGEMM(t *testing.T) {
-	rep, err := tinyRunner().Fig12()
+	rep, err := tinyRunner().Fig12(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestFig12AccelDominatesSGEMM(t *testing.T) {
 }
 
 func TestFig13AccelDAEBestEverywhere(t *testing.T) {
-	rep, err := tinyRunner().Fig13()
+	rep, err := tinyRunner().Fig13(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestFig14Bands(t *testing.T) {
 }
 
 func TestStorageMemoryTracesDominate(t *testing.T) {
-	rep, err := tinyRunner().Storage()
+	rep, err := tinyRunner().Storage(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestParallelSweepDeterminism(t *testing.T) {
 		r.Jobs = jobs
 		var sb strings.Builder
 		for _, id := range []string{"fig5", "fig11", "fig12"} {
-			rep, err := r.Run(id)
+			rep, err := r.Run(context.Background(), id)
 			if err != nil {
 				t.Fatalf("jobs=%d %s: %v", jobs, id, err)
 			}

@@ -21,6 +21,8 @@
 package href
 
 import (
+	"context"
+
 	"mosaicsim/internal/config"
 	"mosaicsim/internal/core"
 	"mosaicsim/internal/ddg"
@@ -123,13 +125,19 @@ func System(g *ddg.Graph, tr *trace.Trace, accels map[string]soc.AccelModel) (*s
 }
 
 // Measure runs the reference machine on a traced kernel and returns its
-// "measured" cycle count.
+// "measured" cycle count. A nil ctx is treated as context.Background().
 func Measure(g *ddg.Graph, tr *trace.Trace) (int64, error) {
+	return MeasureCtx(context.Background(), g, tr)
+}
+
+// MeasureCtx is Measure under a context: cancelling ctx aborts the reference
+// run mid-simulation.
+func MeasureCtx(ctx context.Context, g *ddg.Graph, tr *trace.Trace) (int64, error) {
 	sys, err := System(g, tr, nil)
 	if err != nil {
 		return 0, err
 	}
-	if err := sys.Run(0); err != nil {
+	if err := sys.Run(ctx, 0); err != nil {
 		return 0, err
 	}
 	return sys.Cycles, nil
@@ -148,7 +156,7 @@ func MeasureTiles(tiles []soc.TileSpec) (int64, error) {
 	for i, c := range sys.Cores {
 		c.SetFreeInstrs(FreeMask(tiles[i].Graph.Fn))
 	}
-	if err := sys.Run(0); err != nil {
+	if err := sys.Run(context.Background(), 0); err != nil {
 		return 0, err
 	}
 	return sys.Cycles, nil

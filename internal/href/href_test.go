@@ -1,6 +1,7 @@
 package href
 
 import (
+	"context"
 	"testing"
 
 	"mosaicsim/internal/cc"
@@ -119,7 +120,7 @@ func TestReferenceFasterThanMosaic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sim.Run(0); err != nil {
+	if err := sim.Run(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if refCycles >= sim.Cycles {

@@ -1,6 +1,7 @@
 package keras
 
 import (
+	"context"
 	"testing"
 
 	"mosaicsim/internal/accel"
@@ -165,11 +166,11 @@ func TestLoweredKernelSimulates(t *testing.T) {
 	for _, name := range []string{"acc_sgemm", "acc_elementwise"} {
 		accels[name] = &accel.Model{Acc: accel.ByName(name, dp), Mode: accel.ModeClosedForm, SystemMHz: host.ClockMHz, MaxMemGBs: 24}
 	}
-	accelRes, err := m.SimulateTrainingStep(4, true, host, accels)
+	accelRes, err := m.SimulateTrainingStep(context.Background(), 4, true, host, accels)
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseRes, err := m.SimulateTrainingStep(4, false, host, accels)
+	baseRes, err := m.SimulateTrainingStep(context.Background(), 4, false, host, accels)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,11 +196,11 @@ func TestLoweredOrderingMatchesAnalytic(t *testing.T) {
 		accels[name] = &accel.Model{Acc: accel.ByName(name, dp), Mode: accel.ModeClosedForm, SystemMHz: host.ClockMHz, MaxMemGBs: 24}
 	}
 	speedup := func(m *Model) float64 {
-		withAcc, err := m.SimulateTrainingStep(4, true, host, accels)
+		withAcc, err := m.SimulateTrainingStep(context.Background(), 4, true, host, accels)
 		if err != nil {
 			t.Fatal(err)
 		}
-		hostOnly, err := m.SimulateTrainingStep(4, false, host, accels)
+		hostOnly, err := m.SimulateTrainingStep(context.Background(), 4, false, host, accels)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,15 +1,16 @@
 package keras
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"mosaicsim/internal/accel"
-	"mosaicsim/internal/cc"
 	"mosaicsim/internal/config"
-	"mosaicsim/internal/ddg"
 	"mosaicsim/internal/interp"
+	"mosaicsim/internal/sim"
 	"mosaicsim/internal/soc"
+	"mosaicsim/internal/workloads"
 )
 
 // This file implements the paper's actual §VII-C mechanism end to end:
@@ -132,35 +133,44 @@ func (m *Model) Lower(batch int, useAccel bool) *Lowered {
 
 // SimulateTrainingStep runs the lowered kernel through the full pipeline on
 // a single host core with the given accelerator models and returns the
-// system result. Functional accelerator implementations execute on the
-// arena, so the DTG records real invocation parameters.
-func (m *Model) SimulateTrainingStep(batch int, useAccel bool, host config.CoreConfig, accels map[string]soc.AccelModel) (soc.Result, error) {
+// system result. The lowered kernel becomes an ad-hoc workload — named by
+// model, batch, and lowering variant so accelerated and host-only lowerings
+// never collide in the session engine's artifact cache — and functional
+// accelerator implementations execute on the arena, so the DTG records real
+// invocation parameters.
+func (m *Model) SimulateTrainingStep(ctx context.Context, batch int, useAccel bool, host config.CoreConfig, accels map[string]soc.AccelModel) (soc.Result, error) {
 	low := m.Lower(batch, useAccel)
-	mod, err := cc.Compile(low.Source, m.Name)
-	if err != nil {
-		return soc.Result{}, fmt.Errorf("keras lower %s: %w\n%s", m.Name, err, low.Source)
+	variant := "host"
+	if useAccel {
+		variant = "accel"
 	}
-	f := mod.Func("kernel")
 	// Arena + host buffer + slack.
 	img := low.ArenaBytes + low.HostElems*8 + (1 << 20)
-	mem := interp.NewMemory(img * 2)
-	arena := mem.Alloc(low.ArenaBytes, 64)
-	hostBuf := mem.Alloc(low.HostElems*8, 64)
-	res, err := interp.Run(f, mem, []uint64{arena, hostBuf, uint64(low.HostElems)},
-		interp.Options{Acc: accel.FuncRegistry()})
-	if err != nil {
-		return soc.Result{}, fmt.Errorf("keras trace %s: %w", m.Name, err)
+	w := &workloads.Workload{
+		Name: fmt.Sprintf("%s-b%d-%s", m.Name, batch, variant),
+		Desc: fmt.Sprintf("lowered %s training step (batch %d, %s)", m.Name, batch, variant),
+		Src:  low.Source,
+		Mem:  img * 2,
+		Setup: func(mem *interp.Memory, _ workloads.Scale) workloads.Instance {
+			arena := mem.Alloc(low.ArenaBytes, 64)
+			hostBuf := mem.Alloc(low.HostElems*8, 64)
+			return workloads.Instance{
+				Args: []uint64{arena, hostBuf, uint64(low.HostElems)},
+				Acc:  accel.FuncRegistry(),
+			}
+		},
 	}
-	sys, err := soc.NewSPMD(&config.SystemConfig{
-		Name:  m.Name,
-		Cores: []config.CoreSpec{{Core: host, Count: 1}},
-		Mem:   config.TableIIMem(),
-	}, ddg.Build(f), res.Trace, accels)
+	s, err := sim.NewSession(sim.Options{
+		Workload: w,
+		Config: &config.SystemConfig{
+			Name:  m.Name,
+			Cores: []config.CoreSpec{{Core: host, Count: 1}},
+			Mem:   config.TableIIMem(),
+		},
+		Accels: accels,
+	})
 	if err != nil {
 		return soc.Result{}, err
 	}
-	if err := sys.Run(0); err != nil {
-		return soc.Result{}, err
-	}
-	return sys.Result(), nil
+	return s.Run(ctx)
 }

@@ -9,9 +9,16 @@
 // multiplying worker counts. A call that asks for an explicit width (jobs >
 // 0) gets a dedicated pool of that width — tests and callers that need a
 // known concurrency level use this.
+//
+// Sweeps are cancellable: the *Ctx variants check the context before
+// claiming each leg, so cancelling a sweep abandons every queued leg
+// deterministically (abandoned legs record the context error at their index)
+// while legs already running finish — or, if they observe the same context
+// themselves, return early.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -73,6 +80,15 @@ func tokenPool() chan struct{} {
 // budget has free. The caller always participates, so For never blocks
 // waiting for capacity, and nested calls cannot deadlock.
 func For(jobs, n int, fn func(i int)) {
+	forCtx(context.Background(), jobs, n, func(i int) error { fn(i); return nil }, nil)
+}
+
+// forCtx is the shared worker loop: it claims indices atomically and runs
+// fn on each, recording errors by index into errs (when non-nil). Once ctx
+// is cancelled, workers keep claiming indices but record ctx.Err() instead
+// of running the leg, so the queue drains immediately and every abandoned
+// leg is accounted for.
+func forCtx(ctx context.Context, jobs, n int, fn func(i int) error, errs []error) {
 	if n <= 0 {
 		return
 	}
@@ -83,7 +99,16 @@ func For(jobs, n int, fn func(i int)) {
 			if i >= n {
 				return
 			}
-			fn(i)
+			if err := ctx.Err(); err != nil {
+				if errs != nil {
+					errs[i] = err
+				}
+				continue // abandon queued legs, drain the index space
+			}
+			err := fn(i)
+			if errs != nil {
+				errs[i] = err
+			}
 		}
 	}
 	var wg sync.WaitGroup
@@ -124,8 +149,20 @@ func For(jobs, n int, fn func(i int)) {
 // result slices the legs fill stay deterministic); the returned error is the
 // lowest-indexed one, matching what a serial loop would have hit first.
 func ForErr(jobs, n int, fn func(i int) error) error {
+	return ForErrCtx(context.Background(), jobs, n, fn)
+}
+
+// ForErrCtx is ForErr under a context: cancelling ctx abandons every leg not
+// yet started (each records ctx.Err() at its index) while running legs
+// finish. The returned error is still the lowest-indexed one, so a leg that
+// failed before the cancellation wins over the cancellation itself, exactly
+// as a serial loop would have reported it.
+func ForErrCtx(ctx context.Context, jobs, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	errs := make([]error, n)
-	For(jobs, n, func(i int) { errs[i] = fn(i) })
+	forCtx(ctx, jobs, n, fn, errs)
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -110,6 +111,81 @@ func TestNestedSharedPoolsDoNotMultiply(t *testing.T) {
 	})
 	if peak > 3 {
 		t.Errorf("nested sweeps peaked at %d concurrent workers with limit 3", peak)
+	}
+}
+
+// TestForErrCtxAbandonsQueuedLegs: once the context dies, every leg not yet
+// started is abandoned (recording ctx.Err() at its index) instead of run, and
+// the sweep reports the cancellation.
+func TestForErrCtxAbandonsQueuedLegs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 200
+	var ran atomic.Int32
+	// Serial pool: leg 0 cancels, so legs 1..n-1 are all queued behind a dead
+	// context and must be abandoned deterministically.
+	err := ForErrCtx(ctx, 1, n, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("sweep error = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Errorf("%d legs ran after the cancel; only leg 0 should have", got)
+	}
+}
+
+// TestForErrCtxEarlierErrorWins: a leg failure that precedes the cancellation
+// in index order is what the sweep reports, exactly as a serial loop would.
+func TestForErrCtxEarlierErrorWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("leg 2 failed")
+	err := ForErrCtx(ctx, 1, 10, func(i int) error {
+		if i == 2 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Errorf("sweep error = %v, want the lower-indexed leg failure", err)
+	}
+}
+
+// TestForErrCtxPreCanceled: a sweep under an already-dead context runs no
+// legs at all.
+func TestForErrCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForErrCtx(ctx, 4, 50, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("sweep error = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Errorf("%d legs ran under a pre-canceled context", got)
+	}
+}
+
+func TestForErrCtxNilContext(t *testing.T) {
+	var ran atomic.Int32
+	var nilCtx context.Context // tolerating a nil ctx is part of the contract
+	if err := ForErrCtx(nilCtx, 2, 8, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("nil-context sweep returned %v", err)
+	}
+	if ran.Load() != 8 {
+		t.Error("nil-context sweep skipped legs")
 	}
 }
 

@@ -1,6 +1,7 @@
 package pyfe
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -221,7 +222,7 @@ def kernel(A: 'double*', B: 'double*', n: 'long'):
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Run(0); err != nil {
+	if err := sys.Run(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if sys.Result().Instrs != res.Trace.TotalDynInstrs() {

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"sync"
+
+	"mosaicsim/internal/dae"
+	"mosaicsim/internal/ddg"
+	"mosaicsim/internal/ir"
+	"mosaicsim/internal/trace"
+	"mosaicsim/internal/workloads"
+)
+
+// Key identifies one cached pipeline artifact by content: the kernel's name
+// and source hash, the workload scale, the traced tile count, and the
+// slicing mode. Two sessions asking for the same key share one compilation
+// and one tracing run no matter which driver they belong to.
+type Key struct {
+	Kernel  string
+	SrcHash uint64
+	Scale   workloads.Scale
+	Tiles   int
+	Mode    SliceMode
+}
+
+// KeyOf builds the artifact cache key for a workload at a tile count.
+func KeyOf(w *workloads.Workload, scale workloads.Scale, tiles int, mode SliceMode) Key {
+	h := fnv.New64a()
+	h.Write([]byte(w.Src))
+	return Key{Kernel: w.Name, SrcHash: h.Sum64(), Scale: scale, Tiles: tiles, Mode: mode}
+}
+
+// kernelKey identifies a compiled kernel (and its DAE slices) independent of
+// scale and tile count.
+type kernelKey struct {
+	Kernel  string
+	SrcHash uint64
+}
+
+// Artifact bundles the cacheable outputs of the Compile → DDG → Trace
+// stages. SPMD artifacts fill Fn/Graph/Trace; DAE artifacts additionally
+// carry the access/execute slices and their graphs (Graph is the unsliced
+// kernel's).
+type Artifact struct {
+	Fn    *ir.Function
+	Graph *ddg.Graph
+	Trace *trace.Trace
+
+	Slices       *dae.Slices
+	AccessGraph  *ddg.Graph
+	ExecuteGraph *ddg.Graph
+}
+
+// sliced is the cached result of the DAE compiler pass on one kernel.
+type sliced struct {
+	slices  *dae.Slices
+	access  *ddg.Graph
+	execute *ddg.Graph
+}
+
+// flight is one singleflight slot: the first caller builds, everyone else
+// waits on done. A slot that finished with a context error is evicted so the
+// cancellation of one session never poisons the cache for the others.
+type flight[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// Cache is the engine's content-keyed artifact store. It unifies what used
+// to be three private caches — the experiment runner's trace and DAE caches
+// and the workload suite's per-instance compile singleflight — behind one
+// concurrency-safe, context-aware singleflight per layer (compiled kernels,
+// kernel graphs, DAE slices, traced artifacts).
+type Cache struct {
+	mu      sync.Mutex
+	kernels map[kernelKey]*flight[*ir.Function]
+	graphs  map[kernelKey]*flight[*ddg.Graph]
+	slices  map[kernelKey]*flight[*sliced]
+	arts    map[Key]*flight[*Artifact]
+}
+
+// NewCache builds an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		kernels: map[kernelKey]*flight[*ir.Function]{},
+		graphs:  map[kernelKey]*flight[*ddg.Graph]{},
+		slices:  map[kernelKey]*flight[*sliced]{},
+		arts:    map[Key]*flight[*Artifact]{},
+	}
+}
+
+// DefaultCache is the process-wide artifact cache sessions use unless their
+// options name another: every driver in one process (CLI sweeps, examples,
+// benchmarks) shares compilations and traces through it.
+var DefaultCache = NewCache()
+
+// isCtxErr reports whether err came from a cancelled or expired context.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// single is the context-aware singleflight: the first caller for key runs
+// build; concurrent callers block until it finishes (or their own ctx is
+// cancelled) and share the result. Results are cached forever, except
+// context errors, which evict the slot so the next caller retries.
+func single[K comparable, T any](ctx context.Context, c *Cache, m map[K]*flight[T], key K, build func() (T, error)) (T, error) {
+	for {
+		c.mu.Lock()
+		f, ok := m[key]
+		if !ok {
+			f = &flight[T]{done: make(chan struct{})}
+			m[key] = f
+			c.mu.Unlock()
+			f.val, f.err = build()
+			if f.err != nil && isCtxErr(f.err) {
+				c.mu.Lock()
+				if m[key] == f {
+					delete(m, key)
+				}
+				c.mu.Unlock()
+			}
+			close(f.done)
+			return f.val, f.err
+		}
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil && isCtxErr(f.err) {
+				// The builder's context died, not ours: retry unless ours
+				// is gone too.
+				if ctx.Err() != nil {
+					var zero T
+					return zero, ctx.Err()
+				}
+				continue
+			}
+			return f.val, f.err
+		case <-ctx.Done():
+			var zero T
+			return zero, ctx.Err()
+		}
+	}
+}

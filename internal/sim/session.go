@@ -1,0 +1,408 @@
+// Package sim is MosaicSim-Go's reusable, cancellable simulation-session
+// engine. It owns the paper's full pipeline (§II) as typed, individually
+// addressable stages —
+//
+//	Compile → DDG → Trace → BuildSystem → Run → Report
+//
+// — behind one Session API, so every driver (the CLI tools, the experiment
+// harness, the examples, the benchmarks, and future serving frontends)
+// composes the same engine instead of re-wiring the pipeline. Artifacts up
+// to the trace are content-keyed and shared through a singleflight Cache;
+// systems and runs are per-session. Everything downstream of a Session
+// honors context.Context: cancelling a session's context aborts compilation
+// waits, returns mid-simulation from soc.System.Run at interleave and
+// horizon-jump boundaries, and (through internal/parallel) abandons queued
+// sweep legs.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/dae"
+	"mosaicsim/internal/ddg"
+	"mosaicsim/internal/ir"
+	"mosaicsim/internal/soc"
+	"mosaicsim/internal/trace"
+	"mosaicsim/internal/workloads"
+)
+
+// Stage names one pipeline stage for error attribution and addressing.
+type Stage string
+
+// The pipeline stages, in order.
+const (
+	StageCompile Stage = "compile"
+	StageDDG     Stage = "ddg"
+	StageTrace   Stage = "trace"
+	StageBuild   Stage = "build-system"
+	StageRun     Stage = "run"
+	StageReport  Stage = "report"
+)
+
+// SliceMode selects how a session maps the kernel onto tiles.
+type SliceMode int
+
+const (
+	// SliceNone runs the kernel SPMD: every tile executes the same kernel.
+	SliceNone SliceMode = iota
+	// SliceDAE applies the DeSC-style Decoupled Access/Execute pass
+	// (§VII-A): even tiles run the access slice, odd tiles the execute
+	// slice, in pairs.
+	SliceDAE
+)
+
+func (m SliceMode) String() string {
+	if m == SliceDAE {
+		return "dae"
+	}
+	return "spmd"
+}
+
+// StageError attributes a pipeline failure to its stage and kernel. It
+// wraps the underlying error, so errors.Is / errors.As see through it
+// (e.g. errors.Is(err, context.Canceled) after a cancelled run).
+type StageError struct {
+	Stage  Stage
+	Kernel string
+	Err    error
+}
+
+func (e *StageError) Error() string {
+	return fmt.Sprintf("sim: %s stage of %q: %v", e.Stage, e.Kernel, e.Err)
+}
+
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Options configures a Session. Workload is required; the remaining fields
+// are needed only by the stages that consume them (e.g. Config may stay nil
+// for a session used only up to the Trace stage with explicit Tiles).
+type Options struct {
+	// Workload is the kernel under simulation: a built-in benchmark or an
+	// ad-hoc workloads.Workload composed by the caller.
+	Workload *workloads.Workload
+	// Scale selects the workload's input size.
+	Scale workloads.Scale
+	// Tiles is the traced tile count. Zero derives it from Config's total
+	// core count. SliceDAE requires an even count (access/execute pairs).
+	Tiles int
+	// Slicing selects SPMD replication or DAE pair decomposition.
+	Slicing SliceMode
+	// Config describes the simulated system for BuildSystem/Run. Its total
+	// core count must match Tiles when both are set.
+	Config *config.SystemConfig
+	// Accels maps accelerator intrinsics to performance models.
+	Accels map[string]soc.AccelModel
+	// Limit bounds the run's simulated cycles (0 = soc.DefaultCycleLimit).
+	Limit int64
+	// DisableCycleSkipping forces the naive cycle-by-cycle Interleaver loop.
+	DisableCycleSkipping bool
+	// Cache shares pipeline artifacts across sessions; nil uses the
+	// process-wide DefaultCache.
+	Cache *Cache
+}
+
+// Session drives one kernel through the pipeline. Stage methods are
+// idempotent and safe for concurrent use; artifacts come from the shared
+// cache, while the built system and its result belong to this session.
+type Session struct {
+	opts  Options
+	cache *Cache
+
+	mu  sync.Mutex
+	sys *soc.System // last-built (and possibly run) system
+	res soc.Result
+	ran bool
+}
+
+// NewSession validates opts and binds a session to its cache.
+func NewSession(opts Options) (*Session, error) {
+	if opts.Workload == nil {
+		return nil, fmt.Errorf("sim: Options.Workload is required")
+	}
+	if opts.Tiles == 0 && opts.Config != nil {
+		for _, cs := range opts.Config.Cores {
+			opts.Tiles += cs.Count
+		}
+	}
+	if opts.Tiles < 0 {
+		return nil, fmt.Errorf("sim: negative tile count %d", opts.Tiles)
+	}
+	if opts.Config != nil {
+		n := 0
+		for _, cs := range opts.Config.Cores {
+			n += cs.Count
+		}
+		if n != opts.Tiles {
+			return nil, fmt.Errorf("sim: config %q instantiates %d cores but the session traces %d tiles",
+				opts.Config.Name, n, opts.Tiles)
+		}
+	}
+	if opts.Slicing == SliceDAE && opts.Tiles%2 != 0 {
+		return nil, fmt.Errorf("sim: DAE slicing needs an even tile count (access/execute pairs), got %d", opts.Tiles)
+	}
+	c := opts.Cache
+	if c == nil {
+		c = DefaultCache
+	}
+	return &Session{opts: opts, cache: c}, nil
+}
+
+// Key returns the session's content key into the artifact cache.
+func (s *Session) Key() Key {
+	return KeyOf(s.opts.Workload, s.opts.Scale, s.opts.Tiles, s.opts.Slicing)
+}
+
+// fail wraps err in a StageError unless it already is one (an inner stage
+// failed first — keep its attribution).
+func (s *Session) fail(st Stage, err error) error {
+	var se *StageError
+	if ok := asStageError(err, &se); ok {
+		return err
+	}
+	return &StageError{Stage: st, Kernel: s.opts.Workload.Name, Err: err}
+}
+
+// Compile runs (or joins) the compile stage: mini-C to verified IR.
+func (s *Session) Compile(ctx context.Context) (*ir.Function, error) {
+	ctx = orBackground(ctx)
+	w := s.opts.Workload
+	k := kernelKey{Kernel: w.Name, SrcHash: KeyOf(w, 0, 0, SliceNone).SrcHash}
+	f, err := single(ctx, s.cache, s.cache.kernels, k, func() (*ir.Function, error) {
+		f, err := w.Kernel()
+		if err != nil {
+			return nil, err
+		}
+		if f == nil {
+			return nil, fmt.Errorf("workload %s: module has no function %q", w.Name, "kernel")
+		}
+		return f, nil
+	})
+	if err != nil {
+		return nil, s.fail(StageCompile, err)
+	}
+	return f, nil
+}
+
+// Graph runs the DDG stage: the kernel's static data-dependence graph
+// (SliceNone sessions; DAE sessions address their slice graphs via
+// Artifact).
+func (s *Session) Graph(ctx context.Context) (*ddg.Graph, error) {
+	ctx = orBackground(ctx)
+	f, err := s.Compile(ctx)
+	if err != nil {
+		return nil, err
+	}
+	w := s.opts.Workload
+	k := kernelKey{Kernel: w.Name, SrcHash: KeyOf(w, 0, 0, SliceNone).SrcHash}
+	g, err := single(ctx, s.cache, s.cache.graphs, k, func() (*ddg.Graph, error) {
+		return ddg.Build(f), nil
+	})
+	if err != nil {
+		return nil, s.fail(StageDDG, err)
+	}
+	return g, nil
+}
+
+// slicesOf runs the DAE compiler pass (cached per kernel).
+func (s *Session) slicesOf(ctx context.Context) (*sliced, error) {
+	f, err := s.Compile(ctx)
+	if err != nil {
+		return nil, err
+	}
+	w := s.opts.Workload
+	k := kernelKey{Kernel: w.Name, SrcHash: KeyOf(w, 0, 0, SliceNone).SrcHash}
+	sl, err := single(ctx, s.cache, s.cache.slices, k, func() (*sliced, error) {
+		sls, err := dae.Slice(f)
+		if err != nil {
+			return nil, err
+		}
+		return &sliced{slices: sls, access: ddg.Build(sls.Access), execute: ddg.Build(sls.Execute)}, nil
+	})
+	if err != nil {
+		return nil, s.fail(StageDDG, err)
+	}
+	return sl, nil
+}
+
+// Artifact runs the pipeline through the Trace stage, returning the cached
+// compile/DDG/trace bundle for this session's key.
+func (s *Session) Artifact(ctx context.Context) (*Artifact, error) {
+	ctx = orBackground(ctx)
+	if s.opts.Tiles <= 0 {
+		return nil, s.fail(StageTrace, fmt.Errorf("session has no tile count (set Options.Tiles or Options.Config)"))
+	}
+	art, err := single(ctx, s.cache, s.cache.arts, s.Key(), func() (*Artifact, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		switch s.opts.Slicing {
+		case SliceDAE:
+			sl, err := s.slicesOf(ctx)
+			if err != nil {
+				return nil, err
+			}
+			f, err := s.Compile(ctx)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := s.opts.Workload.TracePairs(sl.slices.Access, sl.slices.Execute, s.opts.Tiles/2, s.opts.Scale)
+			if err != nil {
+				return nil, err
+			}
+			return &Artifact{
+				Fn: f, Trace: tr,
+				Slices: sl.slices, AccessGraph: sl.access, ExecuteGraph: sl.execute,
+			}, nil
+		default:
+			f, err := s.Compile(ctx)
+			if err != nil {
+				return nil, err
+			}
+			g, err := s.Graph(ctx)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := s.opts.Workload.TraceWith(f, s.opts.Tiles, s.opts.Scale)
+			if err != nil {
+				return nil, err
+			}
+			return &Artifact{Fn: f, Graph: g, Trace: tr}, nil
+		}
+	})
+	if err != nil {
+		return nil, s.fail(StageTrace, err)
+	}
+	return art, nil
+}
+
+// Trace runs the pipeline through the Trace stage and returns the dynamic
+// trace.
+func (s *Session) Trace(ctx context.Context) (*trace.Trace, error) {
+	art, err := s.Artifact(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return art.Trace, nil
+}
+
+// BuildSystem runs the BuildSystem stage: a fresh soc.System composed from
+// the session's config over the (cached) traced artifact. Each call builds a
+// new system, since a run consumes it.
+func (s *Session) BuildSystem(ctx context.Context) (*soc.System, error) {
+	ctx = orBackground(ctx)
+	if s.opts.Config == nil {
+		return nil, s.fail(StageBuild, fmt.Errorf("session has no system config (set Options.Config)"))
+	}
+	art, err := s.Artifact(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var sys *soc.System
+	switch s.opts.Slicing {
+	case SliceDAE:
+		cores := flattenCores(s.opts.Config)
+		tiles := make([]soc.TileSpec, len(cores))
+		for i, cfg := range cores {
+			g := art.AccessGraph
+			if i%2 == 1 {
+				g = art.ExecuteGraph
+			}
+			tiles[i] = soc.TileSpec{Cfg: cfg, Graph: g, TT: art.Trace.Tiles[i]}
+		}
+		sys, err = soc.New(s.opts.Config.Name, tiles, s.opts.Config.Mem, s.opts.Accels)
+		if err == nil && s.opts.Config.NoC != nil {
+			sys.Fabric.MeshWidth = s.opts.Config.NoC.MeshWidth
+			sys.Fabric.HopCycles = s.opts.Config.NoC.HopCycles
+		}
+	default:
+		sys, err = soc.NewSPMD(s.opts.Config, art.Graph, art.Trace, s.opts.Accels)
+	}
+	if err != nil {
+		return nil, s.fail(StageBuild, err)
+	}
+	sys.DisableCycleSkipping = s.opts.DisableCycleSkipping
+	s.mu.Lock()
+	s.sys = sys
+	s.ran = false
+	s.mu.Unlock()
+	return sys, nil
+}
+
+// Run drives the full pipeline: it builds a fresh system over the cached
+// artifact, simulates it under ctx (and the session's cycle limit), and
+// returns the system-wide report. Cancelling ctx mid-simulation returns
+// promptly with an error wrapping context.Canceled (or DeadlineExceeded,
+// with the effective deadline and cycle limit in the message).
+func (s *Session) Run(ctx context.Context) (soc.Result, error) {
+	ctx = orBackground(ctx)
+	sys, err := s.BuildSystem(ctx)
+	if err != nil {
+		return soc.Result{}, err
+	}
+	if err := sys.Run(ctx, s.opts.Limit); err != nil {
+		return soc.Result{}, s.fail(StageRun, err)
+	}
+	res := sys.Result()
+	s.mu.Lock()
+	s.res = res
+	s.ran = true
+	s.mu.Unlock()
+	return res, nil
+}
+
+// Report returns the last completed run's system-wide estimate.
+func (s *Session) Report() (soc.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ran {
+		return soc.Result{}, s.fail(StageReport, fmt.Errorf("no completed run (call Run first)"))
+	}
+	return s.res, nil
+}
+
+// System returns the session's last-built system (nil before BuildSystem),
+// for drivers that report component-level statistics.
+func (s *Session) System() *soc.System {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys
+}
+
+// flattenCores expands a config's CoreSpecs into one CoreConfig per tile.
+func flattenCores(cfg *config.SystemConfig) []config.CoreConfig {
+	var out []config.CoreConfig
+	for _, cs := range cfg.Cores {
+		for i := 0; i < cs.Count; i++ {
+			out = append(out, cs.Core)
+		}
+	}
+	return out
+}
+
+// orBackground treats a nil ctx as context.Background().
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// asStageError is errors.As specialized to *StageError without forcing every
+// caller through the reflection path for the common nil case.
+func asStageError(err error, target **StageError) bool {
+	for err != nil {
+		if se, ok := err.(*StageError); ok {
+			*target = se
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

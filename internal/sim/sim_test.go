@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/interp"
+	"mosaicsim/internal/workloads"
+)
+
+// spinSrc is a long serial-dependence loop: with cycle skipping disabled its
+// simulation runs for hundreds of milliseconds, long enough that a test can
+// cancel it mid-run.
+const spinSrc = `
+void kernel(double* A, long n) {
+  double acc = 0.0;
+  long j = 0;
+  for (long i = 0; i < n; i++) {
+    acc = acc + A[j] * 1.0000001;
+    j = j + 1;
+    if (j >= 64) { j = 0; }
+  }
+  A[0] = acc;
+}
+`
+
+// spinWorkload builds an ad-hoc workload whose traced length is n loop
+// iterations.
+func spinWorkload(name string, n int64) *workloads.Workload {
+	return &workloads.Workload{
+		Name: name,
+		Src:  spinSrc,
+		Setup: func(mem *interp.Memory, s workloads.Scale) workloads.Instance {
+			vals := make([]float64, 64)
+			for i := range vals {
+				vals[i] = float64(i)
+			}
+			pa := mem.AllocF64(vals)
+			return workloads.Instance{Args: []uint64{interp.ArgPtr(pa), interp.ArgI64(n)}}
+		},
+	}
+}
+
+func oneTileConfig(name string) *config.SystemConfig {
+	return &config.SystemConfig{
+		Name:  name,
+		Cores: []config.CoreSpec{{Core: config.InOrderCore(), Count: 1}},
+		Mem:   config.TableIIMem(),
+	}
+}
+
+// TestRunCancelMidSimulation is the engine's promptness contract: cancelling
+// the context mid-run returns a wrapped context.Canceled within 100ms.
+func TestRunCancelMidSimulation(t *testing.T) {
+	w := spinWorkload("spin-cancel", 1_000_000)
+	s, err := NewSession(Options{
+		Workload:             w,
+		Config:               oneTileConfig("spin-cancel"),
+		Cache:                NewCache(),
+		DisableCycleSkipping: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-warm the trace so the cancel lands in the Run stage, not the DTG.
+	if _, err := s.Artifact(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Run(ctx)
+		done <- err
+	}()
+	// Wait for BuildSystem to hand off to the simulation loop (System()
+	// becomes non-nil exactly then) so the cancel measurably lands mid-run;
+	// the 100ms promptness contract is about the run stage, and the system
+	// build under the race detector alone can exceed it.
+	buildDeadline := time.Now().Add(10 * time.Second)
+	for s.System() == nil {
+		if time.Now().After(buildDeadline) {
+			t.Fatal("system never built")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		waited := time.Since(start)
+		if err == nil {
+			t.Fatal("run finished before the cancel landed; enlarge spinWorkload's n")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want a chain wrapping context.Canceled", err)
+		}
+		var se *StageError
+		if !errors.As(err, &se) || se.Stage != StageRun {
+			t.Errorf("err = %v, want a StageError attributed to the run stage", err)
+		}
+		if waited > 100*time.Millisecond {
+			t.Errorf("run returned %v after cancel, promised within 100ms", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+}
+
+// TestRunPreCanceledContext: a context that is already dead fails fast without
+// simulating, and the error still unwraps to context.Canceled.
+func TestRunPreCanceledContext(t *testing.T) {
+	w := spinWorkload("spin-precancel", 1_000_000)
+	s, err := NewSession(Options{
+		Workload: w,
+		Config:   oneTileConfig("spin-precancel"),
+		Cache:    NewCache(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := s.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("pre-canceled run took %v, want a fast return", d)
+	}
+}
+
+// TestRunDeadlineReportsBudgets: a timed-out run wraps DeadlineExceeded and
+// the message names both the deadline and the cycle limit it ran under.
+func TestRunDeadlineReportsBudgets(t *testing.T) {
+	w := spinWorkload("spin-deadline", 1_000_000)
+	s, err := NewSession(Options{
+		Workload:             w,
+		Config:               oneTileConfig("spin-deadline"),
+		Cache:                NewCache(),
+		DisableCycleSkipping: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Artifact(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err = s.Run(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "deadline") || !strings.Contains(msg, "cycle limit") {
+		t.Errorf("timeout error %q should report the deadline and the cycle limit", msg)
+	}
+}
+
+// TestCacheSharesArtifacts: sessions with the same key and cache share one
+// traced artifact; a different cache re-traces.
+func TestCacheSharesArtifacts(t *testing.T) {
+	w, err := workloads.Resolve("sgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache()
+	mk := func(cache *Cache) *Artifact {
+		s, err := NewSession(Options{Workload: w, Scale: workloads.Tiny, Tiles: 2, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		art, err := s.Artifact(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return art
+	}
+	a1, a2 := mk(c), mk(c)
+	if a1 != a2 {
+		t.Error("same key and cache produced distinct artifacts; cache is not sharing")
+	}
+	if a3 := mk(NewCache()); a3 == a1 {
+		t.Error("distinct caches returned the same artifact pointer")
+	}
+}
+
+// TestCacheSingleflight: concurrent sessions with the same key build the
+// artifact exactly once.
+func TestCacheSingleflight(t *testing.T) {
+	w, err := workloads.Resolve("spmv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache()
+	const callers = 8
+	arts := make([]*Artifact, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := NewSession(Options{Workload: w, Scale: workloads.Tiny, Tiles: 2, Cache: c})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			art, err := s.Artifact(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			arts[i] = art
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if arts[i] != arts[0] {
+			t.Fatalf("caller %d got a different artifact; singleflight duplicated work", i)
+		}
+	}
+}
+
+// TestCancelDoesNotPoisonCache: an artifact build that died of cancellation
+// is evicted, so the next caller rebuilds instead of inheriting the error.
+func TestCancelDoesNotPoisonCache(t *testing.T) {
+	w := spinWorkload("spin-poison", 50_000)
+	c := NewCache()
+	s, err := NewSession(Options{Workload: w, Tiles: 1, Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Artifact(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled artifact build returned %v, want context.Canceled", err)
+	}
+	if _, err := s.Artifact(context.Background()); err != nil {
+		t.Fatalf("artifact slot stayed poisoned after a canceled build: %v", err)
+	}
+}
+
+// TestStageErrorAttribution: a kernel that fails to compile reports the
+// compile stage and the workload name, and the attribution survives the
+// outer stages unchanged.
+func TestStageErrorAttribution(t *testing.T) {
+	w := &workloads.Workload{
+		Name: "broken",
+		Src:  "void kernel() { oops(); }",
+		Setup: func(mem *interp.Memory, s workloads.Scale) workloads.Instance {
+			return workloads.Instance{}
+		},
+	}
+	s, err := NewSession(Options{Workload: w, Tiles: 1, Config: oneTileConfig("broken"), Cache: NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Run(context.Background())
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StageError", err)
+	}
+	if se.Stage != StageCompile || se.Kernel != "broken" {
+		t.Errorf("attribution = %s/%s, want compile/broken", se.Stage, se.Kernel)
+	}
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	w, err := workloads.Resolve("sgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSession(Options{}); err == nil {
+		t.Error("nil workload accepted")
+	}
+	if _, err := NewSession(Options{Workload: w, Tiles: 3, Slicing: SliceDAE}); err == nil {
+		t.Error("odd DAE tile count accepted")
+	}
+	if _, err := NewSession(Options{Workload: w, Tiles: 3, Config: oneTileConfig("mismatch")}); err == nil {
+		t.Error("tile/config core-count mismatch accepted")
+	}
+	// Tiles derives from the config when unset.
+	s, err := NewSession(Options{Workload: w, Config: config.XeonSystem(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := s.Key(); k.Tiles != 4 {
+		t.Errorf("derived tile count = %d, want 4", k.Tiles)
+	}
+}
+
+func TestReportBeforeRun(t *testing.T) {
+	w, err := workloads.Resolve("sgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(Options{Workload: w, Tiles: 1, Cache: NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var se *StageError
+	if _, err := s.Report(); !errors.As(err, &se) || se.Stage != StageReport {
+		t.Errorf("Report before Run returned %v, want a report-stage error", err)
+	}
+}

@@ -6,6 +6,8 @@
 package soc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"mosaicsim/internal/config"
@@ -496,12 +498,36 @@ func NewSPMD(cfg *config.SystemConfig, g *ddg.Graph, tr *trace.Trace, accels map
 	return sys, nil
 }
 
-// DefaultCycleLimit guards Run(0) against runaway simulations.
+// DefaultCycleLimit guards Run(ctx, 0) against runaway simulations.
 const DefaultCycleLimit = int64(1) << 40
+
+// ctxCheckInterval is how many Interleaver iterations pass between context
+// polls. Iterations are sub-microsecond even on wide systems — and stay
+// around 100µs under the race detector's instrumentation — so a cancel is
+// observed well inside the engine's 100ms promptness contract without paying
+// a context read per simulated cycle (one ctx.Err() per 128 cycles is noise
+// against the cost of stepping the cores and the hierarchy).
+const ctxCheckInterval = 128
+
+// cancelErr wraps a context error with where the simulation stood, reporting
+// the effective deadline (when one was set) alongside the cycle limit so a
+// timed-out run shows both budgets it was running under. The context error
+// stays in the chain for errors.Is(err, context.Canceled / DeadlineExceeded).
+func (s *System) cancelErr(ctx context.Context, cause error, cycle, effLimit int64) error {
+	if dl, ok := ctx.Deadline(); ok && errors.Is(cause, context.DeadlineExceeded) {
+		return fmt.Errorf("soc: system %q timed out at cycle %d (deadline %s, cycle limit %d): %w",
+			s.Name, cycle, dl.Format("15:04:05.000"), effLimit, cause)
+	}
+	return fmt.Errorf("soc: system %q canceled at cycle %d (cycle limit %d): %w",
+		s.Name, cycle, effLimit, cause)
+}
 
 // Run advances the system until every tile retires its trace and the memory
 // hierarchy drains, or the cycle limit is hit (limit <= 0 selects
-// DefaultCycleLimit).
+// DefaultCycleLimit). Run honors ctx: cancellation is polled at
+// horizon-jump and interleave boundaries, so a cancel or deadline returns
+// promptly even mid-simulation with an error wrapping the context's, and a
+// nil ctx is treated as context.Background().
 //
 // The Interleaver normally busy-ticks every tile and the hierarchy each
 // cycle. When an iteration makes zero forward progress and every live tile
@@ -509,11 +535,15 @@ const DefaultCycleLimit = int64(1) << 40
 // next-event horizon across all components (event-horizon cycle skipping),
 // advancing the per-tile clock accumulators arithmetically and replaying the
 // per-cycle stall counters so results are bit-identical to the naive loop.
-func (s *System) Run(limit int64) error {
+func (s *System) Run(ctx context.Context, limit int64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	effLimit := limit
 	if effLimit <= 0 {
 		effLimit = DefaultCycleLimit
 	}
+	ctxCountdown := int64(ctxCheckInterval)
 	nc := len(s.Cores)
 	var maxClock int64
 	for _, c := range s.Cores {
@@ -543,6 +573,14 @@ func (s *System) Run(limit int64) error {
 	}
 	last := progress()
 	for cycle := int64(0); cycle <= effLimit; cycle++ {
+		// Interleave-boundary cancellation poll: every ctxCheckInterval
+		// iterations (stepped or jumped), not every simulated cycle.
+		if ctxCountdown--; ctxCountdown <= 0 {
+			ctxCountdown = ctxCheckInterval
+			if err := ctx.Err(); err != nil {
+				return s.cancelErr(ctx, err, cycle, effLimit)
+			}
+		}
 		s.releaseAccelsDue(cycle)
 		anyActive := false
 		for i, c := range s.Cores {
@@ -599,7 +637,12 @@ func (s *System) Run(limit int64) error {
 		// Every component is provably frozen: jump to the earliest cycle at
 		// which any of them can act. A horizon past the limit (including a
 		// true deadlock, HorizonNone everywhere) exits through the timeout
-		// path immediately instead of burning the remaining cycles.
+		// path immediately instead of burning the remaining cycles. The
+		// horizon jump is also a cancellation boundary: a long frozen
+		// stretch must not outlive its context.
+		if err := ctx.Err(); err != nil {
+			return s.cancelErr(ctx, err, cycle, effLimit)
+		}
 		target := s.horizon(cycle, accum, strides, maxClock, effLimit)
 		if target > effLimit+1 {
 			target = effLimit + 1

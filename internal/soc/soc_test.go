@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -67,7 +68,7 @@ func runSPMD(t *testing.T, src string, cores int, coreCfg config.CoreConfig, set
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Run(200_000_000); err != nil {
+	if err := sys.Run(context.Background(), 200_000_000); err != nil {
 		t.Fatal(err)
 	}
 	return sys.Result()
@@ -139,7 +140,7 @@ void kernel(double* A, double* out, long n) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Run(200_000_000); err != nil {
+	if err := sys.Run(context.Background(), 200_000_000); err != nil {
 		t.Fatal(err)
 	}
 	if sys.Fabric.Sends != 400 || sys.Fabric.Recvs != 400 {
@@ -200,7 +201,7 @@ void kernel(double* A, long n) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Run(100_000_000); err != nil {
+	if err := sys.Run(context.Background(), 100_000_000); err != nil {
 		t.Fatal(err)
 	}
 	r := sys.Result()
@@ -252,7 +253,7 @@ void kernel(double* A, long n) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Run(100_000_000); err != nil {
+	if err := sys.Run(context.Background(), 100_000_000); err != nil {
 		t.Fatal(err)
 	}
 	if sys.AccelCalls != 2 {
@@ -294,7 +295,7 @@ void kernel(double* A, long n) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Run(10_000_000); err != nil {
+	if err := sys.Run(context.Background(), 10_000_000); err != nil {
 		t.Fatalf("system with a barrier-free tile did not complete: %v", err)
 	}
 	for i, c := range sys.Cores {
@@ -357,7 +358,7 @@ void kernel(double* A, long n) {
 			t.Error("missing accelerator model should panic during simulation")
 		}
 	}()
-	_ = sys.Run(1_000_000)
+	_ = sys.Run(context.Background(), 1_000_000)
 }
 
 func TestConfigTraceMismatch(t *testing.T) {
@@ -393,7 +394,7 @@ func TestMixedClockTiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Run(200_000_000); err != nil {
+	if err := sys.Run(context.Background(), 200_000_000); err != nil {
 		t.Fatal(err)
 	}
 	f, s := sys.Cores[0], sys.Cores[1]
@@ -422,7 +423,7 @@ func TestBandwidthBoundScalingIsSublinear(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := sys.Run(1_000_000_000); err != nil {
+		if err := sys.Run(context.Background(), 1_000_000_000); err != nil {
 			t.Fatal(err)
 		}
 		cyc[n] = sys.Cycles
@@ -491,7 +492,7 @@ void kernel(double* A, double* out, long n) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := sys.Run(0); err != nil {
+		if err := sys.Run(context.Background(), 0); err != nil {
 			t.Fatal(err)
 		}
 		return sys.Cycles
@@ -529,7 +530,7 @@ void kernel(long* ctr, long n) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := sys.Run(0); err != nil {
+		if err := sys.Run(context.Background(), 0); err != nil {
 			t.Fatal(err)
 		}
 		if directory {
@@ -569,7 +570,7 @@ func TestRunCycleLimitError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = sys.Run(10)
+	err = sys.Run(context.Background(), 10)
 	if err == nil {
 		t.Fatal("Run(10) completed a 512-element vecadd; expected a cycle-limit error")
 	}
@@ -596,7 +597,7 @@ func TestCycleSkippingAccounting(t *testing.T) {
 		return sys
 	}
 	skip := build()
-	if err := skip.Run(0); err != nil {
+	if err := skip.Run(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if skip.SkippedCycles == 0 {
@@ -608,7 +609,7 @@ func TestCycleSkippingAccounting(t *testing.T) {
 	}
 	naive := build()
 	naive.DisableCycleSkipping = true
-	if err := naive.Run(0); err != nil {
+	if err := naive.Run(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if naive.SkippedCycles != 0 {

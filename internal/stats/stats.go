@@ -146,3 +146,39 @@ func (t *Table) String() string {
 	}
 	return sb.String()
 }
+
+// Closest returns the candidate nearest to name by edit distance, or "" when
+// nothing is close enough to be a plausible typo (distance > half the name's
+// length). Drivers use it for did-you-mean suggestions on unknown workload
+// or experiment names.
+func Closest(name string, candidates []string) string {
+	best, bestDist := "", len(name)/2+1
+	for _, c := range candidates {
+		if d := editDistance(name, c); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"reflect"
 	"sync/atomic"
 	"testing"
@@ -23,7 +24,7 @@ func buildAndRun(t *testing.T, sc *config.SystemConfig, w *Workload, tiles int, 
 		t.Fatalf("build %s: %v", w.Name, err)
 	}
 	sys.DisableCycleSkipping = noskip
-	if err := sys.Run(0); err != nil {
+	if err := sys.Run(context.Background(), 0); err != nil {
 		t.Fatalf("run %s: %v", w.Name, err)
 	}
 	return sys.Result(), sys.SkippedCycles

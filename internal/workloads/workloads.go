@@ -19,6 +19,7 @@ import (
 	"mosaicsim/internal/interp"
 	"mosaicsim/internal/ir"
 	"mosaicsim/internal/soc"
+	"mosaicsim/internal/stats"
 	"mosaicsim/internal/trace"
 )
 
@@ -62,6 +63,10 @@ type Workload struct {
 	Src  string
 	// Setup allocates and fills inputs deterministically.
 	Setup func(mem *interp.Memory, s Scale) Instance
+	// Mem overrides the simulated-memory image size in bytes (0 = MemBytes).
+	// Ad-hoc workloads whose inputs outgrow the default image (e.g. lowered
+	// DNN training steps) set it to their own footprint.
+	Mem int64
 
 	once sync.Once
 	mod  *ir.Module
@@ -82,6 +87,14 @@ func (w *Workload) Kernel() (*ir.Function, error) {
 // MemBytes is the simulated-memory image size used for workload runs.
 const MemBytes = 1 << 26
 
+// memBytes returns the workload's image size, honoring the Mem override.
+func (w *Workload) memBytes() int64 {
+	if w.Mem > 0 {
+		return w.Mem
+	}
+	return MemBytes
+}
+
 // Trace compiles, sets up, and natively executes the workload on the given
 // tile count, returning the DDG and dynamic trace (running the correctness
 // check first).
@@ -90,21 +103,57 @@ func (w *Workload) Trace(tiles int, s Scale) (*ddg.Graph, *trace.Trace, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	mem := interp.NewMemory(MemBytes)
+	tr, err := w.TraceWith(f, tiles, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ddg.Build(f), tr, nil
+}
+
+// TraceWith sets up and natively executes an already-compiled kernel of this
+// workload SPMD on the given tile count (the Dynamic Trace Generator),
+// running the correctness check before returning the trace. It is the
+// driver glue the session engine (internal/sim) shares with Trace, so the
+// setup/check/release discipline lives in exactly one place.
+func (w *Workload) TraceWith(f *ir.Function, tiles int, s Scale) (*trace.Trace, error) {
+	mem := interp.NewMemory(w.memBytes())
 	inst := w.Setup(mem, s)
 	res, err := interp.Run(f, mem, inst.Args, interp.Options{NumTiles: tiles, Acc: inst.Acc})
 	if err != nil {
-		return nil, nil, fmt.Errorf("workload %s: %w", w.Name, err)
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
 	}
 	if inst.Check != nil {
 		if err := inst.Check(mem); err != nil {
-			return nil, nil, fmt.Errorf("workload %s: result check: %w", w.Name, err)
+			return nil, fmt.Errorf("workload %s: result check: %w", w.Name, err)
 		}
 	}
 	// The trace records addresses, never data: the image is dead once the
 	// result check passes, so its buffer goes back to the interp pool.
 	mem.Release()
-	return ddg.Build(f), res.Trace, nil
+	return res.Trace, nil
+}
+
+// TracePairs natively executes DAE access/execute slices of this workload on
+// pairs of tiles sharing one memory image (even tiles access, odd tiles
+// execute), with the same setup/check/release discipline as TraceWith.
+func (w *Workload) TracePairs(access, execute *ir.Function, pairs int, s Scale) (*trace.Trace, error) {
+	fns := make([]*ir.Function, 0, 2*pairs)
+	for i := 0; i < pairs; i++ {
+		fns = append(fns, access, execute)
+	}
+	mem := interp.NewMemory(w.memBytes())
+	inst := w.Setup(mem, s)
+	res, err := interp.RunTiles(fns, mem, inst.Args, interp.Options{Acc: inst.Acc})
+	if err != nil {
+		return nil, fmt.Errorf("workload %s (dae): %w", w.Name, err)
+	}
+	if inst.Check != nil {
+		if err := inst.Check(mem); err != nil {
+			return nil, fmt.Errorf("workload %s (dae): result check: %w", w.Name, err)
+		}
+	}
+	mem.Release()
+	return res.Trace, nil
 }
 
 func rng(name string) *rand.Rand {
@@ -887,4 +936,27 @@ func ByName(name string) *Workload {
 		}
 	}
 	return nil
+}
+
+// Names lists every workload name.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, w := range all {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// Resolve finds a workload by name, or fails immediately with a did-you-mean
+// suggestion so an unknown name in a sweep list errors up front instead of
+// mid-sweep after earlier legs have run.
+func Resolve(name string) (*Workload, error) {
+	if w := ByName(name); w != nil {
+		return w, nil
+	}
+	if s := stats.Closest(name, Names()); s != "" {
+		return nil, fmt.Errorf("unknown workload %q (did you mean %q? see -list)", name, s)
+	}
+	return nil, fmt.Errorf("unknown workload %q (see -list)", name)
 }

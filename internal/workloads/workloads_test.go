@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"testing"
 
 	"mosaicsim/internal/config"
@@ -57,7 +58,7 @@ func TestWorkloadsSimulate(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", w.Name, err)
 		}
-		if err := sys.Run(2_000_000_000); err != nil {
+		if err := sys.Run(context.Background(), 2_000_000_000); err != nil {
 			t.Fatalf("%s: %v", w.Name, err)
 		}
 		r := sys.Result()
@@ -82,7 +83,7 @@ func TestBoundednessCharacter(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := sys.Run(2_000_000_000); err != nil {
+		if err := sys.Run(context.Background(), 2_000_000_000); err != nil {
 			t.Fatal(err)
 		}
 		ipc[name] = sys.Result().IPC
@@ -142,7 +143,7 @@ func TestCombinedKernelMixes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := sys.Run(0); err != nil {
+		if err := sys.Run(context.Background(), 0); err != nil {
 			t.Fatal(err)
 		}
 		return sys.Cycles

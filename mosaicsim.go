@@ -18,6 +18,7 @@
 package mosaicsim
 
 import (
+	"context"
 	"fmt"
 
 	"mosaicsim/internal/cc"
@@ -26,8 +27,10 @@ import (
 	"mosaicsim/internal/ddg"
 	"mosaicsim/internal/interp"
 	"mosaicsim/internal/ir"
+	"mosaicsim/internal/sim"
 	"mosaicsim/internal/soc"
 	"mosaicsim/internal/trace"
+	"mosaicsim/internal/workloads"
 )
 
 // Re-exported core types. The aliases keep user code to one import.
@@ -111,11 +114,17 @@ func (k *Kernel) Trace(mem *Memory, args []uint64, tiles int, acc map[string]Acc
 // Simulate runs the timing simulation of a traced kernel on the configured
 // homogeneous system and returns the system-wide estimate.
 func Simulate(cfg *SystemConfig, k *Kernel, tr *Trace, accels map[string]AccelModel) (Result, error) {
+	return SimulateCtx(context.Background(), cfg, k, tr, accels)
+}
+
+// SimulateCtx is Simulate under a context: cancelling ctx aborts the run
+// mid-simulation with an error wrapping context.Canceled.
+func SimulateCtx(ctx context.Context, cfg *SystemConfig, k *Kernel, tr *Trace, accels map[string]AccelModel) (Result, error) {
 	sys, err := soc.NewSPMD(cfg, k.Graph, tr, accels)
 	if err != nil {
 		return Result{}, err
 	}
-	if err := sys.Run(0); err != nil {
+	if err := sys.Run(ctx, 0); err != nil {
 		return Result{}, err
 	}
 	return sys.Result(), nil
@@ -148,6 +157,62 @@ func TraceTiles(fns []*Function, mem *Memory, args []uint64, acc map[string]AccF
 	}
 	return res.Trace, nil
 }
+
+// Session engine re-exports. The cancellable pipeline engine (internal/sim)
+// is the preferred library entry point: a Session owns the whole
+// Compile → DDG → Trace → BuildSystem → Run → Report pipeline for one
+// workload, shares compilations and traces through a content-keyed cache,
+// and honors context cancellation end to end:
+//
+//	w, _ := mosaicsim.ResolveWorkload("sgemm")
+//	s, _ := mosaicsim.NewSession(mosaicsim.SessionOptions{
+//		Workload: w, Scale: mosaicsim.ScaleSmall, Config: mosaicsim.XeonSystem(4),
+//	})
+//	res, err := s.Run(ctx)
+type (
+	// Session drives one kernel through the pipeline, stage by stage.
+	Session = sim.Session
+	// SessionOptions configures a Session.
+	SessionOptions = sim.Options
+	// StageError attributes a pipeline failure to its stage and kernel.
+	StageError = sim.StageError
+	// Stage names one pipeline stage.
+	Stage = sim.Stage
+	// SliceMode selects SPMD replication or DAE pair decomposition.
+	SliceMode = sim.SliceMode
+	// ArtifactCache shares compile/DDG/trace artifacts across sessions.
+	ArtifactCache = sim.Cache
+	// Workload is one benchmark (or an ad-hoc kernel with a Setup function).
+	Workload = workloads.Workload
+	// Instance is one generated run of a workload (its arguments, optional
+	// result check, and functional accelerator implementations).
+	Instance = workloads.Instance
+	// Scale selects a workload input size.
+	Scale = workloads.Scale
+)
+
+// Slicing modes and workload scales.
+const (
+	SliceNone  = sim.SliceNone
+	SliceDAE   = sim.SliceDAE
+	ScaleTiny  = workloads.Tiny
+	ScaleSmall = workloads.Small
+	ScaleLarge = workloads.Large
+)
+
+// Session engine constructors and workload lookups.
+var (
+	// NewSession validates options and binds a session to its cache.
+	NewSession = sim.NewSession
+	// NewArtifactCache builds a private artifact cache (sessions otherwise
+	// share one process-wide cache).
+	NewArtifactCache = sim.NewCache
+	// ResolveWorkload finds a built-in workload by name, with a did-you-mean
+	// suggestion on unknown names.
+	ResolveWorkload = workloads.Resolve
+	// WorkloadNames lists the built-in workload names.
+	WorkloadNames = workloads.Names
+)
 
 // Args helpers for building kernel argument lists.
 var (

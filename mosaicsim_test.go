@@ -3,6 +3,7 @@ package mosaicsim
 // End-to-end tests of the public facade.
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -114,7 +115,7 @@ func TestFacadeDecouple(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Run(0); err != nil {
+	if err := sys.Run(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if sys.Cycles <= 0 {

@@ -1,0 +1,131 @@
+package mosaicsim
+
+// Golden seam test for the driver migration onto the session engine: the
+// Session path must produce a byte-identical JSON report to the legacy
+// inline wiring (workload trace → soc.NewSPMD → Run → Result) that
+// `mosaicsim -workload sgemm -json` used before internal/sim existed.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/sim"
+	"mosaicsim/internal/soc"
+	"mosaicsim/internal/workloads"
+)
+
+// cliConfig mirrors what cmd/mosaicsim builds for `-workload sgemm` defaults
+// (one out-of-order tile over the Table II hierarchy).
+func cliConfig(name string, tiles int) *config.SystemConfig {
+	return &config.SystemConfig{
+		Name:  fmt.Sprintf("%s-%dxooo", name, tiles),
+		Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: tiles}},
+		Mem:   config.TableIIMem(),
+	}
+}
+
+func encodeResult(t *testing.T, r soc.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSessionGoldenVsLegacyWiring(t *testing.T) {
+	const tiles = 1
+	w, err := workloads.Resolve("sgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accels := workloads.DefaultAccelModels(config.OutOfOrderCore().ClockMHz)
+
+	// Legacy wiring: exactly what the CLI inlined before the migration.
+	g, tr, err := w.Trace(tiles, workloads.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacySys, err := soc.NewSPMD(cliConfig(w.Name, tiles), g, tr, accels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := legacySys.Run(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	legacy := encodeResult(t, legacySys.Result())
+
+	// Session path: what the CLI runs now.
+	s, err := sim.NewSession(sim.Options{
+		Workload: w,
+		Scale:    workloads.Tiny,
+		Config:   cliConfig(w.Name, tiles),
+		Accels:   accels,
+		Cache:    sim.NewCache(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := encodeResult(t, res)
+
+	if !bytes.Equal(legacy, session) {
+		t.Errorf("session JSON diverged from the legacy wiring:\n--- legacy ---\n%s\n--- session ---\n%s", legacy, session)
+	}
+
+	// The report accessor agrees with the returned result.
+	rep, err := s.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(session, encodeResult(t, rep)) {
+		t.Error("Session.Report disagrees with Session.Run's result")
+	}
+}
+
+// TestSessionGoldenMultiTile repeats the seam check on a 4-tile SPMD system,
+// where trace interleaving and NoC-free fabric wiring could plausibly
+// diverge between the two paths.
+func TestSessionGoldenMultiTile(t *testing.T) {
+	const tiles = 4
+	w, err := workloads.Resolve("spmv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, tr, err := w.Trace(tiles, workloads.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacySys, err := soc.NewSPMD(cliConfig(w.Name, tiles), g, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := legacySys.Run(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.NewSession(sim.Options{
+		Workload: w,
+		Scale:    workloads.Tiny,
+		Config:   cliConfig(w.Name, tiles),
+		Cache:    sim.NewCache(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy, session := encodeResult(t, legacySys.Result()), encodeResult(t, res); !bytes.Equal(legacy, session) {
+		t.Errorf("4-tile session JSON diverged from the legacy wiring:\n--- legacy ---\n%s\n--- session ---\n%s", legacy, session)
+	}
+}
