@@ -20,9 +20,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"mosaicsim/internal/experiments"
@@ -103,7 +105,11 @@ func realMain() int {
 	if *jobs > 0 {
 		parallel.SetLimit(*jobs)
 	}
-	ctx := context.Background()
+	// Ctrl-C / SIGTERM cancels the regeneration context, so an interrupted
+	// run unwinds through the same clean context.Canceled path as -timeout
+	// and the pprof defers above still fire.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)

@@ -1,0 +1,166 @@
+// Command loadgen is the serving-throughput baseline tool for mosaicd: it
+// fires N concurrent job submissions at a running daemon, waits for every
+// job to reach a terminal state, and prints client-side turnaround
+// percentiles plus the server's own view scraped from /metrics — so future
+// serving work (sharding, batching, multi-node) has a number to beat.
+//
+// Usage:
+//
+//	mosaicd -addr :8374 &
+//	loadgen -addr http://127.0.0.1:8374 -n 64 -c 16 -workload sgemm,spmv,bfs -scale tiny -tiles 2
+//
+// Submissions round-robin across the -workload list, so the run mixes cache
+// misses (first submission of each shape) with singleflighted/cached
+// repeats — the daemon's steady-state shape.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"mosaicsim/internal/jobs"
+	"mosaicsim/internal/stats"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "http://127.0.0.1:8374", "mosaicd base URL")
+	n := flag.Int("n", 32, "total submissions")
+	c := flag.Int("c", 8, "concurrent clients")
+	workload := flag.String("workload", "sgemm,spmv,bfs", "comma-separated workloads, assigned round-robin")
+	scale := flag.String("scale", "tiny", "workload scale")
+	tiles := flag.Int("tiles", 2, "tile count")
+	poll := flag.Duration("poll", 25*time.Millisecond, "status poll interval")
+	flag.Parse()
+
+	names := strings.Split(*workload, ",")
+	client := &http.Client{Timeout: 30 * time.Second}
+	base := strings.TrimRight(*addr, "/")
+
+	type outcome struct {
+		turnaround time.Duration
+		state      jobs.State
+		err        error
+	}
+	outs := make([]outcome, *n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(1, *c))
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			spec := jobs.Spec{
+				Workload: strings.TrimSpace(names[i%len(names)]),
+				Scale:    *scale,
+				Tiles:    *tiles,
+			}
+			t0 := time.Now()
+			st, err := submitAndWait(client, base, spec, *poll)
+			outs[i] = outcome{turnaround: time.Since(t0), state: st, err: err}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var turns []float64
+	done, failed := 0, 0
+	for _, o := range outs {
+		if o.err != nil || o.state != jobs.StateDone {
+			failed++
+			if o.err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen:", o.err)
+			}
+			continue
+		}
+		done++
+		turns = append(turns, o.turnaround.Seconds())
+	}
+	fmt.Printf("loadgen: %d submissions (%d done, %d failed) in %v (%.1f jobs/s)\n",
+		*n, done, failed, wall.Round(time.Millisecond), float64(done)/wall.Seconds())
+	if len(turns) > 0 {
+		fmt.Printf("turnaround: p50 %.1fms  p95 %.1fms  mean %.1fms\n",
+			stats.Percentile(turns, 50)*1e3, stats.Percentile(turns, 95)*1e3, stats.Mean(turns)*1e3)
+	}
+	if err := printServerView(client, base); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: metrics scrape:", err)
+		return 1
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// submitAndWait posts one spec and polls its status until terminal.
+func submitAndWait(client *http.Client, base string, spec jobs.Spec, poll time.Duration) (jobs.State, error) {
+	body, _ := json.Marshal(spec)
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("submit %s: %s: %s", spec.Workload, resp.Status, bytes.TrimSpace(b))
+	}
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", err
+	}
+	for !st.State.Terminal() {
+		time.Sleep(poll)
+		r, err := client.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return "", err
+		}
+		err = json.NewDecoder(r.Body).Decode(&st)
+		r.Body.Close()
+		if err != nil {
+			return "", err
+		}
+	}
+	return st.State, nil
+}
+
+// printServerView scrapes /metrics and prints the serving-relevant families:
+// jobs by state, cache effectiveness, and stage latencies.
+func printServerView(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Println("server metrics:")
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "mosaicd_jobs_total"),
+			strings.HasPrefix(line, "mosaicd_jobs_rejected_total"),
+			strings.HasPrefix(line, "mosaicd_cache_"),
+			strings.HasPrefix(line, "mosaicd_stage_seconds_sum"),
+			strings.HasPrefix(line, "mosaicd_stage_seconds_count"):
+			fmt.Println("  " + line)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+// Command mosaicd is the MosaicSim-Go simulation daemon: a long-running,
+// network-facing service that accepts simulation jobs over HTTP, runs them
+// on a bounded worker pool through the shared session engine, streams live
+// per-job events, and exposes Prometheus metrics.
+//
+// Usage:
+//
+//	mosaicd [-addr :8374] [-workers N] [-queue N] [-job-timeout D]
+//	        [-drain D] [-cache-entries N] [-max-jobs N]
+//
+// Quickstart:
+//
+//	mosaicd -addr :8374 &
+//	curl -s localhost:8374/v1/jobs -d '{"workload":"sgemm","scale":"tiny","tiles":2}'
+//	curl -s localhost:8374/v1/jobs/j000001/events   # NDJSON live stream
+//	curl -s localhost:8374/v1/jobs/j000001          # status + final report
+//	curl -s localhost:8374/metrics                  # Prometheus text
+//
+// Admission is bounded: when -queue jobs are already waiting, submissions
+// are shed with 429 instead of growing memory. All jobs share one artifact
+// cache (bounded by -cache-entries), so identical submissions singleflight
+// their compile/trace work. SIGINT/SIGTERM drains gracefully: admission
+// closes, queued jobs are cancelled, and running jobs get -drain to finish
+// before their contexts are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mosaicsim/internal/jobs"
+	"mosaicsim/internal/server"
+	"mosaicsim/internal/sim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8374", "listen address (host:port; :0 picks a free port)")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = all CPU cores)")
+	queue := flag.Int("queue", 64, "admission queue depth; submissions beyond it shed with 429")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job wall-clock cap (0 = none)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for running jobs")
+	cacheEntries := flag.Int("cache-entries", 256, "artifact-cache entry cap per layer (0 = unbounded)")
+	maxJobs := flag.Int("max-jobs", 4096, "retained job records; oldest terminal jobs are forgotten beyond it")
+	flag.Parse()
+
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("mosaicd: ")
+
+	cache := sim.NewCache()
+	cache.SetMaxEntries(*cacheEntries)
+	mgr := jobs.NewManager(jobs.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+		MaxJobs:    *maxJobs,
+		Cache:      cache,
+	})
+	api := server.New(mgr, nil)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	// Event streams outlive http.Server.Shutdown's handler wait unless
+	// their requests observe the drain, so every request context descends
+	// from baseCtx, which the drain path cancels after the manager stops.
+	baseCtx, stopStreams := context.WithCancel(context.Background())
+	defer stopStreams()
+	srv := &http.Server{
+		Handler:     api,
+		ReadTimeout: 30 * time.Second,
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("listening on %s (workers=%d queue=%d cache-entries=%d)",
+		ln.Addr(), *workers, *queue, *cacheEntries)
+
+	select {
+	case err := <-errc:
+		log.Print(err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process the default way
+	log.Printf("signal received; draining (budget %s)", *drain)
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := mgr.Shutdown(shutCtx); err != nil {
+		log.Print(err)
+	}
+	stopStreams() // ends live event streams so Shutdown's handler wait returns
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Print(err)
+		return 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Print(err)
+		return 1
+	}
+	fmt.Println("mosaicd: drained cleanly")
+	return 0
+}

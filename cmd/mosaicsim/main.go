@@ -30,9 +30,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"mosaicsim/internal/config"
 	"mosaicsim/internal/parallel"
@@ -198,7 +200,12 @@ func run() int {
 		wScale = workloads.Small
 	}
 
-	ctx := context.Background()
+	// Ctrl-C / SIGTERM cancels the sweep context, so an interrupted run
+	// unwinds through the same clean context.Canceled path as -timeout —
+	// in-flight simulations abort promptly, queued legs are abandoned, and
+	// the pprof defers above still fire.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)

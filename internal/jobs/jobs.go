@@ -1,0 +1,591 @@
+// Package jobs is MosaicSim-Go's bounded simulation job manager: the layer
+// that turns the cancellable session engine (internal/sim) into a
+// long-running service substrate. Each submitted Spec becomes a Job with an
+// ID, a per-job context, and a lifecycle state machine
+//
+//	queued → running → done | failed | cancelled
+//
+// driven by a fixed worker pool. Admission control is explicit: the queue is
+// bounded, and a submission past the bound is shed immediately with
+// ErrQueueFull instead of growing memory without limit. All jobs share one
+// sim.Cache, so identical submissions singleflight their compile/trace work,
+// and every lifecycle edge, stage transition, and progress tick is published
+// both as a per-job event stream (for live observers) and as metrics
+// (internal/metrics) for scraping.
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mosaicsim/internal/metrics"
+	"mosaicsim/internal/sim"
+	"mosaicsim/internal/soc"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// The lifecycle states. Queued and Running are live; the rest are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Typed admission and lookup errors. Servers map these onto status codes
+// (429, 503, 404); they survive errors.Is through any wrapping.
+var (
+	// ErrQueueFull sheds a submission that found the bounded queue at
+	// capacity.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrShuttingDown rejects submissions after drain has begun.
+	ErrShuttingDown = errors.New("jobs: manager shutting down")
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("jobs: no such job")
+)
+
+// Event is one entry in a job's ordered event log: a lifecycle edge
+// (type "state"), a pipeline stage completion (type "stage", with cache
+// attribution and elapsed seconds), or an in-flight progress tick
+// (type "progress", with the cycle position and stepped/skipped split).
+type Event struct {
+	Seq   int       `json:"seq"`
+	Time  time.Time `json:"time"`
+	Type  string    `json:"type"`
+	State State     `json:"state,omitempty"`
+	Stage string    `json:"stage,omitempty"`
+	// CacheHit, on stage events that consult the artifact cache, reports
+	// whether the stage's inputs were already resident.
+	CacheHit *bool   `json:"cacheHit,omitempty"`
+	Seconds  float64 `json:"seconds,omitempty"`
+	Cycle    int64   `json:"cycle,omitempty"`
+	Stepped  int64   `json:"stepped,omitempty"`
+	Skipped  int64   `json:"skipped,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// Status is a point-in-time snapshot of a job for API responses.
+type Status struct {
+	ID        string          `json:"id"`
+	State     State           `json:"state"`
+	Spec      Spec            `json:"spec"`
+	Submitted time.Time       `json:"submitted"`
+	Started   *time.Time      `json:"started,omitempty"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Report    json.RawMessage `json:"report,omitempty"`
+}
+
+// Job is one submission moving through the lifecycle. All mutable state is
+// guarded by mu; the event log is append-only and notify is closed and
+// replaced on every append, so observers wait without polling.
+type Job struct {
+	ID   string
+	Spec Spec // normalized
+
+	ctx    context.Context // per-job; cancelled by Cancel, Shutdown, or the root
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     State
+	err       error
+	report    json.RawMessage
+	events    []Event
+	notify    chan struct{}
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the job's terminal error (nil while live or done).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Report returns the finished job's JSON report (nil before done).
+func (j *Job) Report() json.RawMessage {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:        j.ID,
+		State:     j.state,
+		Spec:      j.Spec,
+		Submitted: j.submitted,
+		Report:    j.report,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// emit appends one event (stamping its sequence number and time) and wakes
+// every waiting observer.
+func (j *Job) emit(e Event) {
+	j.mu.Lock()
+	e.Seq = len(j.events)
+	e.Time = time.Now().UTC()
+	j.events = append(j.events, e)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// EventsSince returns the events with sequence >= after, a channel closed
+// when the log next grows, and whether the stream is complete (the job is
+// terminal and every event has been returned). Observers loop: drain,
+// then wait on the channel (or their own context) unless done.
+func (j *Job) EventsSince(after int) (evs []Event, more <-chan struct{}, done bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if after < len(j.events) {
+		evs = append(evs, j.events[after:]...)
+	}
+	return evs, j.notify, j.state.Terminal() && after+len(evs) == len(j.events)
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Workers is the number of concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue; submissions beyond it shed
+	// with ErrQueueFull (default 64).
+	QueueDepth int
+	// JobTimeout caps each job's run wall-clock time, and also caps any
+	// smaller per-spec timeout (0 = unbounded).
+	JobTimeout time.Duration
+	// MaxJobs bounds retained job records: beyond it, the oldest terminal
+	// jobs are forgotten (default 4096; their IDs then return ErrNotFound).
+	MaxJobs int
+	// Cache is the shared artifact cache (nil builds a private unbounded
+	// one). Daemons pass a bounded cache so identical submissions
+	// singleflight while memory stays capped.
+	Cache *sim.Cache
+	// Registry receives the manager's metrics (nil builds a private one).
+	Registry *metrics.Registry
+	// Runner executes one job and returns its JSON report. Nil selects the
+	// sim-backed runner; tests substitute a controllable stub.
+	Runner Runner
+}
+
+// Runner executes one running job under ctx, emitting events through job,
+// and returns the job's final JSON report.
+type Runner func(ctx context.Context, job *Job) (json.RawMessage, error)
+
+// Manager owns the queue, the worker pool, the shared cache, and the job
+// table.
+type Manager struct {
+	opts  Options
+	root  context.Context
+	stop  context.CancelFunc
+	cache *sim.Cache
+	reg   *metrics.Registry
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for retention eviction
+	nextID   int
+	draining bool
+
+	mSubmitted  *metrics.Counter
+	mRejected   *metrics.Counter
+	mStates     map[State]*metrics.Counter
+	mQueueDepth *metrics.Gauge
+	mInflight   *metrics.Gauge
+	mStage      map[string]*metrics.Histogram
+}
+
+// runStages names the instrumented pipeline stages, in order: artifact
+// covers Compile→DDG→Trace (the cached layers), run covers
+// BuildSystem→Run, report covers result marshalling.
+var runStages = []string{"artifact", "run", "report"}
+
+// NewManager builds a manager, registers its metrics, and starts its
+// workers. Callers must Shutdown it to release them.
+func NewManager(opts Options) *Manager {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 4096
+	}
+	if opts.Cache == nil {
+		opts.Cache = sim.NewCache()
+	}
+	if opts.Registry == nil {
+		opts.Registry = metrics.NewRegistry()
+	}
+	root, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:  opts,
+		root:  root,
+		stop:  stop,
+		cache: opts.Cache,
+		reg:   opts.Registry,
+		queue: make(chan *Job, opts.QueueDepth),
+		jobs:  map[string]*Job{},
+	}
+	if m.opts.Runner == nil {
+		m.opts.Runner = m.simRun
+	}
+	reg := m.reg
+	m.mSubmitted = reg.Counter("mosaicd_jobs_submitted_total", "Jobs admitted to the queue.", nil)
+	m.mRejected = reg.Counter("mosaicd_jobs_rejected_total", "Submissions shed by admission control (queue full or draining).", nil)
+	m.mStates = map[State]*metrics.Counter{}
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		m.mStates[st] = reg.Counter("mosaicd_jobs_total", "Job lifecycle transitions by entered state.", metrics.Labels{"state": string(st)})
+	}
+	m.mQueueDepth = reg.Gauge("mosaicd_queue_depth", "Jobs waiting in the admission queue.", nil)
+	m.mInflight = reg.Gauge("mosaicd_jobs_inflight", "Simulations currently running.", nil)
+	m.mStage = map[string]*metrics.Histogram{}
+	for _, stage := range runStages {
+		m.mStage[stage] = reg.Histogram("mosaicd_stage_seconds", "Pipeline stage latency.", metrics.Labels{"stage": stage}, nil)
+	}
+	reg.CounterFunc("mosaicd_cache_hits_total", "Artifact-cache lookups served from cache (singleflight joins included).", nil,
+		func() int64 { return m.cache.Counters().Hits })
+	reg.CounterFunc("mosaicd_cache_misses_total", "Artifact-cache lookups that built.", nil,
+		func() int64 { return m.cache.Counters().Misses })
+	reg.CounterFunc("mosaicd_cache_evictions_total", "Artifact-cache LRU evictions.", nil,
+		func() int64 { return m.cache.Counters().Evictions })
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Registry returns the manager's metrics registry (for /metrics handlers).
+func (m *Manager) Registry() *metrics.Registry { return m.reg }
+
+// Cache returns the shared artifact cache.
+func (m *Manager) Cache() *sim.Cache { return m.cache }
+
+// Draining reports whether shutdown has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Submit validates spec, admits it to the bounded queue, and returns the
+// new job. It never blocks: a full queue sheds the submission with
+// ErrQueueFull (wrapped with the configured depth), and a draining manager
+// rejects with ErrShuttingDown.
+func (m *Manager) Submit(spec Spec) (*Job, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.mRejected.Inc()
+		return nil, ErrShuttingDown
+	}
+	m.nextID++
+	j := &Job{
+		ID:        fmt.Sprintf("j%06d", m.nextID),
+		Spec:      spec,
+		state:     StateQueued,
+		notify:    make(chan struct{}),
+		submitted: time.Now().UTC(),
+	}
+	j.ctx, j.cancel = context.WithCancel(m.root)
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		j.cancel()
+		m.mRejected.Inc()
+		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.opts.QueueDepth)
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.evictRecordsLocked()
+	m.mu.Unlock()
+	m.mSubmitted.Inc()
+	m.mStates[StateQueued].Inc()
+	m.mQueueDepth.Set(int64(len(m.queue)))
+	j.emit(Event{Type: "state", State: StateQueued})
+	return j, nil
+}
+
+// evictRecordsLocked forgets the oldest terminal job records beyond
+// MaxJobs, so a long-running daemon's job table stays bounded. Live jobs
+// are never evicted.
+func (m *Manager) evictRecordsLocked() {
+	if len(m.jobs) <= m.opts.MaxJobs {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if j == nil {
+			continue
+		}
+		if len(m.jobs) > m.opts.MaxJobs && j.State().Terminal() {
+			delete(m.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return j, nil
+}
+
+// List returns every retained job in submission order.
+func (m *Manager) List() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		if j := m.jobs[id]; j != nil {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job and returns immediately — before
+// the job's context error surfaces in its status. A queued job transitions
+// to cancelled on the spot (it will never run); a running job's context is
+// cancelled and the worker records the terminal state asynchronously;
+// cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateCancelled
+		j.finished = time.Now().UTC()
+		j.mu.Unlock()
+		m.mStates[StateCancelled].Inc()
+		j.emit(Event{Type: "state", State: StateCancelled, Error: "cancelled before start"})
+	} else {
+		j.mu.Unlock()
+	}
+	j.cancel()
+	return j, nil
+}
+
+// worker drains the queue until Shutdown closes it.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.mQueueDepth.Set(int64(len(m.queue)))
+		m.runJob(j)
+	}
+}
+
+// runJob drives one dequeued job through running to a terminal state.
+func (m *Manager) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled while queued: never run it.
+		j.mu.Unlock()
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		j.state = StateCancelled
+		j.finished = time.Now().UTC()
+		j.mu.Unlock()
+		m.mStates[StateCancelled].Inc()
+		j.emit(Event{Type: "state", State: StateCancelled, Error: "cancelled before start"})
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now().UTC()
+	j.mu.Unlock()
+	m.mStates[StateRunning].Inc()
+	m.mInflight.Add(1)
+	defer m.mInflight.Add(-1)
+	j.emit(Event{Type: "state", State: StateRunning})
+
+	ctx := j.ctx
+	budget := m.opts.JobTimeout
+	if d := j.Spec.timeout(); d > 0 && (budget == 0 || d < budget) {
+		budget = d
+	}
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	report, err := m.opts.Runner(ctx, j)
+
+	j.mu.Lock()
+	j.finished = time.Now().UTC()
+	var final State
+	switch {
+	case err == nil:
+		final = StateDone
+		j.report = report
+	case errors.Is(err, context.Canceled):
+		final = StateCancelled
+		j.err = err
+	default:
+		final = StateFailed
+		j.err = err
+	}
+	j.state = final
+	j.mu.Unlock()
+	m.mStates[final].Inc()
+	ev := Event{Type: "state", State: final}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	j.emit(ev)
+}
+
+// simRun is the production Runner: it lowers the spec onto a sim.Session
+// bound to the shared cache, runs the pipeline stage by stage, and emits
+// stage events (with cache attribution), throttled progress events, and
+// stage-latency metrics along the way. Its report is exactly
+// json.Marshal(soc.Result) — byte-identical to what the CLI/Session path
+// produces for the same submission.
+func (m *Manager) simRun(ctx context.Context, j *Job) (json.RawMessage, error) {
+	opts, err := j.Spec.SessionOptions(m.cache)
+	if err != nil {
+		return nil, err
+	}
+	// Progress events: at most ~10/s regardless of simulation speed. The
+	// hook runs on the simulating goroutine, so lastTick needs no lock.
+	var lastTick time.Time
+	opts.Progress = func(u soc.ProgressUpdate) {
+		if now := time.Now(); now.Sub(lastTick) >= 100*time.Millisecond {
+			lastTick = now
+			j.emit(Event{Type: "progress", Cycle: u.Cycle, Stepped: u.Stepped, Skipped: u.Skipped})
+		}
+	}
+	s, err := sim.NewSession(opts)
+	if err != nil {
+		return nil, err
+	}
+	hit := m.cache.HasArtifact(s.Key())
+	t0 := time.Now()
+	if _, err := s.Artifact(ctx); err != nil {
+		return nil, err
+	}
+	d := time.Since(t0).Seconds()
+	m.mStage["artifact"].Observe(d)
+	j.emit(Event{Type: "stage", Stage: "artifact", CacheHit: &hit, Seconds: d})
+
+	t0 = time.Now()
+	res, err := s.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	d = time.Since(t0).Seconds()
+	m.mStage["run"].Observe(d)
+	sys := s.System()
+	j.emit(Event{Type: "stage", Stage: "run", Seconds: d,
+		Cycle: res.Cycles, Stepped: sys.SteppedCycles, Skipped: sys.SkippedCycles})
+
+	t0 = time.Now()
+	report, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	d = time.Since(t0).Seconds()
+	m.mStage["report"].Observe(d)
+	j.emit(Event{Type: "stage", Stage: "report", Seconds: d})
+	return report, nil
+}
+
+// Shutdown drains the manager: admission closes immediately
+// (ErrShuttingDown), still-queued jobs are cancelled without running, and
+// running jobs get until ctx's deadline to finish before their contexts are
+// cancelled. It returns nil on a clean drain, or ctx's error if the
+// deadline forced cancellation. Shutdown is idempotent only in effect —
+// call it once.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return nil
+	}
+	m.draining = true
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	// Cancel queued jobs: a drain finishes what is running, it does not
+	// start new work. Workers skip them on dequeue.
+	for _, j := range jobs {
+		if j.State() == StateQueued {
+			_, _ = m.Cancel(j.ID)
+		}
+	}
+	close(m.queue)
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("jobs: drain deadline hit, cancelling in-flight jobs: %w", ctx.Err())
+		m.stop() // cancels every per-job context through the root
+		<-done
+	}
+	m.stop()
+	return err
+}

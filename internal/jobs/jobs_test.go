@@ -1,0 +1,413 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mosaicsim/internal/sim"
+)
+
+// waitTerminal blocks until the job reaches a terminal state (through its
+// own event stream, so the wait is notification-driven, not polling).
+func waitTerminal(t *testing.T, j *Job, timeout time.Duration) State {
+	t.Helper()
+	deadline := time.After(timeout)
+	next := 0
+	for {
+		evs, more, done := j.EventsSince(next)
+		next += len(evs)
+		if done {
+			return j.State()
+		}
+		select {
+		case <-more:
+		case <-deadline:
+			t.Fatalf("job %s not terminal after %v (state %s)", j.ID, timeout, j.State())
+		}
+	}
+}
+
+func shutdown(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// blockingRunner returns a stub Runner that signals started, then blocks
+// until released or its context dies (returning the context error, as the
+// sim-backed runner does).
+func blockingRunner(started chan<- string, release <-chan struct{}) Runner {
+	return func(ctx context.Context, j *Job) (json.RawMessage, error) {
+		if started != nil {
+			started <- j.ID
+		}
+		select {
+		case <-release:
+			return json.RawMessage(`{"ok":true}`), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func TestSpecValidationDidYouMean(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{}, "needs a workload"},
+		{Spec{Workload: "sgem"}, `did you mean "sgemm"`},
+		{Spec{Workload: "sgemm", Scale: "tinny"}, `did you mean "tiny"`},
+		{Spec{Workload: "sgemm", Core: "oo"}, `did you mean "ooo"`},
+		{Spec{Workload: "sgemm", Mem: "tab3"}, "unknown mem"},
+		{Spec{Workload: "sgemm", Slicing: "spdm"}, `did you mean "spmd"`},
+		{Spec{Workload: "sgemm", Slicing: "dae", Tiles: 3}, "even tile count"},
+		{Spec{Workload: "sgemm", Tiles: -1}, "negative tile count"},
+		{Spec{Workload: "sgemm", Timeout: "bogus"}, "bad timeout"},
+	}
+	for _, c := range cases {
+		if _, err := c.spec.Normalize(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Normalize(%+v) = %v, want error containing %q", c.spec, err, c.want)
+		}
+	}
+	norm, err := Spec{Workload: "sgemm"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Scale != "small" || norm.Tiles != 1 || norm.Core != "ooo" || norm.Mem != "tab2" || norm.Slicing != "spmd" {
+		t.Errorf("defaults not filled: %+v", norm)
+	}
+}
+
+func TestQueueFullShedsWithTypedError(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	m := NewManager(Options{Workers: 1, QueueDepth: 1, Runner: blockingRunner(started, release)})
+	defer func() { close(release); shutdown(t, m) }()
+
+	a, err := m.Submit(Spec{Workload: "sgemm", Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // a is running, queue empty
+	if _, err := m.Submit(Spec{Workload: "spmv", Scale: "tiny"}); err != nil {
+		t.Fatalf("queued submission rejected: %v", err)
+	}
+	_, err = m.Submit(Spec{Workload: "bfs", Scale: "tiny"})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submission error = %v, want ErrQueueFull", err)
+	}
+	if got := m.Registry(); got != nil {
+		var sb strings.Builder
+		got.WriteText(&sb)
+		if !strings.Contains(sb.String(), "mosaicd_jobs_rejected_total 1") {
+			t.Errorf("shed not counted:\n%s", sb.String())
+		}
+	}
+	_ = a
+}
+
+func TestCancelWhileQueuedNeverRuns(t *testing.T) {
+	started := make(chan string, 4)
+	release := make(chan struct{})
+	var ran atomic.Int32
+	runner := func(ctx context.Context, j *Job) (json.RawMessage, error) {
+		ran.Add(1)
+		return blockingRunner(started, release)(ctx, j)
+	}
+	m := NewManager(Options{Workers: 1, QueueDepth: 4, Runner: runner})
+	defer func() { shutdown(t, m) }()
+
+	a, _ := m.Submit(Spec{Workload: "sgemm", Scale: "tiny"})
+	<-started // worker occupied by a
+	b, err := m.Submit(Spec{Workload: "spmv", Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.State(); st != StateCancelled {
+		t.Fatalf("cancelled-while-queued state = %s, want cancelled immediately", st)
+	}
+	close(release) // let a finish; the worker must skip b
+	if st := waitTerminal(t, a, 5*time.Second); st != StateDone {
+		t.Fatalf("job a state = %s, want done", st)
+	}
+	// Give the worker a beat to (incorrectly) pick b up if it were going to.
+	time.Sleep(20 * time.Millisecond)
+	if n := ran.Load(); n != 1 {
+		t.Fatalf("runner invoked %d times, want 1 (cancelled-while-queued job ran)", n)
+	}
+}
+
+func TestCancelWhileRunningUnwindsFast(t *testing.T) {
+	started := make(chan string, 1)
+	m := NewManager(Options{Workers: 1, QueueDepth: 1, Runner: blockingRunner(started, nil)})
+	defer func() { shutdown(t, m) }()
+
+	j, err := m.Submit(Spec{Workload: "sgemm", Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	t0 := time.Now()
+	if _, err := m.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, j, time.Second); st != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", st)
+	}
+	if d := time.Since(t0); d > 100*time.Millisecond {
+		t.Fatalf("cancel-while-running unwound in %v, want < 100ms", d)
+	}
+	if err := j.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("job error = %v, want context.Canceled in chain", err)
+	}
+}
+
+func TestCancelReturnsBeforeStatusSettles(t *testing.T) {
+	started := make(chan string, 1)
+	runner := func(ctx context.Context, j *Job) (json.RawMessage, error) {
+		started <- j.ID
+		<-ctx.Done()
+		// Deliberately lag so the DELETE response races ahead of the
+		// terminal transition, as a real mid-simulation unwind would.
+		time.Sleep(30 * time.Millisecond)
+		return nil, ctx.Err()
+	}
+	m := NewManager(Options{Workers: 1, QueueDepth: 1, Runner: runner})
+	defer func() { shutdown(t, m) }()
+
+	j, err := m.Submit(Spec{Workload: "sgemm", Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := m.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Cancel has returned; the context error must not have surfaced yet.
+	if st := j.State(); st != StateRunning {
+		t.Fatalf("state right after Cancel = %s, want still running", st)
+	}
+	if st := waitTerminal(t, j, time.Second); st != StateCancelled {
+		t.Fatalf("final state = %s, want cancelled", st)
+	}
+}
+
+func TestPerJobTimeoutFails(t *testing.T) {
+	m := NewManager(Options{Workers: 1, QueueDepth: 1, JobTimeout: 20 * time.Millisecond,
+		Runner: blockingRunner(nil, nil)})
+	defer func() { shutdown(t, m) }()
+	j, err := m.Submit(Spec{Workload: "sgemm", Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, j, 5*time.Second); st != StateFailed {
+		t.Fatalf("timed-out job state = %s, want failed", st)
+	}
+	if err := j.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("job error = %v, want DeadlineExceeded in chain", err)
+	}
+}
+
+func TestSpecTimeoutCappedByManager(t *testing.T) {
+	// The spec asks for a minute; the manager caps at 20ms.
+	m := NewManager(Options{Workers: 1, QueueDepth: 1, JobTimeout: 20 * time.Millisecond,
+		Runner: blockingRunner(nil, nil)})
+	defer func() { shutdown(t, m) }()
+	j, err := m.Submit(Spec{Workload: "sgemm", Scale: "tiny", Timeout: "1m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, j, 5*time.Second); st != StateFailed {
+		t.Fatalf("state = %s, want failed (manager cap must win)", st)
+	}
+}
+
+func TestShutdownDrainsRunningCancelsQueued(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	m := NewManager(Options{Workers: 1, QueueDepth: 4, Runner: blockingRunner(started, release)})
+
+	running, _ := m.Submit(Spec{Workload: "sgemm", Scale: "tiny"})
+	<-started
+	queued, _ := m.Submit(Spec{Workload: "spmv", Scale: "tiny"})
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- m.Shutdown(ctx)
+	}()
+	// Draining: new submissions are rejected with the typed error.
+	deadline := time.After(2 * time.Second)
+	for {
+		if m.Draining() {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("manager never started draining")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if _, err := m.Submit(Spec{Workload: "bfs", Scale: "tiny"}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("submit while draining = %v, want ErrShuttingDown", err)
+	}
+	close(release) // running job finishes inside the drain budget
+	if err := <-done; err != nil {
+		t.Fatalf("clean drain returned %v", err)
+	}
+	if st := running.State(); st != StateDone {
+		t.Errorf("running job drained to %s, want done", st)
+	}
+	if st := queued.State(); st != StateCancelled {
+		t.Errorf("queued job drained to %s, want cancelled", st)
+	}
+}
+
+func TestShutdownDeadlineCancelsInFlight(t *testing.T) {
+	started := make(chan string, 1)
+	m := NewManager(Options{Workers: 1, QueueDepth: 1, Runner: blockingRunner(started, nil)})
+	j, _ := m.Submit(Spec{Workload: "sgemm", Scale: "tiny"})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := m.Shutdown(ctx); err == nil {
+		t.Fatal("deadline-forced drain returned nil, want error")
+	}
+	if st := j.State(); st != StateCancelled {
+		t.Errorf("in-flight job after forced drain = %s, want cancelled", st)
+	}
+}
+
+func TestRecordRetentionBound(t *testing.T) {
+	release := make(chan struct{})
+	close(release)
+	m := NewManager(Options{Workers: 1, QueueDepth: 8, MaxJobs: 3, Runner: blockingRunner(nil, release)})
+	defer func() { shutdown(t, m) }()
+	var last *Job
+	for i := 0; i < 6; i++ {
+		j, err := m.Submit(Spec{Workload: "sgemm", Scale: "tiny"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, j, 5*time.Second)
+		last = j
+	}
+	if n := len(m.List()); n > 3 {
+		t.Fatalf("retained %d job records, want <= 3", n)
+	}
+	if _, err := m.Get(last.ID); err != nil {
+		t.Fatalf("newest job evicted: %v", err)
+	}
+	if _, err := m.Get("j000001"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("oldest job lookup = %v, want ErrNotFound", err)
+	}
+}
+
+// TestConcurrentMixedSubmissions is the acceptance-scale integration test:
+// >= 32 concurrent submissions of mixed workloads through the real
+// sim-backed runner, deduplicated through one shared cache. Run under
+// -race in CI.
+func TestConcurrentMixedSubmissions(t *testing.T) {
+	cache := sim.NewCache()
+	cache.SetMaxEntries(64)
+	m := NewManager(Options{Workers: 4, QueueDepth: 64, Cache: cache})
+	defer func() { shutdown(t, m) }()
+
+	names := []string{"sgemm", "spmv", "bfs"}
+	const n = 36
+	js := make([]*Job, n)
+	for i := 0; i < n; i++ {
+		j, err := m.Submit(Spec{Workload: names[i%len(names)], Scale: "tiny", Tiles: 1 + i%2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js[i] = j
+	}
+	for i, j := range js {
+		if st := waitTerminal(t, j, 120*time.Second); st != StateDone {
+			t.Fatalf("job %d (%s) state = %s, err = %v", i, j.Spec.Workload, st, j.Err())
+		}
+		if len(j.Report()) == 0 {
+			t.Fatalf("job %d has no report", i)
+		}
+	}
+	// 36 submissions over 6 distinct shapes: the shared cache must have
+	// deduplicated most artifact builds.
+	c := cache.Counters()
+	if c.Hits == 0 {
+		t.Fatalf("cache hits = 0 over %d identical-shape submissions; dedup broken (misses %d)", n, c.Misses)
+	}
+	// Identical submissions must produce byte-identical reports.
+	byShape := map[string]json.RawMessage{}
+	for _, j := range js {
+		key := fmt.Sprintf("%s/%d", j.Spec.Workload, j.Spec.Tiles)
+		if prev, ok := byShape[key]; ok {
+			if string(prev) != string(j.Report()) {
+				t.Fatalf("reports for identical submissions %s differ", key)
+			}
+		} else {
+			byShape[key] = j.Report()
+		}
+	}
+}
+
+// TestSimRunnerEmitsStageEvents checks the event stream a real job
+// produces: lifecycle edges, the three stages with cache attribution, and
+// that a repeat submission reports the artifact stage as a cache hit.
+func TestSimRunnerEmitsStageEvents(t *testing.T) {
+	m := NewManager(Options{Workers: 1, QueueDepth: 4})
+	defer func() { shutdown(t, m) }()
+
+	spec := Spec{Workload: "sgemm", Scale: "tiny", Tiles: 2}
+	first, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, first, 60*time.Second)
+	evs, _, _ := first.EventsSince(0)
+	var stages []string
+	var firstHit *bool
+	for _, e := range evs {
+		if e.Type == "stage" {
+			stages = append(stages, e.Stage)
+			if e.Stage == "artifact" {
+				firstHit = e.CacheHit
+			}
+		}
+	}
+	if want := []string{"artifact", "run", "report"}; fmt.Sprint(stages) != fmt.Sprint(want) {
+		t.Fatalf("stage events = %v, want %v", stages, want)
+	}
+	if firstHit == nil || *firstHit {
+		t.Fatalf("first submission artifact cacheHit = %v, want false", firstHit)
+	}
+
+	second, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, second, 60*time.Second)
+	evs, _, _ = second.EventsSince(0)
+	for _, e := range evs {
+		if e.Type == "stage" && e.Stage == "artifact" {
+			if e.CacheHit == nil || !*e.CacheHit {
+				t.Fatalf("repeat submission artifact cacheHit = %v, want true", e.CacheHit)
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package jobs
+
+import (
+	"fmt"
+	"time"
+
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/sim"
+	"mosaicsim/internal/stats"
+	"mosaicsim/internal/workloads"
+)
+
+// Spec is one simulation submission: the workload plus the scale, tile, and
+// system options the CLI exposes as flags. The zero value of every optional
+// field selects the same default the CLI would (small scale, 1 tile, OoO
+// cores, Table II memory, SPMD).
+type Spec struct {
+	// Workload names a built-in workload (see `mosaicsim -list`). Required.
+	Workload string `json:"workload"`
+	// Scale is the input size: tiny, small, or large (default small).
+	Scale string `json:"scale,omitempty"`
+	// Tiles is the SPMD tile count (default 1).
+	Tiles int `json:"tiles,omitempty"`
+	// Core is the tile core model: ooo, inorder, or xeon (default ooo).
+	Core string `json:"core,omitempty"`
+	// Mem selects the memory hierarchy: tab2 (DAE study) or tab1
+	// (Xeon-like); default tab2.
+	Mem string `json:"mem,omitempty"`
+	// Slicing maps the kernel onto tiles: spmd or dae (default spmd).
+	Slicing string `json:"slicing,omitempty"`
+	// Limit bounds the simulated cycles (0 = the engine default).
+	Limit int64 `json:"limit,omitempty"`
+	// NoSkip disables event-horizon cycle skipping.
+	NoSkip bool `json:"noskip,omitempty"`
+	// Timeout is an optional per-job wall-clock budget as a Go duration
+	// string ("30s"); the manager's per-job timeout still caps it.
+	Timeout string `json:"timeout,omitempty"`
+}
+
+// suggest renders a validation error with a did-you-mean candidate drawn
+// from the allowed values, mirroring workloads.Resolve's behavior.
+func suggest(field, got string, allowed []string) error {
+	if s := stats.Closest(got, allowed); s != "" {
+		return fmt.Errorf("jobs: unknown %s %q (did you mean %q?)", field, got, s)
+	}
+	return fmt.Errorf("jobs: unknown %s %q (allowed: %v)", field, got, allowed)
+}
+
+// Normalize fills defaults and validates every field up front — an invalid
+// submission is rejected at admission with a did-you-mean error, never after
+// it has consumed a queue slot. It returns the normalized spec.
+func (s Spec) Normalize() (Spec, error) {
+	if s.Workload == "" {
+		return s, fmt.Errorf("jobs: spec needs a workload (see mosaicsim -list)")
+	}
+	if _, err := workloads.Resolve(s.Workload); err != nil {
+		return s, fmt.Errorf("jobs: %w", err)
+	}
+	if s.Scale == "" {
+		s.Scale = "small"
+	}
+	switch s.Scale {
+	case "tiny", "small", "large":
+	default:
+		return s, suggest("scale", s.Scale, []string{"tiny", "small", "large"})
+	}
+	if s.Tiles == 0 {
+		s.Tiles = 1
+	}
+	if s.Tiles < 0 {
+		return s, fmt.Errorf("jobs: negative tile count %d", s.Tiles)
+	}
+	if s.Core == "" {
+		s.Core = "ooo"
+	}
+	switch s.Core {
+	case "ooo", "inorder", "xeon":
+	default:
+		return s, suggest("core", s.Core, []string{"ooo", "inorder", "xeon"})
+	}
+	if s.Mem == "" {
+		s.Mem = "tab2"
+	}
+	switch s.Mem {
+	case "tab1", "tab2":
+	default:
+		return s, suggest("mem", s.Mem, []string{"tab1", "tab2"})
+	}
+	if s.Slicing == "" {
+		s.Slicing = "spmd"
+	}
+	switch s.Slicing {
+	case "spmd":
+	case "dae":
+		if s.Tiles%2 != 0 {
+			return s, fmt.Errorf("jobs: dae slicing needs an even tile count (access/execute pairs), got %d", s.Tiles)
+		}
+	default:
+		return s, suggest("slicing", s.Slicing, []string{"spmd", "dae"})
+	}
+	if s.Limit < 0 {
+		return s, fmt.Errorf("jobs: negative cycle limit %d", s.Limit)
+	}
+	if s.Timeout != "" {
+		d, err := time.ParseDuration(s.Timeout)
+		if err != nil {
+			return s, fmt.Errorf("jobs: bad timeout %q: %w", s.Timeout, err)
+		}
+		if d <= 0 {
+			return s, fmt.Errorf("jobs: non-positive timeout %q", s.Timeout)
+		}
+	}
+	return s, nil
+}
+
+// timeout returns the spec's parsed per-job budget (0 = none). The spec must
+// already be normalized.
+func (s Spec) timeout() time.Duration {
+	if s.Timeout == "" {
+		return 0
+	}
+	d, _ := time.ParseDuration(s.Timeout)
+	return d
+}
+
+// scale maps the normalized scale name onto the workloads enum.
+func (s Spec) scale() workloads.Scale {
+	switch s.Scale {
+	case "tiny":
+		return workloads.Tiny
+	case "large":
+		return workloads.Large
+	default:
+		return workloads.Small
+	}
+}
+
+// SessionOptions lowers a normalized spec into the engine options the CLI
+// would build for the same flags, bound to the given shared cache. Keeping
+// this lowering in one place is what makes the HTTP path and the CLI path
+// byte-identical for the same submission (the golden seam test).
+func (s Spec) SessionOptions(cache *sim.Cache) (sim.Options, error) {
+	w, err := workloads.Resolve(s.Workload)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	var core config.CoreConfig
+	switch s.Core {
+	case "inorder":
+		core = config.InOrderCore()
+	case "xeon":
+		core = config.XeonLikeCore()
+	default:
+		core = config.OutOfOrderCore()
+	}
+	mem := config.TableIIMem()
+	if s.Mem == "tab1" {
+		mem = config.TableIMem()
+	}
+	sc := &config.SystemConfig{
+		Name:  fmt.Sprintf("%s-%dx%s", w.Name, s.Tiles, s.Core),
+		Cores: []config.CoreSpec{{Core: core, Count: s.Tiles}},
+		Mem:   mem,
+	}
+	if err := sc.Validate(); err != nil {
+		return sim.Options{}, err
+	}
+	slicing := sim.SliceNone
+	if s.Slicing == "dae" {
+		slicing = sim.SliceDAE
+	}
+	return sim.Options{
+		Workload:             w,
+		Scale:                s.scale(),
+		Config:               sc,
+		Slicing:              slicing,
+		Accels:               workloads.DefaultAccelModels(sc.Cores[0].Core.ClockMHz),
+		Limit:                s.Limit,
+		DisableCycleSkipping: s.NoSkip,
+		Cache:                cache,
+	}, nil
+}

@@ -1,0 +1,301 @@
+// Package metrics is MosaicSim-Go's instrumentation layer: a small,
+// dependency-free registry of counters, gauges, and histograms that renders
+// itself in the Prometheus text exposition format. It exists so the serving
+// layer (internal/jobs, internal/server, cmd/mosaicd) can expose live
+// operational state — jobs by state, queue depth, stage latencies,
+// artifact-cache hits — to any Prometheus-compatible scraper without pulling
+// a client library into the module.
+//
+// The registry is deliberately tiny: fixed metric families registered once at
+// startup (registration is not expected on hot paths), lock-free counter and
+// gauge updates, and a mutex-guarded histogram whose Observe cost is one
+// lock plus a linear bucket scan. Families render in registration order, and
+// instruments within a family in their registration order, so /metrics
+// output is deterministic for a given startup sequence.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels are constant key/value pairs attached to one instrument. Two
+// instruments of the same family (name) with different labels are distinct
+// time series, e.g. jobs_total{state="done"} vs jobs_total{state="failed"}.
+type Labels map[string]string
+
+// render returns the label set in canonical `{k="v",...}` form (keys sorted,
+// values escaped), or "" for an empty set.
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l[k]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// instrument is one time series: it writes its sample lines given its
+// family name and rendered labels.
+type instrument interface {
+	write(w io.Writer, name, labels string)
+}
+
+// series pairs an instrument with its labels inside a family.
+type series struct {
+	labels string
+	inst   instrument
+}
+
+// family groups every series sharing one metric name, type, and help string.
+type family struct {
+	name, help, typ string
+	series          []series
+	keys            map[string]bool // rendered label sets, for duplicate detection
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// register adds one series, creating its family on first use. It panics on a
+// name registered under two types or a duplicate (name, labels) pair — both
+// are programming errors in startup code, not runtime conditions.
+func (r *Registry) register(name, help, typ string, labels Labels, inst instrument) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, keys: map[string]bool{}}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, f.typ, typ))
+	}
+	ls := labels.render()
+	if f.keys[ls] {
+		panic(fmt.Sprintf("metrics: duplicate series %s%s", name, ls))
+	}
+	f.keys[ls] = true
+	f.series = append(f.series, series{labels: ls, inst: inst})
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, c.v.Load())
+}
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", labels, c)
+	return c
+}
+
+// counterFunc samples an external monotonic value at scrape time (e.g. a
+// cache's internal hit counter).
+type counterFunc func() int64
+
+func (f counterFunc) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, f())
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time. fn must be safe for concurrent use and monotonic.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() int64) {
+	r.register(name, help, "counter", labels, counterFunc(fn))
+}
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, g.v.Load())
+}
+
+// Gauge registers and returns a gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", labels, g)
+	return g
+}
+
+// DefBuckets are the default histogram buckets, in seconds: the standard
+// latency ladder from 5ms to 10s.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram accumulates observations into cumulative buckets plus a running
+// sum and count, exactly as the Prometheus histogram type expects.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, ascending, +Inf implicit
+	counts []uint64  // per-bound non-cumulative counts; counts[len(bounds)] = +Inf overflow
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Quantile returns an estimate of quantile q (0..1) by linear interpolation
+// within the owning bucket, the same estimate PromQL's histogram_quantile
+// computes. It returns 0 with no observations; values beyond the last finite
+// bucket clamp to that bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	var cum uint64
+	lower := 0.0
+	for i, bound := range h.bounds {
+		prev := cum
+		cum += h.counts[i]
+		if float64(cum) >= rank {
+			if h.counts[i] == 0 {
+				return bound
+			}
+			frac := (rank - float64(prev)) / float64(h.counts[i])
+			return lower + (bound-lower)*math.Min(1, math.Max(0, frac))
+		}
+		lower = bound
+	}
+	// Observation(s) above the last finite bucket: clamp, as PromQL does.
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *Histogram) write(w io.Writer, name, labels string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Merge `le` into any existing label set.
+	open := "{"
+	if labels != "" {
+		open = labels[:len(labels)-1] + ","
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket%sle=\"%s\"} %d\n", name, open, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", name, open, cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count)
+}
+
+// Histogram registers and returns a histogram series with the given bucket
+// upper bounds (nil selects DefBuckets). Bounds must be ascending.
+func (r *Registry) Histogram(name, help string, labels Labels, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: %s bucket bounds not ascending at %v", name, buckets[i]))
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), buckets...), counts: make([]uint64, len(buckets)+1)}
+	r.register(name, help, "histogram", labels, h)
+	return h
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders every family in the Prometheus text exposition format
+// (version 0.0.4): # HELP and # TYPE headers followed by one line per
+// sample, families in registration order.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			s.inst.write(w, f.name, s.labels)
+		}
+	}
+}

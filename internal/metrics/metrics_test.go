@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(r *Registry) string {
+	var sb strings.Builder
+	r.WriteText(&sb)
+	return sb.String()
+}
+
+func TestCounterGaugeText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs by terminal state.", Labels{"state": "done"})
+	c2 := r.Counter("jobs_total", "Jobs by terminal state.", Labels{"state": "failed"})
+	g := r.Gauge("queue_depth", "Queued jobs.", nil)
+	c.Inc()
+	c.Add(2)
+	c2.Inc()
+	g.Set(7)
+	g.Add(-3)
+	out := render(r)
+	for _, want := range []string{
+		"# HELP jobs_total Jobs by terminal state.",
+		"# TYPE jobs_total counter",
+		`jobs_total{state="done"} 3`,
+		`jobs_total{state="failed"} 1`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Families render in registration order: jobs_total before queue_depth.
+	if strings.Index(out, "jobs_total") > strings.Index(out, "queue_depth") {
+		t.Errorf("families out of registration order:\n%s", out)
+	}
+}
+
+func TestCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	v := int64(41)
+	r.CounterFunc("cache_hits_total", "h", nil, func() int64 { return v })
+	v++
+	if out := render(r); !strings.Contains(out, "cache_hits_total 42") {
+		t.Errorf("CounterFunc not sampled at scrape time:\n%s", out)
+	}
+}
+
+func TestHistogramText(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("stage_seconds", "Stage latency.", Labels{"stage": "run"}, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	out := render(r)
+	for _, want := range []string{
+		"# TYPE stage_seconds histogram",
+		`stage_seconds_bucket{stage="run",le="0.1"} 1`,
+		`stage_seconds_bucket{stage="run",le="1"} 2`,
+		`stage_seconds_bucket{stage="run",le="+Inf"} 3`,
+		`stage_seconds_sum{stage="run"} 5.55`,
+		`stage_seconds_count{stage="run"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "q", nil, []float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5) // all in le=1
+	}
+	if got := h.Quantile(0.5); got <= 0 || got > 1 {
+		t.Errorf("p50 = %v, want within (0,1]", got)
+	}
+	h.Observe(100) // above last finite bucket
+	if got := h.Quantile(0.999); math.Abs(got-4) > 1e-9 {
+		t.Errorf("overflow quantile = %v, want clamp to 4", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h", Labels{"k": "a\"b\\c\nd"})
+	if out := render(r); !strings.Contains(out, `m{k="a\"b\\c\nd"} 0`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+}
+
+func TestDuplicateSeriesPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "h", Labels{"a": "1"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate (name, labels) registration did not panic")
+		}
+	}()
+	r.Counter("dup", "h", Labels{"a": "1"})
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tm", "h", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("same name under two types did not panic")
+		}
+	}()
+	r.Gauge("tm", "h", nil)
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc", "h", nil)
+	h := r.Histogram("hh", "h", nil, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}

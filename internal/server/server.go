@@ -1,0 +1,183 @@
+// Package server exposes the job manager (internal/jobs) as an HTTP/JSON
+// API — the network face of mosaicd. The surface is small and versioned:
+//
+//	POST   /v1/jobs             submit a Spec            → 201 Status (429 when shed, 503 draining)
+//	GET    /v1/jobs             list retained jobs       → 200 [Status] (reports elided)
+//	GET    /v1/jobs/{id}        status + final report    → 200 Status
+//	GET    /v1/jobs/{id}/events NDJSON live event stream → 200 stream of jobs.Event
+//	DELETE /v1/jobs/{id}        cancel                   → 202 Status (returns before the ctx error lands)
+//	GET    /healthz             liveness + drain state   → 200 {"status":"ok"|"draining"}
+//	GET    /metrics             Prometheus text exposition
+//
+// Handlers hold no state of their own: every response is a snapshot from
+// the manager, and event streams are driven by the job's own notification
+// channel, so a stream costs one goroutine and no polling.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"mosaicsim/internal/jobs"
+	"mosaicsim/internal/metrics"
+)
+
+// Server routes the API onto a job manager and a metrics registry.
+type Server struct {
+	mgr *jobs.Manager
+	reg *metrics.Registry
+	mux *http.ServeMux
+}
+
+// New builds the server. reg may be nil to use the manager's own registry.
+func New(mgr *jobs.Manager, reg *metrics.Registry) *Server {
+	if reg == nil {
+		reg = mgr.Registry()
+	}
+	s := &Server{mgr: mgr, reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON renders v with a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// apiError is the error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeErr maps manager errors onto status codes: shed submissions are 429
+// (the client should back off and retry), drain is 503, unknown IDs 404,
+// anything else from validation is 400.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrShuttingDown):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, jobs.ErrNotFound):
+		code = http.StatusNotFound
+	}
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec jobs.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, fmt.Errorf("bad submission body: %w", err))
+		return
+	}
+	j, err := s.mgr.Submit(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusCreated, j.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	js := s.mgr.List()
+	out := make([]jobs.Status, len(js))
+	for i, j := range js {
+		st := j.Status()
+		st.Report = nil // list stays light; fetch one job for its report
+		out[i] = st
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.mgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// 202: cancellation is asynchronous by design — a running job's
+	// context error surfaces in its status after this response returns.
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// handleEvents streams the job's event log as NDJSON: everything logged so
+// far, then live events as they happen, until the job is terminal (stream
+// ends) or the client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		evs, more, done := j.EventsSince(next)
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				return // client gone
+			}
+		}
+		next += len(evs)
+		if flusher != nil && len(evs) > 0 {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-more:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.mgr.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteText(w)
+}

@@ -1,0 +1,468 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mosaicsim/internal/jobs"
+	"mosaicsim/internal/sim"
+)
+
+// newTestServer stands up a manager and an httptest server over it, both
+// torn down with the test.
+func newTestServer(t *testing.T, opts jobs.Options) (*httptest.Server, *jobs.Manager) {
+	t.Helper()
+	m := jobs.NewManager(opts)
+	ts := httptest.NewServer(New(m, nil))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = m.Shutdown(ctx)
+	})
+	return ts, m
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec jobs.Spec) (jobs.Status, *http.Response) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobs.Status
+	if resp.StatusCode == http.StatusCreated {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) jobs.Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %s: %s", id, resp.Status, b)
+	}
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) jobs.Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := getStatus(t, ts, id)
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s not terminal after %v (state %s)", id, timeout, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestGoldenReportMatchesSessionPath is the golden seam test: the report a
+// job serves over HTTP must be byte-identical to what a direct sim.Session
+// run of the same spec produces (modulo the transport's whitespace
+// indentation, which json.Compact strips from both sides).
+func TestGoldenReportMatchesSessionPath(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Options{Workers: 2, QueueDepth: 8})
+	spec := jobs.Spec{Workload: "sgemm", Scale: "tiny", Tiles: 2}
+
+	st, resp := postJob(t, ts, spec)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	if got, want := resp.Header.Get("Location"), "/v1/jobs/"+st.ID; got != want {
+		t.Errorf("Location = %q, want %q", got, want)
+	}
+	final := waitDone(t, ts, st.ID, 60*time.Second)
+	if final.State != jobs.StateDone {
+		t.Fatalf("state = %s (%s), want done", final.State, final.Error)
+	}
+	if len(final.Report) == 0 {
+		t.Fatal("done job served no report")
+	}
+
+	// The CLI/Session path: same spec, fresh private cache, direct engine run.
+	norm, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := norm.SessionOptions(sim.NewCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	if err := json.Compact(&got, final.Report); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != string(want) {
+		t.Errorf("HTTP report diverges from Session path:\n http: %s\n  sim: %s", got.String(), want)
+	}
+}
+
+// TestConcurrentSubmissions drives the acceptance-scale load through the
+// HTTP layer: >= 32 concurrent mixed-workload submissions, all reaching
+// done, deduplicated through the shared cache (visible in /metrics).
+func TestConcurrentSubmissions(t *testing.T) {
+	cache := sim.NewCache()
+	cache.SetMaxEntries(64)
+	ts, _ := newTestServer(t, jobs.Options{Workers: 4, QueueDepth: 64, Cache: cache})
+
+	names := []string{"sgemm", "spmv", "bfs"}
+	const n = 32
+	ids := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := jobs.Spec{Workload: names[i%len(names)], Scale: "tiny", Tiles: 1 + i%2}
+			body, _ := json.Marshal(spec)
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				b, _ := io.ReadAll(resp.Body)
+				errs[i] = fmt.Errorf("submit %d: %s: %s", i, resp.Status, b)
+				return
+			}
+			var st jobs.Status
+			if errs[i] = json.NewDecoder(resp.Body).Decode(&st); errs[i] == nil {
+				ids[i] = st.ID
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submission %d: %v", i, err)
+		}
+	}
+	for i, id := range ids {
+		if st := waitDone(t, ts, id, 120*time.Second); st.State != jobs.StateDone {
+			t.Fatalf("job %d (%s) state = %s (%s)", i, id, st.State, st.Error)
+		}
+	}
+	text := scrapeMetrics(t, ts)
+	if !strings.Contains(text, fmt.Sprintf(`mosaicd_jobs_total{state="done"} %d`, n)) {
+		t.Errorf("metrics missing %d done jobs:\n%s", n, grepPrefix(text, "mosaicd_jobs_total"))
+	}
+	hits := metricValue(t, text, "mosaicd_cache_hits_total")
+	if hits == 0 {
+		t.Errorf("cache hits = 0 over %d submissions of 6 shapes; dedup not visible in metrics", n)
+	}
+}
+
+// TestEventStreamNDJSON reads a job's full event stream and checks its
+// shape: lifecycle edges in order, the three stages with cache attribution,
+// monotonic sequence numbers, and stream termination at the terminal state.
+func TestEventStreamNDJSON(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Options{Workers: 1, QueueDepth: 4})
+	st, _ := postJob(t, ts, jobs.Spec{Workload: "spmv", Scale: "tiny"})
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	var evs []jobs.Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e jobs.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) < 5 { // queued, running, 3 stages, done
+		t.Fatalf("only %d events: %+v", len(evs), evs)
+	}
+	for i, e := range evs {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d; stream skipped or reordered", i, e.Seq)
+		}
+	}
+	if evs[0].Type != "state" || evs[0].State != jobs.StateQueued {
+		t.Errorf("first event = %+v, want queued edge", evs[0])
+	}
+	if last := evs[len(evs)-1]; last.Type != "state" || last.State != jobs.StateDone {
+		t.Errorf("last event = %+v, want done edge", last)
+	}
+	var stages []string
+	for _, e := range evs {
+		if e.Type == "stage" {
+			stages = append(stages, e.Stage)
+			if e.Stage == "artifact" && e.CacheHit == nil {
+				t.Error("artifact stage event missing cacheHit attribution")
+			}
+		}
+	}
+	if fmt.Sprint(stages) != fmt.Sprint([]string{"artifact", "run", "report"}) {
+		t.Errorf("stages = %v, want [artifact run report]", stages)
+	}
+}
+
+// TestCancelReturnsBeforeStatusSettles pins the DELETE semantics: the
+// response arrives while the job is still running; the context error
+// surfaces in a later GET.
+func TestCancelReturnsBeforeStatusSettles(t *testing.T) {
+	started := make(chan struct{}, 1)
+	runner := func(ctx context.Context, j *jobs.Job) (json.RawMessage, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		time.Sleep(30 * time.Millisecond) // simulate mid-run unwinding
+		return nil, ctx.Err()
+	}
+	ts, _ := newTestServer(t, jobs.Options{Workers: 1, QueueDepth: 1, Runner: runner})
+	st, _ := postJob(t, ts, jobs.Spec{Workload: "sgemm", Scale: "tiny"})
+	<-started
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE status = %s, want 202", resp.Status)
+	}
+	var at jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&at); err != nil {
+		t.Fatal(err)
+	}
+	if at.State != jobs.StateRunning {
+		t.Fatalf("DELETE response state = %s, want still running (cancel is asynchronous)", at.State)
+	}
+	final := waitDone(t, ts, st.ID, 5*time.Second)
+	if final.State != jobs.StateCancelled {
+		t.Fatalf("final state = %s, want cancelled", final.State)
+	}
+	if !strings.Contains(final.Error, "context canceled") {
+		t.Errorf("final error = %q, want the context error surfaced", final.Error)
+	}
+}
+
+func TestAdmissionAndErrorMapping(t *testing.T) {
+	started := make(chan struct{}, 1)
+	runner := func(ctx context.Context, j *jobs.Job) (json.RawMessage, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	ts, _ := newTestServer(t, jobs.Options{Workers: 1, QueueDepth: 1, Runner: runner})
+
+	// Fill the worker and the queue.
+	if _, resp := postJob(t, ts, jobs.Spec{Workload: "sgemm", Scale: "tiny"}); resp.StatusCode != 201 {
+		t.Fatalf("first submit: %s", resp.Status)
+	}
+	<-started
+	if _, resp := postJob(t, ts, jobs.Spec{Workload: "spmv", Scale: "tiny"}); resp.StatusCode != 201 {
+		t.Fatalf("second submit: %s", resp.Status)
+	}
+	// Shed: 429 with Retry-After.
+	_, resp := postJob(t, ts, jobs.Spec{Workload: "bfs", Scale: "tiny"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed submit status = %s, want 429", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After header")
+	}
+
+	// Unknown job: 404.
+	r, err := http.Get(ts.URL + "/v1/jobs/j999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status = %s, want 404", r.Status)
+	}
+
+	// Invalid spec: 400 with a did-you-mean suggestion.
+	resp2, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"workload":"sgem"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad spec status = %s, want 400", resp2.Status)
+	}
+	if !strings.Contains(string(b), `did you mean \"sgemm\"`) && !strings.Contains(string(b), "did you mean") {
+		t.Errorf("bad spec body missing did-you-mean: %s", b)
+	}
+
+	// Unknown field: 400 (DisallowUnknownFields).
+	resp3, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"workload":"sgemm","tils":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field status = %s, want 400", resp3.Status)
+	}
+}
+
+func TestListElidesReports(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Options{Workers: 1, QueueDepth: 4})
+	st, _ := postJob(t, ts, jobs.Spec{Workload: "sgemm", Scale: "tiny"})
+	waitDone(t, ts, st.ID, 60*time.Second)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list = %+v, want the one submitted job", list)
+	}
+	if list[0].Report != nil {
+		t.Error("list entry carries a report; lists must stay light")
+	}
+	if full := getStatus(t, ts, st.ID); len(full.Report) == 0 {
+		t.Error("single-job GET lost the report")
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	ts, m := newTestServer(t, jobs.Options{Workers: 1, QueueDepth: 4})
+	st, _ := postJob(t, ts, jobs.Spec{Workload: "sgemm", Scale: "tiny"})
+	waitDone(t, ts, st.ID, 60*time.Second)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(b), `"status": "ok"`) {
+		t.Errorf("healthz = %s %s", resp.Status, b)
+	}
+
+	text := scrapeMetrics(t, ts)
+	for _, want := range []string{
+		"mosaicd_jobs_submitted_total 1",
+		`mosaicd_jobs_total{state="done"} 1`,
+		"mosaicd_queue_depth",
+		"mosaicd_jobs_inflight",
+		`mosaicd_stage_seconds_count{stage="run"} 1`,
+		"mosaicd_cache_misses_total",
+		"mosaicd_cache_evictions_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	// Draining flips healthz.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !strings.Contains(string(b2), "draining") {
+		t.Errorf("healthz after shutdown = %s, want draining", b2)
+	}
+	// And submissions map to 503.
+	_, resp3 := postJob(t, ts, jobs.Spec{Workload: "sgemm", Scale: "tiny"})
+	if resp3.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining = %s, want 503", resp3.Status)
+	}
+}
+
+func scrapeMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); !strings.Contains(got, "version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q, want Prometheus text 0.0.4", got)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// metricValue extracts an unlabelled sample's value from exposition text.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		var v float64
+		if _, err := fmt.Sscanf(line, name+" %f", &v); err == nil && strings.HasPrefix(line, name+" ") {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, text)
+	return 0
+}
+
+func grepPrefix(text, prefix string) string {
+	var sb strings.Builder
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			sb.WriteString(line + "\n")
+		}
+	}
+	return sb.String()
+}

@@ -63,10 +63,77 @@ type sliced struct {
 // flight is one singleflight slot: the first caller builds, everyone else
 // waits on done. A slot that finished with a context error is evicted so the
 // cancellation of one session never poisons the cache for the others.
+// completed is guarded by the owning Cache's mutex and marks the slot as
+// holding a final value — only completed slots are LRU-evictable, since an
+// in-flight slot still has joiners arriving through the map.
 type flight[T any] struct {
-	done chan struct{}
-	val  T
-	err  error
+	done      chan struct{}
+	val       T
+	err       error
+	completed bool
+}
+
+// layer is one content-keyed singleflight map plus its LRU bookkeeping.
+// order holds keys from least- to most-recently used; it is maintained only
+// while the owning cache is bounded-or-instrumented, which every cache is,
+// and its O(n) touch is fine at the entry counts a cap implies (hundreds).
+type layer[K comparable, T any] struct {
+	m     map[K]*flight[T]
+	order []K
+}
+
+func newLayer[K comparable, T any]() layer[K, T] {
+	return layer[K, T]{m: map[K]*flight[T]{}}
+}
+
+// touch moves key to the most-recently-used end.
+func (l *layer[K, T]) touch(key K) {
+	for i, k := range l.order {
+		if k == key {
+			copy(l.order[i:], l.order[i+1:])
+			l.order[len(l.order)-1] = key
+			return
+		}
+	}
+	l.order = append(l.order, key)
+}
+
+// remove drops key from the map and the LRU order.
+func (l *layer[K, T]) remove(key K) {
+	delete(l.m, key)
+	for i, k := range l.order {
+		if k == key {
+			l.order = append(l.order[:i], l.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictOver drops least-recently-used completed entries until the layer is
+// within max entries, bumping evicted once per drop. In-flight entries are
+// skipped: their builders and joiners still reach them through the map.
+func (l *layer[K, T]) evictOver(max int, evicted *int64) {
+	if max <= 0 {
+		return
+	}
+	for i := 0; len(l.m) > max && i < len(l.order); {
+		key := l.order[i]
+		if f := l.m[key]; f != nil && f.completed {
+			l.remove(key)
+			*evicted++
+			continue // order shifted down; re-check index i
+		}
+		i++
+	}
+}
+
+// CacheCounters is a point-in-time snapshot of a cache's lookup and
+// eviction activity. Hits include singleflight joins of in-flight builds —
+// a deduplicated build is exactly the work a hit saves.
+type CacheCounters struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
 }
 
 // Cache is the engine's content-keyed artifact store. It unifies what used
@@ -74,22 +141,76 @@ type flight[T any] struct {
 // and the workload suite's per-instance compile singleflight — behind one
 // concurrency-safe, context-aware singleflight per layer (compiled kernels,
 // kernel graphs, DAE slices, traced artifacts).
+//
+// A cache is unbounded by default (the right shape for one-shot CLI sweeps
+// over a finite workload list). Long-running daemons call SetMaxEntries to
+// bound each layer with LRU eviction so artifact memory cannot grow without
+// limit; singleflight semantics are unchanged — an evicted key simply
+// rebuilds on next use.
 type Cache struct {
 	mu      sync.Mutex
-	kernels map[kernelKey]*flight[*ir.Function]
-	graphs  map[kernelKey]*flight[*ddg.Graph]
-	slices  map[kernelKey]*flight[*sliced]
-	arts    map[Key]*flight[*Artifact]
+	max     int // per-layer entry cap; 0 = unbounded
+	hits    int64
+	misses  int64
+	evicted int64
+
+	kernels layer[kernelKey, *ir.Function]
+	graphs  layer[kernelKey, *ddg.Graph]
+	slices  layer[kernelKey, *sliced]
+	arts    layer[Key, *Artifact]
 }
 
-// NewCache builds an empty cache.
+// NewCache builds an empty, unbounded cache.
 func NewCache() *Cache {
 	return &Cache{
-		kernels: map[kernelKey]*flight[*ir.Function]{},
-		graphs:  map[kernelKey]*flight[*ddg.Graph]{},
-		slices:  map[kernelKey]*flight[*sliced]{},
-		arts:    map[Key]*flight[*Artifact]{},
+		kernels: newLayer[kernelKey, *ir.Function](),
+		graphs:  newLayer[kernelKey, *ddg.Graph](),
+		slices:  newLayer[kernelKey, *sliced](),
+		arts:    newLayer[Key, *Artifact](),
 	}
+}
+
+// SetMaxEntries bounds every layer of the cache at n entries, evicting
+// least-recently-used completed entries beyond it (n <= 0 restores the
+// unbounded default). The traced-artifact layer dominates memory — traces
+// are the large artifact — but the kernel-level layers obey the same cap so
+// no layer grows without limit.
+func (c *Cache) SetMaxEntries(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.max = n
+	if n > 0 {
+		c.kernels.evictOver(n, &c.evicted)
+		c.graphs.evictOver(n, &c.evicted)
+		c.slices.evictOver(n, &c.evicted)
+		c.arts.evictOver(n, &c.evicted)
+	}
+}
+
+// Counters returns a snapshot of the cache's hit/miss/eviction counters.
+func (c *Cache) Counters() CacheCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheCounters{Hits: c.hits, Misses: c.misses, Evictions: c.evicted}
+}
+
+// Entries returns the total live entries across all layers (in-flight
+// included).
+func (c *Cache) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.kernels.m) + len(c.graphs.m) + len(c.slices.m) + len(c.arts.m)
+}
+
+// HasArtifact reports whether the traced artifact for key is resident and
+// completed. It is a peek — it neither counts as a lookup nor refreshes the
+// entry's LRU position — so callers can attribute an upcoming stage as a
+// hit or miss without disturbing the cache.
+func (c *Cache) HasArtifact(key Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.arts.m[key]
+	return ok && f.completed && f.err == nil
 }
 
 // DefaultCache is the process-wide artifact cache sessions use unless their
@@ -104,27 +225,37 @@ func isCtxErr(err error) bool {
 
 // single is the context-aware singleflight: the first caller for key runs
 // build; concurrent callers block until it finishes (or their own ctx is
-// cancelled) and share the result. Results are cached forever, except
-// context errors, which evict the slot so the next caller retries.
-func single[K comparable, T any](ctx context.Context, c *Cache, m map[K]*flight[T], key K, build func() (T, error)) (T, error) {
+// cancelled) and share the result. Results are cached until evicted, except
+// context errors, which evict the slot immediately so the next caller
+// retries.
+func single[K comparable, T any](ctx context.Context, c *Cache, l *layer[K, T], key K, build func() (T, error)) (T, error) {
 	for {
 		c.mu.Lock()
-		f, ok := m[key]
+		f, ok := l.m[key]
 		if !ok {
 			f = &flight[T]{done: make(chan struct{})}
-			m[key] = f
+			l.m[key] = f
+			l.touch(key)
+			c.misses++
 			c.mu.Unlock()
 			f.val, f.err = build()
+			c.mu.Lock()
+			f.completed = true
 			if f.err != nil && isCtxErr(f.err) {
-				c.mu.Lock()
-				if m[key] == f {
-					delete(m, key)
+				// Evict before closing done: a joiner that wakes and retries
+				// must not find this dead slot still in the map.
+				if l.m[key] == f {
+					l.remove(key)
 				}
-				c.mu.Unlock()
+			} else {
+				l.evictOver(c.max, &c.evicted)
 			}
+			c.mu.Unlock()
 			close(f.done)
 			return f.val, f.err
 		}
+		c.hits++
+		l.touch(key)
 		c.mu.Unlock()
 		select {
 		case <-f.done:

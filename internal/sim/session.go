@@ -99,6 +99,11 @@ type Options struct {
 	Limit int64
 	// DisableCycleSkipping forces the naive cycle-by-cycle Interleaver loop.
 	DisableCycleSkipping bool
+	// Progress, when non-nil, receives in-flight simulation progress from
+	// the Run stage (wired to soc.System.OnProgress on every system this
+	// session builds). It is called from the simulating goroutine at
+	// interleave boundaries; keep it cheap and do your own throttling.
+	Progress func(soc.ProgressUpdate)
 	// Cache shares pipeline artifacts across sessions; nil uses the
 	// process-wide DefaultCache.
 	Cache *Cache
@@ -170,7 +175,7 @@ func (s *Session) Compile(ctx context.Context) (*ir.Function, error) {
 	ctx = orBackground(ctx)
 	w := s.opts.Workload
 	k := kernelKey{Kernel: w.Name, SrcHash: KeyOf(w, 0, 0, SliceNone).SrcHash}
-	f, err := single(ctx, s.cache, s.cache.kernels, k, func() (*ir.Function, error) {
+	f, err := single(ctx, s.cache, &s.cache.kernels, k, func() (*ir.Function, error) {
 		f, err := w.Kernel()
 		if err != nil {
 			return nil, err
@@ -197,7 +202,7 @@ func (s *Session) Graph(ctx context.Context) (*ddg.Graph, error) {
 	}
 	w := s.opts.Workload
 	k := kernelKey{Kernel: w.Name, SrcHash: KeyOf(w, 0, 0, SliceNone).SrcHash}
-	g, err := single(ctx, s.cache, s.cache.graphs, k, func() (*ddg.Graph, error) {
+	g, err := single(ctx, s.cache, &s.cache.graphs, k, func() (*ddg.Graph, error) {
 		return ddg.Build(f), nil
 	})
 	if err != nil {
@@ -214,7 +219,7 @@ func (s *Session) slicesOf(ctx context.Context) (*sliced, error) {
 	}
 	w := s.opts.Workload
 	k := kernelKey{Kernel: w.Name, SrcHash: KeyOf(w, 0, 0, SliceNone).SrcHash}
-	sl, err := single(ctx, s.cache, s.cache.slices, k, func() (*sliced, error) {
+	sl, err := single(ctx, s.cache, &s.cache.slices, k, func() (*sliced, error) {
 		sls, err := dae.Slice(f)
 		if err != nil {
 			return nil, err
@@ -234,7 +239,7 @@ func (s *Session) Artifact(ctx context.Context) (*Artifact, error) {
 	if s.opts.Tiles <= 0 {
 		return nil, s.fail(StageTrace, fmt.Errorf("session has no tile count (set Options.Tiles or Options.Config)"))
 	}
-	art, err := single(ctx, s.cache, s.cache.arts, s.Key(), func() (*Artifact, error) {
+	art, err := single(ctx, s.cache, &s.cache.arts, s.Key(), func() (*Artifact, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -324,6 +329,7 @@ func (s *Session) BuildSystem(ctx context.Context) (*soc.System, error) {
 		return nil, s.fail(StageBuild, err)
 	}
 	sys.DisableCycleSkipping = s.opts.DisableCycleSkipping
+	sys.OnProgress = s.opts.Progress
 	s.mu.Lock()
 	s.sys = sys
 	s.ran = false

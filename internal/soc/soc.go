@@ -286,6 +286,21 @@ type System struct {
 	// DisableCycleSkipping forces the naive cycle-by-cycle loop (the
 	// equivalence-test reference and the -noskip flag).
 	DisableCycleSkipping bool
+	// OnProgress, when non-nil, is called from the simulating goroutine at
+	// interleave boundaries (every ctxCheckInterval loop iterations) with
+	// where the run stands. It exists for serving frontends that stream
+	// live progress; it must be cheap — the simulator does not throttle it
+	// beyond the interleave cadence — and it must not retain the update.
+	OnProgress func(ProgressUpdate)
+}
+
+// ProgressUpdate is a point-in-time snapshot of a running simulation handed
+// to System.OnProgress: the current cycle plus the stepped/skipped split
+// (stepped + skipped cycles account for every simulated cycle so far).
+type ProgressUpdate struct {
+	Cycle   int64
+	Stepped int64
+	Skipped int64
 }
 
 // accelEvent schedules the release of one outstanding accelerator
@@ -579,6 +594,9 @@ func (s *System) Run(ctx context.Context, limit int64) error {
 			ctxCountdown = ctxCheckInterval
 			if err := ctx.Err(); err != nil {
 				return s.cancelErr(ctx, err, cycle, effLimit)
+			}
+			if s.OnProgress != nil {
+				s.OnProgress(ProgressUpdate{Cycle: cycle, Stepped: s.SteppedCycles, Skipped: s.SkippedCycles})
 			}
 		}
 		s.releaseAccelsDue(cycle)

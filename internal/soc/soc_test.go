@@ -619,3 +619,40 @@ func TestCycleSkippingAccounting(t *testing.T) {
 		t.Errorf("cycle counts diverge: naive %d, skipping %d", naive.Cycles, skip.Cycles)
 	}
 }
+
+// TestOnProgressHook checks the in-flight progress callback: it fires during
+// a run of any real length, reports monotonically advancing positions, and
+// its stepped/skipped split never regresses.
+func TestOnProgressHook(t *testing.T) {
+	g, tr := traceSPMD(t, spmdVecAdd, 1, vecSetup(4096), nil)
+	sys, err := NewSPMD(&config.SystemConfig{
+		Name:  "progress",
+		Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: 1}},
+		Mem:   config.TableIIMem(),
+	}, g, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ups []ProgressUpdate
+	sys.OnProgress = func(u ProgressUpdate) { ups = append(ups, u) }
+	if err := sys.Run(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) == 0 {
+		t.Fatal("OnProgress never fired on a multi-thousand-cycle run")
+	}
+	prev := ProgressUpdate{Cycle: -1}
+	for i, u := range ups {
+		if u.Cycle < prev.Cycle {
+			t.Fatalf("update %d cycle %d regressed below %d", i, u.Cycle, prev.Cycle)
+		}
+		if u.Stepped < prev.Stepped || u.Skipped < prev.Skipped {
+			t.Fatalf("update %d stepped/skipped (%d/%d) regressed below %d/%d",
+				i, u.Stepped, u.Skipped, prev.Stepped, prev.Skipped)
+		}
+		if u.Cycle > sys.Cycles {
+			t.Fatalf("update %d cycle %d beyond final cycle count %d", i, u.Cycle, sys.Cycles)
+		}
+		prev = u
+	}
+}

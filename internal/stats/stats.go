@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -46,6 +47,30 @@ func SkipFraction(stepped, skipped int64) float64 {
 		return 0
 	}
 	return float64(skipped) / float64(total)
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs by linear
+// interpolation between closest ranks, the same estimate `numpy.percentile`
+// computes. xs need not be sorted; it is not modified. NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
 
 // Normalize divides each element by base, e.g. to express speedups relative

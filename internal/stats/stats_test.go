@@ -94,3 +94,28 @@ func TestTableFloatFormatting(t *testing.T) {
 		t.Errorf("NaN should render as '-':\n%s", out)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty input should be NaN")
+	}
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Errorf("p100 = %v, want 4", got)
+	}
+	if got := Percentile(xs, 50); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("p50 = %v, want 2.5", got)
+	}
+	if got := Percentile([]float64{1, 2, 3, 4, 5}, 95); math.Abs(got-4.8) > 1e-12 {
+		t.Errorf("p95 = %v, want 4.8", got)
+	}
+	if xs[0] != 4 {
+		t.Error("input slice was mutated")
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("singleton p50 = %v, want 7", got)
+	}
+}

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# smoke.sh — end-to-end smoke test of the mosaicd daemon.
+#
+# Usage:
+#   scripts/smoke.sh [port]
+#
+# Builds mosaicd, starts it on the given port (default 18374), then walks
+# the whole serving path with curl: wait for /healthz, submit a job, stream
+# its NDJSON events, poll status to done, assert the report came back,
+# scrape /metrics for the job and cache counters, and finally SIGTERM the
+# daemon and assert it drains cleanly (exit 0). Any failure exits non-zero.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${1:-18374}"
+BASE="http://127.0.0.1:${PORT}"
+BIN="$(mktemp -d)/mosaicd"
+LOG="$(mktemp)"
+
+DAEMON_PID=""
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -9 "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -f "$LOG"
+  rm -rf "$(dirname "$BIN")"
+}
+trap cleanup EXIT
+
+fail() { echo "smoke: FAIL: $*" >&2; echo "--- daemon log ---" >&2; cat "$LOG" >&2; exit 1; }
+
+echo "smoke: building mosaicd..."
+go build -o "$BIN" ./cmd/mosaicd
+
+echo "smoke: starting mosaicd on :${PORT}..."
+"$BIN" -addr "127.0.0.1:${PORT}" -workers 2 -queue 16 -cache-entries 64 >"$LOG" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for the daemon to come up.
+for i in $(seq 1 50); do
+  if curl -fsS "${BASE}/healthz" >/dev/null 2>&1; then break; fi
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during startup"
+  sleep 0.1
+done
+curl -fsS "${BASE}/healthz" | grep -q '"ok"' || fail "healthz never reported ok"
+echo "smoke: healthz ok"
+
+# Submit a job.
+SUBMIT="$(curl -fsS -X POST "${BASE}/v1/jobs" \
+  -H 'Content-Type: application/json' \
+  -d '{"workload":"sgemm","scale":"tiny","tiles":2}')" || fail "submit failed"
+JOB_ID="$(echo "$SUBMIT" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1)"
+[[ -n "$JOB_ID" ]] || fail "submit returned no job id: $SUBMIT"
+echo "smoke: submitted $JOB_ID"
+
+# Stream its events until the stream ends (the job went terminal). The
+# stream must contain the lifecycle edges and all three stages.
+EVENTS="$(curl -fsS --max-time 60 "${BASE}/v1/jobs/${JOB_ID}/events")" || fail "event stream failed"
+for want in '"queued"' '"running"' '"artifact"' '"run"' '"report"' '"done"'; do
+  echo "$EVENTS" | grep -q "$want" || fail "event stream missing $want: $EVENTS"
+done
+echo "smoke: event stream complete ($(echo "$EVENTS" | wc -l) events)"
+
+# The job must be done with a report attached.
+STATUS="$(curl -fsS "${BASE}/v1/jobs/${JOB_ID}")" || fail "status fetch failed"
+echo "$STATUS" | grep -q '"state": "done"' || fail "job not done: $STATUS"
+echo "$STATUS" | grep -q '"report"' || fail "done job has no report: $STATUS"
+echo "$STATUS" | grep -q '"Cycles"' || fail "report has no cycle count: $STATUS"
+echo "smoke: job done with report"
+
+# A second identical submission must dedup through the shared cache.
+SUBMIT2="$(curl -fsS -X POST "${BASE}/v1/jobs" \
+  -H 'Content-Type: application/json' \
+  -d '{"workload":"sgemm","scale":"tiny","tiles":2}')" || fail "second submit failed"
+JOB2="$(echo "$SUBMIT2" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1)"
+curl -fsS --max-time 60 "${BASE}/v1/jobs/${JOB2}/events" >/dev/null || fail "second event stream failed"
+
+# Bad submissions are rejected up front with a did-you-mean.
+BAD="$(curl -sS -X POST "${BASE}/v1/jobs" -d '{"workload":"sgem"}')"
+echo "$BAD" | grep -q 'did you mean' || fail "no did-you-mean for a typo'd workload: $BAD"
+
+# Scrape /metrics: jobs by state, queue depth, stage latencies, cache
+# counters must all be exposed, and the cache must show hits from the dedup.
+METRICS="$(curl -fsS "${BASE}/metrics")" || fail "metrics scrape failed"
+for want in \
+  'mosaicd_jobs_total{state="done"} 2' \
+  'mosaicd_jobs_submitted_total 2' \
+  'mosaicd_queue_depth' \
+  'mosaicd_jobs_inflight' \
+  'mosaicd_stage_seconds_count{stage="run"} 2' \
+  'mosaicd_cache_misses_total' \
+  'mosaicd_cache_evictions_total'; do
+  echo "$METRICS" | grep -qF "$want" || fail "metrics missing '$want':
+$METRICS"
+done
+HITS="$(echo "$METRICS" | sed -n 's/^mosaicd_cache_hits_total \([0-9]*\)$/\1/p')"
+[[ -n "$HITS" && "$HITS" -gt 0 ]] || fail "cache hits = '$HITS'; identical submissions did not dedup"
+echo "smoke: metrics ok (cache hits: $HITS)"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$DAEMON_PID"
+EXIT_CODE=0
+wait "$DAEMON_PID" || EXIT_CODE=$?
+[[ "$EXIT_CODE" -eq 0 ]] || fail "daemon exited $EXIT_CODE on SIGTERM"
+grep -q 'drained cleanly' "$LOG" || fail "daemon log missing clean-drain line"
+DAEMON_PID=""
+echo "smoke: clean shutdown"
+echo "smoke: PASS"
