@@ -10,6 +10,8 @@
 //	mosaicsim -list
 //	mosaicsim -workload sgemm -tiles 4 -core ooo
 //	mosaicsim -workload spmv -config sys.json -json
+//	mosaicsim -workload sgemm -topology configs/core-accel.json
+//	mosaicsim -workload projection -topology dae-pair
 //	mosaicsim -workload bfs,spmv,sgemm -tiles 8 -jobs 4
 //	mosaicsim -workload bfs -tiles 8 -coherence -mesh 4 -branch dynamic
 //	mosaicsim -workload lbm -tiles 8 -timeout 30s
@@ -65,6 +67,7 @@ func run() int {
 	branch := flag.String("branch", "", "override branch predictor: none, static, dynamic, perfect")
 	asJSON := flag.Bool("json", false, "emit the result as JSON instead of tables")
 	cfgPath := flag.String("config", "", "system configuration JSON (overrides -core/-mem/-tiles)")
+	topology := flag.String("topology", "", "declarative topology: a JSON file (see configs/) or a preset name (spmd-xeon, dae-pair, core-accel)")
 	saveCfg := flag.String("save-config", "", "write the effective system configuration to a JSON file and exit")
 	jobs := flag.Int("jobs", 0, "max concurrent workload simulations (0 = all CPU cores)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = none)")
@@ -123,7 +126,23 @@ func run() int {
 
 	configFor := func(w *workloads.Workload) (*config.SystemConfig, error) {
 		var sc *config.SystemConfig
-		if *cfgPath != "" {
+		if *topology != "" {
+			if *cfgPath != "" {
+				return nil, fmt.Errorf("-topology and -config are mutually exclusive")
+			}
+			var err error
+			if _, statErr := os.Stat(*topology); statErr == nil {
+				sc, err = config.Load(*topology)
+			} else {
+				sc, err = config.TopologyPreset(*topology)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if *branch != "" {
+				return nil, fmt.Errorf("-branch cannot override a declarative topology; set it per tile in the file")
+			}
+		} else if *cfgPath != "" {
 			var err error
 			sc, err = config.Load(*cfgPath)
 			if err != nil {
@@ -240,20 +259,21 @@ func runOne(ctx context.Context, w *workloads.Workload, configFor func(*workload
 	if err != nil {
 		return "", err
 	}
+	refClock, err := soc.ReferenceClockMHz(sc)
+	if err != nil {
+		return "", err
+	}
 	s, err := sim.NewSession(sim.Options{
 		Workload:             w,
 		Scale:                wScale,
 		Config:               sc,
-		Accels:               workloads.DefaultAccelModels(sc.Cores[0].Core.ClockMHz),
+		Accels:               workloads.DefaultAccelModels(refClock),
 		DisableCycleSkipping: noskip,
 	})
 	if err != nil {
 		return "", err
 	}
-	tiles := 0
-	for _, cs := range sc.Cores {
-		tiles += cs.Count
-	}
+	tiles := sc.TileCount()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "compiling and tracing %s (%d tiles, %s scale)...\n", w.Name, tiles, scale)
 	tr, err := s.Trace(ctx)
@@ -317,6 +337,16 @@ func printResult(out io.Writer, sys *soc.System) {
 		per.Row(i, s.Instrs, s.IPC(), s.Loads, s.Stores, s.Sends, s.Recvs, s.MAOStalls, s.CommStalls)
 	}
 	fmt.Fprintln(out, per.String())
+
+	// Heterogeneous systems get a per-kind rollup so core vs accelerator
+	// time is visible at a glance.
+	if bks := sys.TileBreakdown(); len(bks) > 1 {
+		kinds := stats.NewTable("per-kind", "kind", "tiles", "instrs", "active cycles", "stall cycles")
+		for _, b := range bks {
+			kinds.Row(b.Kind, b.Tiles, b.Instrs, b.ActiveCycles, b.StallCycles)
+		}
+		fmt.Fprintln(out, kinds.String())
+	}
 }
 
 // fatal reports err and returns the failure exit code for run to return, so

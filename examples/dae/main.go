@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 
@@ -26,12 +27,9 @@ func main() {
 	mem := config.TableIIMem()
 	ino := config.InOrderCore()
 	ooo := config.OutOfOrderCore()
-	// The DAE cores carry the DeSC structures, which extend the little
-	// core's run-ahead (same configuration the Fig. 11 experiment uses).
-	daeCore := ino
-	daeCore.DecoupledSupply = true
-	daeCore.WindowSize = 64
-	daeCore.LSQSize = 12
+	// The DAE tiles carry the DeSC structures, which extend the little
+	// core's run-ahead (same overrides the Fig. 11 experiment uses).
+	desc := json.RawMessage(config.DeSCOverrides)
 
 	// 1. Compiler pass: a DAE session's artifact carries the access and
 	// execute slices next to the pair trace.
@@ -51,12 +49,12 @@ func main() {
 	fmt.Printf("access slice: %d instructions; execute slice: %d instructions\n\n",
 		s.Access.NumInstrs(), s.Execute.NumInstrs())
 
-	// Homogeneous SPMD systems.
-	homo := func(core config.CoreConfig, n int) int64 {
+	// Homogeneous SPMD systems, declared by tile kind.
+	homo := func(kind string, n int) int64 {
 		sess, err := sim.NewSession(sim.Options{
 			Workload: w, Scale: workloads.Small,
 			Config: &config.SystemConfig{
-				Name: "homo", Cores: []config.CoreSpec{{Core: core, Count: n}}, Mem: mem,
+				Name: "homo", Tiles: []config.TileDef{{Kind: kind, Count: n}}, Mem: mem,
 			},
 		})
 		if err != nil {
@@ -69,15 +67,22 @@ func main() {
 		return res.Cycles
 	}
 
-	// DAE pair systems: even tiles access, odd tiles execute. The engine
-	// validates the sliced kernels' results during tracing, so a wrong
-	// transformation fails here rather than producing plausible timing.
+	// DAE pair systems: the access/execute roles on the tiles both select
+	// the slices each tile replays and switch the session into DAE slicing —
+	// no separate Slicing option. The engine validates the sliced kernels'
+	// results during tracing, so a wrong transformation fails here rather
+	// than producing plausible timing.
 	daeRun := func(pairs int) int64 {
+		var tiles []config.TileDef
+		for i := 0; i < pairs; i++ {
+			tiles = append(tiles,
+				config.TileDef{Kind: "inorder", Role: config.RoleAccess, Overrides: desc},
+				config.TileDef{Kind: "inorder", Role: config.RoleExecute, Overrides: desc},
+			)
+		}
 		sess, err := sim.NewSession(sim.Options{
-			Workload: w, Scale: workloads.Small, Slicing: sim.SliceDAE,
-			Config: &config.SystemConfig{
-				Name: "dae", Cores: []config.CoreSpec{{Core: daeCore, Count: 2 * pairs}}, Mem: mem,
-			},
+			Workload: w, Scale: workloads.Small,
+			Config: &config.SystemConfig{Name: "dae", Tiles: tiles, Mem: mem},
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -89,17 +94,17 @@ func main() {
 		return res.Cycles
 	}
 
-	base := homo(ino, 1)
+	base := homo("inorder", 1)
 	rows := []struct {
 		name   string
 		cycles int64
 		area   float64
 	}{
 		{"1 InO core", base, ino.AreaMM2},
-		{"1 OoO core", homo(ooo, 1), ooo.AreaMM2},
-		{"2 InO cores (homogeneous)", homo(ino, 2), 2 * ino.AreaMM2},
+		{"1 OoO core", homo("ooo", 1), ooo.AreaMM2},
+		{"2 InO cores (homogeneous)", homo("inorder", 2), 2 * ino.AreaMM2},
 		{"1 DAE pair (2 InO)", daeRun(1), 2 * ino.AreaMM2},
-		{"8 InO cores (homogeneous)", homo(ino, 8), 8 * ino.AreaMM2},
+		{"8 InO cores (homogeneous)", homo("inorder", 8), 8 * ino.AreaMM2},
 		{"4 DAE pairs (8 InO)", daeRun(4), 8 * ino.AreaMM2},
 	}
 	fmt.Printf("%-28s %12s %9s %8s\n", "system", "cycles", "speedup", "mm^2")

@@ -35,16 +35,17 @@ func main() {
 	fmt.Printf("SGEMM accelerator design point: PLM %d KB, %d MACs/cycle, %.0fk um^2, %.2f W\n\n",
 		dp.PLMBytes/1024, dp.Lanes, sgemmAcc.AreaUM2()/1000, sgemmAcc.PowerW)
 
+	// Each system is one declarative topology: a tile list by registered
+	// kind, composed against the same memory hierarchy.
 	systems := []struct {
 		name string
 		w    *workloads.Workload
-		core config.CoreConfig
-		n    int
+		tile config.TileDef
 	}{
-		{"1x in-order", sw, config.InOrderCore(), 1},
-		{"4x in-order", sw, config.InOrderCore(), 4},
-		{"1x out-of-order", sw, config.OutOfOrderCore(), 1},
-		{"accelerator SoC", hw, config.InOrderCore(), 1},
+		{"1x in-order", sw, config.TileDef{Kind: "inorder"}},
+		{"4x in-order", sw, config.TileDef{Kind: "inorder", Count: 4}},
+		{"1x out-of-order", sw, config.TileDef{Kind: "ooo"}},
+		{"accelerator SoC", hw, config.TileDef{Kind: "inorder"}},
 	}
 
 	ctx := context.Background()
@@ -55,7 +56,7 @@ func main() {
 			Scale:    workloads.Small,
 			Config: &config.SystemConfig{
 				Name:  s.name,
-				Cores: []config.CoreSpec{{Core: s.core, Count: s.n}},
+				Tiles: []config.TileDef{s.tile},
 				Mem:   config.TableIIMem(),
 			},
 			Accels: models,

@@ -208,10 +208,14 @@ type NoCConfig struct {
 	HopCycles int64 `json:"hop_cycles"`
 }
 
-// SystemConfig describes a whole simulated SoC.
+// SystemConfig describes a whole simulated SoC. Tiles are declared either
+// through Cores (the legacy homogeneous form: full inline core configs) or
+// through Tiles (the declarative form: preset kinds with overrides, roles,
+// and NoC placement); exactly one of the two must be set.
 type SystemConfig struct {
 	Name  string     `json:"name"`
-	Cores []CoreSpec `json:"cores"`
+	Cores []CoreSpec `json:"cores,omitempty"`
+	Tiles []TileDef  `json:"tiles,omitempty"`
 	Mem   MemConfig  `json:"mem"`
 	NoC   *NoCConfig `json:"noc,omitempty"`
 }
@@ -220,6 +224,62 @@ type SystemConfig struct {
 type CoreSpec struct {
 	Core  CoreConfig `json:"core"`
 	Count int        `json:"count"`
+}
+
+// Tile roles. A role binds a tile to one of the kernel artifacts the
+// topology is simulated against: RoleSPMD tiles replay the whole kernel,
+// RoleAccess/RoleExecute tiles replay the DAE slices (§VII-A). Access and
+// execute tiles must alternate access-first — tile 2i pairs with tile 2i+1,
+// which is the pairing the DAE slicer's tile_id()/2 rewriting assumes.
+const (
+	RoleSPMD    = "spmd"
+	RoleAccess  = "access"
+	RoleExecute = "execute"
+)
+
+// TileDef declares Count tiles of one kind in a heterogeneous topology.
+type TileDef struct {
+	// Kind names a registered tile preset ("ooo", "inorder", "xeon",
+	// "accel", ...); the registry lives in internal/soc. Ignored when Core
+	// is set.
+	Kind string `json:"kind,omitempty"`
+	// Count instantiates that many identical tiles (0 means 1).
+	Count int `json:"count,omitempty"`
+	// Role selects the kernel artifact the tile replays; empty means
+	// RoleSPMD.
+	Role string `json:"role,omitempty"`
+	// ClockMHz overrides the preset's clock.
+	ClockMHz int `json:"clock_mhz,omitempty"`
+	// MeshSlot pins the tile to a fixed slot on the NoC mesh (row-major).
+	// Requires Count <= 1; when any tile pins a slot, all must.
+	MeshSlot *int `json:"mesh_slot,omitempty"`
+	// Overrides is a partial CoreConfig JSON object merged field-by-field
+	// onto the preset (e.g. {"issue_width": 2, "max_live_dbb": 4}).
+	Overrides json.RawMessage `json:"overrides,omitempty"`
+	// Core is a complete explicit core configuration, bypassing Kind and
+	// Overrides.
+	Core *CoreConfig `json:"core,omitempty"`
+}
+
+// TileCount is the number of tiles the config instantiates, over either
+// declaration form.
+func (sc *SystemConfig) TileCount() int {
+	n := 0
+	for _, cs := range sc.Cores {
+		n += cs.Count
+	}
+	for _, td := range sc.Tiles {
+		n += td.count()
+	}
+	return n
+}
+
+// count is the effective tile count of one TileDef.
+func (td *TileDef) count() int {
+	if td.Count == 0 {
+		return 1
+	}
+	return td.Count
 }
 
 // Load reads a SystemConfig from a JSON file.
@@ -244,10 +304,15 @@ func (sc *SystemConfig) Save(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// Validate checks a configuration for structural errors.
+// Validate checks a configuration for structural errors. Tile-kind names
+// are resolved later, by the tile registry in internal/soc, which owns the
+// set of registered kinds.
 func (sc *SystemConfig) Validate() error {
-	if len(sc.Cores) == 0 {
-		return fmt.Errorf("config %q: no cores", sc.Name)
+	if len(sc.Cores) == 0 && len(sc.Tiles) == 0 {
+		return fmt.Errorf("config %q: no cores or tiles", sc.Name)
+	}
+	if len(sc.Cores) > 0 && len(sc.Tiles) > 0 {
+		return fmt.Errorf("config %q: declare tiles through either cores or tiles, not both", sc.Name)
 	}
 	for _, cs := range sc.Cores {
 		if cs.Count <= 0 {
@@ -256,6 +321,9 @@ func (sc *SystemConfig) Validate() error {
 		if cs.Core.IssueWidth <= 0 || cs.Core.WindowSize <= 0 || cs.Core.LSQSize <= 0 {
 			return fmt.Errorf("config %q: core %q needs positive issue width, window, and LSQ", sc.Name, cs.Core.Name)
 		}
+	}
+	if err := sc.validateTiles(); err != nil {
+		return err
 	}
 	for _, cc := range []*CacheConfig{&sc.Mem.L1, sc.Mem.L2, sc.Mem.LLC} {
 		if cc == nil {
@@ -272,5 +340,128 @@ func (sc *SystemConfig) Validate() error {
 	if sc.Mem.DRAM.Model == "" {
 		return fmt.Errorf("config %q: DRAM model unset", sc.Name)
 	}
+	return sc.validateNoC()
+}
+
+// validateTiles checks the declarative tile list: counts, roles, clocks,
+// explicit core configs, the DAE pairing constraint, and mesh-slot shape.
+func (sc *SystemConfig) validateTiles() error {
+	var roles []string
+	pinned, unpinned := 0, 0
+	for i, td := range sc.Tiles {
+		if td.Count < 0 {
+			return fmt.Errorf("config %q: tile %d: negative count %d", sc.Name, i, td.Count)
+		}
+		if td.Kind == "" && td.Core == nil {
+			return fmt.Errorf("config %q: tile %d: needs a kind or an explicit core config", sc.Name, i)
+		}
+		if td.ClockMHz < 0 {
+			return fmt.Errorf("config %q: tile %d (%s): negative clock %d MHz", sc.Name, i, td.label(), td.ClockMHz)
+		}
+		switch td.Role {
+		case "", RoleSPMD, RoleAccess, RoleExecute:
+		default:
+			return fmt.Errorf("config %q: tile %d (%s): unknown role %q (want %s, %s, or %s)",
+				sc.Name, i, td.label(), td.Role, RoleSPMD, RoleAccess, RoleExecute)
+		}
+		if td.Core != nil {
+			if td.Core.IssueWidth <= 0 || td.Core.WindowSize <= 0 || td.Core.LSQSize <= 0 {
+				return fmt.Errorf("config %q: tile %d (%s): explicit core needs positive issue width, window, and LSQ", sc.Name, i, td.label())
+			}
+		}
+		if td.MeshSlot != nil {
+			if td.count() > 1 {
+				return fmt.Errorf("config %q: tile %d (%s): mesh_slot requires count 1, got %d", sc.Name, i, td.label(), td.count())
+			}
+			pinned++
+		} else {
+			unpinned += td.count()
+		}
+		for k := 0; k < td.count(); k++ {
+			roles = append(roles, td.Role)
+		}
+	}
+	if pinned > 0 && unpinned > 0 {
+		return fmt.Errorf("config %q: either every tile pins a mesh_slot or none does (%d pinned, %d not)", sc.Name, pinned, unpinned)
+	}
+	if pinned > 0 && sc.NoC == nil {
+		return fmt.Errorf("config %q: mesh_slot set but no NoC configured", sc.Name)
+	}
+	return validateRoles(sc.Name, roles)
+}
+
+// validateRoles enforces the DAE pairing constraint: once any tile takes an
+// access or execute role, the whole topology must be alternating
+// access/execute pairs, because the slicer's tile_id()/2 rewriting pairs
+// tile 2i with tile 2i+1.
+func validateRoles(name string, roles []string) error {
+	dae := false
+	for _, r := range roles {
+		if r == RoleAccess || r == RoleExecute {
+			dae = true
+			break
+		}
+	}
+	if !dae {
+		return nil
+	}
+	if len(roles)%2 != 0 {
+		return fmt.Errorf("config %q: access/execute tiles must form pairs, got %d tiles", name, len(roles))
+	}
+	for i, r := range roles {
+		want := RoleAccess
+		if i%2 == 1 {
+			want = RoleExecute
+		}
+		if r != want {
+			return fmt.Errorf("config %q: tile %d must have role %q (access/execute tiles alternate, access first), got %q", name, i, want, r)
+		}
+	}
 	return nil
+}
+
+// validateNoC rejects mesh geometries that cannot place every tile: before
+// this check, an undersized MeshWidth silently computed off-grid coordinates
+// in Fabric.transferLatency and charged nonsense hop counts.
+func (sc *SystemConfig) validateNoC() error {
+	if sc.NoC == nil {
+		return nil
+	}
+	w := sc.NoC.MeshWidth
+	if w <= 0 {
+		return fmt.Errorf("config %q: NoC mesh width must be positive, got %d", sc.Name, w)
+	}
+	if sc.NoC.HopCycles < 0 {
+		return fmt.Errorf("config %q: NoC hop latency must be non-negative, got %d", sc.Name, sc.NoC.HopCycles)
+	}
+	n := sc.TileCount()
+	if w*w < n {
+		return fmt.Errorf("config %q: a %dx%d mesh has %d slots but the system has %d tiles", sc.Name, w, w, w*w, n)
+	}
+	slots := map[int]bool{}
+	for i, td := range sc.Tiles {
+		if td.MeshSlot == nil {
+			continue
+		}
+		s := *td.MeshSlot
+		if s < 0 || s >= w*w {
+			return fmt.Errorf("config %q: tile %d (%s): mesh_slot %d outside the %dx%d mesh", sc.Name, i, td.label(), s, w, w)
+		}
+		if slots[s] {
+			return fmt.Errorf("config %q: mesh_slot %d pinned twice", sc.Name, s)
+		}
+		slots[s] = true
+	}
+	return nil
+}
+
+// label names a tile def for error messages.
+func (td *TileDef) label() string {
+	if td.Core != nil && td.Core.Name != "" {
+		return td.Core.Name
+	}
+	if td.Kind != "" {
+		return td.Kind
+	}
+	return "?"
 }

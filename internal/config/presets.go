@@ -1,5 +1,13 @@
 package config
 
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"mosaicsim/internal/stats"
+)
+
 // Presets reproducing the paper's configurations.
 
 // OutOfOrderCore returns the Table II out-of-order core: 4-wide, 128-entry
@@ -126,6 +134,72 @@ func XeonSystem(n int) *SystemConfig {
 		Cores: []CoreSpec{{Core: XeonLikeCore(), Count: n}},
 		Mem:   TableIMem(),
 	}
+}
+
+// DeSCOverrides is the partial core config that turns the in-order tile
+// into a DAE (DeSC-style) core: decoupled supply structures plus the
+// extended run-ahead window of the Fig. 11 study (§VII-A).
+const DeSCOverrides = `{"decoupled_supply": true, "window_size": 64, "lsq_size": 12}`
+
+// topologyPresets are the named declarative topologies mosaicd and the CLI
+// accept. Each returns a fresh SystemConfig, so callers may mutate.
+var topologyPresets = map[string]func() *SystemConfig{
+	// spmd-xeon: the Table I accuracy-study machine, four Xeon-like cores
+	// over the Xeon memory hierarchy.
+	"spmd-xeon": func() *SystemConfig {
+		return &SystemConfig{
+			Name:  "spmd-xeon",
+			Tiles: []TileDef{{Kind: "xeon", Count: 4}},
+			Mem:   TableIMem(),
+		}
+	},
+	// dae-pair: one decoupled access/execute pair of DeSC in-order cores
+	// over the Table II memory system (§VII-A).
+	"dae-pair": func() *SystemConfig {
+		return &SystemConfig{
+			Name: "dae-pair",
+			Tiles: []TileDef{
+				{Kind: "inorder", Role: RoleAccess, Overrides: json.RawMessage(DeSCOverrides)},
+				{Kind: "inorder", Role: RoleExecute, Overrides: json.RawMessage(DeSCOverrides)},
+			},
+			Mem: TableIIMem(),
+		}
+	},
+	// core-accel: a heterogeneous SoC — an out-of-order host core next to a
+	// pre-RTL accelerator tile at a slower clock (§III-A, §VII-B).
+	"core-accel": func() *SystemConfig {
+		return &SystemConfig{
+			Name: "core-accel",
+			Tiles: []TileDef{
+				{Kind: "ooo"},
+				{Kind: "accel-tile", ClockMHz: 1000},
+			},
+			Mem: TableIIMem(),
+		}
+	},
+}
+
+// TopologyPresets lists the named topology presets, sorted.
+func TopologyPresets() []string {
+	out := make([]string, 0, len(topologyPresets))
+	for k := range topologyPresets {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TopologyPreset returns a fresh copy of a named topology, or an error with
+// a did-you-mean suggestion.
+func TopologyPreset(name string) (*SystemConfig, error) {
+	if f, ok := topologyPresets[name]; ok {
+		return f(), nil
+	}
+	names := TopologyPresets()
+	if s := stats.Closest(name, names); s != "" {
+		return nil, fmt.Errorf("config: unknown topology preset %q (did you mean %q?)", name, s)
+	}
+	return nil, fmt.Errorf("config: unknown topology preset %q (available: %v)", name, names)
 }
 
 // EnergyPerClassPJ is the per-instruction-class dynamic energy in picojoules

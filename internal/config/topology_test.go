@@ -1,0 +1,166 @@
+package config
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTopologyRoundTrip checks Save → Load is lossless for every named
+// topology preset: the reloaded config validates and marshals to the same
+// bytes as the original.
+func TestTopologyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range TopologyPresets() {
+		sc, err := TopologyPreset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("preset %s does not validate: %v", name, err)
+		}
+		path := filepath.Join(dir, name+".json")
+		if err := sc.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("reloaded %s does not validate: %v", name, err)
+		}
+		want, _ := json.Marshal(sc)
+		have, _ := json.Marshal(got)
+		if string(want) != string(have) {
+			t.Errorf("%s round-trip lost information:\nbefore: %s\n after: %s", name, want, have)
+		}
+	}
+}
+
+func TestTopologyPresetDidYouMean(t *testing.T) {
+	if _, err := TopologyPreset("dae-par"); err == nil ||
+		!strings.Contains(err.Error(), `did you mean "dae-pair"`) {
+		t.Errorf("want did-you-mean for preset, got %v", err)
+	}
+}
+
+// TestTileDefValidation walks the declarative form's rejection paths: every
+// malformed topology must fail Validate with a message naming the problem.
+func TestTileDefValidation(t *testing.T) {
+	mem := TableIIMem()
+	slot := func(s int) *int { return &s }
+	cases := []struct {
+		name string
+		sc   SystemConfig
+		want string
+	}{
+		{"empty", SystemConfig{Name: "x", Mem: mem}, "no cores or tiles"},
+		{"both forms", SystemConfig{Name: "x", Mem: mem,
+			Cores: []CoreSpec{{Core: InOrderCore(), Count: 1}},
+			Tiles: []TileDef{{Kind: "ooo"}}}, "not both"},
+		{"negative count", SystemConfig{Name: "x", Mem: mem,
+			Tiles: []TileDef{{Kind: "ooo", Count: -2}}}, "negative count"},
+		{"kindless", SystemConfig{Name: "x", Mem: mem,
+			Tiles: []TileDef{{}}}, "needs a kind"},
+		{"negative clock", SystemConfig{Name: "x", Mem: mem,
+			Tiles: []TileDef{{Kind: "ooo", ClockMHz: -1}}}, "negative clock"},
+		{"bad role", SystemConfig{Name: "x", Mem: mem,
+			Tiles: []TileDef{{Kind: "ooo", Role: "acess"}}}, "unknown role"},
+		{"unpaired dae", SystemConfig{Name: "x", Mem: mem,
+			Tiles: []TileDef{{Kind: "inorder", Role: RoleAccess}}}, "must form pairs"},
+		{"execute first", SystemConfig{Name: "x", Mem: mem,
+			Tiles: []TileDef{
+				{Kind: "inorder", Role: RoleExecute},
+				{Kind: "inorder", Role: RoleAccess}}}, "alternate"},
+		{"slot multi-count", SystemConfig{Name: "x", Mem: mem,
+			Tiles: []TileDef{{Kind: "ooo", Count: 2, MeshSlot: slot(0)}},
+			NoC:   &NoCConfig{MeshWidth: 2, HopCycles: 1}}, "requires count 1"},
+		{"slot without noc", SystemConfig{Name: "x", Mem: mem,
+			Tiles: []TileDef{{Kind: "ooo", MeshSlot: slot(0)}}}, "no NoC"},
+		{"partial pinning", SystemConfig{Name: "x", Mem: mem,
+			Tiles: []TileDef{{Kind: "ooo", MeshSlot: slot(0)}, {Kind: "ooo"}},
+			NoC:   &NoCConfig{MeshWidth: 2, HopCycles: 1}}, "every tile pins"},
+		{"undersized mesh", SystemConfig{Name: "x", Mem: mem,
+			Tiles: []TileDef{{Kind: "ooo", Count: 5}},
+			NoC:   &NoCConfig{MeshWidth: 2, HopCycles: 1}}, "4 slots but the system has 5 tiles"},
+		{"off-grid slot", SystemConfig{Name: "x", Mem: mem,
+			Tiles: []TileDef{{Kind: "ooo", MeshSlot: slot(4)}},
+			NoC:   &NoCConfig{MeshWidth: 2, HopCycles: 1}}, "outside"},
+		{"duplicate slot", SystemConfig{Name: "x", Mem: mem,
+			Tiles: []TileDef{{Kind: "ooo", MeshSlot: slot(1)}, {Kind: "ooo", MeshSlot: slot(1)}},
+			NoC:   &NoCConfig{MeshWidth: 2, HopCycles: 1}}, "pinned twice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sc.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLegacyMeshStillValidated keeps the geometry check on the legacy Cores
+// form too: an undersized mesh is an error regardless of declaration style.
+func TestLegacyMeshStillValidated(t *testing.T) {
+	sc := SystemConfig{
+		Name:  "legacy",
+		Cores: []CoreSpec{{Core: OutOfOrderCore(), Count: 5}},
+		Mem:   TableIIMem(),
+		NoC:   &NoCConfig{MeshWidth: 2, HopCycles: 4},
+	}
+	if err := sc.Validate(); err == nil {
+		t.Error("legacy Cores config with undersized mesh validated")
+	}
+}
+
+// FuzzTopologyLoad drives the topology loader with arbitrary JSON: Load must
+// never panic, and anything that loads and validates must survive a
+// Save → Load → marshal round trip unchanged.
+func FuzzTopologyLoad(f *testing.F) {
+	for _, name := range TopologyPresets() {
+		sc, err := TopologyPreset(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		b, err := json.Marshal(sc)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{"name":"x","tiles":[{"kind":"oo"}]}`))
+	f.Add([]byte(`{"name":"x","tiles":[{"kind":"ooo","mesh_slot":9}]}`))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(`{"name":"x","cores":[{"count":-1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "in.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		sc, err := Load(path)
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		if err := sc.Validate(); err != nil {
+			return
+		}
+		out := filepath.Join(dir, "out.json")
+		if err := sc.Save(out); err != nil {
+			t.Fatalf("valid config failed to save: %v", err)
+		}
+		back, err := Load(out)
+		if err != nil {
+			t.Fatalf("saved config failed to reload: %v", err)
+		}
+		want, _ := json.Marshal(sc)
+		have, _ := json.Marshal(back)
+		if string(want) != string(have) {
+			t.Errorf("round trip not stable:\nbefore: %s\n after: %s", want, have)
+		}
+	})
+}

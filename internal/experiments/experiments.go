@@ -94,11 +94,12 @@ func (r *Runner) legs(ctx context.Context, fns []func(context.Context) (int64, e
 	return out, err
 }
 
-// system builds a homogeneous Table II style system config.
+// system builds a homogeneous Table II style system config as a declarative
+// one-entry tile list.
 func system(name string, core config.CoreConfig, count int, mem config.MemConfig) *config.SystemConfig {
 	return &config.SystemConfig{
 		Name:  name,
-		Cores: []config.CoreSpec{{Core: core, Count: count}},
+		Tiles: []config.TileDef{{Core: &core, Count: count}},
 		Mem:   mem,
 	}
 }
@@ -127,10 +128,18 @@ func (r *Runner) daeCycles(ctx context.Context, w *workloads.Workload, pairs int
 	ino.DecoupledSupply = true
 	ino.WindowSize = 64
 	ino.LSQSize = 12
+	// The access/execute roles on the tile list both pick which slice each
+	// tile replays and switch the session into DAE slicing.
+	tiles := make([]config.TileDef, 0, 2*pairs)
+	for i := 0; i < pairs; i++ {
+		tiles = append(tiles,
+			config.TileDef{Core: &ino, Role: config.RoleAccess},
+			config.TileDef{Core: &ino, Role: config.RoleExecute},
+		)
+	}
 	s, err := r.session(w, sim.Options{
-		Slicing: sim.SliceDAE,
-		Config:  system(w.Name+"-dae", ino, 2*pairs, mem),
-		Accels:  accels,
+		Config: &config.SystemConfig{Name: w.Name + "-dae", Tiles: tiles, Mem: mem},
+		Accels: accels,
 	})
 	if err != nil {
 		return 0, err

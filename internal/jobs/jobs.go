@@ -232,6 +232,9 @@ type Manager struct {
 	mQueueDepth *metrics.Gauge
 	mInflight   *metrics.Gauge
 	mStage      map[string]*metrics.Histogram
+	mTileActive map[string]*metrics.Counter
+	mTileStall  map[string]*metrics.Counter
+	mTileInstrs map[string]*metrics.Counter
 }
 
 // runStages names the instrumented pipeline stages, in order: artifact
@@ -282,6 +285,19 @@ func NewManager(opts Options) *Manager {
 	m.mStage = map[string]*metrics.Histogram{}
 	for _, stage := range runStages {
 		m.mStage[stage] = reg.Histogram("mosaicd_stage_seconds", "Pipeline stage latency.", metrics.Labels{"stage": stage}, nil)
+	}
+	// Per-tile-kind simulated-time breakdowns. The registry rejects lazy
+	// duplicate registration, so every kind the tile registry can produce is
+	// registered up front; kinds registered after startup (custom tile
+	// factories) fold into "other".
+	m.mTileActive = map[string]*metrics.Counter{}
+	m.mTileStall = map[string]*metrics.Counter{}
+	m.mTileInstrs = map[string]*metrics.Counter{}
+	for _, kind := range append(soc.TileKinds(), "accel", "other") {
+		l := metrics.Labels{"kind": kind}
+		m.mTileActive[kind] = reg.Counter("mosaicd_tile_active_cycles_total", "Simulated active cycles by tile kind, summed over finished jobs.", l)
+		m.mTileStall[kind] = reg.Counter("mosaicd_tile_stall_cycles_total", "Simulated stall cycles by tile kind, summed over finished jobs.", l)
+		m.mTileInstrs[kind] = reg.Counter("mosaicd_tile_instrs_total", "Committed instructions by tile kind, summed over finished jobs.", l)
 	}
 	reg.CounterFunc("mosaicd_cache_hits_total", "Artifact-cache lookups served from cache (singleflight joins included).", nil,
 		func() int64 { return m.cache.Counters().Hits })
@@ -532,6 +548,7 @@ func (m *Manager) simRun(ctx context.Context, j *Job) (json.RawMessage, error) {
 	d = time.Since(t0).Seconds()
 	m.mStage["run"].Observe(d)
 	sys := s.System()
+	m.observeTiles(sys.TileBreakdown())
 	j.emit(Event{Type: "stage", Stage: "run", Seconds: d,
 		Cycle: res.Cycles, Stepped: sys.SteppedCycles, Skipped: sys.SkippedCycles})
 
@@ -544,6 +561,20 @@ func (m *Manager) simRun(ctx context.Context, j *Job) (json.RawMessage, error) {
 	m.mStage["report"].Observe(d)
 	j.emit(Event{Type: "stage", Stage: "report", Seconds: d})
 	return report, nil
+}
+
+// observeTiles folds one finished run's per-kind breakdown into the tile
+// metrics. Kinds outside the startup registration set land in "other".
+func (m *Manager) observeTiles(bs []soc.KindBreakdown) {
+	for _, b := range bs {
+		k := b.Kind
+		if _, ok := m.mTileActive[k]; !ok {
+			k = "other"
+		}
+		m.mTileActive[k].Add(b.ActiveCycles)
+		m.mTileStall[k].Add(b.StallCycles)
+		m.mTileInstrs[k].Add(b.Instrs)
+	}
 }
 
 // Shutdown drains the manager: admission closes immediately

@@ -6,6 +6,7 @@ import (
 
 	"mosaicsim/internal/config"
 	"mosaicsim/internal/sim"
+	"mosaicsim/internal/soc"
 	"mosaicsim/internal/stats"
 	"mosaicsim/internal/workloads"
 )
@@ -28,6 +29,13 @@ type Spec struct {
 	Mem string `json:"mem,omitempty"`
 	// Slicing maps the kernel onto tiles: spmd or dae (default spmd).
 	Slicing string `json:"slicing,omitempty"`
+	// Topology is an inline declarative system description (heterogeneous
+	// tile list, memory, NoC). It replaces Core/Mem/Tiles; setting both is
+	// an error. Access/execute roles in the topology select DAE slicing.
+	Topology *config.SystemConfig `json:"topology,omitempty"`
+	// Preset names a built-in topology (see config.TopologyPresets):
+	// spmd-xeon, dae-pair, core-accel. Mutually exclusive with Topology.
+	Preset string `json:"preset,omitempty"`
 	// Limit bounds the simulated cycles (0 = the engine default).
 	Limit int64 `json:"limit,omitempty"`
 	// NoSkip disables event-horizon cycle skipping.
@@ -64,39 +72,60 @@ func (s Spec) Normalize() (Spec, error) {
 	default:
 		return s, suggest("scale", s.Scale, []string{"tiny", "small", "large"})
 	}
-	if s.Tiles == 0 {
-		s.Tiles = 1
-	}
-	if s.Tiles < 0 {
-		return s, fmt.Errorf("jobs: negative tile count %d", s.Tiles)
-	}
-	if s.Core == "" {
-		s.Core = "ooo"
-	}
-	switch s.Core {
-	case "ooo", "inorder", "xeon":
-	default:
-		return s, suggest("core", s.Core, []string{"ooo", "inorder", "xeon"})
-	}
-	if s.Mem == "" {
-		s.Mem = "tab2"
-	}
-	switch s.Mem {
-	case "tab1", "tab2":
-	default:
-		return s, suggest("mem", s.Mem, []string{"tab1", "tab2"})
-	}
-	if s.Slicing == "" {
-		s.Slicing = "spmd"
-	}
-	switch s.Slicing {
-	case "spmd":
-	case "dae":
-		if s.Tiles%2 != 0 {
-			return s, fmt.Errorf("jobs: dae slicing needs an even tile count (access/execute pairs), got %d", s.Tiles)
+	if s.Topology != nil || s.Preset != "" {
+		if s.Topology != nil && s.Preset != "" {
+			return s, fmt.Errorf("jobs: topology and preset are mutually exclusive")
 		}
-	default:
-		return s, suggest("slicing", s.Slicing, []string{"spmd", "dae"})
+		if s.Tiles != 0 || s.Core != "" || s.Mem != "" || s.Slicing != "" {
+			return s, fmt.Errorf("jobs: tiles/core/mem/slicing are implied by the topology; drop them")
+		}
+		sc, err := s.topology()
+		if err != nil {
+			return s, fmt.Errorf("jobs: %w", err)
+		}
+		if err := sc.Validate(); err != nil {
+			return s, fmt.Errorf("jobs: %w", err)
+		}
+		// Resolve tile kinds now so an unknown kind is rejected at
+		// admission with a did-you-mean, not after queuing.
+		if _, err := soc.ExpandTiles(sc); err != nil {
+			return s, fmt.Errorf("jobs: %w", err)
+		}
+	} else {
+		if s.Tiles == 0 {
+			s.Tiles = 1
+		}
+		if s.Tiles < 0 {
+			return s, fmt.Errorf("jobs: negative tile count %d", s.Tiles)
+		}
+		if s.Core == "" {
+			s.Core = "ooo"
+		}
+		switch s.Core {
+		case "ooo", "inorder", "xeon":
+		default:
+			return s, suggest("core", s.Core, []string{"ooo", "inorder", "xeon"})
+		}
+		if s.Mem == "" {
+			s.Mem = "tab2"
+		}
+		switch s.Mem {
+		case "tab1", "tab2":
+		default:
+			return s, suggest("mem", s.Mem, []string{"tab1", "tab2"})
+		}
+		if s.Slicing == "" {
+			s.Slicing = "spmd"
+		}
+		switch s.Slicing {
+		case "spmd":
+		case "dae":
+			if s.Tiles%2 != 0 {
+				return s, fmt.Errorf("jobs: dae slicing needs an even tile count (access/execute pairs), got %d", s.Tiles)
+			}
+		default:
+			return s, suggest("slicing", s.Slicing, []string{"spmd", "dae"})
+		}
 	}
 	if s.Limit < 0 {
 		return s, fmt.Errorf("jobs: negative cycle limit %d", s.Limit)
@@ -123,6 +152,19 @@ func (s Spec) timeout() time.Duration {
 	return d
 }
 
+// topology resolves the spec's declarative system description: the inline
+// Topology if present, else the named Preset. It returns nil when the spec
+// uses the flat Tiles/Core/Mem form.
+func (s Spec) topology() (*config.SystemConfig, error) {
+	if s.Topology != nil {
+		return s.Topology, nil
+	}
+	if s.Preset != "" {
+		return config.TopologyPreset(s.Preset)
+	}
+	return nil, nil
+}
+
 // scale maps the normalized scale name onto the workloads enum.
 func (s Spec) scale() workloads.Scale {
 	switch s.Scale {
@@ -143,6 +185,27 @@ func (s Spec) SessionOptions(cache *sim.Cache) (sim.Options, error) {
 	w, err := workloads.Resolve(s.Workload)
 	if err != nil {
 		return sim.Options{}, err
+	}
+	if sc, err := s.topology(); err != nil {
+		return sim.Options{}, err
+	} else if sc != nil {
+		if err := sc.Validate(); err != nil {
+			return sim.Options{}, err
+		}
+		refClock, err := soc.ReferenceClockMHz(sc)
+		if err != nil {
+			return sim.Options{}, err
+		}
+		// Slicing is inferred by the session from the topology's roles.
+		return sim.Options{
+			Workload:             w,
+			Scale:                s.scale(),
+			Config:               sc,
+			Accels:               workloads.DefaultAccelModels(refClock),
+			Limit:                s.Limit,
+			DisableCycleSkipping: s.NoSkip,
+			Cache:                cache,
+		}, nil
 	}
 	var core config.CoreConfig
 	switch s.Core {

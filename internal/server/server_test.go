@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"mosaicsim/internal/config"
 	"mosaicsim/internal/jobs"
 	"mosaicsim/internal/sim"
 )
@@ -134,6 +135,82 @@ func TestGoldenReportMatchesSessionPath(t *testing.T) {
 	}
 	if got.String() != string(want) {
 		t.Errorf("HTTP report diverges from Session path:\n http: %s\n  sim: %s", got.String(), want)
+	}
+}
+
+// TestGoldenHeterogeneousTopology submits a heterogeneous core+accel
+// topology through mosaicd — once by preset name and once as the inline
+// declarative form — and checks both reports are byte-identical to a direct
+// sim.Session run over the same topology. It also checks the per-tile-kind
+// metrics distinguish core time from accelerator-tile time after the run.
+func TestGoldenHeterogeneousTopology(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Options{Workers: 2, QueueDepth: 8})
+
+	byPreset := jobs.Spec{Workload: "sgemm", Scale: "tiny", Preset: "core-accel"}
+	inline, err := config.TopologyPreset("core-accel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byInline := jobs.Spec{Workload: "sgemm", Scale: "tiny", Topology: inline}
+
+	var reports [][]byte
+	for _, spec := range []jobs.Spec{byPreset, byInline} {
+		st, resp := postJob(t, ts, spec)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("submit: %s", resp.Status)
+		}
+		final := waitDone(t, ts, st.ID, 60*time.Second)
+		if final.State != jobs.StateDone {
+			t.Fatalf("state = %s (%s), want done", final.State, final.Error)
+		}
+		var got bytes.Buffer
+		if err := json.Compact(&got, final.Report); err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, got.Bytes())
+	}
+	if !bytes.Equal(reports[0], reports[1]) {
+		t.Errorf("preset and inline topology reports diverge:\npreset: %s\ninline: %s", reports[0], reports[1])
+	}
+
+	// The Session path: same topology, fresh private cache, direct engine run.
+	norm, err := byPreset.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := norm.SessionOptions(sim.NewCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reports[0], want) {
+		t.Errorf("HTTP report diverges from Session path:\n http: %s\n  sim: %s", reports[0], want)
+	}
+
+	text := scrapeMetrics(t, ts)
+	for _, kind := range []string{"ooo", "accel-tile"} {
+		line := fmt.Sprintf(`mosaicd_tile_active_cycles_total{kind=%q}`, kind)
+		found := false
+		for _, l := range strings.Split(text, "\n") {
+			var v float64
+			if _, err := fmt.Sscanf(strings.TrimPrefix(l, line+" "), "%f", &v); strings.HasPrefix(l, line+" ") && err == nil && v > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("metrics missing nonzero %s:\n%s", line, grepPrefix(text, "mosaicd_tile_"))
+		}
 	}
 }
 

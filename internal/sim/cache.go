@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"sync"
 
+	"mosaicsim/internal/config"
 	"mosaicsim/internal/dae"
 	"mosaicsim/internal/ddg"
 	"mosaicsim/internal/ir"
@@ -14,22 +15,69 @@ import (
 )
 
 // Key identifies one cached pipeline artifact by content: the kernel's name
-// and source hash, the workload scale, the traced tile count, and the
-// slicing mode. Two sessions asking for the same key share one compilation
-// and one tracing run no matter which driver they belong to.
+// and source hash, the workload scale, the traced tile count, the slicing
+// mode, and the topology hash. Two sessions asking for the same key share
+// one compilation and one tracing run no matter which driver they belong to.
 type Key struct {
 	Kernel  string
 	SrcHash uint64
 	Scale   workloads.Scale
 	Tiles   int
 	Mode    SliceMode
+	// Topo hashes the per-tile role sequence — the trace-relevant
+	// projection of the topology. Deliberately excluded: core kinds,
+	// clocks, memory, NoC — none of them affect the traced artifact, so
+	// sessions over different microarchitectures keep sharing traces.
+	Topo uint64
 }
 
-// KeyOf builds the artifact cache key for a workload at a tile count.
+// KeyOf builds the artifact cache key for a workload at a tile count, with
+// the role sequence the slicing mode implies (all-SPMD, or alternating
+// access/execute pairs for SliceDAE).
 func KeyOf(w *workloads.Workload, scale workloads.Scale, tiles int, mode SliceMode) Key {
+	return KeyFor(w, scale, tiles, mode, rolesOf(mode, tiles))
+}
+
+// KeyFor builds the artifact cache key for an explicit per-tile role
+// sequence (empty-string roles are SPMD).
+func KeyFor(w *workloads.Workload, scale workloads.Scale, tiles int, mode SliceMode, roles []string) Key {
 	h := fnv.New64a()
 	h.Write([]byte(w.Src))
-	return Key{Kernel: w.Name, SrcHash: h.Sum64(), Scale: scale, Tiles: tiles, Mode: mode}
+	return Key{Kernel: w.Name, SrcHash: h.Sum64(), Scale: scale, Tiles: tiles, Mode: mode, Topo: topoHash(mode, tiles, roles)}
+}
+
+// rolesOf is the role sequence a slicing mode implies over tiles with no
+// declared roles.
+func rolesOf(mode SliceMode, tiles int) []string {
+	roles := make([]string, tiles)
+	if mode == SliceDAE {
+		for i := range roles {
+			roles[i] = config.RoleAccess
+			if i%2 == 1 {
+				roles[i] = config.RoleExecute
+			}
+		}
+	}
+	return roles
+}
+
+// topoHash hashes the effective role sequence. Topologies that declare no
+// roles hash identically to the sequence their slicing mode implies, so
+// legacy Cores configs and declarative Tiles configs describing the same
+// system share artifacts.
+func topoHash(mode SliceMode, tiles int, roles []string) uint64 {
+	eff := rolesOf(mode, tiles)
+	for i, r := range roles {
+		if i < len(eff) && r != "" && r != config.RoleSPMD {
+			eff[i] = r
+		}
+	}
+	h := fnv.New64a()
+	for _, r := range eff {
+		h.Write([]byte(r))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
 }
 
 // kernelKey identifies a compiled kernel (and its DAE slices) independent of

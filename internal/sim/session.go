@@ -85,8 +85,9 @@ type Options struct {
 	Workload *workloads.Workload
 	// Scale selects the workload's input size.
 	Scale workloads.Scale
-	// Tiles is the traced tile count. Zero derives it from Config's total
-	// core count. SliceDAE requires an even count (access/execute pairs).
+	// Tiles is the traced tile count. Zero derives it from Config's tile
+	// count (either declaration form). SliceDAE requires an even count
+	// (access/execute pairs).
 	Tiles int
 	// Slicing selects SPMD replication or DAE pair decomposition.
 	Slicing SliceMode
@@ -115,6 +116,9 @@ type Options struct {
 type Session struct {
 	opts  Options
 	cache *Cache
+	// roles is the per-tile role sequence resolved from the topology (nil
+	// when the config declares none: the slicing mode implies it).
+	roles []string
 
 	mu  sync.Mutex
 	sys *soc.System // last-built (and possibly run) system
@@ -122,28 +126,39 @@ type Session struct {
 	ran bool
 }
 
-// NewSession validates opts and binds a session to its cache.
+// NewSession validates opts and binds a session to its cache. A declarative
+// topology (Config.Tiles) is resolved here: tile kinds are checked against
+// the registry and access/execute roles select DAE slicing, so a bad
+// topology fails at session creation, not mid-pipeline.
 func NewSession(opts Options) (*Session, error) {
 	if opts.Workload == nil {
 		return nil, fmt.Errorf("sim: Options.Workload is required")
 	}
-	if opts.Tiles == 0 && opts.Config != nil {
-		for _, cs := range opts.Config.Cores {
-			opts.Tiles += cs.Count
+	var roles []string
+	if opts.Config != nil {
+		var err error
+		roles, err = soc.Roles(opts.Config)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		if opts.Tiles == 0 {
+			opts.Tiles = len(roles)
+		}
+		if len(roles) != opts.Tiles {
+			return nil, fmt.Errorf("sim: config %q instantiates %d cores but the session traces %d tiles",
+				opts.Config.Name, len(roles), opts.Tiles)
+		}
+		for _, r := range roles {
+			if r == config.RoleAccess || r == config.RoleExecute {
+				// The topology declares DAE roles; the slicing mode
+				// follows from it.
+				opts.Slicing = SliceDAE
+				break
+			}
 		}
 	}
 	if opts.Tiles < 0 {
 		return nil, fmt.Errorf("sim: negative tile count %d", opts.Tiles)
-	}
-	if opts.Config != nil {
-		n := 0
-		for _, cs := range opts.Config.Cores {
-			n += cs.Count
-		}
-		if n != opts.Tiles {
-			return nil, fmt.Errorf("sim: config %q instantiates %d cores but the session traces %d tiles",
-				opts.Config.Name, n, opts.Tiles)
-		}
 	}
 	if opts.Slicing == SliceDAE && opts.Tiles%2 != 0 {
 		return nil, fmt.Errorf("sim: DAE slicing needs an even tile count (access/execute pairs), got %d", opts.Tiles)
@@ -152,12 +167,13 @@ func NewSession(opts Options) (*Session, error) {
 	if c == nil {
 		c = DefaultCache
 	}
-	return &Session{opts: opts, cache: c}, nil
+	return &Session{opts: opts, cache: c, roles: roles}, nil
 }
 
-// Key returns the session's content key into the artifact cache.
+// Key returns the session's content key into the artifact cache, topology
+// hash included.
 func (s *Session) Key() Key {
-	return KeyOf(s.opts.Workload, s.opts.Scale, s.opts.Tiles, s.opts.Slicing)
+	return KeyFor(s.opts.Workload, s.opts.Scale, s.opts.Tiles, s.opts.Slicing, s.roles)
 }
 
 // fail wraps err in a StageError unless it already is one (an inner stage
@@ -305,26 +321,13 @@ func (s *Session) BuildSystem(ctx context.Context) (*soc.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	var sys *soc.System
-	switch s.opts.Slicing {
-	case SliceDAE:
-		cores := flattenCores(s.opts.Config)
-		tiles := make([]soc.TileSpec, len(cores))
-		for i, cfg := range cores {
-			g := art.AccessGraph
-			if i%2 == 1 {
-				g = art.ExecuteGraph
-			}
-			tiles[i] = soc.TileSpec{Cfg: cfg, Graph: g, TT: art.Trace.Tiles[i]}
-		}
-		sys, err = soc.New(s.opts.Config.Name, tiles, s.opts.Config.Mem, s.opts.Accels)
-		if err == nil && s.opts.Config.NoC != nil {
-			sys.Fabric.MeshWidth = s.opts.Config.NoC.MeshWidth
-			sys.Fabric.HopCycles = s.opts.Config.NoC.HopCycles
-		}
-	default:
-		sys, err = soc.NewSPMD(s.opts.Config, art.Graph, art.Trace, s.opts.Accels)
-	}
+	sys, err := soc.Build(s.opts.Config, soc.Binding{
+		Graph:   art.Graph,
+		Access:  art.AccessGraph,
+		Execute: art.ExecuteGraph,
+		Trace:   art.Trace,
+		PairDAE: s.opts.Slicing == SliceDAE,
+	}, s.opts.Accels)
 	if err != nil {
 		return nil, s.fail(StageBuild, err)
 	}
@@ -375,17 +378,6 @@ func (s *Session) System() *soc.System {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sys
-}
-
-// flattenCores expands a config's CoreSpecs into one CoreConfig per tile.
-func flattenCores(cfg *config.SystemConfig) []config.CoreConfig {
-	var out []config.CoreConfig
-	for _, cs := range cfg.Cores {
-		for i := 0; i < cs.Count; i++ {
-			out = append(out, cs.Core)
-		}
-	}
-	return out
 }
 
 // orBackground treats a nil ctx as context.Background().

@@ -37,9 +37,11 @@ type AccelModel interface {
 
 // TileSpec instantiates one tile: its core configuration, the kernel DDG it
 // replays, and its dynamic trace. DAE systems give different tiles different
-// kernels (§VII-A).
+// kernels (§VII-A). Kind labels the tile for per-kind breakdowns; empty
+// defaults to the core config's name.
 type TileSpec struct {
 	Cfg   config.CoreConfig
+	Kind  string
 	Graph *ddg.Graph
 	TT    *trace.TileTrace
 }
@@ -58,6 +60,9 @@ type Fabric struct {
 	// the per-hop link latency.
 	MeshWidth int
 	HopCycles int64
+	// Slots pins tile i to mesh slot Slots[i] (row-major); nil places tiles
+	// row-major by tile ID.
+	Slots []int
 
 	queues map[[2]int]*msgRing // arrival cycles (pointers so futures can mature in place)
 
@@ -77,6 +82,9 @@ type Fabric struct {
 func (f *Fabric) transferLatency(src, dst int) int64 {
 	lat := f.Latency
 	if f.MeshWidth > 0 {
+		if f.Slots != nil {
+			src, dst = f.Slots[src], f.Slots[dst]
+		}
 		sx, sy := src%f.MeshWidth, src/f.MeshWidth
 		dx, dy := dst%f.MeshWidth, dst/f.MeshWidth
 		hops := int64(abs(sx-dx) + abs(sy-dy))
@@ -262,19 +270,21 @@ func (f *Fabric) frontArrivals(fn func(dst int, at int64)) {
 	}
 }
 
-// System is a complete simulated SoC.
+// System is a complete simulated SoC: a tile list the Interleaver steps
+// generically plus the shared memory hierarchy and message fabric.
 type System struct {
 	Name   string
 	Cores  []*core.Core
 	Hier   *mem.Hierarchy
 	Fabric *Fabric
 
-	accels      map[string]AccelModel
-	outstanding map[string]int
-	accelEvents accelEventHeap // scheduled outstanding[] decrements
-	AccelEnergy float64
-	AccelBytes  int64
-	AccelCalls  int64
+	// tiles is the Interleaver's step order: the accelerator manager first
+	// (due invocations must retire before any core can re-invoke on the
+	// same cycle), then cores in tile-ID order. tilePos maps a core/tile ID
+	// to its index in tiles, for horizon bookkeeping.
+	tiles   []Tile
+	tilePos []int
+	accel   *AccelTile
 
 	Cycles int64
 
@@ -355,14 +365,14 @@ func (h *accelEventHeap) pop() accelEvent {
 	return v
 }
 
-// releaseAccelsDue retires accelerator invocations whose completion cycle
-// has been reached, so outstanding[] reflects simulated time.
-func (s *System) releaseAccelsDue(now int64) {
-	for s.accelEvents.Len() > 0 && s.accelEvents[0].at <= now {
-		ev := s.accelEvents.pop()
-		s.outstanding[ev.name]--
-	}
-}
+// AccelEnergy is the total accelerator dynamic energy in pJ.
+func (s *System) AccelEnergy() float64 { return s.accel.EnergyPJ }
+
+// AccelBytes is the total traffic accelerators moved to/from memory.
+func (s *System) AccelBytes() int64 { return s.accel.Bytes }
+
+// AccelCalls is the total number of accelerator invocations.
+func (s *System) AccelCalls() int64 { return s.accel.Calls }
 
 type memPort struct {
 	h    *mem.Hierarchy
@@ -374,32 +384,17 @@ func (p memPort) Access(addr uint64, size int, kind mem.Kind, now int64, done fu
 }
 
 type accelPort struct {
-	s *System
+	t *AccelTile
 }
 
 // Invoke implements core.AccelInvoker: it queries the accelerator tile for
-// latency and resource usage (§IV-A) and schedules the completion.
+// latency and resource usage (§IV-A) and schedules the completion, which is
+// delivered through the invoking core's completion queue via done.
 func (p accelPort) Invoke(name string, params []int64, now int64, done func(int64)) error {
-	m, ok := p.s.accels[name]
-	if !ok {
-		return fmt.Errorf("soc: no accelerator model registered for %q", name)
-	}
-	res, err := m.Invoke(params, p.s.outstanding[name])
+	at, err := p.t.invoke(name, params, now)
 	if err != nil {
 		return err
 	}
-	p.s.outstanding[name]++
-	p.s.AccelEnergy += res.EnergyPJ
-	p.s.AccelBytes += res.Bytes
-	p.s.AccelCalls++
-	at := now + res.Cycles
-	// The invocation stays outstanding until simulated time reaches its
-	// completion cycle: Run drains the decrement there, so overlapping
-	// invocations observe each other and the §IV-B bandwidth-sharing model
-	// engages. (The old code decremented synchronously inside this call,
-	// which made `concurrent` always 0.) Completion is delivered through
-	// the invoking core's completion queue via done.
-	p.s.accelEvents.push(accelEvent{at: at, name: name})
 	done(at)
 	return nil
 }
@@ -420,10 +415,9 @@ func New(name string, tiles []TileSpec, memCfg config.MemConfig, accels map[stri
 		}
 	}
 	s := &System{
-		Name:        name,
-		Hier:        mem.NewHierarchy(memCfg, len(tiles), maxClock),
-		accels:      accels,
-		outstanding: map[string]int{},
+		Name:  name,
+		Hier:  mem.NewHierarchy(memCfg, len(tiles), maxClock),
+		accel: newAccelTile(accels, maxClock),
 	}
 	cap := tiles[0].Cfg.MaxMessages
 	s.Fabric = NewFabric(cap, 1)
@@ -449,10 +443,21 @@ func New(name string, tiles []TileSpec, memCfg config.MemConfig, accels map[stri
 		}
 	}
 	s.Fabric.SetBarrierParticipants(parts)
+	// The accelerator manager steps first each cycle: due invocations must
+	// retire before any core observes outstanding[] (a core invoking at the
+	// cycle a prior invocation completes must see it released).
+	s.tiles = append(s.tiles, s.accel)
+	s.tilePos = make([]int, len(tiles))
 	for i, t := range tiles {
-		c := core.New(i, t.Cfg, t.Graph, t.TT, memPort{h: s.Hier, core: i}, s.Fabric, accelPort{s: s})
+		c := core.New(i, t.Cfg, t.Graph, t.TT, memPort{h: s.Hier, core: i}, s.Fabric, accelPort{t: s.accel})
 		c.SetClockScale(int64(maxClock), int64(t.Cfg.ClockMHz))
 		s.Cores = append(s.Cores, c)
+		kind := t.Kind
+		if kind == "" {
+			kind = t.Cfg.Name
+		}
+		s.tilePos[i] = len(s.tiles)
+		s.tiles = append(s.tiles, &CoreTile{C: c, fabric: s.Fabric, kind: kind})
 	}
 	return s, nil
 }
@@ -486,31 +491,10 @@ func barrierCounts(tiles []TileSpec) []int64 {
 }
 
 // NewSPMD builds a homogeneous SPMD system: every core of cfg runs the same
-// kernel graph against its own tile trace.
+// kernel graph against its own tile trace. It is a thin wrapper over the
+// declarative topology builder (Build).
 func NewSPMD(cfg *config.SystemConfig, g *ddg.Graph, tr *trace.Trace, accels map[string]AccelModel) (*System, error) {
-	var tiles []TileSpec
-	idx := 0
-	for _, cs := range cfg.Cores {
-		for i := 0; i < cs.Count; i++ {
-			if idx >= len(tr.Tiles) {
-				return nil, fmt.Errorf("soc: config wants more cores (%d+) than traced tiles (%d)", idx+1, len(tr.Tiles))
-			}
-			tiles = append(tiles, TileSpec{Cfg: cs.Core, Graph: g, TT: tr.Tiles[idx]})
-			idx++
-		}
-	}
-	if idx != len(tr.Tiles) {
-		return nil, fmt.Errorf("soc: trace has %d tiles but config instantiates %d cores", len(tr.Tiles), idx)
-	}
-	sys, err := New(cfg.Name, tiles, cfg.Mem, accels)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.NoC != nil {
-		sys.Fabric.MeshWidth = cfg.NoC.MeshWidth
-		sys.Fabric.HopCycles = cfg.NoC.HopCycles
-	}
-	return sys, nil
+	return Build(cfg, Binding{Graph: g, Trace: tr}, accels)
 }
 
 // DefaultCycleLimit guards Run(ctx, 0) against runaway simulations.
@@ -559,30 +543,29 @@ func (s *System) Run(ctx context.Context, limit int64) error {
 		effLimit = DefaultCycleLimit
 	}
 	ctxCountdown := int64(ctxCheckInterval)
-	nc := len(s.Cores)
+	nt := len(s.tiles)
 	var maxClock int64
-	for _, c := range s.Cores {
-		if m := int64(c.Cfg.ClockMHz); m > maxClock {
+	for _, t := range s.tiles {
+		if m := int64(t.ClockMHz()); m > maxClock {
 			maxClock = m
 		}
 	}
-	strides := make([]int64, nc)
-	accum := make([]int64, nc)
-	// Event-horizon bookkeeping: idleOK[i] records that core i stepped
+	strides := make([]int64, nt)
+	accum := make([]int64, nt)
+	// Event-horizon bookkeeping: idleOK[i] records that tile i stepped
 	// without making progress since the last progress event anywhere, and
-	// stallDelta/commDelta hold the stall-counter increments of that frozen
-	// step (constant while the state stays frozen).
-	idleOK := make([]bool, nc)
-	stallDelta := make([]core.StallSnapshot, nc)
-	commDelta := make([]int64, nc)
-	for i, c := range s.Cores {
-		strides[i] = int64(c.Cfg.ClockMHz)
-		accum[i] = maxClock // step every core on cycle 0
+	// stallDelta holds the stall-sample increments of that frozen step
+	// (constant while the state stays frozen).
+	idleOK := make([]bool, nt)
+	stallDelta := make([]StallSample, nt)
+	for i, t := range s.tiles {
+		strides[i] = int64(t.ClockMHz())
+		accum[i] = maxClock // step every tile on cycle 0
 	}
 	progress := func() uint64 {
 		p := uint64(s.Hier.Progress())
-		for _, c := range s.Cores {
-			p += c.Progress()
+		for _, t := range s.tiles {
+			p += t.Progress()
 		}
 		return p
 	}
@@ -599,26 +582,23 @@ func (s *System) Run(ctx context.Context, limit int64) error {
 				s.OnProgress(ProgressUpdate{Cycle: cycle, Stepped: s.SteppedCycles, Skipped: s.SkippedCycles})
 			}
 		}
-		s.releaseAccelsDue(cycle)
 		anyActive := false
-		for i, c := range s.Cores {
+		for i, t := range s.tiles {
 			accum[i] += strides[i]
 			if accum[i] >= maxClock {
 				accum[i] -= maxClock
-				pp := c.Progress()
-				ps := c.StallCounters()
-				pf := s.Fabric.FullStall
-				if c.Step(cycle) {
+				pp := t.Progress()
+				before := t.SnapshotStalls()
+				if t.Step(cycle) {
 					anyActive = true
 				}
-				if c.Progress() == pp {
+				if t.Progress() == pp {
 					// Frozen step: its stall increments repeat verbatim
 					// until something, somewhere, makes progress.
-					stallDelta[i] = c.StallCounters().Sub(ps)
-					commDelta[i] = s.Fabric.FullStall - pf
+					stallDelta[i] = t.SnapshotStalls().Sub(before)
 					idleOK[i] = true
 				}
-			} else if !c.Done() {
+			} else if !t.Done() {
 				anyActive = true
 			}
 		}
@@ -643,8 +623,8 @@ func (s *System) Run(ctx context.Context, limit int64) error {
 			continue
 		}
 		confirmed := true
-		for i, c := range s.Cores {
-			if !c.Done() && !idleOK[i] {
+		for i, t := range s.tiles {
+			if !t.Done() && !idleOK[i] {
 				confirmed = false
 				break
 			}
@@ -669,16 +649,15 @@ func (s *System) Run(ctx context.Context, limit int64) error {
 			continue
 		}
 		delta := target - 1 - cycle // whole iterations elided
-		for i, c := range s.Cores {
+		for i, t := range s.tiles {
 			// Advance the clock-ratio accumulator arithmetically: k is the
-			// number of (frozen) steps core i would have taken.
+			// number of (frozen) steps tile i would have taken.
 			base := accum[i] / maxClock
 			adv := accum[i] + delta*strides[i]
 			k := adv/maxClock - base
 			accum[i] = adv - k*maxClock
-			if k > 0 && !c.Done() {
-				c.AddStallCycles(stallDelta[i], k)
-				s.Fabric.FullStall += commDelta[i] * k
+			if k > 0 && !t.Done() {
+				t.ReplayStalls(stallDelta[i], k)
 			}
 		}
 		s.Hier.AddThrottleStalls(thrTick * delta)
@@ -711,11 +690,11 @@ func (s *System) horizon(now int64, accum, strides []int64, maxClock, effLimit i
 			target = u
 		}
 	}
-	for i, c := range s.Cores {
-		if c.Done() {
+	for i, t := range s.tiles {
+		if t.Done() {
 			continue
 		}
-		consider(i, c.NextEvent(now))
+		consider(i, t.NextEvent(now))
 	}
 	if e := s.Hier.NextEvent(now); e < mem.HorizonNone {
 		if e <= now {
@@ -729,10 +708,14 @@ func (s *System) horizon(now int64, accum, strides []int64, maxClock, effLimit i
 		// A message already mature (at <= now) is part of the frozen state:
 		// the destination observed and ignored it, so it cannot trigger a
 		// future change.
-		if at <= now || dst < 0 || dst >= len(s.Cores) || s.Cores[dst].Done() {
+		if at <= now || dst < 0 || dst >= len(s.tilePos) {
 			return
 		}
-		consider(dst, at)
+		i := s.tilePos[dst]
+		if s.tiles[i].Done() {
+			return
+		}
+		consider(i, at)
 	})
 	return target
 }
@@ -810,10 +793,10 @@ func (s *System) Result() Result {
 		L2PJ:    float64(r.L2.Accesses) * config.EnergyL2AccessPJ,
 		LLCPJ:   float64(r.LLC.Accesses) * config.EnergyLLCAccessPJ,
 		DRAMPJ:  float64(r.DRAM.Reads+r.DRAM.Writebacks) * config.EnergyDRAMAccessPJ,
-		AccelPJ: s.AccelEnergy,
+		AccelPJ: s.accel.EnergyPJ,
 	}
 	r.EnergyPJ = r.Energy.TotalPJ()
-	r.AccelCalls = s.AccelCalls
-	r.AccelBytes = s.AccelBytes
+	r.AccelCalls = s.accel.Calls
+	r.AccelBytes = s.accel.Bytes
 	return r
 }

@@ -211,8 +211,8 @@ void kernel(double* A, long n) {
 	if r.AccelCalls != 1 || r.AccelBytes != 1024 {
 		t.Errorf("accel stats wrong: %+v", r)
 	}
-	if sys.AccelEnergy != 5000 {
-		t.Errorf("accel energy = %g", sys.AccelEnergy)
+	if sys.AccelEnergy() != 5000 {
+		t.Errorf("accel energy = %g", sys.AccelEnergy())
 	}
 }
 
@@ -256,8 +256,8 @@ void kernel(double* A, long n) {
 	if err := sys.Run(context.Background(), 100_000_000); err != nil {
 		t.Fatal(err)
 	}
-	if sys.AccelCalls != 2 {
-		t.Fatalf("accel calls = %d, want 2", sys.AccelCalls)
+	if sys.AccelCalls() != 2 {
+		t.Fatalf("accel calls = %d, want 2", sys.AccelCalls())
 	}
 	if ca.maxConc < 1 {
 		t.Error("overlapping invocations observed concurrent = 0: outstanding[] is decremented before simulated completion")

@@ -1,0 +1,275 @@
+package soc
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mosaicsim/internal/config"
+)
+
+// TestConfigsDirectoryTopologies loads every example topology shipped under
+// configs/, validates it, resolves its tile kinds, and checks it stays in
+// sync with the preset of the same name. This is the CI gate for the
+// example files: an edit that breaks a file (or drifts from the preset)
+// fails here.
+func TestConfigsDirectoryTopologies(t *testing.T) {
+	paths, err := filepath.Glob("../../configs/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("expected the three example topologies under configs/, found %v", paths)
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		t.Run(name, func(t *testing.T) {
+			sc, err := config.Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sc.Validate(); err != nil {
+				t.Fatalf("%s does not validate: %v", path, err)
+			}
+			rts, err := ExpandTiles(sc)
+			if err != nil {
+				t.Fatalf("%s does not expand: %v", path, err)
+			}
+			if len(rts) == 0 {
+				t.Fatalf("%s expands to no tiles", path)
+			}
+			preset, err := config.TopologyPreset(name)
+			if err != nil {
+				t.Fatalf("no preset backs %s: %v", path, err)
+			}
+			want, err := ExpandTiles(preset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rts, want) {
+				t.Errorf("%s drifted from preset %q:\n file: %+v\npreset: %+v", path, name, rts, want)
+			}
+			fileMem, _ := json.Marshal(sc.Mem)
+			presetMem, _ := json.Marshal(preset.Mem)
+			if string(fileMem) != string(presetMem) {
+				t.Errorf("%s memory config drifted from preset %q", path, name)
+			}
+		})
+	}
+}
+
+func TestUnknownTileKindDidYouMean(t *testing.T) {
+	sc := &config.SystemConfig{
+		Name:  "typo",
+		Tiles: []config.TileDef{{Kind: "oo"}},
+		Mem:   config.TableIIMem(),
+	}
+	_, err := ExpandTiles(sc)
+	if err == nil || !strings.Contains(err.Error(), `did you mean "ooo"`) {
+		t.Errorf("want did-you-mean for kind \"oo\", got %v", err)
+	}
+	if _, err := Roles(sc); err == nil {
+		t.Error("Roles accepted an unknown kind")
+	}
+}
+
+func TestBadClockRejected(t *testing.T) {
+	cases := []config.TileDef{
+		{Kind: "ooo", ClockMHz: -5},
+		{Core: &config.CoreConfig{Name: "clockless", IssueWidth: 1, WindowSize: 8, LSQSize: 4}},
+	}
+	for i, td := range cases {
+		sc := &config.SystemConfig{Name: "badclock", Tiles: []config.TileDef{td}, Mem: config.TableIIMem()}
+		if _, err := ExpandTiles(sc); err == nil || !strings.Contains(err.Error(), "clock must be positive") {
+			t.Errorf("case %d: want positive-clock error, got %v", i, err)
+		}
+	}
+}
+
+func TestOverridesAreStrict(t *testing.T) {
+	sc := &config.SystemConfig{
+		Name: "strict",
+		Tiles: []config.TileDef{{
+			Kind:      "inorder",
+			Overrides: json.RawMessage(`{"window_sise": 64}`),
+		}},
+		Mem: config.TableIIMem(),
+	}
+	if _, err := ExpandTiles(sc); err == nil || !strings.Contains(err.Error(), "bad overrides") {
+		t.Errorf("want strict-decode error for misspelled override, got %v", err)
+	}
+}
+
+// TestDeclarativeMatchesLegacy pins the refactor's core promise at the soc
+// layer: the same machine declared as a legacy Cores list and as a
+// declarative Tiles list produces the same system and identical results.
+func TestDeclarativeMatchesLegacy(t *testing.T) {
+	g, tr := traceSPMD(t, spmdVecAdd, 2, vecSetup(512), nil)
+	run := func(sc *config.SystemConfig) Result {
+		t.Helper()
+		sys, err := Build(sc, Binding{Graph: g, Trace: tr}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Run(context.Background(), 200_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Result()
+	}
+	legacy := run(&config.SystemConfig{
+		Name:  "m",
+		Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: 2}},
+		Mem:   config.TableIIMem(),
+	})
+	declarative := run(&config.SystemConfig{
+		Name:  "m",
+		Tiles: []config.TileDef{{Kind: "ooo", Count: 2}},
+		Mem:   config.TableIIMem(),
+	})
+	lb, _ := json.Marshal(legacy)
+	db, _ := json.Marshal(declarative)
+	if string(lb) != string(db) {
+		t.Errorf("declarative result diverges from legacy:\n legacy: %s\n  tiles: %s", lb, db)
+	}
+}
+
+// TestMeshGeometryValidated covers the NoC construction checks: an
+// undersized mesh is rejected at Build (never silent off-grid placement),
+// and pinned slots must be all-or-none, in-grid, and unique.
+func TestMeshGeometryValidated(t *testing.T) {
+	g, tr := traceSPMD(t, spmdVecAdd, 2, vecSetup(256), nil)
+	slot := func(s int) *int { return &s }
+	build := func(tiles []config.TileDef, noc *config.NoCConfig) error {
+		sc := &config.SystemConfig{Name: "mesh", Tiles: tiles, Mem: config.TableIIMem(), NoC: noc}
+		_, err := Build(sc, Binding{Graph: g, Trace: tr}, nil)
+		return err
+	}
+	two := []config.TileDef{{Kind: "ooo"}, {Kind: "ooo"}}
+
+	if err := build(two, &config.NoCConfig{MeshWidth: 1, HopCycles: 4}); err == nil ||
+		!strings.Contains(err.Error(), "cannot place") {
+		t.Errorf("undersized mesh accepted: %v", err)
+	}
+	if err := build([]config.TileDef{{Kind: "ooo", MeshSlot: slot(0)}, {Kind: "ooo"}},
+		&config.NoCConfig{MeshWidth: 2, HopCycles: 4}); err == nil ||
+		!strings.Contains(err.Error(), "every tile pins") {
+		t.Errorf("partial pinning accepted: %v", err)
+	}
+	if err := build([]config.TileDef{{Kind: "ooo", MeshSlot: slot(0)}, {Kind: "ooo", MeshSlot: slot(4)}},
+		&config.NoCConfig{MeshWidth: 2, HopCycles: 4}); err == nil ||
+		!strings.Contains(err.Error(), "outside") {
+		t.Errorf("off-grid slot accepted: %v", err)
+	}
+	if err := build([]config.TileDef{{Kind: "ooo", MeshSlot: slot(1)}, {Kind: "ooo", MeshSlot: slot(1)}},
+		&config.NoCConfig{MeshWidth: 2, HopCycles: 4}); err == nil ||
+		!strings.Contains(err.Error(), "pinned twice") {
+		t.Errorf("duplicate slot accepted: %v", err)
+	}
+	if err := build([]config.TileDef{{Kind: "ooo", MeshSlot: slot(3)}, {Kind: "ooo", MeshSlot: slot(0)}},
+		&config.NoCConfig{MeshWidth: 2, HopCycles: 4}); err != nil {
+		t.Errorf("valid pinned placement rejected: %v", err)
+	}
+
+	// The same undersized geometry is already rejected by config.Validate,
+	// before any trace exists.
+	sc := &config.SystemConfig{Name: "mesh", Tiles: two, Mem: config.TableIIMem(),
+		NoC: &config.NoCConfig{MeshWidth: 1, HopCycles: 4}}
+	if err := sc.Validate(); err == nil {
+		t.Error("config.Validate accepted an undersized mesh")
+	}
+}
+
+// TestPinnedMeshPlacementChangesLatency runs the same two-tile DAE-free
+// system with default row-major placement and with the tiles pinned to
+// opposite mesh corners; the pinned layout must change hop distance and be
+// deterministic.
+func TestPinnedMeshSlotsApplyToFabric(t *testing.T) {
+	g, tr := traceSPMD(t, spmdVecAdd, 2, vecSetup(256), nil)
+	slot := func(s int) *int { return &s }
+	sc := &config.SystemConfig{
+		Name: "pinned",
+		Tiles: []config.TileDef{
+			{Kind: "ooo", MeshSlot: slot(0)},
+			{Kind: "ooo", MeshSlot: slot(3)},
+		},
+		Mem: config.TableIIMem(),
+		NoC: &config.NoCConfig{MeshWidth: 2, HopCycles: 4},
+	}
+	sys, err := Build(sc, Binding{Graph: g, Trace: tr}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 3}; !reflect.DeepEqual(sys.Fabric.Slots, want) {
+		t.Errorf("Fabric.Slots = %v, want %v", sys.Fabric.Slots, want)
+	}
+	if err := sys.Run(context.Background(), 200_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTileBreakdown checks the per-kind rollup on a heterogeneous system:
+// kinds aggregate in first-appearance order, tile counts and instruction
+// totals add up, and the idle accelerator manager is omitted.
+func TestTileBreakdown(t *testing.T) {
+	g, tr := traceSPMD(t, spmdVecAdd, 3, vecSetup(768), nil)
+	sc := &config.SystemConfig{
+		Name: "hetero",
+		Tiles: []config.TileDef{
+			{Kind: "ooo", Count: 2},
+			{Kind: "inorder"},
+		},
+		Mem: config.TableIIMem(),
+	}
+	sys, err := Build(sc, Binding{Graph: g, Trace: tr}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(context.Background(), 200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	bks := sys.TileBreakdown()
+	if len(bks) != 2 || bks[0].Kind != "ooo" || bks[1].Kind != "inorder" {
+		t.Fatalf("breakdown kinds = %+v, want [ooo inorder]", bks)
+	}
+	if bks[0].Tiles != 2 || bks[1].Tiles != 1 {
+		t.Errorf("tile counts = %d/%d, want 2/1", bks[0].Tiles, bks[1].Tiles)
+	}
+	var instrs int64
+	for _, b := range bks {
+		if b.Instrs <= 0 || b.ActiveCycles <= 0 {
+			t.Errorf("kind %s has empty stats: %+v", b.Kind, b)
+		}
+		instrs += b.Instrs
+	}
+	if total := sys.Result().Instrs; instrs != total {
+		t.Errorf("breakdown instrs %d != system total %d", instrs, total)
+	}
+}
+
+func TestReferenceClockAndRoles(t *testing.T) {
+	sc, err := config.TopologyPreset("core-accel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mhz, err := ReferenceClockMHz(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := config.OutOfOrderCore().ClockMHz; mhz != want {
+		t.Errorf("reference clock = %d, want first tile's %d", mhz, want)
+	}
+	dae, err := config.TopologyPreset("dae-pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles, err := Roles(dae)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{config.RoleAccess, config.RoleExecute}; !reflect.DeepEqual(roles, want) {
+		t.Errorf("roles = %v, want %v", roles, want)
+	}
+}

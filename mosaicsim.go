@@ -51,16 +51,39 @@ type (
 	CoreSpec = config.CoreSpec
 	// MemConfig describes the memory hierarchy.
 	MemConfig = config.MemConfig
+	// TileDef declares one entry of a declarative tile list: a registered
+	// kind (or explicit core config), an instance count, a DAE role, a clock
+	// override, and an optional NoC mesh placement.
+	TileDef = config.TileDef
+	// NoCConfig arranges tiles on a 2D mesh network-on-chip.
+	NoCConfig = config.NoCConfig
 	// Result is a finished simulation's system-wide estimate.
 	Result = soc.Result
 	// System is an instantiated SoC.
 	System = soc.System
+	// Tile is the first-class tile interface the Interleaver steps: anything
+	// implementing it (cores, accelerator managers, custom models) can be
+	// composed into a System.
+	Tile = soc.Tile
 	// TileSpec instantiates one tile of a heterogeneous system.
 	TileSpec = soc.TileSpec
+	// TileBinding carries the kernel graphs and traces a declarative
+	// topology's tiles replay.
+	TileBinding = soc.Binding
+	// KindBreakdown aggregates cycle and stall totals over tiles of a kind.
+	KindBreakdown = soc.KindBreakdown
 	// AccelModel is a pluggable accelerator performance model.
 	AccelModel = soc.AccelModel
 	// AccFunc is a functional accelerator implementation for tracing.
 	AccFunc = interp.AccFunc
+)
+
+// Tile roles for declarative DAE topologies. Access/execute tiles alternate
+// (access first); role-less tiles replay the whole kernel SPMD.
+const (
+	RoleSPMD    = config.RoleSPMD
+	RoleAccess  = config.RoleAccess
+	RoleExecute = config.RoleExecute
 )
 
 // Configuration presets from the paper.
@@ -73,6 +96,22 @@ var (
 	XeonSystem = config.XeonSystem
 	// TableIIMem is the Table II DAE-study memory hierarchy.
 	TableIIMem = config.TableIIMem
+	// TopologyPreset returns a fresh copy of a named declarative topology
+	// (spmd-xeon, dae-pair, core-accel), with did-you-mean on unknown names.
+	TopologyPreset = config.TopologyPreset
+	// TopologyPresets lists the named topology presets.
+	TopologyPresets = config.TopologyPresets
+	// LoadSystemConfig reads a system/topology configuration from JSON.
+	LoadSystemConfig = config.Load
+	// RegisterTileKind extends the declarative tile-kind registry with a
+	// custom core preset (call from init; see soc.RegisterTileKind).
+	RegisterTileKind = soc.RegisterTileKind
+	// TileKinds lists the registered declarative tile kinds.
+	TileKinds = soc.TileKinds
+	// BuildSystem is the single declarative topology builder: it expands a
+	// config's tile list, binds each tile to its kernel graph by role, and
+	// applies the (validated) NoC geometry.
+	BuildSystem = soc.Build
 )
 
 // NewMemory allocates a simulated memory image.
