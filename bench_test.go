@@ -373,6 +373,47 @@ void kernel(double* A, double* out, long n) {
 	b.ReportMetric(ratio, "mesh/flat")
 }
 
+// benchmarkStepWorkers simulates a 64-tile SPMD mesh at the given
+// tile-stepping parallelism; the sequential/sharded pair below quantifies
+// the parallel Interleaver's throughput win on a wide system (results are
+// bit-identical either way, per TestParallelSteppingDeterminism and the
+// golden-matrix worker legs). The win scales with host cores: on a
+// single-core host the sharded leg only measures the coordination overhead.
+func benchmarkStepWorkers(b *testing.B, workers int) {
+	b.Helper()
+	w := workloads.SGEMM()
+	g, tr, err := w.Trace(64, workloads.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := &config.SystemConfig{
+		Name:  "step-workers",
+		Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: 64}},
+		Mem:   config.TableIIMem(),
+		NoC:   &config.NoCConfig{MeshWidth: 8, HopCycles: 4},
+	}
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := soc.NewSPMD(cfg, g, tr, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.StepWorkers = workers
+		if err := sys.Run(context.Background(), 0); err != nil {
+			b.Fatal(err)
+		}
+		if workers > 1 && sys.ParallelPhases == 0 {
+			b.Fatal("parallel stepper never engaged")
+		}
+		cycles = sys.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+func BenchmarkStepSequential(b *testing.B) { benchmarkStepWorkers(b, 1) }
+func BenchmarkStepSharded8(b *testing.B)   { benchmarkStepWorkers(b, 8) }
+
 // BenchmarkAblationDynamicBranch compares the gshare dynamic predictor
 // (§III-C future-work extension) against static prediction on the branchy
 // tpacf kernel.

@@ -42,6 +42,7 @@ func realMain() int {
 	scale := flag.String("scale", "small", "workload scale: tiny, small, or large")
 	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = all CPU cores)")
+	stepWorkers := flag.Int("step-workers", 0, "shard each simulation's tile stepping across N goroutines (bit-identical results; 0/1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole regeneration (0 = none)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -116,6 +117,7 @@ func realMain() int {
 		defer cancel()
 	}
 	r := experiments.NewRunner(s)
+	r.StepWorkers = *stepWorkers
 	// Experiments and their internal legs share one worker budget; outputs
 	// are buffered and printed in request order.
 	outs := make([]string, len(ids))

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	mosaicd [-addr :8374] [-workers N] [-queue N] [-job-timeout D]
-//	        [-drain D] [-cache-entries N] [-max-jobs N]
+//	        [-drain D] [-cache-entries N] [-max-jobs N] [-step-workers N]
 //
 // Quickstart:
 //
@@ -54,6 +54,7 @@ func run() int {
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for running jobs")
 	cacheEntries := flag.Int("cache-entries", 256, "artifact-cache entry cap per layer (0 = unbounded)")
 	maxJobs := flag.Int("max-jobs", 4096, "retained job records; oldest terminal jobs are forgotten beyond it")
+	stepWorkers := flag.Int("step-workers", 0, "default per-simulation tile-stepping goroutines for specs that leave step_workers unset (bit-identical results; 0/1 = sequential)")
 	flag.Parse()
 
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -62,11 +63,12 @@ func run() int {
 	cache := sim.NewCache()
 	cache.SetMaxEntries(*cacheEntries)
 	mgr := jobs.NewManager(jobs.Options{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
-		MaxJobs:    *maxJobs,
-		Cache:      cache,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		JobTimeout:  *jobTimeout,
+		MaxJobs:     *maxJobs,
+		Cache:       cache,
+		StepWorkers: *stepWorkers,
 	})
 	api := server.New(mgr, nil)
 

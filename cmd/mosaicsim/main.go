@@ -72,6 +72,7 @@ func run() int {
 	jobs := flag.Int("jobs", 0, "max concurrent workload simulations (0 = all CPU cores)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = none)")
 	noskip := flag.Bool("noskip", false, "disable event-horizon cycle skipping (naive cycle-by-cycle loop)")
+	stepWorkers := flag.Int("step-workers", 0, "shard each simulation's tile stepping across N goroutines (bit-identical results; 0/1 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -238,7 +239,7 @@ func run() int {
 	}
 	outs := make([]string, len(ws))
 	err := parallel.ForErrCtx(ctx, 0, len(ws), func(i int) error {
-		out, err := runOne(ctx, ws[i], configFor, wScale, *scale, *asJSON, *noskip)
+		out, err := runOne(ctx, ws[i], configFor, wScale, *scale, *asJSON, *noskip, *stepWorkers)
 		outs[i] = out
 		return err
 	})
@@ -254,7 +255,7 @@ func run() int {
 // runOne traces and simulates one workload as a sim.Session, returning its
 // full rendered output.
 func runOne(ctx context.Context, w *workloads.Workload, configFor func(*workloads.Workload) (*config.SystemConfig, error),
-	wScale workloads.Scale, scale string, asJSON, noskip bool) (string, error) {
+	wScale workloads.Scale, scale string, asJSON, noskip bool, stepWorkers int) (string, error) {
 	sc, err := configFor(w)
 	if err != nil {
 		return "", err
@@ -269,6 +270,7 @@ func runOne(ctx context.Context, w *workloads.Workload, configFor func(*workload
 		Config:               sc,
 		Accels:               workloads.DefaultAccelModels(refClock),
 		DisableCycleSkipping: noskip,
+		StepWorkers:          stepWorkers,
 	})
 	if err != nil {
 		return "", err

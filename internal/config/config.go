@@ -218,6 +218,12 @@ type SystemConfig struct {
 	Tiles []TileDef  `json:"tiles,omitempty"`
 	Mem   MemConfig  `json:"mem"`
 	NoC   *NoCConfig `json:"noc,omitempty"`
+	// StepWorkers shards tile stepping across that many goroutines per
+	// simulation, joined at every cycle boundary; results are bit-identical
+	// to sequential stepping. 0 or 1 steps sequentially. Systems whose
+	// timing is order-sensitive under sharding (directory coherence,
+	// zero-latency fabrics) fall back to sequential stepping automatically.
+	StepWorkers int `json:"step_workers,omitempty"`
 }
 
 // CoreSpec instantiates Count copies of a core configuration.
@@ -313,6 +319,9 @@ func (sc *SystemConfig) Validate() error {
 	}
 	if len(sc.Cores) > 0 && len(sc.Tiles) > 0 {
 		return fmt.Errorf("config %q: declare tiles through either cores or tiles, not both", sc.Name)
+	}
+	if sc.StepWorkers < 0 {
+		return fmt.Errorf("config %q: step_workers must be >= 0, got %d", sc.Name, sc.StepWorkers)
 	}
 	for _, cs := range sc.Cores {
 		if cs.Count <= 0 {

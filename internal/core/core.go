@@ -215,6 +215,13 @@ type Core struct {
 	// to detect frozen tiles and engage event-horizon cycle skipping.
 	progress uint64
 
+	// syncOps counts launched-but-incomplete nodes that touch shared
+	// synchronization state (barriers, accelerator invocations); blockSync
+	// marks the static blocks containing such ops. Together they implement
+	// MaySync, the parallel stepper's ordering test.
+	syncOps   int
+	blockSync []bool
+
 	// Hot-path pools: dynamic nodes and DBBs are recycled at retire instead
 	// of allocated per launch, and launchOne's per-launch node buffer is a
 	// reused scratch slice.
@@ -254,6 +261,16 @@ func New(id int, cfg config.CoreConfig, g *ddg.Graph, tt *trace.TileTrace, memp 
 	total := 0
 	for _, b := range tt.BBPath {
 		total += len(g.Blocks[b].Nodes)
+	}
+	c.blockSync = make([]bool, len(g.Blocks))
+	for b, bg := range g.Blocks {
+		for _, sn := range bg.Nodes {
+			if sn.Instr.Op == ir.OpCall &&
+				(sn.Instr.Callee == "barrier" || (len(sn.Instr.Callee) > 4 && sn.Instr.Callee[:4] == "acc_")) {
+				c.blockSync[b] = true
+				break
+			}
+		}
 	}
 	wcap := min(total, 2*cfg.WindowSize+64)
 	c.window = make([]*dynNode, 0, wcap)
@@ -470,6 +487,9 @@ func (c *Core) complete(n *dynNode, now int64) {
 	n.doneAt = now
 	c.outstanding--
 	c.progress++
+	if n.accCall != nil || (n.in.Op == ir.OpCall && n.in.Callee == "barrier") {
+		c.syncOps--
+	}
 	for _, cb := range n.onComplete {
 		cb(now)
 	}
@@ -745,6 +765,9 @@ func (c *Core) launchOne(bid int) {
 			}
 			n.accCall = &c.tt.Acc[c.accCursor]
 			c.accCursor++
+		}
+		if n.accCall != nil || (sn.Instr.Op == ir.OpCall && sn.Instr.Callee == "barrier") {
+			c.syncOps++
 		}
 	}
 	for pos, n := range nodes {
@@ -1102,6 +1125,35 @@ func overlaps(a, b *dynNode) bool {
 // Step mean the step observably did nothing except advance per-cycle stall
 // counters.
 func (c *Core) Progress() uint64 { return c.progress }
+
+// MaySync reports whether the core's next Step might touch shared
+// synchronization state: a launched-but-incomplete barrier or accelerator
+// node exists, or one of the next-launchable trace blocks (the same
+// IssueWidth-bounded window launchDBBs can open in one step) contains such
+// an op. Conservative by design — the parallel stepper's ordering only
+// needs the answer to never be falsely false.
+func (c *Core) MaySync() bool {
+	if c.finished {
+		return false
+	}
+	if c.syncOps > 0 {
+		return true
+	}
+	look := c.Cfg.IssueWidth
+	if look < 1 {
+		look = 1
+	}
+	end := c.bbCursor + look
+	if end > len(c.tt.BBPath) {
+		end = len(c.tt.BBPath)
+	}
+	for i := c.bbCursor; i < end; i++ {
+		if c.blockSync[c.tt.BBPath[i]] {
+			return true
+		}
+	}
+	return false
+}
 
 // NextEvent returns a lower bound on the next global cycle at which this
 // tile's state can change *on its own* (pending completions, the mispredict

@@ -52,6 +52,10 @@ type Runner struct {
 	// process-global parallel.SetLimit budget, 1 forces serial execution,
 	// n > 1 requests a dedicated pool of n workers.
 	Jobs int
+	// StepWorkers shards tile stepping inside each simulation leg
+	// (bit-identical to sequential stepping, so regenerated tables and
+	// figures are unaffected). Legs that set their own value keep it.
+	StepWorkers int
 
 	cache *sim.Cache
 }
@@ -68,6 +72,9 @@ func (r *Runner) session(w *workloads.Workload, opts sim.Options) (*sim.Session,
 	opts.Workload = w
 	opts.Scale = r.Scale
 	opts.Cache = r.cache
+	if opts.StepWorkers == 0 {
+		opts.StepWorkers = r.StepWorkers
+	}
 	return sim.NewSession(opts)
 }
 

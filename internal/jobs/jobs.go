@@ -74,7 +74,11 @@ type Event struct {
 	Cycle    int64   `json:"cycle,omitempty"`
 	Stepped  int64   `json:"stepped,omitempty"`
 	Skipped  int64   `json:"skipped,omitempty"`
-	Error    string  `json:"error,omitempty"`
+	// Final marks the terminal progress event the engine emits when a run
+	// exits (done, cancelled, or cycle-limited): the cycle position is the
+	// run's last, never a stale throttled tick.
+	Final bool   `json:"final,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // Status is a point-in-time snapshot of a job for API responses.
@@ -203,6 +207,10 @@ type Options struct {
 	// Runner executes one job and returns its JSON report. Nil selects the
 	// sim-backed runner; tests substitute a controllable stub.
 	Runner Runner
+	// StepWorkers is the default per-simulation tile-stepping parallelism
+	// applied to specs that leave step_workers unset (0 or 1 = sequential).
+	// Results are bit-identical either way.
+	StepWorkers int
 }
 
 // Runner executes one running job under ctx, emitting events through job,
@@ -282,6 +290,8 @@ func NewManager(opts Options) *Manager {
 	}
 	m.mQueueDepth = reg.Gauge("mosaicd_queue_depth", "Jobs waiting in the admission queue.", nil)
 	m.mInflight = reg.Gauge("mosaicd_jobs_inflight", "Simulations currently running.", nil)
+	reg.Gauge("mosaicd_step_workers", "Default per-simulation tile-stepping parallelism (0 or 1 = sequential).", nil).
+		Set(int64(opts.StepWorkers))
 	m.mStage = map[string]*metrics.Histogram{}
 	for _, stage := range runStages {
 		m.mStage[stage] = reg.Histogram("mosaicd_stage_seconds", "Pipeline stage latency.", metrics.Labels{"stage": stage}, nil)
@@ -518,14 +528,21 @@ func (m *Manager) simRun(ctx context.Context, j *Job) (json.RawMessage, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Progress events: at most ~10/s regardless of simulation speed. The
-	// hook runs on the simulating goroutine, so lastTick needs no lock.
+	if opts.StepWorkers == 0 {
+		opts.StepWorkers = m.opts.StepWorkers
+	}
+	// Progress events: at most ~10/s regardless of simulation speed, except
+	// the terminal update, which always goes out (it carries the run's final
+	// cycle position). The hook runs on the simulating goroutine, so
+	// lastTick needs no lock.
 	var lastTick time.Time
 	opts.Progress = func(u soc.ProgressUpdate) {
-		if now := time.Now(); now.Sub(lastTick) >= 100*time.Millisecond {
-			lastTick = now
-			j.emit(Event{Type: "progress", Cycle: u.Cycle, Stepped: u.Stepped, Skipped: u.Skipped})
+		now := time.Now()
+		if !u.Final && now.Sub(lastTick) < 100*time.Millisecond {
+			return
 		}
+		lastTick = now
+		j.emit(Event{Type: "progress", Cycle: u.Cycle, Stepped: u.Stepped, Skipped: u.Skipped, Final: u.Final})
 	}
 	s, err := sim.NewSession(opts)
 	if err != nil {

@@ -396,6 +396,27 @@ func TestSimRunnerEmitsStageEvents(t *testing.T) {
 	if firstHit == nil || *firstHit {
 		t.Fatalf("first submission artifact cacheHit = %v, want false", firstHit)
 	}
+	// The engine's terminal progress update bypasses the runner's throttle,
+	// so every finished job's last progress event is Final and sits at the
+	// run's true end cycle — never a stale throttled tick.
+	var lastProgress *Event
+	for i := range evs {
+		if evs[i].Type == "progress" {
+			lastProgress = &evs[i]
+		}
+	}
+	if lastProgress == nil || !lastProgress.Final {
+		t.Fatalf("no final progress event (last = %+v)", lastProgress)
+	}
+	var report struct {
+		Cycles int64 `json:"cycles"`
+	}
+	if err := json.Unmarshal(first.Report(), &report); err != nil {
+		t.Fatal(err)
+	}
+	if lastProgress.Cycle != report.Cycles {
+		t.Fatalf("final progress cycle = %d, report cycles = %d", lastProgress.Cycle, report.Cycles)
+	}
 
 	second, err := m.Submit(spec)
 	if err != nil {

@@ -40,6 +40,10 @@ type Spec struct {
 	Limit int64 `json:"limit,omitempty"`
 	// NoSkip disables event-horizon cycle skipping.
 	NoSkip bool `json:"noskip,omitempty"`
+	// StepWorkers shards tile stepping across that many goroutines
+	// (bit-identical to sequential; 1 forces sequential). 0 inherits the
+	// daemon's default (Options.StepWorkers).
+	StepWorkers int `json:"step_workers,omitempty"`
 	// Timeout is an optional per-job wall-clock budget as a Go duration
 	// string ("30s"); the manager's per-job timeout still caps it.
 	Timeout string `json:"timeout,omitempty"`
@@ -130,6 +134,9 @@ func (s Spec) Normalize() (Spec, error) {
 	if s.Limit < 0 {
 		return s, fmt.Errorf("jobs: negative cycle limit %d", s.Limit)
 	}
+	if s.StepWorkers < 0 {
+		return s, fmt.Errorf("jobs: negative step-worker count %d", s.StepWorkers)
+	}
 	if s.Timeout != "" {
 		d, err := time.ParseDuration(s.Timeout)
 		if err != nil {
@@ -204,6 +211,7 @@ func (s Spec) SessionOptions(cache *sim.Cache) (sim.Options, error) {
 			Accels:               workloads.DefaultAccelModels(refClock),
 			Limit:                s.Limit,
 			DisableCycleSkipping: s.NoSkip,
+			StepWorkers:          s.StepWorkers,
 			Cache:                cache,
 		}, nil
 	}
@@ -240,6 +248,7 @@ func (s Spec) SessionOptions(cache *sim.Cache) (sim.Options, error) {
 		Accels:               workloads.DefaultAccelModels(sc.Cores[0].Core.ClockMHz),
 		Limit:                s.Limit,
 		DisableCycleSkipping: s.NoSkip,
+		StepWorkers:          s.StepWorkers,
 		Cache:                cache,
 	}, nil
 }

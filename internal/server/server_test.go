@@ -324,6 +324,18 @@ func TestEventStreamNDJSON(t *testing.T) {
 	if fmt.Sprint(stages) != fmt.Sprint([]string{"artifact", "run", "report"}) {
 		t.Errorf("stages = %v, want [artifact run report]", stages)
 	}
+	// Every finished run's stream carries the engine's terminal progress
+	// update (it bypasses the runner's 100ms throttle), so stream consumers
+	// always see the final cycle position.
+	finals := 0
+	for _, e := range evs {
+		if e.Type == "progress" && e.Final {
+			finals++
+		}
+	}
+	if finals != 1 {
+		t.Errorf("stream has %d final progress events, want exactly 1:\n%+v", finals, evs)
+	}
 }
 
 // TestCancelReturnsBeforeStatusSettles pins the DELETE semantics: the

@@ -100,6 +100,10 @@ type Options struct {
 	Limit int64
 	// DisableCycleSkipping forces the naive cycle-by-cycle Interleaver loop.
 	DisableCycleSkipping bool
+	// StepWorkers, when positive, overrides the config's step_workers: tile
+	// stepping is sharded across that many goroutines with results
+	// bit-identical to sequential stepping (1 forces sequential).
+	StepWorkers int
 	// Progress, when non-nil, receives in-flight simulation progress from
 	// the Run stage (wired to soc.System.OnProgress on every system this
 	// session builds). It is called from the simulating goroutine at
@@ -332,6 +336,9 @@ func (s *Session) BuildSystem(ctx context.Context) (*soc.System, error) {
 		return nil, s.fail(StageBuild, err)
 	}
 	sys.DisableCycleSkipping = s.opts.DisableCycleSkipping
+	if s.opts.StepWorkers > 0 {
+		sys.StepWorkers = s.opts.StepWorkers
+	}
 	sys.OnProgress = s.opts.Progress
 	s.mu.Lock()
 	s.sys = sys

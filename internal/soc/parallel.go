@@ -1,0 +1,209 @@
+package soc
+
+// Deterministic parallel stepping (the DESIGN.md §5e contract).
+//
+// The Interleaver's per-iteration tile loop is sharded across a bounded pool
+// of persistent workers. Each worker owns a contiguous range of tile
+// positions and steps them in increasing position order, publishing a
+// per-worker watermark after each tile. All cross-worker waits target
+// strictly lower tile positions, so the wait graph is acyclic: the lowest
+// unfinished tile can always run, and the phase always terminates.
+//
+// Two ordering rules make the result bit-identical to sequential stepping:
+//
+//   - Fabric capacity (soc.go sendHasRoom): a sender observes exactly the
+//     receiver pops sequential tile order would have shown — the committed
+//     epoch count when the receiver steps later this cycle, the live count
+//     (after waiting for the receiver's step) when it steps earlier.
+//   - Sync ops: a core whose step may touch shared synchronization state —
+//     barrier arrivals/releases or accelerator invocations — first waits
+//     for every lower tile position to finish (core.MaySync, a conservative
+//     trace-window test). That replicates the sequential prefix those ops
+//     observe; tiles without sync ops in flight only touch their own SPSC
+//     queues and per-tile shards and run unordered.
+//
+// The serial phase — memory-hierarchy tick, freeze confirmation, horizon
+// jumps, epoch commit — stays on the Run goroutine, unchanged.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pworker is one worker's slot, padded so adjacent watermarks never share a
+// cache line.
+type pworker struct {
+	lo, hi int        // owned tile-position range [lo, hi)
+	start  chan int64 // per-cycle dispatch (the cycle number)
+	active bool       // any-tile-active result of the last phase
+	// prog is the worker's watermark: base + pos + 1 after finishing the
+	// tile at pos. base is seq*len(tiles), with seq a dense per-phase
+	// counter (cycles jump under skipping, so they cannot seed the
+	// encoding); a stale value from an earlier phase is always below any
+	// current-phase target.
+	prog atomicPadded
+}
+
+type atomicPadded struct {
+	v int64
+	_ [7]int64
+}
+
+// stepEngine shards one system's tile stepping across workers.
+type stepEngine struct {
+	s        *System
+	maxClock int64
+	// Shared with Run's loop (workers touch only their owned indices; the
+	// serial phase reads and writes them between joins).
+	accum, strides []int64
+	idleOK         []bool
+	stallDelta     []StallSample
+
+	workers []pworker
+	owner   []int // tile position -> worker index
+	base    int64 // written serially before dispatch, read by workers
+	seq     int64
+	wg      sync.WaitGroup
+}
+
+// startEngine builds and starts the worker pool when parallel stepping is
+// both requested and sound. It returns nil — leaving Run on the sequential
+// loop — for worker counts <= 1, directory-coherent hierarchies (cross-core
+// invalidations are order-sensitive), and zero-latency fabrics (a
+// same-cycle-maturing message could be consumed or missed depending on
+// worker timing).
+func (s *System) startEngine(accum, strides []int64, idleOK []bool, stallDelta []StallSample, maxClock int64) *stepEngine {
+	nw := s.StepWorkers
+	if nw > len(s.tiles) {
+		nw = len(s.tiles)
+	}
+	if nw <= 1 || (s.Hier != nil && s.Hier.Dir != nil) || s.Fabric.Latency <= 0 {
+		return nil
+	}
+	e := &stepEngine{
+		s:          s,
+		maxClock:   maxClock,
+		accum:      accum,
+		strides:    strides,
+		idleOK:     idleOK,
+		stallDelta: stallDelta,
+		workers:    make([]pworker, nw),
+		owner:      make([]int, len(s.tiles)),
+	}
+	nt := len(s.tiles)
+	per, rem := nt/nw, nt%nw
+	lo := 0
+	for w := range e.workers {
+		sz := per
+		if w < rem {
+			sz++
+		}
+		e.workers[w] = pworker{lo: lo, hi: lo + sz, start: make(chan int64)}
+		for p := lo; p < lo+sz; p++ {
+			e.owner[p] = w
+		}
+		lo += sz
+	}
+	s.Fabric.syncCommitted()
+	s.Fabric.engine = e
+	for w := range e.workers {
+		go e.run(&e.workers[w])
+	}
+	return e
+}
+
+// stop shuts the workers down and detaches the engine from the fabric.
+func (e *stepEngine) stop() {
+	for w := range e.workers {
+		close(e.workers[w].start)
+	}
+	e.s.Fabric.engine = nil
+}
+
+// step runs one parallel tile phase for cycle and reports whether any tile
+// is still active — exactly the sequential loop's anyActive.
+func (e *stepEngine) step(cycle int64) bool {
+	e.seq++
+	e.s.ParallelPhases++
+	e.base = e.seq * int64(len(e.s.tiles))
+	e.wg.Add(len(e.workers))
+	for w := range e.workers {
+		e.workers[w].start <- cycle
+	}
+	e.wg.Wait()
+	active := false
+	for w := range e.workers {
+		active = active || e.workers[w].active
+	}
+	return active
+}
+
+// run is one worker's loop: per dispatched cycle, step the owned tile range
+// in position order, mirroring the sequential loop's accumulator arithmetic
+// and freeze bracketing, and publish the watermark after each position.
+func (e *stepEngine) run(w *pworker) {
+	for cycle := range w.start {
+		base := e.base
+		active := false
+		for pos := w.lo; pos < w.hi; pos++ {
+			t := e.s.tiles[pos]
+			e.accum[pos] += e.strides[pos]
+			if e.accum[pos] >= e.maxClock {
+				e.accum[pos] -= e.maxClock
+				if t.MaySync() {
+					// The step may arrive at a barrier, test a release, or
+					// invoke an accelerator: give it the sequential prefix.
+					e.waitAllBelow(base, pos)
+				}
+				pp := t.Progress()
+				before := t.SnapshotStalls()
+				if t.Step(cycle) {
+					active = true
+				}
+				if t.Progress() == pp {
+					e.stallDelta[pos] = t.SnapshotStalls().Sub(before)
+					e.idleOK[pos] = true
+				}
+			} else if !t.Done() {
+				active = true
+			}
+			atomic.StoreInt64(&w.prog.v, base+int64(pos)+1)
+		}
+		w.active = active
+		e.wg.Done()
+	}
+}
+
+// waitCore blocks until the tile owning core id has finished its step this
+// phase. Callers only ever wait on lower tile positions.
+func (e *stepEngine) waitCore(id int) {
+	pos := e.s.tilePos[id]
+	w := &e.workers[e.owner[pos]]
+	target := e.base + int64(pos) + 1
+	for atomic.LoadInt64(&w.prog.v) < target {
+		runtime.Gosched()
+	}
+}
+
+// waitAllBelow blocks until every tile position < pos has finished its step
+// this phase (positions the caller's own worker owns are already done by
+// program order).
+func (e *stepEngine) waitAllBelow(base int64, pos int) {
+	for i := range e.workers {
+		w := &e.workers[i]
+		if w.lo >= pos {
+			break
+		}
+		limit := pos
+		if w.hi < limit {
+			limit = w.hi
+		}
+		// Positions [w.lo, limit) are done once the watermark reaches
+		// base + limit.
+		target := base + int64(limit)
+		for atomic.LoadInt64(&w.prog.v) < target {
+			runtime.Gosched()
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"mosaicsim/internal/config"
 	"mosaicsim/internal/core"
@@ -51,10 +52,16 @@ type TileSpec struct {
 // With a NoC configured, transfers additionally pay per-hop latency for the
 // Manhattan distance between the tiles on a 2D mesh — the "message module"
 // the paper lists as the natural extension of the tile model (§V-A).
+//
+// Every queue is single-producer/single-consumer (the producer is the source
+// tile, the consumer the destination tile) and every statistic is sharded
+// per tile, so tiles stepping on different workers send and receive
+// concurrently while the totals merge deterministically; DESIGN.md §5e has
+// the full parallel-stepping contract.
 type Fabric struct {
 	Capacity int
 	Latency  int64
-	// Tiles is the number of tiles participating in barriers.
+	// Tiles is the system's tile count (barrier membership and shard width).
 	Tiles int
 	// MeshWidth > 0 arranges tiles on a 2D mesh of that width; HopCycles is
 	// the per-hop link latency.
@@ -64,34 +71,83 @@ type Fabric struct {
 	// row-major by tile ID.
 	Slots []int
 
-	queues map[[2]int]*msgRing // arrival cycles (pointers so futures can mature in place)
+	queues map[[2]int]*msgQueue
 
 	arrivals []int64 // per-tile barrier arrival counts
 	// participants marks the tiles that execute barrier ops; nil means every
 	// tile in [0, Tiles) does (the legacy rule for hand-built fabrics).
 	participants []bool
 
-	Sends     int64
-	Recvs     int64
-	FullStall int64
-	HopsTotal int64
+	// Per-tile statistic shards, indexed by the tile that earns the count
+	// (the sender, except recvs). Sequential stepping only ever bumped the
+	// old global counters from the stepping tile, so summing the shards is
+	// bit-identical at any worker count.
+	sends     []int64
+	recvs     []int64
+	fullStall []int64
+	hops      []int64
+
+	// engine is non-nil while System.Run is stepping tiles in parallel; it
+	// selects the epoch capacity rule and forbids lazy queue creation.
+	engine *stepEngine
+	// dirty lists, per receiving tile, the queues that tile popped since the
+	// last epoch commit; commitEpoch publishes their pop counts to senders.
+	dirty [][]*msgQueue
 }
 
-// transferLatency returns the fabric latency from src to dst, including NoC
-// hops when a mesh is configured.
-func (f *Fabric) transferLatency(src, dst int) int64 {
-	lat := f.Latency
-	if f.MeshWidth > 0 {
-		if f.Slots != nil {
-			src, dst = f.Slots[src], f.Slots[dst]
-		}
-		sx, sy := src%f.MeshWidth, src/f.MeshWidth
-		dx, dy := dst%f.MeshWidth, dst/f.MeshWidth
-		hops := int64(abs(sx-dx) + abs(sy-dy))
-		f.HopsTotal += hops
-		lat += hops * f.HopCycles
+// transferCost returns the fabric latency from src to dst — including NoC
+// hops when a mesh is configured — and the hop count. It is a pure query:
+// hop accounting is charged by the successful-send paths, so horizon probes
+// and rejected sends never mutate statistics.
+func (f *Fabric) transferCost(src, dst int) (lat, hops int64) {
+	lat = f.Latency
+	if f.MeshWidth <= 0 {
+		return lat, 0
 	}
-	return lat
+	if f.Slots != nil {
+		if src >= len(f.Slots) || dst >= len(f.Slots) {
+			panic(fmt.Sprintf("soc: fabric Slots pins %d tiles but tile %d sends to tile %d (Fabric.Validate rejects this before a run)",
+				len(f.Slots), src, dst))
+		}
+		src, dst = f.Slots[src], f.Slots[dst]
+	}
+	sx, sy := src%f.MeshWidth, src/f.MeshWidth
+	dx, dy := dst%f.MeshWidth, dst/f.MeshWidth
+	hops = int64(abs(sx-dx) + abs(sy-dy))
+	return lat + hops*f.HopCycles, hops
+}
+
+// Validate checks the fabric's NoC geometry up front: a short, off-grid, or
+// duplicated Slots table is reported as a construction-time error (the same
+// rule topology.Build applies to declarative configs) instead of an opaque
+// index panic mid-run. System.Run calls it before the first cycle.
+func (f *Fabric) Validate() error {
+	if f.MeshWidth <= 0 {
+		if f.Slots != nil {
+			return fmt.Errorf("soc: fabric pins %d mesh slots but configures no mesh (MeshWidth = %d)", len(f.Slots), f.MeshWidth)
+		}
+		return nil
+	}
+	if f.Slots == nil {
+		if f.Tiles > f.MeshWidth*f.MeshWidth {
+			return fmt.Errorf("soc: a %dx%d mesh cannot place %d tiles", f.MeshWidth, f.MeshWidth, f.Tiles)
+		}
+		return nil
+	}
+	if f.Tiles > len(f.Slots) {
+		return fmt.Errorf("soc: fabric has %d tiles but Slots pins only %d; every tile needs a mesh slot", f.Tiles, len(f.Slots))
+	}
+	seen := map[int]int{}
+	for i, s := range f.Slots {
+		if s < 0 || s >= f.MeshWidth*f.MeshWidth {
+			return fmt.Errorf("soc: tile %d pinned to mesh slot %d outside the %dx%d mesh", i, s, f.MeshWidth, f.MeshWidth)
+		}
+		if j, dup := seen[s]; dup {
+			return fmt.Errorf("soc: tiles %d and %d both pinned to mesh slot %d", j, i, s)
+		}
+		seen[s] = i
+	}
+	return nil
 }
 
 func abs(x int) int {
@@ -101,37 +157,40 @@ func abs(x int) int {
 	return x
 }
 
-// msgRing is a FIFO of in-flight message arrival cycles backed by a ring
-// buffer. The previous append/[1:] slice pattern kept the whole backing
-// array reachable across a run and re-allocated on every wraparound; the
-// ring reuses one buffer at steady state.
-type msgRing struct {
-	buf  []*int64
-	head int
-	n    int
+// msgQueue is the FIFO of in-flight arrival cycles for one (src,dst) pair: a
+// single-producer (src tile) / single-consumer (dst tile) ring sized to the
+// fabric capacity, so its buffer is never reallocated. Arrival cycles are
+// accessed atomically — a TrySendFuture reservation matures in place while
+// the receiver may be probing the front — and the cumulative push/pop counts
+// implement the epoch capacity rule for parallel stepping (sendHasRoom).
+type msgQueue struct {
+	buf  []int64 // arrival cycles; futureArrival = reserved, not yet matured
+	head int     // receiver-owned
+	tail int     // sender-owned
+
+	pushes int64        // sender-owned cumulative push count
+	pops   atomic.Int64 // cumulative pop count, published by the receiver
+	// popsCommitted is pops as of the last epoch commit (the end of the
+	// previous stepped cycle); senders on other workers read it instead of
+	// the live count so capacity decisions match sequential stepping.
+	popsCommitted atomic.Int64
+	n             atomic.Int64 // current occupancy
+
+	dirtyMark bool // receiver-owned: queue already on its dirty list
 }
 
-func (r *msgRing) len() int { return r.n }
-
-func (r *msgRing) push(p *int64) {
-	if r.n == len(r.buf) {
-		grown := make([]*int64, max(4, 2*len(r.buf)))
-		for i := 0; i < r.n; i++ {
-			grown[i] = r.buf[(r.head+i)%len(r.buf)]
-		}
-		r.buf = grown
-		r.head = 0
+// push appends an arrival cycle and returns the ring slot it occupies.
+// Capacity is the caller's problem (sendHasRoom); the ring can never
+// overflow because occupancy is bounded by Capacity == len(buf).
+func (q *msgQueue) push(at int64) (slot int) {
+	slot = q.tail
+	atomic.StoreInt64(&q.buf[slot], at)
+	if q.tail++; q.tail == len(q.buf) {
+		q.tail = 0
 	}
-	r.buf[(r.head+r.n)%len(r.buf)] = p
-	r.n++
-}
-
-func (r *msgRing) front() *int64 { return r.buf[r.head] }
-
-func (r *msgRing) pop() {
-	r.buf[r.head] = nil
-	r.head = (r.head + 1) % len(r.buf)
-	r.n--
+	q.pushes++
+	q.n.Add(1)
+	return slot
 }
 
 // NewFabric builds a fabric with the given buffer capacity (entries per
@@ -140,30 +199,129 @@ func NewFabric(capacity int, latency int64) *Fabric {
 	if capacity <= 0 {
 		capacity = 512
 	}
-	return &Fabric{Capacity: capacity, Latency: latency, queues: map[[2]int]*msgRing{}}
+	return &Fabric{Capacity: capacity, Latency: latency, queues: map[[2]int]*msgQueue{}}
 }
 
-// queue returns (allocating on first use) the FIFO for one (src,dst) pair.
-func (f *Fabric) queue(src, dst int) *msgRing {
+// sizeTiles presizes the per-tile statistic shards and dirty lists so the
+// parallel step phase never grows a shared slice. Hand-built fabrics that
+// skip it (tests) grow shards on demand — they only ever step sequentially.
+func (f *Fabric) sizeTiles(n int) {
+	f.Tiles = n
+	f.sends = make([]int64, n)
+	f.recvs = make([]int64, n)
+	f.fullStall = make([]int64, n)
+	f.hops = make([]int64, n)
+	f.dirty = make([][]*msgQueue, n)
+}
+
+// bump adds d to tile i's shard of counter s, growing the shard for
+// hand-built fabrics that never called sizeTiles.
+func (f *Fabric) bump(s *[]int64, i int, d int64) {
+	for len(*s) <= i {
+		*s = append(*s, 0)
+	}
+	(*s)[i] += d
+}
+
+func sumShards(s []int64) int64 {
+	var t int64
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// Sends is the total number of accepted sends across all tiles.
+func (f *Fabric) Sends() int64 { return sumShards(f.sends) }
+
+// Recvs is the total number of consumed messages across all tiles.
+func (f *Fabric) Recvs() int64 { return sumShards(f.recvs) }
+
+// FullStall counts send attempts rejected by a full buffer.
+func (f *Fabric) FullStall() int64 { return sumShards(f.fullStall) }
+
+// HopsTotal counts NoC hops traversed by accepted sends.
+func (f *Fabric) HopsTotal() int64 { return sumShards(f.hops) }
+
+// fullStallOf reads tile i's shard of the full-buffer stall counter — the
+// only slice of FullStall a step by tile i can advance, which makes it the
+// right bracketing sample for frozen-step replay.
+func (f *Fabric) fullStallOf(i int) int64 {
+	if i < len(f.fullStall) {
+		return f.fullStall[i]
+	}
+	return 0
+}
+
+// addFullStall replays k frozen steps' worth of full-buffer stalls for tile
+// i (event-horizon cycle-skip replay).
+func (f *Fabric) addFullStall(i int, d int64) { f.bump(&f.fullStall, i, d) }
+
+// queue returns the FIFO for one (src,dst) pair, allocating on first use.
+// During a parallel step phase the map is read-only — every communicating
+// pair was pre-created from the traces at system construction — because a
+// lazy insert from a worker would race other tiles' lookups.
+func (f *Fabric) queue(src, dst int) *msgQueue {
+	if q := f.queues[[2]int{src, dst}]; q != nil {
+		return q
+	}
+	if f.engine != nil {
+		panic(fmt.Sprintf("soc: fabric queue %d->%d missing during parallel stepping (send not derived from the comm trace)", src, dst))
+	}
+	return f.ensureQueue(src, dst)
+}
+
+// ensureQueue creates (or returns) the FIFO for one (src,dst) pair.
+func (f *Fabric) ensureQueue(src, dst int) *msgQueue {
 	key := [2]int{src, dst}
 	q := f.queues[key]
 	if q == nil {
-		q = &msgRing{}
+		q = &msgQueue{buf: make([]int64, f.Capacity)}
 		f.queues[key] = q
 	}
 	return q
 }
 
+// sendHasRoom applies the capacity check. Sequentially it is the plain
+// occupancy test. In a parallel step phase the sender must observe exactly
+// the pops sequential tile-order stepping would have seen at this moment:
+//
+//   - dst steps later this cycle (dst > src): none of this cycle's pops —
+//     the committed count from the last epoch boundary.
+//   - dst already stepped (dst < src): all of them — wait for the
+//     receiver's step to finish, then read the live count. The wait targets
+//     a strictly lower tile position, so it cannot deadlock.
+//   - self-sends (src == dst) always read the live count: the tile is its
+//     own receiver, and waiting on itself would deadlock.
+//
+// A queue under committed capacity is accepted immediately: pops only shrink
+// occupancy, so the committed and sequential views agree on acceptance.
+func (f *Fabric) sendHasRoom(q *msgQueue, src, dst int) bool {
+	cap64 := int64(f.Capacity)
+	if f.engine == nil || src == dst {
+		return q.pushes-q.pops.Load() < cap64
+	}
+	if q.pushes-q.popsCommitted.Load() < cap64 {
+		return true
+	}
+	if dst < src {
+		f.engine.waitCore(dst)
+		return q.pushes-q.pops.Load() < cap64
+	}
+	return false
+}
+
 // TrySend implements core.Fabric.
 func (f *Fabric) TrySend(src, dst int, now int64) bool {
 	q := f.queue(src, dst)
-	if q.len() >= f.Capacity {
-		f.FullStall++
+	if !f.sendHasRoom(q, src, dst) {
+		f.bump(&f.fullStall, src, 1)
 		return false
 	}
-	arrival := now + f.transferLatency(src, dst)
-	q.push(&arrival)
-	f.Sends++
+	lat, hops := f.transferCost(src, dst)
+	q.push(now + lat)
+	f.bump(&f.sends, src, 1)
+	f.bump(&f.hops, src, hops)
 	return true
 }
 
@@ -173,30 +331,60 @@ const futureArrival = int64(1<<62 - 1)
 
 // TrySendFuture implements core.Fabric: reserves a slot that matures when
 // the returned setter is called (DeSC terminal-load-buffer sends whose data
-// is still in flight).
+// is still in flight). The slot index stays valid until the setter fires:
+// an immature message blocks the FIFO front, so the ring cannot recycle it.
 func (f *Fabric) TrySendFuture(src, dst int) (func(int64), bool) {
 	q := f.queue(src, dst)
-	if q.len() >= f.Capacity {
-		f.FullStall++
+	if !f.sendHasRoom(q, src, dst) {
+		f.bump(&f.fullStall, src, 1)
 		return nil, false
 	}
-	pending := futureArrival
-	slot := &pending
-	q.push(slot)
-	f.Sends++
-	lat := f.transferLatency(src, dst)
-	return func(at int64) { *slot = at + lat }, true
+	slot := q.push(futureArrival)
+	lat, hops := f.transferCost(src, dst)
+	f.bump(&f.sends, src, 1)
+	f.bump(&f.hops, src, hops)
+	return func(at int64) { atomic.StoreInt64(&q.buf[slot], at+lat) }, true
 }
 
 // TryRecv implements core.Fabric.
 func (f *Fabric) TryRecv(dst, src int, now int64) bool {
 	q := f.queues[[2]int{src, dst}]
-	if q == nil || q.len() == 0 || *q.front() > now {
+	if q == nil || q.n.Load() == 0 || atomic.LoadInt64(&q.buf[q.head]) > now {
 		return false
 	}
-	q.pop()
-	f.Recvs++
+	if q.head++; q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.n.Add(-1)
+	q.pops.Add(1)
+	f.bump(&f.recvs, dst, 1)
+	if f.engine != nil && !q.dirtyMark {
+		q.dirtyMark = true
+		f.dirty[dst] = append(f.dirty[dst], q)
+	}
 	return true
+}
+
+// commitEpoch publishes this cycle's pops to senders. It runs in the serial
+// phase at the per-cycle join, freezing the occupancy view the next cycle's
+// capacity checks read.
+func (f *Fabric) commitEpoch() {
+	for i := range f.dirty {
+		for j, q := range f.dirty[i] {
+			q.popsCommitted.Store(q.pops.Load())
+			q.dirtyMark = false
+			f.dirty[i][j] = nil
+		}
+		f.dirty[i] = f.dirty[i][:0]
+	}
+}
+
+// syncCommitted aligns every queue's committed pop count with its live one
+// (engine start, or reuse of a system that already ran sequentially).
+func (f *Fabric) syncCommitted() {
+	for _, q := range f.queues {
+		q.popsCommitted.Store(q.pops.Load())
+	}
 }
 
 // BarrierArrive implements core.Fabric: registers one tile's arrival at its
@@ -249,7 +437,7 @@ func (f *Fabric) BarrierReleased(seq int64) bool {
 func (f *Fabric) Pending() int {
 	n := 0
 	for _, q := range f.queues {
-		n += q.len()
+		n += int(q.n.Load())
 	}
 	return n
 }
@@ -261,10 +449,10 @@ func (f *Fabric) Pending() int {
 // core's horizon already covers.
 func (f *Fabric) frontArrivals(fn func(dst int, at int64)) {
 	for key, q := range f.queues {
-		if q.len() == 0 {
+		if q.n.Load() == 0 {
 			continue
 		}
-		if at := *q.front(); at < futureArrival {
+		if at := atomic.LoadInt64(&q.buf[q.head]); at < futureArrival {
 			fn(key[1], at)
 		}
 	}
@@ -296,11 +484,23 @@ type System struct {
 	// DisableCycleSkipping forces the naive cycle-by-cycle loop (the
 	// equivalence-test reference and the -noskip flag).
 	DisableCycleSkipping bool
+	// StepWorkers shards tile stepping across up to this many goroutines
+	// within each Interleaver iteration (0 or 1 = sequential). Results are
+	// bit-identical to sequential stepping at any worker count; see
+	// DESIGN.md §5e. Systems with directory coherence always step
+	// sequentially — cross-core invalidations are order-sensitive.
+	StepWorkers int
+	// ParallelPhases counts Interleaver iterations the parallel stepper
+	// executed (0 when stepping sequentially). It is an observability hook
+	// for tests and benchmarks, deliberately outside Result so parallel and
+	// sequential runs stay byte-identical.
+	ParallelPhases int64
 	// OnProgress, when non-nil, is called from the simulating goroutine at
 	// interleave boundaries (every ctxCheckInterval loop iterations) with
-	// where the run stands. It exists for serving frontends that stream
-	// live progress; it must be cheap — the simulator does not throttle it
-	// beyond the interleave cadence — and it must not retain the update.
+	// where the run stands, plus once — with Final set — on every Run exit
+	// path. It exists for serving frontends that stream live progress; it
+	// must be cheap — the simulator does not throttle it beyond the
+	// interleave cadence — and it must not retain the update.
 	OnProgress func(ProgressUpdate)
 }
 
@@ -311,6 +511,17 @@ type ProgressUpdate struct {
 	Cycle   int64
 	Stepped int64
 	Skipped int64
+	// Final marks the terminal update each Run exit path (completion,
+	// cancellation, cycle limit) emits, so the last streamed position is
+	// never stale by up to the poll interval plus the final horizon jump.
+	Final bool
+}
+
+// finalProgress emits the terminal progress update on a Run exit path.
+func (s *System) finalProgress(cycle int64) {
+	if s.OnProgress != nil {
+		s.OnProgress(ProgressUpdate{Cycle: cycle, Stepped: s.SteppedCycles, Skipped: s.SkippedCycles, Final: true})
+	}
 }
 
 // accelEvent schedules the release of one outstanding accelerator
@@ -421,7 +632,13 @@ func New(name string, tiles []TileSpec, memCfg config.MemConfig, accels map[stri
 	}
 	cap := tiles[0].Cfg.MaxMessages
 	s.Fabric = NewFabric(cap, 1)
-	s.Fabric.Tiles = len(tiles)
+	s.Fabric.sizeTiles(len(tiles))
+	// Pre-create every communicating (src,dst) queue from the traces: the
+	// parallel step phase must never insert into the queue map (a worker's
+	// lazy insert would race other tiles' lookups).
+	for pr := range commPairs(tiles) {
+		s.Fabric.ensureQueue(pr[0], pr[1])
+	}
 	// Register barrier participants from the traces: a tile whose trace
 	// executes no barrier ops must not be waited on, and participating
 	// tiles with unequal barrier counts would deadlock — report that here
@@ -490,6 +707,50 @@ func barrierCounts(tiles []TileSpec) []int64 {
 	return counts
 }
 
+// commPairs derives every (src,dst) message-queue pair a set of traced tiles
+// will use: each tile's block path is walked consuming its comm events in
+// the same per-block node order the core's launch path does, so a send by
+// tile i to partner p yields pair (i,p) and a recv pair (p,i).
+func commPairs(tiles []TileSpec) map[[2]int]bool {
+	// Per graph, per block: the block's comm ops in node order
+	// (true = send, false = recv).
+	perGraph := map[*ddg.Graph][][]bool{}
+	pairs := map[[2]int]bool{}
+	for i, t := range tiles {
+		per, ok := perGraph[t.Graph]
+		if !ok {
+			per = make([][]bool, len(t.Graph.Blocks))
+			for b, bg := range t.Graph.Blocks {
+				for _, sn := range bg.Nodes {
+					if sn.Instr.Op == ir.OpCall && (sn.Instr.Callee == "send" || sn.Instr.Callee == "recv") {
+						per[b] = append(per[b], sn.Instr.Callee == "send")
+					}
+				}
+			}
+			perGraph[t.Graph] = per
+		}
+		cursor := 0
+		for _, b := range t.TT.BBPath {
+			for _, isSend := range per[b] {
+				if cursor >= len(t.TT.Comm) {
+					break
+				}
+				p := int(t.TT.Comm[cursor].Partner)
+				cursor++
+				if p < 0 || p >= len(tiles) {
+					continue
+				}
+				if isSend {
+					pairs[[2]int{i, p}] = true
+				} else {
+					pairs[[2]int{p, i}] = true
+				}
+			}
+		}
+	}
+	return pairs
+}
+
 // NewSPMD builds a homogeneous SPMD system: every core of cfg runs the same
 // kernel graph against its own tile trace. It is a thin wrapper over the
 // declarative topology builder (Build).
@@ -534,9 +795,17 @@ func (s *System) cancelErr(ctx context.Context, cause error, cycle, effLimit int
 // next-event horizon across all components (event-horizon cycle skipping),
 // advancing the per-tile clock accumulators arithmetically and replaying the
 // per-cycle stall counters so results are bit-identical to the naive loop.
+//
+// With StepWorkers > 1 the per-iteration tile loop is sharded across a
+// worker pool and joined at the per-cycle boundary where the hierarchy ticks
+// and the skipper evaluates freeze confirmation; the fabric's epoch rules
+// keep results bit-identical to sequential stepping (DESIGN.md §5e).
 func (s *System) Run(ctx context.Context, limit int64) error {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if err := s.Fabric.Validate(); err != nil {
+		return err
 	}
 	effLimit := limit
 	if effLimit <= 0 {
@@ -562,6 +831,10 @@ func (s *System) Run(ctx context.Context, limit int64) error {
 		strides[i] = int64(t.ClockMHz())
 		accum[i] = maxClock // step every tile on cycle 0
 	}
+	eng := s.startEngine(accum, strides, idleOK, stallDelta, maxClock)
+	if eng != nil {
+		defer eng.stop()
+	}
 	progress := func() uint64 {
 		p := uint64(s.Hier.Progress())
 		for _, t := range s.tiles {
@@ -576,6 +849,7 @@ func (s *System) Run(ctx context.Context, limit int64) error {
 		if ctxCountdown--; ctxCountdown <= 0 {
 			ctxCountdown = ctxCheckInterval
 			if err := ctx.Err(); err != nil {
+				s.finalProgress(cycle)
 				return s.cancelErr(ctx, err, cycle, effLimit)
 			}
 			if s.OnProgress != nil {
@@ -583,23 +857,28 @@ func (s *System) Run(ctx context.Context, limit int64) error {
 			}
 		}
 		anyActive := false
-		for i, t := range s.tiles {
-			accum[i] += strides[i]
-			if accum[i] >= maxClock {
-				accum[i] -= maxClock
-				pp := t.Progress()
-				before := t.SnapshotStalls()
-				if t.Step(cycle) {
+		if eng != nil {
+			anyActive = eng.step(cycle)
+			s.Fabric.commitEpoch()
+		} else {
+			for i, t := range s.tiles {
+				accum[i] += strides[i]
+				if accum[i] >= maxClock {
+					accum[i] -= maxClock
+					pp := t.Progress()
+					before := t.SnapshotStalls()
+					if t.Step(cycle) {
+						anyActive = true
+					}
+					if t.Progress() == pp {
+						// Frozen step: its stall increments repeat verbatim
+						// until something, somewhere, makes progress.
+						stallDelta[i] = t.SnapshotStalls().Sub(before)
+						idleOK[i] = true
+					}
+				} else if !t.Done() {
 					anyActive = true
 				}
-				if t.Progress() == pp {
-					// Frozen step: its stall increments repeat verbatim
-					// until something, somewhere, makes progress.
-					stallDelta[i] = t.SnapshotStalls().Sub(before)
-					idleOK[i] = true
-				}
-			} else if !t.Done() {
-				anyActive = true
 			}
 		}
 		thr0 := s.Hier.ThrottleStalls()
@@ -608,6 +887,7 @@ func (s *System) Run(ctx context.Context, limit int64) error {
 		s.Cycles = cycle
 		s.SteppedCycles++
 		if !anyActive && !s.Hier.Busy() {
+			s.finalProgress(cycle)
 			return nil
 		}
 		if s.DisableCycleSkipping {
@@ -639,6 +919,7 @@ func (s *System) Run(ctx context.Context, limit int64) error {
 		// horizon jump is also a cancellation boundary: a long frozen
 		// stretch must not outlive its context.
 		if err := ctx.Err(); err != nil {
+			s.finalProgress(cycle)
 			return s.cancelErr(ctx, err, cycle, effLimit)
 		}
 		target := s.horizon(cycle, accum, strides, maxClock, effLimit)
@@ -665,6 +946,7 @@ func (s *System) Run(ctx context.Context, limit int64) error {
 		s.Cycles = target - 1
 		cycle = target - 1 // the loop increment lands on target
 	}
+	s.finalProgress(s.Cycles)
 	if limit <= 0 {
 		return fmt.Errorf("soc: system %q exceeded the default cycle limit of %d (2^40) without completing; pass Run a larger limit if the workload is genuinely that long", s.Name, effLimit)
 	}

@@ -143,8 +143,8 @@ void kernel(double* A, double* out, long n) {
 	if err := sys.Run(context.Background(), 200_000_000); err != nil {
 		t.Fatal(err)
 	}
-	if sys.Fabric.Sends != 400 || sys.Fabric.Recvs != 400 {
-		t.Errorf("fabric sends=%d recvs=%d, want 400/400", sys.Fabric.Sends, sys.Fabric.Recvs)
+	if sys.Fabric.Sends() != 400 || sys.Fabric.Recvs() != 400 {
+		t.Errorf("fabric sends=%d recvs=%d, want 400/400", sys.Fabric.Sends(), sys.Fabric.Recvs())
 	}
 	if sys.Fabric.Pending() != 0 {
 		t.Errorf("%d messages stuck in fabric", sys.Fabric.Pending())
@@ -159,8 +159,8 @@ func TestFabricBackpressure(t *testing.T) {
 	if f.TrySend(0, 1, 0) {
 		t.Error("send beyond capacity succeeded")
 	}
-	if f.FullStall != 1 {
-		t.Errorf("FullStall = %d", f.FullStall)
+	if f.FullStall() != 1 {
+		t.Errorf("FullStall = %d", f.FullStall())
 	}
 	if f.TryRecv(1, 0, 0) {
 		t.Error("message consumed before its arrival cycle")
@@ -456,8 +456,8 @@ func TestNoCHopLatency(t *testing.T) {
 	if !far.TryRecv(3, 0, 101+15) {
 		t.Error("mesh message never matured")
 	}
-	if far.HopsTotal != 3 {
-		t.Errorf("HopsTotal = %d, want 3", far.HopsTotal)
+	if far.HopsTotal() != 3 {
+		t.Errorf("HopsTotal = %d, want 3", far.HopsTotal())
 	}
 }
 

@@ -31,6 +31,11 @@ import (
 //     the tile exactly as k repeated frozen steps would have.
 //   - Done() tiles are excluded from freeze confirmation, horizons, and
 //     replay.
+//   - MaySync() reports whether the tile's next Step might touch shared
+//     synchronization state (barrier arrivals/releases, accelerator
+//     invocations). The parallel stepper serializes such steps behind every
+//     lower tile position; the answer may be conservative (true when the
+//     step turns out not to sync) but never falsely false.
 type Tile interface {
 	// Kind labels the tile's model family ("ooo", "inorder", "accel", ...)
 	// for per-kind breakdowns.
@@ -44,13 +49,15 @@ type Tile interface {
 	NextEvent(now int64) int64
 	SnapshotStalls() StallSample
 	ReplayStalls(delta StallSample, k int64)
+	MaySync() bool
 	// Stats reports the tile's contribution to per-kind breakdowns.
 	Stats() TileStats
 }
 
 // StallSample captures every stall counter a frozen step can touch: the
-// tile-local counters plus the shared fabric back-pressure counter (a frozen
-// send retry bumps Fabric.FullStall, which lives outside the tile).
+// tile-local counters plus the tile's shard of the fabric back-pressure
+// counter (a frozen send retry bumps the sender's FullStall shard, which
+// lives outside the tile).
 type StallSample struct {
 	Core   core.StallSnapshot
 	Fabric int64
@@ -71,8 +78,8 @@ type TileStats struct {
 }
 
 // CoreTile adapts a core.Core to the Tile interface. The fabric reference is
-// for stall accounting only: a frozen core retrying a send increments the
-// shared FullStall counter, so the sample must include it for replay.
+// for stall accounting only: a frozen core retrying a send increments its
+// FullStall shard, so the sample must include it for replay.
 type CoreTile struct {
 	C      *core.Core
 	fabric *Fabric
@@ -99,14 +106,17 @@ func (t *CoreTile) NextEvent(now int64) int64 { return t.C.NextEvent(now) }
 
 // SnapshotStalls implements Tile.
 func (t *CoreTile) SnapshotStalls() StallSample {
-	return StallSample{Core: t.C.StallCounters(), Fabric: t.fabric.FullStall}
+	return StallSample{Core: t.C.StallCounters(), Fabric: t.fabric.fullStallOf(t.C.ID)}
 }
 
 // ReplayStalls implements Tile.
 func (t *CoreTile) ReplayStalls(delta StallSample, k int64) {
 	t.C.AddStallCycles(delta.Core, k)
-	t.fabric.FullStall += delta.Fabric * k
+	t.fabric.addFullStall(t.C.ID, delta.Fabric*k)
 }
+
+// MaySync implements Tile.
+func (t *CoreTile) MaySync() bool { return t.C.MaySync() }
 
 // Stats implements Tile.
 func (t *CoreTile) Stats() TileStats {
@@ -180,6 +190,12 @@ func (t *AccelTile) SnapshotStalls() StallSample { return StallSample{} }
 // ReplayStalls implements Tile; nothing to replay. (Done tiles are skipped
 // by the replay loop anyway.)
 func (t *AccelTile) ReplayStalls(delta StallSample, k int64) {}
+
+// MaySync implements Tile. The manager mutates shared invocation state every
+// step, but it sits at tile position 0: it is always the first tile its
+// worker steps, and invoking cores (MaySync true) wait for it, so no extra
+// ordering is needed.
+func (t *AccelTile) MaySync() bool { return false }
 
 // Stats implements Tile: invocations as "instructions", summed invocation
 // latency as active cycles.

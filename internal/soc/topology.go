@@ -209,6 +209,7 @@ func Build(sc *config.SystemConfig, b Binding, accels map[string]AccelModel) (*S
 	if err != nil {
 		return nil, err
 	}
+	sys.StepWorkers = sc.StepWorkers
 	if sc.NoC != nil {
 		w := sc.NoC.MeshWidth
 		if w <= 0 || w*w < len(rts) {

@@ -142,13 +142,14 @@ func tileGoldenCases(t *testing.T) []goldenCase {
 }
 
 // runGolden builds and runs one case with the chosen skipping mode and
-// returns its compact Result JSON.
-func runGolden(t *testing.T, gc goldenCase, noskip bool) []byte {
+// step-worker count and returns its compact Result JSON.
+func runGolden(t *testing.T, gc goldenCase, noskip bool, workers int) []byte {
 	t.Helper()
 	sys := gc.build(t)
 	sys.DisableCycleSkipping = noskip
+	sys.StepWorkers = workers
 	if err := sys.Run(context.Background(), 0); err != nil {
-		t.Fatalf("run %s (noskip=%v): %v", gc.key, noskip, err)
+		t.Fatalf("run %s (noskip=%v, workers=%d): %v", gc.key, noskip, workers, err)
 	}
 	data, err := json.Marshal(sys.Result())
 	if err != nil {
@@ -163,7 +164,7 @@ func TestTileSeedGolden(t *testing.T) {
 	if *updateTileGolden {
 		out := map[string]json.RawMessage{}
 		for _, gc := range cases {
-			out[gc.key] = runGolden(t, gc, true)
+			out[gc.key] = runGolden(t, gc, true, 1)
 		}
 		keys := make([]string, 0, len(out))
 		for k := range out {
@@ -211,13 +212,19 @@ func TestTileSeedGolden(t *testing.T) {
 			if err := json.Compact(&buf, want); err != nil {
 				t.Fatal(err)
 			}
-			naive := runGolden(t, gc, true)
-			skip := runGolden(t, gc, false)
-			if !bytes.Equal(buf.Bytes(), naive) {
-				t.Errorf("naive loop diverged from the seed simulator:\nseed: %s\ngot:  %s", buf.Bytes(), naive)
-			}
-			if !bytes.Equal(buf.Bytes(), skip) {
-				t.Errorf("skipping loop diverged from the seed simulator:\nseed: %s\ngot:  %s", buf.Bytes(), skip)
+			// Every (skipping mode, step-worker count) leg must reproduce
+			// the seed byte stream: the tile loop restructuring, the
+			// skipper, and the parallel stepper are all provably pure
+			// restructurings, never model changes.
+			for _, workers := range []int{1, 2, 8} {
+				naive := runGolden(t, gc, true, workers)
+				skip := runGolden(t, gc, false, workers)
+				if !bytes.Equal(buf.Bytes(), naive) {
+					t.Errorf("naive loop (workers=%d) diverged from the seed simulator:\nseed: %s\ngot:  %s", workers, buf.Bytes(), naive)
+				}
+				if !bytes.Equal(buf.Bytes(), skip) {
+					t.Errorf("skipping loop (workers=%d) diverged from the seed simulator:\nseed: %s\ngot:  %s", workers, buf.Bytes(), skip)
+				}
 			}
 		})
 	}
