@@ -11,6 +11,7 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"mosaicsim/internal/accel"
 	"mosaicsim/internal/cc"
@@ -18,6 +19,7 @@ import (
 	"mosaicsim/internal/ddg"
 	"mosaicsim/internal/experiments"
 	"mosaicsim/internal/interp"
+	"mosaicsim/internal/sim"
 	"mosaicsim/internal/soc"
 	"mosaicsim/internal/workloads"
 )
@@ -413,6 +415,102 @@ func benchmarkStepWorkers(b *testing.B, workers int) {
 
 func BenchmarkStepSequential(b *testing.B) { benchmarkStepWorkers(b, 1) }
 func BenchmarkStepSharded8(b *testing.B)   { benchmarkStepWorkers(b, 8) }
+
+// replaySweepSrc is the sweep benchmark's kernel: a reduction over A (real
+// cache and DRAM traffic) followed by an accelerator offload — the same shape
+// the replay equivalence matrix pins down in internal/sim, so every leg the
+// benchmark replays is one the matrix has proven bit-exact.
+const replaySweepSrc = `
+void kernel(float* A, float* B, float* C, long dim) {
+  long tid = tile_id();
+  if (tid == 0) {
+    float s = 0.0;
+    for (long i = 0; i < dim*dim; i++) { s = s + A[i]; }
+    C[0] = s;
+    acc_sgemm(A, B, C, dim, dim, dim);
+  }
+}
+`
+
+// BenchmarkSweepReplay measures the schedule-capture replay win on a
+// timing-only Pareto sweep (DESIGN.md §5f): 100 legs over a mem-class-latency
+// × DRAM-bandwidth grid share one recorded schedule, so every leg after the
+// first is answered analytically instead of re-simulated. The reported
+// "speedup" metric is the recording (full-simulation) leg's wall time divided
+// by the mean replayed leg's; the acceptance bar is >=10x. A leg that falls
+// back to full simulation fails the benchmark — the sweep is timing-only by
+// construction, so a fallback means the classifier regressed.
+func BenchmarkSweepReplay(b *testing.B) {
+	w := workloads.SGEMMAccel()
+	w.Name = "replay-sweep"
+	w.Src = replaySweepSrc
+	dp := accel.DesignPoint{PLMBytes: 256 << 10, Lanes: 4}
+	models := map[string]soc.AccelModel{}
+	for _, name := range []string{"acc_sgemm", "acc_histo", "acc_elementwise"} {
+		models[name] = &accel.Model{
+			Acc:       accel.ByName(name, dp),
+			Mode:      accel.ModeClosedForm,
+			SystemMHz: 2000,
+			MaxMemGBs: 24,
+		}
+	}
+	// 10×10 grid; bandwidth sweeps upward from the Table II baseline so the
+	// simple-DRAM refit certificate always holds (budget only grows).
+	legs := make([]*config.SystemConfig, 0, 100)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			c := config.OutOfOrderCore()
+			c.Branch = config.BranchPerfect
+			c.Latencies = map[string]int64{"mem": int64(1 + 7*i)}
+			mem := config.TableIIMem()
+			mem.DRAM.BandwidthGBs = float64(24 + 8*j)
+			legs = append(legs, &config.SystemConfig{
+				Name:  "replay-sweep",
+				Cores: []config.CoreSpec{{Core: c, Count: 1}},
+				Mem:   mem,
+			})
+		}
+	}
+	run := func(cache *sim.Cache, cfg *config.SystemConfig) sim.ReplayOutcome {
+		s, err := sim.NewSession(sim.Options{
+			Workload: w,
+			Scale:    workloads.Tiny,
+			Config:   cfg,
+			Accels:   models,
+			Cache:    cache,
+			Replay:   true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		return s.Replay()
+	}
+	var speedup float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := sim.NewCache()
+		start := time.Now()
+		if out := run(cache, legs[0]); !out.Recorded {
+			b.Fatalf("recording leg published no schedule (reason: %q)", out.Reason)
+		}
+		record := time.Since(start)
+		start = time.Now()
+		for k, cfg := range legs[1:] {
+			if out := run(cache, cfg); !out.Replayed {
+				b.Fatalf("timing-only leg %d fell back: %q", k+1, out.Reason)
+			}
+		}
+		perLeg := time.Since(start) / time.Duration(len(legs)-1)
+		if perLeg > 0 {
+			speedup = float64(record) / float64(perLeg)
+		}
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(len(legs)), "legs")
+}
 
 // BenchmarkAblationDynamicBranch compares the gshare dynamic predictor
 // (§III-C future-work extension) against static prediction on the branchy

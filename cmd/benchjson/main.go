@@ -10,6 +10,17 @@
 // recording, per benchmark: iterations, ns/op, B/op, allocs/op, and any
 // custom metrics (e.g. the experiment headline values the harness reports
 // with b.ReportMetric).
+//
+// Compare mode diffs two reports instead of converting:
+//
+//	benchjson -old BENCH_2026-08-09.json -new bench.json
+//
+// It checks every benchmark in -new whose name matches -match (default
+// "Sweep|Replay", the sweep/replay regression gate CI runs) against the same
+// benchmark in -old, and exits 1 if ns/op grew by more than -max-regress
+// (default 0.20 = 20%) or a reported "speedup" metric shrank by more than the
+// same fraction. GOMAXPROCS name suffixes ("-8") are stripped before matching
+// so reports from hosts with different core counts compare.
 package main
 
 import (
@@ -19,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -47,7 +59,21 @@ type Report struct {
 func main() {
 	in := flag.String("in", "", "read benchmark output from this file instead of stdin")
 	out := flag.String("o", "", "write the JSON report to this file instead of stdout")
+	oldPath := flag.String("old", "", "compare mode: baseline JSON report")
+	newPath := flag.String("new", "", "compare mode: candidate JSON report")
+	match := flag.String("match", "Sweep|Replay", "compare mode: regex selecting benchmarks to gate")
+	maxRegress := flag.Float64("max-regress", 0.20, "compare mode: allowed fractional regression before failing")
 	flag.Parse()
+
+	if *oldPath != "" || *newPath != "" {
+		if *oldPath == "" || *newPath == "" {
+			fatal(fmt.Errorf("compare mode needs both -old and -new"))
+		}
+		if err := compare(*oldPath, *newPath, *match, *maxRegress); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -128,6 +154,94 @@ func parseLine(line string) (Result, bool) {
 		}
 	}
 	return res, true
+}
+
+// loadReport reads one archived JSON report.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// baseName strips the trailing -<GOMAXPROCS> suffix the testing package
+// appends to benchmark names, so reports from different hosts key equally.
+func baseName(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compare gates the candidate report against the baseline: for every selected
+// benchmark present in both, ns/op may grow and any "speedup" metric may
+// shrink by at most maxRegress. It returns an error (non-zero exit) on the
+// first rule being violated, naming every offender.
+func compare(oldPath, newPath, match string, maxRegress float64) error {
+	re, err := regexp.Compile(match)
+	if err != nil {
+		return fmt.Errorf("bad -match regex: %w", err)
+	}
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	baseline := map[string]Result{}
+	for _, r := range oldRep.Benchmarks {
+		baseline[baseName(r.Name)] = r
+	}
+	var checked int
+	var failures []string
+	for _, n := range newRep.Benchmarks {
+		name := baseName(n.Name)
+		if !re.MatchString(name) {
+			continue
+		}
+		o, ok := baseline[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %s has no baseline in %s (new benchmark, skipped)\n", name, oldPath)
+			continue
+		}
+		checked++
+		if o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(1+maxRegress) {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.4g -> %.4g (+%.1f%%, limit +%.0f%%)",
+				name, o.NsPerOp, n.NsPerOp, 100*(n.NsPerOp/o.NsPerOp-1), 100*maxRegress))
+		}
+		if osp, ok := o.Metrics["speedup"]; ok && osp > 0 {
+			nsp := n.Metrics["speedup"]
+			if nsp < osp*(1-maxRegress) {
+				failures = append(failures, fmt.Sprintf("%s: speedup %.4g -> %.4g (-%.1f%%, limit -%.0f%%)",
+					name, osp, nsp, 100*(1-nsp/osp), 100*maxRegress))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s ns/op %.4g -> %.4g", name, o.NsPerOp, n.NsPerOp)
+		if s, ok := o.Metrics["speedup"]; ok {
+			fmt.Fprintf(os.Stderr, ", speedup %.4g -> %.4g", s, n.Metrics["speedup"])
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	if checked == 0 {
+		return fmt.Errorf("no benchmark matching %q present in both reports", match)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("regression beyond %.0f%% in %d benchmark(s):\n  %s",
+			100*maxRegress, len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within the %.0f%% regression budget\n", checked, 100*maxRegress)
+	return nil
 }
 
 func fatal(err error) {

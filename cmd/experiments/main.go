@@ -43,6 +43,8 @@ func realMain() int {
 	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = all CPU cores)")
 	stepWorkers := flag.Int("step-workers", 0, "shard each simulation's tile stepping across N goroutines (bit-identical results; 0/1 = sequential)")
+	replay := flag.Bool("replay", true, "answer timing-only sweep legs from recorded schedules (bit-identical results)")
+	noreplay := flag.Bool("noreplay", false, "disable schedule-capture replay (overrides -replay)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole regeneration (0 = none)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -118,6 +120,7 @@ func realMain() int {
 	}
 	r := experiments.NewRunner(s)
 	r.StepWorkers = *stepWorkers
+	r.Replay = *replay && !*noreplay
 	// Experiments and their internal legs share one worker budget; outputs
 	// are buffered and printed in request order.
 	outs := make([]string, len(ids))
@@ -139,6 +142,10 @@ func realMain() int {
 	for i := range ids {
 		fmt.Println(outs[i])
 		fmt.Fprintf(os.Stderr, "(%s regenerated in %v)\n", ids[i], took[i].Round(time.Millisecond))
+	}
+	if rc := r.ReplayCounters(); rc.Hits+rc.Fallbacks+rc.Recorded > 0 {
+		fmt.Fprintf(os.Stderr, "(replay: %d legs replayed, %d fell back, %d schedules recorded)\n",
+			rc.Hits, rc.Fallbacks, rc.Recorded)
 	}
 	return 0
 }

@@ -7,6 +7,7 @@
 //
 //	mosaicd [-addr :8374] [-workers N] [-queue N] [-job-timeout D]
 //	        [-drain D] [-cache-entries N] [-max-jobs N] [-step-workers N]
+//	        [-replay=true|false]
 //
 // Quickstart:
 //
@@ -55,6 +56,7 @@ func run() int {
 	cacheEntries := flag.Int("cache-entries", 256, "artifact-cache entry cap per layer (0 = unbounded)")
 	maxJobs := flag.Int("max-jobs", 4096, "retained job records; oldest terminal jobs are forgotten beyond it")
 	stepWorkers := flag.Int("step-workers", 0, "default per-simulation tile-stepping goroutines for specs that leave step_workers unset (bit-identical results; 0/1 = sequential)")
+	replay := flag.Bool("replay", true, "default for specs that leave replay unset: answer timing-only re-submissions from recorded schedules (bit-identical results)")
 	flag.Parse()
 
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -69,6 +71,7 @@ func run() int {
 		MaxJobs:     *maxJobs,
 		Cache:       cache,
 		StepWorkers: *stepWorkers,
+		Replay:      *replay,
 	})
 	api := server.New(mgr, nil)
 

@@ -72,6 +72,8 @@ func run() int {
 	jobs := flag.Int("jobs", 0, "max concurrent workload simulations (0 = all CPU cores)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = none)")
 	noskip := flag.Bool("noskip", false, "disable event-horizon cycle skipping (naive cycle-by-cycle loop)")
+	replay := flag.Bool("replay", true, "answer timing-only re-simulations from recorded schedules (bit-identical results)")
+	noreplay := flag.Bool("noreplay", false, "disable schedule-capture replay (overrides -replay)")
 	stepWorkers := flag.Int("step-workers", 0, "shard each simulation's tile stepping across N goroutines (bit-identical results; 0/1 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -239,7 +241,7 @@ func run() int {
 	}
 	outs := make([]string, len(ws))
 	err := parallel.ForErrCtx(ctx, 0, len(ws), func(i int) error {
-		out, err := runOne(ctx, ws[i], configFor, wScale, *scale, *asJSON, *noskip, *stepWorkers)
+		out, err := runOne(ctx, ws[i], configFor, wScale, *scale, *asJSON, *noskip, *replay && !*noreplay, *stepWorkers)
 		outs[i] = out
 		return err
 	})
@@ -255,7 +257,7 @@ func run() int {
 // runOne traces and simulates one workload as a sim.Session, returning its
 // full rendered output.
 func runOne(ctx context.Context, w *workloads.Workload, configFor func(*workloads.Workload) (*config.SystemConfig, error),
-	wScale workloads.Scale, scale string, asJSON, noskip bool, stepWorkers int) (string, error) {
+	wScale workloads.Scale, scale string, asJSON, noskip, replay bool, stepWorkers int) (string, error) {
 	sc, err := configFor(w)
 	if err != nil {
 		return "", err
@@ -270,6 +272,7 @@ func runOne(ctx context.Context, w *workloads.Workload, configFor func(*workload
 		Config:               sc,
 		Accels:               workloads.DefaultAccelModels(refClock),
 		DisableCycleSkipping: noskip,
+		Replay:               replay,
 		StepWorkers:          stepWorkers,
 	})
 	if err != nil {
@@ -285,24 +288,27 @@ func runOne(ctx context.Context, w *workloads.Workload, configFor func(*workload
 	fmt.Fprintf(&sb, "trace: %d dynamic instructions, %d memory events\n",
 		tr.TotalDynInstrs(), tr.TotalMemEvents())
 
-	if _, err := s.Run(ctx); err != nil {
+	res, err := s.Run(ctx)
+	if err != nil {
 		return "", err
 	}
+	// A replayed run is answered analytically from a recorded schedule:
+	// there is no live system behind it, so component-level tables are
+	// summarized from the result alone.
 	sys := s.System()
 	if asJSON {
 		enc := json.NewEncoder(&sb)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(sys.Result()); err != nil {
+		if err := enc.Encode(res); err != nil {
 			return "", err
 		}
 		return sb.String(), nil
 	}
-	printResult(&sb, sys)
+	printResult(&sb, res, sys, s.Replay())
 	return sb.String(), nil
 }
 
-func printResult(out io.Writer, sys *soc.System) {
-	r := sys.Result()
+func printResult(out io.Writer, r soc.Result, sys *soc.System, rp sim.ReplayOutcome) {
 	tbl := stats.NewTable("simulation result", "metric", "value")
 	tbl.Row("cycles", r.Cycles)
 	tbl.Row("instructions", r.Instrs)
@@ -328,10 +334,38 @@ func printResult(out io.Writer, sys *soc.System) {
 		tbl.Row("accelerator calls", r.AccelCalls)
 		tbl.Row("accelerator bytes", r.AccelBytes)
 	}
-	tbl.Row("cycles stepped", sys.SteppedCycles)
-	tbl.Row("cycles skipped", sys.SkippedCycles)
-	tbl.Row("skip fraction", stats.SkipFraction(sys.SteppedCycles, sys.SkippedCycles))
+	stepped, skipped := rp.Stepped, rp.Skipped
+	if sys != nil {
+		stepped, skipped = sys.SteppedCycles, sys.SkippedCycles
+	}
+	tbl.Row("cycles stepped", stepped)
+	tbl.Row("cycles skipped", skipped)
+	tbl.Row("skip fraction", stats.SkipFraction(stepped, skipped))
+	if sys != nil && sys.ParallelPhases > 0 {
+		tbl.Row("parallel phases", sys.ParallelPhases)
+	}
+	if rp.Attempted {
+		switch {
+		case rp.Replayed:
+			tbl.Row("replay", "hit ("+strings.Join(rp.Families, ", ")+")")
+		case rp.Recorded:
+			tbl.Row("replay", "schedule recorded")
+		default:
+			tbl.Row("replay", "fallback ("+rp.Reason+")")
+		}
+	}
 	fmt.Fprintln(out, tbl.String())
+
+	if sys == nil {
+		// Replayed run: per-tile rollup from the result's core stats.
+		per := stats.NewTable("per-tile", "tile", "instrs", "IPC", "loads", "stores", "sends", "recvs", "MAO stalls", "comm stalls")
+		for i := range r.CoreStats {
+			s := &r.CoreStats[i]
+			per.Row(i, s.Instrs, s.IPC(), s.Loads, s.Stores, s.Sends, s.Recvs, s.MAOStalls, s.CommStalls)
+		}
+		fmt.Fprintln(out, per.String())
+		return
+	}
 
 	per := stats.NewTable("per-tile", "tile", "instrs", "IPC", "loads", "stores", "sends", "recvs", "MAO stalls", "comm stalls")
 	for i, c := range sys.Cores {

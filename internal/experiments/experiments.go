@@ -56,6 +56,14 @@ type Runner struct {
 	// (bit-identical to sequential stepping, so regenerated tables and
 	// figures are unaffected). Legs that set their own value keep it.
 	StepWorkers int
+	// Replay routes every leg through schedule-capture timing replay
+	// (internal/replay): the first leg of each (workload, structure) pair
+	// records its schedule into the runner's cache and later legs whose
+	// delta is timing-only are answered analytically, bit-exactly. Tables
+	// and figures are unaffected by construction; ReplayCounters records how
+	// many legs replayed versus fell back (cmd/experiments reports the
+	// totals on stderr, keeping report output byte-stable at any -jobs).
+	Replay bool
 
 	cache *sim.Cache
 }
@@ -75,7 +83,14 @@ func (r *Runner) session(w *workloads.Workload, opts sim.Options) (*sim.Session,
 	if opts.StepWorkers == 0 {
 		opts.StepWorkers = r.StepWorkers
 	}
+	opts.Replay = opts.Replay || r.Replay
 	return sim.NewSession(opts)
+}
+
+// ReplayCounters snapshots the runner's schedule-replay activity (zero
+// values when Replay is off).
+func (r *Runner) ReplayCounters() sim.ReplayCounters {
+	return r.cache.ReplayCounters()
 }
 
 // artifact returns the (cached) compile/DDG/trace bundle for a workload at a
@@ -180,8 +195,17 @@ func Resolve(id string) error {
 	return fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 }
 
-// Run executes one experiment by ID under ctx.
+// Run executes one experiment by ID under ctx. Replay activity is observable
+// through ReplayCounters (cmd/experiments prints the sweep-wide totals to
+// stderr); it stays out of the report body because counter attribution under
+// concurrently running experiments is interleaving-dependent, and report
+// output must be byte-identical at every -jobs value.
 func (r *Runner) Run(ctx context.Context, id string) (*Report, error) {
+	return r.runID(ctx, id)
+}
+
+// runID dispatches one experiment by ID.
+func (r *Runner) runID(ctx context.Context, id string) (*Report, error) {
 	switch id {
 	case "fig1":
 		return Fig1(), nil

@@ -40,6 +40,11 @@ type Spec struct {
 	Limit int64 `json:"limit,omitempty"`
 	// NoSkip disables event-horizon cycle skipping.
 	NoSkip bool `json:"noskip,omitempty"`
+	// Replay controls schedule-capture timing replay for this job: answer a
+	// timing-only re-submission analytically from a recorded schedule
+	// (bit-identical to full simulation). Unset inherits the daemon's
+	// default (Options.Replay).
+	Replay *bool `json:"replay,omitempty"`
 	// StepWorkers shards tile stepping across that many goroutines
 	// (bit-identical to sequential; 1 forces sequential). 0 inherits the
 	// daemon's default (Options.StepWorkers).
@@ -211,6 +216,7 @@ func (s Spec) SessionOptions(cache *sim.Cache) (sim.Options, error) {
 			Accels:               workloads.DefaultAccelModels(refClock),
 			Limit:                s.Limit,
 			DisableCycleSkipping: s.NoSkip,
+			Replay:               s.Replay != nil && *s.Replay,
 			StepWorkers:          s.StepWorkers,
 			Cache:                cache,
 		}, nil
@@ -248,6 +254,7 @@ func (s Spec) SessionOptions(cache *sim.Cache) (sim.Options, error) {
 		Accels:               workloads.DefaultAccelModels(sc.Cores[0].Core.ClockMHz),
 		Limit:                s.Limit,
 		DisableCycleSkipping: s.NoSkip,
+		Replay:               s.Replay != nil && *s.Replay,
 		StepWorkers:          s.StepWorkers,
 		Cache:                cache,
 	}, nil

@@ -91,11 +91,16 @@ type SimpleDRAM struct {
 	curEpoch int64
 	used     int64
 	events   int64
+
+	logOn     bool
+	accessLog []int64 // arrival cycles, recorded when logOn
 }
 
-// NewSimpleDRAM builds a SimpleDRAM for a core clock in MHz; bandwidth is
-// converted to lines per epoch.
-func NewSimpleDRAM(cfg config.DRAMConfig, clockMHz int, lineBytes int) *SimpleDRAM {
+// SimpleDRAMBudget returns the epoch length and per-epoch line budget the
+// simple model enforces for a given clock and line size — the one bandwidth
+// formula, shared by the model itself and by the schedule-replay engine,
+// which must re-derive the budget for swept bandwidth parameters.
+func SimpleDRAMBudget(cfg config.DRAMConfig, clockMHz, lineBytes int) (epochCycles, maxPerEpoch int64) {
 	bytesPerCycle := cfg.BandwidthGBs * 1e9 / (float64(clockMHz) * 1e6)
 	epoch := cfg.EpochCycles
 	if epoch <= 0 {
@@ -105,6 +110,13 @@ func NewSimpleDRAM(cfg config.DRAMConfig, clockMHz int, lineBytes int) *SimpleDR
 	if maxLines < 1 {
 		maxLines = 1
 	}
+	return epoch, maxLines
+}
+
+// NewSimpleDRAM builds a SimpleDRAM for a core clock in MHz; bandwidth is
+// converted to lines per epoch.
+func NewSimpleDRAM(cfg config.DRAMConfig, clockMHz int, lineBytes int) *SimpleDRAM {
+	epoch, maxLines := SimpleDRAMBudget(cfg, clockMHz, lineBytes)
 	return &SimpleDRAM{
 		minLat:      cfg.MinLatency,
 		epochCycles: epoch,
@@ -117,6 +129,14 @@ func NewSimpleDRAM(cfg config.DRAMConfig, clockMHz int, lineBytes int) *SimpleDR
 // MaxLinesPerEpoch exposes the computed bandwidth budget (for tests).
 func (d *SimpleDRAM) MaxLinesPerEpoch() int64 { return d.maxPerEpoch }
 
+// EnableAccessLog starts recording the arrival cycle of every subsequent
+// access. The schedule recorder uses the log to re-verify the epoch budget
+// when replaying the schedule under shifted timings or a new bandwidth.
+func (d *SimpleDRAM) EnableAccessLog() { d.logOn = true }
+
+// AccessLog returns the recorded arrival cycles, in arrival order.
+func (d *SimpleDRAM) AccessLog() []int64 { return d.accessLog }
+
 // Access implements Level.
 func (d *SimpleDRAM) Access(req *Request, now int64) {
 	if req.Kind == Writeback {
@@ -125,6 +145,9 @@ func (d *SimpleDRAM) Access(req *Request, now int64) {
 		d.Stats.Reads++
 	}
 	d.Stats.Bytes += int64(req.Size)
+	if d.logOn {
+		d.accessLog = append(d.accessLog, now)
+	}
 	d.seq++
 	d.events++
 	d.pq.push(reqItem{ready: now + d.minLat, seq: d.seq, req: req})

@@ -118,6 +118,24 @@ func (h *Hierarchy) Busy() bool {
 // LineBytes returns the L1 line size.
 func (h *Hierarchy) LineBytes() int { return h.cfg.L1.LineBytes }
 
+// EnableDRAMAccessLog turns on arrival-time logging on the SimpleDRAM model
+// (a no-op for other models), so a schedule recorder can later re-verify the
+// bandwidth budget against shifted request timings.
+func (h *Hierarchy) EnableDRAMAccessLog() {
+	if d, ok := h.DRAM.(*SimpleDRAM); ok {
+		d.EnableAccessLog()
+	}
+}
+
+// DRAMAccessLog returns the SimpleDRAM arrival log (nil for other models or
+// when logging was never enabled).
+func (h *Hierarchy) DRAMAccessLog() []int64 {
+	if d, ok := h.DRAM.(*SimpleDRAM); ok {
+		return d.AccessLog()
+	}
+	return nil
+}
+
 // Progress sums the event counters of every level; two equal readings mean
 // no level changed observable state in between.
 func (h *Hierarchy) Progress() int64 {

@@ -154,6 +154,19 @@ func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() int64
 	r.register(name, help, "counter", labels, counterFunc(fn))
 }
 
+// gaugeFunc samples an external level at scrape time (e.g. a derived ratio).
+type gaugeFunc func() float64
+
+func (f gaugeFunc) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %g\n", name, labels, f())
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+// fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, "gauge", labels, gaugeFunc(fn))
+}
+
 // Gauge is an integer metric that can go up and down.
 type Gauge struct {
 	v atomic.Int64

@@ -1,0 +1,333 @@
+package replay
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/mem"
+	"mosaicsim/internal/soc"
+)
+
+// Decision is the classifier's verdict on one config delta: either the delta
+// is replayable (Eligible, with the per-invocation evaluation payload) or it
+// must fall back to full simulation for the stated Reason.
+type Decision struct {
+	Eligible bool
+	// Families names the delta families the eligible replay composes:
+	// "identical", "inert-knob", "dram-refit", "accel-shift".
+	Families []string
+	// Reason explains a fallback (empty when Eligible).
+	Reason string
+
+	newInvs    []newInv
+	shifts     []shiftPoint
+	deltaTotal int64
+}
+
+// newInv is the new accelerator model's answer for one recorded invocation.
+type newInv struct {
+	Cycles   int64
+	Bytes    int64
+	EnergyPJ float64
+	Delta    int64 // Cycles - recorded Cycles
+}
+
+// shiftPoint applies a rigid time shift Delta to everything at or after the
+// recorded cycle At (a certified invocation's recorded completion).
+type shiftPoint struct {
+	At    int64
+	Delta int64
+}
+
+// shiftAt returns the cumulative shift applying to recorded cycle t.
+func shiftAt(shifts []shiftPoint, t int64) int64 {
+	var a int64
+	for _, sp := range shifts {
+		if sp.At <= t {
+			a += sp.Delta
+		}
+	}
+	return a
+}
+
+// Classify decides whether the delta between a recorded schedule and a new
+// (config, accelerator models, cycle limit) triple is replayable. It is the
+// explicit eligibility check the replay contract requires: every admitted
+// delta carries a soundness argument checkable from recorded evidence, and
+// everything else falls back with a reason.
+func Classify(s *Schedule, cfg *config.SystemConfig, accels map[string]soc.AccelModel, limit int64) Decision {
+	fb := func(format string, args ...any) Decision {
+		return Decision{Reason: fmt.Sprintf(format, args...)}
+	}
+	newRts, err := soc.ExpandTiles(cfg)
+	if err != nil {
+		return fb("config: %v", err)
+	}
+	if len(newRts) != len(s.Tiles) {
+		return fb("structural: %d tiles recorded, %d requested", len(s.Tiles), len(newRts))
+	}
+	if len(s.Result.CoreStats) != len(s.Tiles) {
+		return fb("schedule: core stats missing")
+	}
+	// Structural gate: the canonical forms must match exactly. The schedule
+	// cache already keys on StructHash, but Classify re-proves it so direct
+	// callers get the same guarantee (and hash collisions cannot admit a
+	// structurally different config).
+	oldCanon, err := canonJSON(s.Tiles, s.Mem, s.NoC)
+	if err != nil {
+		return fb("schedule: %v", err)
+	}
+	newCanon, err := canonJSON(newRts, cfg.Mem, cfg.NoC)
+	if err != nil {
+		return fb("config: %v", err)
+	}
+	if !bytes.Equal(oldCanon, newCanon) {
+		return fb("structural: configurations differ beyond replayable timing knobs")
+	}
+
+	fams := map[string]bool{}
+	// Per-core knobs: eligible only when the recorded run provably never
+	// read them (binding counts from the recorded Result are zero).
+	for i := range newRts {
+		o, n := s.Tiles[i].Cfg, newRts[i].Cfg
+		st := s.Result.CoreStats[i]
+		if o.MispredictPenalty != n.MispredictPenalty {
+			if st.Mispredict != 0 {
+				return fb("bound knob: tile %d mispredict_penalty was read (%d mispredicts)", i, st.Mispredict)
+			}
+			fams["inert-knob"] = true
+		}
+		if o.AtomicExtraLatency != n.AtomicExtraLatency {
+			if st.Atomics != 0 {
+				return fb("bound knob: tile %d atomic_extra_latency was read (%d atomics)", i, st.Atomics)
+			}
+			fams["inert-knob"] = true
+		}
+		if o.Latency(config.ClassMem) != n.Latency(config.ClassMem) {
+			// Never consulted: memory ops take their timing from the
+			// hierarchy, not the per-class latency table.
+			fams["inert-knob"] = true
+		}
+	}
+
+	// Memory-hierarchy knobs.
+	om, nm := s.Mem, cfg.Mem
+	r := s.Result
+	cacheKnob := func(level string, o, n *config.CacheConfig, st mem.CacheStats) (Decision, bool) {
+		if o == nil || n == nil || o.LatencyCycles == n.LatencyCycles {
+			return Decision{}, true
+		}
+		if st.Accesses != 0 || st.PrefetchIssued != 0 {
+			return fb("bound knob: %s latency_cycles was read (%d accesses)", level, st.Accesses+st.PrefetchIssued), false
+		}
+		fams["inert-knob"] = true
+		return Decision{}, true
+	}
+	if d, ok := cacheKnob("l1", &om.L1, &nm.L1, r.L1); !ok {
+		return d
+	}
+	if d, ok := cacheKnob("l2", om.L2, nm.L2, r.L2); !ok {
+		return d
+	}
+	if d, ok := cacheKnob("llc", om.LLC, nm.LLC, r.LLC); !ok {
+		return d
+	}
+	dramTraffic := r.DRAM.Reads + r.DRAM.Writebacks
+	banked := om.DRAM.Model == config.DRAMBanked
+	if om.DRAM.MinLatency != nm.DRAM.MinLatency {
+		// The banked model never reads MinLatency; the simple model reads it
+		// per request.
+		if !banked && dramTraffic != 0 {
+			return fb("bound knob: dram min_latency was read (%d requests)", dramTraffic)
+		}
+		fams["inert-knob"] = true
+	}
+	refitBudget := false
+	if banked {
+		if om.DRAM.TCAS != nm.DRAM.TCAS || om.DRAM.TRCD != nm.DRAM.TRCD ||
+			om.DRAM.TRP != nm.DRAM.TRP || om.DRAM.TBurst != nm.DRAM.TBurst {
+			if dramTraffic != 0 {
+				return fb("bound knob: banked DRAM timing was read (%d requests)", dramTraffic)
+			}
+			fams["inert-knob"] = true
+		}
+		if om.DRAM.BandwidthGBs != nm.DRAM.BandwidthGBs || om.DRAM.EpochCycles != nm.DRAM.EpochCycles {
+			fams["inert-knob"] = true // banked model ignores the bandwidth cap
+		}
+	} else {
+		if om.DRAM.TCAS != nm.DRAM.TCAS || om.DRAM.TRCD != nm.DRAM.TRCD ||
+			om.DRAM.TRP != nm.DRAM.TRP || om.DRAM.TBurst != nm.DRAM.TBurst ||
+			om.DRAM.Channels != nm.DRAM.Channels || om.DRAM.Banks != nm.DRAM.Banks ||
+			om.DRAM.RowBytes != nm.DRAM.RowBytes {
+			fams["inert-knob"] = true // simple model ignores the banked set
+		}
+		if om.DRAM.BandwidthGBs != nm.DRAM.BandwidthGBs || om.DRAM.EpochCycles != nm.DRAM.EpochCycles {
+			eo, mo := mem.SimpleDRAMBudget(om.DRAM, s.ClockMHz, s.LineBytes)
+			en, mn := mem.SimpleDRAMBudget(nm.DRAM, s.ClockMHz, s.LineBytes)
+			switch {
+			case eo == en && mo == mn:
+				fams["inert-knob"] = true // quantized budget unchanged
+			case dramTraffic == 0:
+				fams["inert-knob"] = true
+			default:
+				refitBudget = true
+				fams["dram-refit"] = true
+			}
+		}
+	}
+	if om.DirInvCycles != nm.DirInvCycles {
+		if om.Directory {
+			return fb("bound knob: dir_inv_cycles under directory coherence")
+		}
+		fams["inert-knob"] = true
+	}
+	if hopCycles(s.NoC) != hopCycles(cfg.NoC) {
+		if s.HopsTotal != 0 {
+			return fb("bound knob: hop_cycles was read (%d hops)", s.HopsTotal)
+		}
+		fams["inert-knob"] = true
+	}
+
+	// Accelerator models: re-invoke the new model per recorded invocation
+	// with the recorded inputs. A latency delta needs the quiet-window
+	// certificate plus the translation margin; result-only deltas (bytes,
+	// energy) need no certificate — totals are recomputed.
+	margin := int64(0)
+	if banked {
+		// Bounds how far past the window start a bank can stay busy: the
+		// worst single-request service time. Old and new agree here (a
+		// banked timing delta with traffic already fell back above).
+		margin = om.DRAM.TRP + om.DRAM.TRCD + om.DRAM.TCAS + om.DRAM.TBurst
+	}
+	newInvs := make([]newInv, len(s.Invocations))
+	var shifts []shiftPoint
+	var dTot int64
+	for k, inv := range s.Invocations {
+		m := accels[inv.Name]
+		if m == nil {
+			return fb("accel: no model registered for %q", inv.Name)
+		}
+		resN, err := m.Invoke(append([]int64(nil), inv.Params...), inv.Concurrent)
+		if err != nil {
+			return fb("accel: %q invocation %d: %v", inv.Name, k, err)
+		}
+		ni := newInv{Cycles: resN.Cycles, Bytes: resN.Bytes, EnergyPJ: resN.EnergyPJ, Delta: resN.Cycles - inv.Cycles}
+		newInvs[k] = ni
+		if ni.Bytes != inv.Bytes || ni.EnergyPJ != inv.EnergyPJ || ni.Delta != 0 {
+			fams["accel-shift"] = true
+		}
+		if ni.Delta == 0 {
+			continue
+		}
+		if !inv.Certified {
+			return fb("accel: latency delta on uncertified invocation %q #%d", inv.Name, k)
+		}
+		// Both the recorded and the shifted completion must land strictly
+		// past the quiet window's start plus the DRAM quiesce margin, so the
+		// post-completion tail is a rigid translation in both frames (the
+		// check uses recorded times and is therefore invariant under the
+		// cumulative shift of earlier segments).
+		if inv.Complete <= inv.QuietFrom+margin || inv.Issue+ni.Cycles <= inv.QuietFrom+margin {
+			return fb("accel: shifted completion of %q #%d leaves the certified quiet margin", inv.Name, k)
+		}
+		if len(inv.CoreStalls) != len(s.Result.CoreStats) {
+			return fb("schedule: stall samples missing for invocation %d", k)
+		}
+		shifts = append(shifts, shiftPoint{At: inv.Complete, Delta: ni.Delta})
+		dTot += ni.Delta
+	}
+	sort.Slice(shifts, func(i, j int) bool { return shifts[i].At < shifts[j].At })
+
+	// SimpleDRAM translation soundness: shifting requests across the
+	// absolute epoch grid (or changing the budget itself) is only inert if
+	// the recorded run never throttled and the re-bucketed arrival log stays
+	// within the (possibly new) per-epoch budget.
+	if !banked && dramTraffic != 0 && (refitBudget || len(shifts) > 0) {
+		if r.DRAM.Throttled != 0 {
+			return fb("dram: recorded run was bandwidth-throttled (%d stalls)", r.DRAM.Throttled)
+		}
+		if int64(len(s.DRAMArrivals)) != dramTraffic {
+			return fb("dram: arrival log incomplete (%d logged, %d requests)", len(s.DRAMArrivals), dramTraffic)
+		}
+		en, mn := mem.SimpleDRAMBudget(nm.DRAM, s.ClockMHz, s.LineBytes)
+		if !refits(s.DRAMArrivals, shifts, om.DRAM.MinLatency, en, mn) {
+			return fb("dram: shifted schedule would exceed the bandwidth budget")
+		}
+		if len(shifts) > 0 {
+			fams["dram-refit"] = true
+		}
+	}
+
+	// The replayed run must still complete within the new cycle limit; a
+	// full simulation would otherwise error out instead of producing it.
+	newEff := limit
+	if newEff <= 0 {
+		newEff = soc.DefaultCycleLimit
+	}
+	if r.Cycles+dTot > newEff {
+		return fb("limit: replayed run needs %d cycles, limit is %d", r.Cycles+dTot, newEff)
+	}
+
+	if len(fams) == 0 {
+		fams["identical"] = true
+	}
+	names := make([]string, 0, len(fams))
+	for f := range fams {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	return Decision{
+		Eligible:   true,
+		Families:   names,
+		newInvs:    newInvs,
+		shifts:     shifts,
+		deltaTotal: dTot,
+	}
+}
+
+// refits re-buckets the recorded arrival log — shifted by the certified
+// segments — onto the epoch grid and checks every bucket stays within the
+// budget. Bucketing by completion (arrival + MinLatency) matches the model:
+// with no throttling, each request is served exactly at its ready tick, so
+// bucket(e) <= budget for all e implies — inductively over ready order —
+// that the shifted run never throttles either.
+func refits(arrivals []int64, shifts []shiftPoint, minLat, epoch, budget int64) bool {
+	counts := map[int64]int64{}
+	si, acc := 0, int64(0)
+	for _, a := range arrivals {
+		for si < len(shifts) && shifts[si].At <= a {
+			acc += shifts[si].Delta
+			si++
+		}
+		e := (a + acc + minLat) / epoch
+		counts[e]++
+		if counts[e] > budget {
+			return false
+		}
+	}
+	return true
+}
+
+func hopCycles(n *config.NoCConfig) int64 {
+	if n == nil {
+		return 0
+	}
+	return n.HopCycles
+}
+
+// canonJSON renders the canonical form of an already-resolved topology.
+func canonJSON(rts []soc.ResolvedTile, m config.MemConfig, noc *config.NoCConfig) ([]byte, error) {
+	cf := &canonForm{Mem: canonMem(m), NoC: canonNoC(noc)}
+	for _, rt := range rts {
+		cf.Tiles = append(cf.Tiles, canonTile{
+			Kind:     rt.Kind,
+			Role:     rt.Role,
+			MeshSlot: rt.MeshSlot,
+			Core:     canonCoreCfg(rt.Cfg),
+		})
+	}
+	return json.Marshal(cf)
+}

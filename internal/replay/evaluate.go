@@ -1,0 +1,63 @@
+package replay
+
+import "mosaicsim/internal/soc"
+
+// Evaluate produces the Result a full re-simulation under the classified
+// delta would produce, by exact arithmetic on the recorded schedule. It must
+// only be called with an Eligible decision from Classify on the same
+// Schedule. The returned stepped/skipped pair mirrors the cycle-skipper
+// accounting of the hypothetical run: stepped cycles are identical (every
+// shift happens inside an elided quiet window), skipped cycles absorb the
+// total shift.
+func Evaluate(s *Schedule, d Decision) (soc.Result, int64, int64) {
+	r := deepCopyResult(s.Result)
+
+	// Rigid time shifts from certified accelerator-latency deltas. The
+	// global finish is at or after every recorded completion, so it moves by
+	// the full delta; each core's last-step cycle moves by the cumulative
+	// shift of the segments it lived through; stall counters accrue (or shed)
+	// the certified window's per-cycle increments over each stretched
+	// (shrunk) window.
+	if d.deltaTotal != 0 || len(d.shifts) > 0 {
+		r.Cycles += d.deltaTotal
+		for i := range r.CoreStats {
+			r.CoreStats[i].Cycles += shiftAt(d.shifts, s.Result.CoreStats[i].Cycles)
+		}
+		for k, inv := range s.Invocations {
+			delta := d.newInvs[k].Delta
+			if delta == 0 || !inv.Certified {
+				continue
+			}
+			for i := range r.CoreStats {
+				st := inv.CoreStalls[i].Core
+				r.CoreStats[i].MAOStalls += st.MAO * delta
+				r.CoreStats[i].FUStalls += st.FU * delta
+				r.CoreStats[i].WindowStalls += st.Window * delta
+				r.CoreStats[i].CommStalls += st.Comm * delta
+			}
+		}
+	}
+
+	// Accelerator traffic and energy totals come from the new model's
+	// answers; everything memory-side is unchanged by construction (inert or
+	// refit-proven), so only the accel component of the energy breakdown —
+	// and the total that includes it — is recomputed.
+	if len(s.Invocations) > 0 {
+		var bytes int64
+		var pj float64
+		for _, ni := range d.newInvs {
+			bytes += ni.Bytes
+			pj += ni.EnergyPJ
+		}
+		r.AccelBytes = bytes
+		r.Energy.AccelPJ = pj
+		r.EnergyPJ = r.Energy.TotalPJ()
+	}
+
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Instrs) / float64(r.Cycles)
+	} else {
+		r.IPC = 0
+	}
+	return r, s.Stepped, s.Skipped + d.deltaTotal
+}

@@ -516,6 +516,54 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 }
 
+// TestReplayMetricsAndReportParity submits the same job twice with replay
+// enabled: the first run records a timing schedule, the second is answered
+// from it. The two reports must be byte-identical (the replay engine's
+// bit-exactness contract surfaced at the API seam), and the replay and
+// artifact-cache series must show up in /metrics.
+func TestReplayMetricsAndReportParity(t *testing.T) {
+	cache := sim.NewCache()
+	ts, _ := newTestServer(t, jobs.Options{Workers: 1, QueueDepth: 8, Cache: cache, Replay: true})
+
+	spec := jobs.Spec{Workload: "sgemm-accel", Scale: "tiny"}
+	st1, _ := postJob(t, ts, spec)
+	first := waitDone(t, ts, st1.ID, 120*time.Second)
+	if first.State != jobs.StateDone {
+		t.Fatalf("first job state = %s (%s)", first.State, first.Error)
+	}
+	st2, _ := postJob(t, ts, spec)
+	second := waitDone(t, ts, st2.ID, 120*time.Second)
+	if second.State != jobs.StateDone {
+		t.Fatalf("second job state = %s (%s)", second.State, second.Error)
+	}
+	r1 := getStatus(t, ts, st1.ID).Report
+	r2 := getStatus(t, ts, st2.ID).Report
+	if !bytes.Equal(r1, r2) {
+		t.Errorf("replayed report differs from recorded run:\nfirst:  %s\nsecond: %s", r1, r2)
+	}
+
+	text := scrapeMetrics(t, ts)
+	if v := metricValue(t, text, "mosaicd_replay_hits_total"); v < 1 {
+		t.Errorf("mosaicd_replay_hits_total = %v, want >= 1", v)
+	}
+	if v := metricValue(t, text, "mosaicd_schedules_recorded_total"); v < 1 {
+		t.Errorf("mosaicd_schedules_recorded_total = %v, want >= 1", v)
+	}
+	if v := metricValue(t, text, "mosaicd_replay_hit_ratio"); v <= 0 {
+		t.Errorf("mosaicd_replay_hit_ratio = %v, want > 0", v)
+	}
+	for _, want := range []string{
+		"mosaicd_artifact_cache_hits_total",
+		"mosaicd_artifact_cache_misses_total",
+		"mosaicd_artifact_cache_evictions_total",
+		"mosaicd_replay_fallbacks_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, grepPrefix(text, "mosaicd_"))
+		}
+	}
+}
+
 func scrapeMetrics(t *testing.T, ts *httptest.Server) string {
 	t.Helper()
 	resp, err := http.Get(ts.URL + "/metrics")

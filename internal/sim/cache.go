@@ -10,6 +10,7 @@ import (
 	"mosaicsim/internal/dae"
 	"mosaicsim/internal/ddg"
 	"mosaicsim/internal/ir"
+	"mosaicsim/internal/replay"
 	"mosaicsim/internal/trace"
 	"mosaicsim/internal/workloads"
 )
@@ -78,6 +79,16 @@ func topoHash(mode SliceMode, tiles int, roles []string) uint64 {
 		h.Write([]byte{0})
 	}
 	return h.Sum64()
+}
+
+// schedKey identifies one recorded timing schedule: the traced artifact's
+// key plus the structural hash of the system configuration it ran under
+// (replay.StructHash — timing-only knob deltas hash equal, so a sweep leg
+// finds the schedule; structural deltas hash differently, so they miss and
+// fall back to full simulation by construction).
+type schedKey struct {
+	Key
+	Struct uint64
 }
 
 // kernelKey identifies a compiled kernel (and its DAE slices) independent of
@@ -202,10 +213,15 @@ type Cache struct {
 	misses  int64
 	evicted int64
 
+	replayHits      int64
+	replayFallbacks int64
+	replayRecorded  int64
+
 	kernels layer[kernelKey, *ir.Function]
 	graphs  layer[kernelKey, *ddg.Graph]
 	slices  layer[kernelKey, *sliced]
 	arts    layer[Key, *Artifact]
+	scheds  layer[schedKey, *replay.Schedule]
 }
 
 // NewCache builds an empty, unbounded cache.
@@ -215,6 +231,7 @@ func NewCache() *Cache {
 		graphs:  newLayer[kernelKey, *ddg.Graph](),
 		slices:  newLayer[kernelKey, *sliced](),
 		arts:    newLayer[Key, *Artifact](),
+		scheds:  newLayer[schedKey, *replay.Schedule](),
 	}
 }
 
@@ -232,6 +249,7 @@ func (c *Cache) SetMaxEntries(n int) {
 		c.graphs.evictOver(n, &c.evicted)
 		c.slices.evictOver(n, &c.evicted)
 		c.arts.evictOver(n, &c.evicted)
+		c.scheds.evictOver(n, &c.evicted)
 	}
 }
 
@@ -247,7 +265,78 @@ func (c *Cache) Counters() CacheCounters {
 func (c *Cache) Entries() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.kernels.m) + len(c.graphs.m) + len(c.slices.m) + len(c.arts.m)
+	return len(c.kernels.m) + len(c.graphs.m) + len(c.slices.m) + len(c.arts.m) + len(c.scheds.m)
+}
+
+// ReplayCounters is a point-in-time snapshot of the cache's schedule-replay
+// activity: Hits counts runs answered analytically from a recorded schedule,
+// Fallbacks counts runs that found a schedule but whose config delta the
+// classifier declared ineligible (full simulation ran instead), and Recorded
+// counts schedules captured and published. Cold runs with no schedule under
+// their key count in none of the three.
+type ReplayCounters struct {
+	Hits      int64
+	Fallbacks int64
+	Recorded  int64
+}
+
+// ReplayCounters returns a snapshot of the schedule-replay counters.
+func (c *Cache) ReplayCounters() ReplayCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ReplayCounters{Hits: c.replayHits, Fallbacks: c.replayFallbacks, Recorded: c.replayRecorded}
+}
+
+// noteReplay records the outcome of one replay attempt that found a
+// schedule: a hit (replayed) or a fallback (classifier declined).
+func (c *Cache) noteReplay(hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if hit {
+		c.replayHits++
+	} else {
+		c.replayFallbacks++
+	}
+}
+
+// Schedule returns the recorded schedule for (key, structHash), or nil if
+// none is resident. Unlike the singleflight layers there is no build slot:
+// recording rides along a full simulation, so lookups are pure peeks (they
+// do refresh the entry's LRU position).
+func (c *Cache) Schedule(key Key, structHash uint64) *replay.Schedule {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sk := schedKey{Key: key, Struct: structHash}
+	f, ok := c.scheds.m[sk]
+	if !ok || !f.completed || f.err != nil {
+		return nil
+	}
+	c.scheds.touch(sk)
+	return f.val
+}
+
+// PutSchedule publishes a recorded schedule under (key, structHash).
+// First writer wins: concurrent sweep legs may each record the same
+// schedule, and the one already resident is the one later legs already
+// replayed against, so a second publish is dropped. Reports whether the
+// schedule was stored.
+func (c *Cache) PutSchedule(key Key, structHash uint64, s *replay.Schedule) bool {
+	if s == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sk := schedKey{Key: key, Struct: structHash}
+	if _, ok := c.scheds.m[sk]; ok {
+		return false
+	}
+	done := make(chan struct{})
+	close(done)
+	c.scheds.m[sk] = &flight[*replay.Schedule]{done: done, val: s, completed: true}
+	c.scheds.touch(sk)
+	c.replayRecorded++
+	c.scheds.evictOver(c.max, &c.evicted)
+	return true
 }
 
 // HasArtifact reports whether the traced artifact for key is resident and

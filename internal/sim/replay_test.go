@@ -1,0 +1,388 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mosaicsim/internal/accel"
+	"mosaicsim/internal/config"
+	"mosaicsim/internal/soc"
+	"mosaicsim/internal/workloads"
+)
+
+// replayMemSrc is the matrix's workload: a reduction over A (real cache and
+// DRAM traffic, so memory-latency knobs are provably bound) followed by an
+// accelerator offload (so accel deltas exercise the quiet-window shift).
+const replayMemSrc = `
+void kernel(float* A, float* B, float* C, long dim) {
+  long tid = tile_id();
+  if (tid == 0) {
+    float s = 0.0;
+    for (long i = 0; i < dim*dim; i++) { s = s + A[i]; }
+    C[0] = s;
+    acc_sgemm(A, B, C, dim, dim, dim);
+  }
+}
+`
+
+// replayWorkload reuses the sgemm-accel setup (matrix allocation plus the
+// functional accelerator registry) under the traffic-generating kernel.
+func replayWorkload() *workloads.Workload {
+	w := workloads.SGEMMAccel()
+	w.Name = "replay-sgemm-mem"
+	w.Src = replayMemSrc
+	return w
+}
+
+var replayW = replayWorkload()
+
+// cloneSys deep-copies a system config through JSON so matrix cases can
+// mutate their own copy (configs carry maps and raw-JSON tile overrides).
+func cloneSys(t *testing.T, sc *config.SystemConfig) *config.SystemConfig {
+	t.Helper()
+	b, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out config.SystemConfig
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// accelModelsAt builds closed-form accelerator models at a design point —
+// the timing-only accelerator delta the replay matrix sweeps.
+func accelModelsAt(lanes int, maxGBs float64) map[string]soc.AccelModel {
+	dp := accel.DesignPoint{PLMBytes: 256 << 10, Lanes: lanes}
+	out := map[string]soc.AccelModel{}
+	for _, name := range []string{"acc_sgemm", "acc_histo", "acc_elementwise"} {
+		out[name] = &accel.Model{
+			Acc:       accel.ByName(name, dp),
+			Mode:      accel.ModeClosedForm,
+			SystemMHz: 2000,
+			MaxMemGBs: maxGBs,
+		}
+	}
+	return out
+}
+
+// replayBaseConfig is the matrix's recorded baseline: one out-of-order tile
+// with a perfect branch predictor (so the mispredict-penalty knob is
+// provably unread) over the Table II memory system.
+func replayBaseConfig() *config.SystemConfig {
+	c := config.OutOfOrderCore()
+	c.Branch = config.BranchPerfect
+	return &config.SystemConfig{
+		Name:  "replay-matrix",
+		Cores: []config.CoreSpec{{Core: c, Count: 1}},
+		Mem:   config.TableIIMem(),
+	}
+}
+
+// runLeg runs one sweep leg and returns the result plus the replay outcome.
+func runLeg(t *testing.T, cache *Cache, cfg *config.SystemConfig, models map[string]soc.AccelModel, useReplay bool) (soc.Result, ReplayOutcome) {
+	t.Helper()
+	s, err := NewSession(Options{
+		Workload: replayW,
+		Scale:    workloads.Tiny,
+		Config:   cfg,
+		Accels:   models,
+		Cache:    cache,
+		Replay:   useReplay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, s.Replay()
+}
+
+// TestReplayEquivalenceMatrix is the replay engine's correctness bar: for a
+// grid of timing-parameter deltas against one recorded schedule, every delta
+// the classifier admits must replay to a Result bit-exactly equal to a full
+// re-simulation, and every delta it must not admit falls back with a declared
+// reason (and full simulation runs) — never a silently wrong number.
+func TestReplayEquivalenceMatrix(t *testing.T) {
+	cache := NewCache()
+	base := replayBaseConfig()
+	baseModels := accelModelsAt(4, 24)
+
+	// The recording run: a full simulation that captures the schedule.
+	recRes, recOut := runLeg(t, cache, cloneSys(t, base), baseModels, true)
+	if recOut.Replayed {
+		t.Fatal("first run replayed; nothing should be recorded yet")
+	}
+	if !recOut.Recorded {
+		t.Fatalf("recording run did not publish a schedule (reason: %q)", recOut.Reason)
+	}
+	if recRes.AccelCalls == 0 {
+		t.Fatal("baseline run made no accelerator calls; the matrix needs them")
+	}
+	if recRes.L1.Accesses == 0 || recRes.DRAM.Reads+recRes.DRAM.Writebacks == 0 {
+		t.Fatalf("baseline run generated no memory traffic (L1 %d, DRAM %d); the bound-knob cases need it",
+			recRes.L1.Accesses, recRes.DRAM.Reads+recRes.DRAM.Writebacks)
+	}
+
+	cases := []struct {
+		name     string
+		eligible bool
+		family   string // required in Families when non-empty
+		mutate   func(sc *config.SystemConfig)
+		models   map[string]soc.AccelModel // nil = baseline models
+	}{
+		{
+			name: "identical", eligible: true, family: "identical",
+			mutate: func(sc *config.SystemConfig) {},
+		},
+		{
+			name: "mem-class-latency", eligible: true, family: "inert-knob",
+			mutate: func(sc *config.SystemConfig) {
+				sc.Cores[0].Core.Latencies = map[string]int64{"mem": 77}
+			},
+		},
+		{
+			name: "mispredict-penalty-perfect-branch", eligible: true, family: "inert-knob",
+			mutate: func(sc *config.SystemConfig) {
+				sc.Cores[0].Core.MispredictPenalty = 50
+			},
+		},
+		{
+			name: "atomic-extra-latency-no-atomics", eligible: true, family: "inert-knob",
+			mutate: func(sc *config.SystemConfig) {
+				sc.Cores[0].Core.AtomicExtraLatency = 9
+			},
+		},
+		{
+			name: "dram-bandwidth-up", eligible: true,
+			mutate: func(sc *config.SystemConfig) {
+				sc.Mem.DRAM.BandwidthGBs = 48
+			},
+		},
+		{
+			name: "banked-knobs-under-simple-model", eligible: true, family: "inert-knob",
+			mutate: func(sc *config.SystemConfig) {
+				sc.Mem.DRAM.TCAS, sc.Mem.DRAM.TRCD = 28, 28
+				sc.Mem.DRAM.Banks = 16
+			},
+		},
+		{
+			name: "accel-slower", eligible: true, family: "accel-shift",
+			mutate: func(sc *config.SystemConfig) {},
+			models: accelModelsAt(1, 24),
+		},
+		{
+			name: "accel-faster", eligible: true, family: "accel-shift",
+			mutate: func(sc *config.SystemConfig) {},
+			models: accelModelsAt(16, 24),
+		},
+		{
+			name: "accel-same-point-rebuilt", eligible: true, family: "identical",
+			mutate: func(sc *config.SystemConfig) {},
+			models: accelModelsAt(4, 24),
+		},
+		{
+			name: "l1-latency-with-accesses", eligible: false,
+			mutate: func(sc *config.SystemConfig) {
+				sc.Mem.L1.LatencyCycles = 3
+			},
+		},
+		{
+			name: "dram-min-latency-with-traffic", eligible: false,
+			mutate: func(sc *config.SystemConfig) {
+				sc.Mem.DRAM.MinLatency = 150
+			},
+		},
+		{
+			name: "l1-mshrs", eligible: false,
+			mutate: func(sc *config.SystemConfig) {
+				sc.Mem.L1.MSHRs = 4
+			},
+		},
+		{
+			name: "int-alu-latency", eligible: false,
+			mutate: func(sc *config.SystemConfig) {
+				sc.Cores[0].Core.Latencies = map[string]int64{"int_alu": 3}
+			},
+		},
+		{
+			name: "inorder-flip", eligible: false,
+			mutate: func(sc *config.SystemConfig) {
+				sc.Cores[0].Core.InOrder = true
+			},
+		},
+		{
+			name: "dram-model-switch", eligible: false,
+			mutate: func(sc *config.SystemConfig) {
+				sc.Mem.DRAM = config.BankedDRAMDefaults(24)
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			models := tc.models
+			if models == nil {
+				models = baseModels
+			}
+			fullRes, _ := runLeg(t, cache, cloneSys(t, func() *config.SystemConfig {
+				sc := cloneSys(t, base)
+				tc.mutate(sc)
+				return sc
+			}()), models, false)
+			sc := cloneSys(t, base)
+			tc.mutate(sc)
+			replRes, out := runLeg(t, cache, sc, models, true)
+
+			if !reflect.DeepEqual(replRes, fullRes) {
+				t.Errorf("replay path result differs from full simulation:\nreplay: %+v\nfull:   %+v", replRes, fullRes)
+			}
+			if tc.eligible {
+				if !out.Replayed {
+					t.Fatalf("expected replay, got fallback: %q", out.Reason)
+				}
+				if tc.family != "" {
+					found := false
+					for _, f := range out.Families {
+						if f == tc.family {
+							found = true
+						}
+					}
+					if !found {
+						t.Errorf("families = %v, want %q included", out.Families, tc.family)
+					}
+				}
+			} else {
+				if out.Replayed {
+					t.Fatalf("ineligible delta was replayed (families %v)", out.Families)
+				}
+				if out.Reason == "" {
+					t.Error("fallback must carry a declared reason")
+				}
+			}
+		})
+	}
+}
+
+// TestReplayBoundMispredictFallsBack pins the bound-knob side of the
+// mispredict case: under a static predictor that actually mispredicts, a
+// penalty delta must fall back (and full simulation must disagree with the
+// recorded result, proving the fallback was load-bearing).
+func TestReplayBoundMispredictFallsBack(t *testing.T) {
+	cache := NewCache()
+	base := replayBaseConfig()
+	base.Cores[0].Core.Branch = config.BranchStatic
+	baseModels := accelModelsAt(4, 24)
+
+	recRes, recOut := runLeg(t, cache, cloneSys(t, base), baseModels, true)
+	if !recOut.Recorded {
+		t.Fatalf("recording run did not publish a schedule (reason: %q)", recOut.Reason)
+	}
+	if recRes.CoreStats[0].Mispredict == 0 {
+		t.Skip("workload mispredicts nothing under the static predictor; bound-knob case not exercisable here")
+	}
+
+	sc := cloneSys(t, base)
+	sc.Cores[0].Core.MispredictPenalty = 50
+	replRes, out := runLeg(t, cache, sc, baseModels, true)
+	if out.Replayed {
+		t.Fatalf("penalty delta with %d mispredicts must not replay", recRes.CoreStats[0].Mispredict)
+	}
+	if out.Reason == "" {
+		t.Error("fallback must carry a declared reason")
+	}
+	if replRes.Cycles == recRes.Cycles {
+		t.Error("penalty delta did not change cycles; the case proves nothing")
+	}
+}
+
+// TestReplayKnobFuzz is the property test: random perturbations of a menu of
+// timing and structural knobs must either replay bit-exactly or declare a
+// fallback — a silently wrong number is the one forbidden outcome.
+func TestReplayKnobFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing many full simulations")
+	}
+	cache := NewCache()
+	base := replayBaseConfig()
+	baseModels := accelModelsAt(4, 24)
+	if _, out := runLeg(t, cache, cloneSys(t, base), baseModels, true); !out.Recorded {
+		t.Fatalf("recording run did not publish a schedule (reason: %q)", out.Reason)
+	}
+
+	type knob struct {
+		name  string
+		apply func(sc *config.SystemConfig, r *rand.Rand) map[string]soc.AccelModel
+	}
+	knobs := []knob{
+		{"mem-latency", func(sc *config.SystemConfig, r *rand.Rand) map[string]soc.AccelModel {
+			if sc.Cores[0].Core.Latencies == nil {
+				sc.Cores[0].Core.Latencies = map[string]int64{}
+			}
+			sc.Cores[0].Core.Latencies["mem"] = int64(1 + r.Intn(100))
+			return nil
+		}},
+		{"mispredict-penalty", func(sc *config.SystemConfig, r *rand.Rand) map[string]soc.AccelModel {
+			sc.Cores[0].Core.MispredictPenalty = int64(1 + r.Intn(60))
+			return nil
+		}},
+		{"atomic-latency", func(sc *config.SystemConfig, r *rand.Rand) map[string]soc.AccelModel {
+			sc.Cores[0].Core.AtomicExtraLatency = int64(r.Intn(20))
+			return nil
+		}},
+		{"dram-bandwidth", func(sc *config.SystemConfig, r *rand.Rand) map[string]soc.AccelModel {
+			sc.Mem.DRAM.BandwidthGBs = float64(8 + r.Intn(96))
+			return nil
+		}},
+		{"dram-min-latency", func(sc *config.SystemConfig, r *rand.Rand) map[string]soc.AccelModel {
+			sc.Mem.DRAM.MinLatency = int64(50 + r.Intn(300))
+			return nil
+		}},
+		{"l1-latency", func(sc *config.SystemConfig, r *rand.Rand) map[string]soc.AccelModel {
+			sc.Mem.L1.LatencyCycles = int64(1 + r.Intn(5))
+			return nil
+		}},
+		{"l1-mshrs", func(sc *config.SystemConfig, r *rand.Rand) map[string]soc.AccelModel {
+			sc.Mem.L1.MSHRs = 2 + r.Intn(14)
+			return nil
+		}},
+		{"issue-width", func(sc *config.SystemConfig, r *rand.Rand) map[string]soc.AccelModel {
+			sc.Cores[0].Core.IssueWidth = 1 + r.Intn(8)
+			return nil
+		}},
+		{"accel-lanes", func(sc *config.SystemConfig, r *rand.Rand) map[string]soc.AccelModel {
+			return accelModelsAt(1<<r.Intn(5), 24)
+		}},
+	}
+
+	r := rand.New(rand.NewSource(20260809))
+	for it := 0; it < 12; it++ {
+		sc := cloneSys(t, base)
+		models := baseModels
+		n := 1 + r.Intn(3)
+		names := make([]string, 0, n)
+		for j := 0; j < n; j++ {
+			k := knobs[r.Intn(len(knobs))]
+			names = append(names, k.name)
+			if m := k.apply(sc, r); m != nil {
+				models = m
+			}
+		}
+		replRes, out := runLeg(t, cache, sc, models, true)
+		if !out.Replayed && out.Reason == "" {
+			t.Fatalf("iter %d (%v): fallback without a declared reason", it, names)
+		}
+		fullSC := cloneSys(t, sc)
+		fullRes, _ := runLeg(t, cache, fullSC, models, false)
+		if !reflect.DeepEqual(replRes, fullRes) {
+			t.Fatalf("iter %d (%v): replayed=%v families=%v reason=%q\nreplay: %+v\nfull:   %+v",
+				it, names, out.Replayed, out.Families, out.Reason, replRes, fullRes)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"mosaicsim/internal/dae"
 	"mosaicsim/internal/ddg"
 	"mosaicsim/internal/ir"
+	replaypkg "mosaicsim/internal/replay"
 	"mosaicsim/internal/soc"
 	"mosaicsim/internal/trace"
 	"mosaicsim/internal/workloads"
@@ -104,6 +105,15 @@ type Options struct {
 	// stepping is sharded across that many goroutines with results
 	// bit-identical to sequential stepping (1 forces sequential).
 	StepWorkers int
+	// Replay enables schedule-capture timing replay (internal/replay): a
+	// full run records its event schedule into the cache, and a later Run
+	// whose config differs from a recorded one only in provably replayable
+	// timing parameters is answered analytically — bit-exactly equal to full
+	// re-simulation — without building or stepping a system. Ineligible
+	// deltas fall back to full simulation with the reason in Replay().
+	// Recording is skipped under DisableCycleSkipping (those runs exist to
+	// validate the stepping engine itself).
+	Replay bool
 	// Progress, when non-nil, receives in-flight simulation progress from
 	// the Run stage (wired to soc.System.OnProgress on every system this
 	// session builds). It is called from the simulating goroutine at
@@ -124,10 +134,27 @@ type Session struct {
 	// when the config declares none: the slicing mode implies it).
 	roles []string
 
-	mu  sync.Mutex
-	sys *soc.System // last-built (and possibly run) system
-	res soc.Result
-	ran bool
+	mu     sync.Mutex
+	sys    *soc.System // last-built (and possibly run) system
+	res    soc.Result
+	ran    bool
+	replay ReplayOutcome
+}
+
+// ReplayOutcome reports what the replay engine did for the session's last
+// Run: whether replay was attempted, whether the run was answered from a
+// recorded schedule (and under which delta families), or why it fell back,
+// and whether this run recorded a new schedule for later legs. Stepped and
+// Skipped mirror the cycle-skipper accounting of the replayed run, since a
+// replayed session never builds a live soc.System to read them from.
+type ReplayOutcome struct {
+	Attempted bool
+	Replayed  bool
+	Recorded  bool
+	Families  []string
+	Reason    string
+	Stepped   int64
+	Skipped   int64
 }
 
 // NewSession validates opts and binds a session to its cache. A declarative
@@ -354,19 +381,75 @@ func (s *Session) BuildSystem(ctx context.Context) (*soc.System, error) {
 // with the effective deadline and cycle limit in the message).
 func (s *Session) Run(ctx context.Context) (soc.Result, error) {
 	ctx = orBackground(ctx)
+	replayOn := s.opts.Replay && s.opts.Config != nil && !s.opts.DisableCycleSkipping
+	var structHash uint64
+	var out ReplayOutcome
+	if replayOn {
+		out.Attempted = true
+		h, err := replaypkg.StructHash(s.opts.Config)
+		if err != nil {
+			// An unresolvable config will fail BuildSystem with a better
+			// error; just disable replay and take the full path.
+			replayOn = false
+			out.Reason = err.Error()
+		} else {
+			structHash = h
+			if sched := s.cache.Schedule(s.Key(), h); sched != nil {
+				dec := replaypkg.Classify(sched, s.opts.Config, s.opts.Accels, s.opts.Limit)
+				if dec.Eligible {
+					res, stepped, skipped := replaypkg.Evaluate(sched, dec)
+					s.cache.noteReplay(true)
+					out.Replayed = true
+					out.Families = dec.Families
+					out.Stepped = stepped
+					out.Skipped = skipped
+					s.mu.Lock()
+					s.sys = nil // no live system backs a replayed result
+					s.res = res
+					s.ran = true
+					s.replay = out
+					s.mu.Unlock()
+					return res, nil
+				}
+				s.cache.noteReplay(false)
+				out.Reason = dec.Reason
+			} else {
+				out.Reason = "no recorded schedule"
+			}
+		}
+	}
 	sys, err := s.BuildSystem(ctx)
 	if err != nil {
 		return soc.Result{}, err
+	}
+	var rec *replaypkg.Recorder
+	if replayOn {
+		rec = replaypkg.NewRecorder()
+		sys.SetRecorder(rec)
 	}
 	if err := sys.Run(ctx, s.opts.Limit); err != nil {
 		return soc.Result{}, s.fail(StageRun, err)
 	}
 	res := sys.Result()
+	if rec != nil {
+		if sched, err := rec.Build(s.opts.Config, sys, res); err == nil {
+			out.Recorded = s.cache.PutSchedule(s.Key(), structHash, sched)
+		}
+	}
 	s.mu.Lock()
 	s.res = res
 	s.ran = true
+	s.replay = out
 	s.mu.Unlock()
 	return res, nil
+}
+
+// Replay reports the replay engine's outcome for the last Run (the zero
+// value before any Run, or when Options.Replay is off).
+func (s *Session) Replay() ReplayOutcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replay
 }
 
 // Report returns the last completed run's system-wide estimate.

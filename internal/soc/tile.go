@@ -146,6 +146,10 @@ type AccelTile struct {
 	Bytes      int64
 	Calls      int64
 	BusyCycles int64 // summed invocation latencies across all models
+
+	// onInvoke, when non-nil, observes every successful invocation with the
+	// exact model inputs and timing (set through System.SetRecorder).
+	onInvoke func(name string, params []int64, concurrent int, issue, complete int64, res AccelResult)
 }
 
 // newAccelTile builds the accelerator manager for a system whose fastest
@@ -211,7 +215,8 @@ func (t *AccelTile) invoke(name string, params []int64, now int64) (int64, error
 	if !ok {
 		return 0, fmt.Errorf("soc: no accelerator model registered for %q", name)
 	}
-	res, err := m.Invoke(params, t.outstanding[name])
+	concurrent := t.outstanding[name]
+	res, err := m.Invoke(params, concurrent)
 	if err != nil {
 		return 0, err
 	}
@@ -226,7 +231,17 @@ func (t *AccelTile) invoke(name string, params []int64, now int64) (int64, error
 	// invocations observe each other and the §IV-B bandwidth-sharing model
 	// engages.
 	t.events.push(accelEvent{at: at, name: name})
+	if t.onInvoke != nil {
+		t.onInvoke(name, params, concurrent, now, at, res)
+	}
 	return at, nil
+}
+
+// soleEventAt reports whether the manager holds exactly one pending release
+// and it is due at cycle at — part of the quiet-window certificate: any
+// other pending release would mean a second invocation is still in flight.
+func (t *AccelTile) soleEventAt(at int64) bool {
+	return t.events.Len() == 1 && t.events[0].at == at
 }
 
 // KindBreakdown aggregates TileStats over every tile of one kind.
