@@ -19,6 +19,7 @@ import (
 	"mosaicsim/internal/ddg"
 	"mosaicsim/internal/experiments"
 	"mosaicsim/internal/interp"
+	"mosaicsim/internal/ir"
 	"mosaicsim/internal/sim"
 	"mosaicsim/internal/soc"
 	"mosaicsim/internal/workloads"
@@ -266,6 +267,21 @@ func BenchmarkTraceEncode(b *testing.B) {
 		bytes = n
 	}
 	b.ReportMetric(float64(bytes), "trace-bytes")
+}
+
+// BenchmarkCompileO2 measures the front-end with the full O2 pipeline —
+// parse, IR build, and seven pass applications with a verify run after each.
+// The gate in CI keeps pipeline cost from silently eating the compile stage's
+// budget as passes grow.
+func BenchmarkCompileO2(b *testing.B) {
+	w := workloads.SGEMM()
+	opt := ir.OptConfig{Level: "O2"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cc.CompileWithOpt(w.Src, w.Name, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkDTG measures the Dynamic Trace Generator's native-execution speed.

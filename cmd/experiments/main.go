@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mosaicsim/internal/experiments"
+	"mosaicsim/internal/ir"
 	"mosaicsim/internal/parallel"
 	"mosaicsim/internal/workloads"
 )
@@ -46,6 +47,9 @@ func realMain() int {
 	replay := flag.Bool("replay", true, "answer timing-only sweep legs from recorded schedules (bit-identical results)")
 	noreplay := flag.Bool("noreplay", false, "disable schedule-capture replay (overrides -replay)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole regeneration (0 = none)")
+	optLevel := flag.String("O", "", "compiler optimization level applied to every workload leg: O0, O1, O2 (default O0)")
+	passes := flag.String("passes", "", "explicit comma-separated pass list (overrides -O): constfold,dce,cse,strength,unroll")
+	unroll := flag.Int("unroll", 0, "loop-unroll factor when the unroll pass runs (0 = default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -118,14 +122,24 @@ func realMain() int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	if *optLevel != "" && *passes != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -O and -passes are mutually exclusive")
+		return 2
+	}
+	opt, err := ir.ParseOptConfig(*optLevel, *passes, *unroll)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 2
+	}
 	r := experiments.NewRunner(s)
 	r.StepWorkers = *stepWorkers
 	r.Replay = *replay && !*noreplay
+	r.Opt = opt
 	// Experiments and their internal legs share one worker budget; outputs
 	// are buffered and printed in request order.
 	outs := make([]string, len(ids))
 	took := make([]time.Duration, len(ids))
-	err := parallel.ForErrCtx(ctx, 0, len(ids), func(i int) error {
+	err = parallel.ForErrCtx(ctx, 0, len(ids), func(i int) error {
 		start := time.Now()
 		rep, err := r.Run(ctx, ids[i])
 		if err != nil {

@@ -5,6 +5,7 @@
 //
 //	mosaic-ddg -workload sgemm           # stats
 //	mosaic-ddg -workload bfs -dot        # DOT on stdout
+//	mosaic-ddg -workload sgemm -O 2      # DDG of the optimized module
 //	mosaic-ddg -src kernel.c -fn kernel -dot > g.dot
 package main
 
@@ -28,7 +29,18 @@ func main() {
 	fn := flag.String("fn", "kernel", "kernel function name (with -src)")
 	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
 	printIR := flag.Bool("ir", false, "print the kernel IR")
+	optLevel := flag.String("O", "", "compiler optimization level: O0, O1, O2 (default O0)")
+	passes := flag.String("passes", "", "explicit comma-separated pass list (overrides -O): constfold,dce,cse,strength,unroll")
+	unroll := flag.Int("unroll", 0, "loop-unroll factor when the unroll pass runs (0 = default)")
 	flag.Parse()
+
+	if *optLevel != "" && *passes != "" {
+		fatal(fmt.Errorf("-O and -passes are mutually exclusive"))
+	}
+	opt, err := ir.ParseOptConfig(*optLevel, *passes, *unroll)
+	if err != nil {
+		fatal(err)
+	}
 
 	var f *ir.Function
 	var g *ddg.Graph
@@ -39,6 +51,9 @@ func main() {
 		w, err := workloads.Resolve(*workload)
 		if err != nil {
 			fatal(err)
+		}
+		if !opt.IsDefault() {
+			w = w.WithOpt(opt)
 		}
 		s, err := sim.NewSession(sim.Options{Workload: w})
 		if err != nil {
@@ -56,7 +71,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		mod, err := cc.Compile(string(data), *src)
+		mod, err := cc.CompileWithOpt(string(data), *src, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -77,6 +92,7 @@ func main() {
 		fmt.Print(g.DOT())
 		return
 	}
+	fmt.Printf("opt: %s\n", opt)
 	s := g.Stats()
 	tbl := stats.NewTable("static DDG: @"+f.Ident, "metric", "value")
 	tbl.Row("basic blocks", s.Blocks)

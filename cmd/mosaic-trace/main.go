@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"mosaicsim/internal/interp"
+	"mosaicsim/internal/ir"
 	"mosaicsim/internal/sim"
 	"mosaicsim/internal/stats"
 	"mosaicsim/internal/trace"
@@ -30,6 +31,9 @@ func main() {
 	out := flag.String("o", "", "write the binary trace to this file")
 	read := flag.String("read", "", "read and summarize a previously written trace")
 	hot := flag.Int("hot", 0, "profile the run and print the N hottest static instructions")
+	optLevel := flag.String("O", "", "compiler optimization level: O0, O1, O2 (default O0)")
+	passes := flag.String("passes", "", "explicit comma-separated pass list (overrides -O): constfold,dce,cse,strength,unroll")
+	unroll := flag.Int("unroll", 0, "loop-unroll factor when the unroll pass runs (0 = default)")
 	flag.Parse()
 
 	if *read != "" {
@@ -53,6 +57,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *optLevel != "" && *passes != "" {
+		fatal(fmt.Errorf("-O and -passes are mutually exclusive"))
+	}
+	opt, err := ir.ParseOptConfig(*optLevel, *passes, *unroll)
+	if err != nil {
+		fatal(err)
+	}
+	if !opt.IsDefault() {
+		w = w.WithOpt(opt)
+	}
+	fmt.Printf("opt: %s\n", w.Opt)
 	var ws workloads.Scale
 	switch *scale {
 	case "tiny":

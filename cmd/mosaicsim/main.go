@@ -39,6 +39,7 @@ import (
 	"syscall"
 
 	"mosaicsim/internal/config"
+	"mosaicsim/internal/ir"
 	"mosaicsim/internal/parallel"
 	"mosaicsim/internal/sim"
 	"mosaicsim/internal/soc"
@@ -75,6 +76,9 @@ func run() int {
 	replay := flag.Bool("replay", true, "answer timing-only re-simulations from recorded schedules (bit-identical results)")
 	noreplay := flag.Bool("noreplay", false, "disable schedule-capture replay (overrides -replay)")
 	stepWorkers := flag.Int("step-workers", 0, "shard each simulation's tile stepping across N goroutines (bit-identical results; 0/1 = sequential)")
+	optLevel := flag.String("O", "", "compiler optimization level: O0, O1, O2 (default O0)")
+	passes := flag.String("passes", "", "explicit comma-separated pass list (overrides -O): constfold,dce,cse,strength,unroll")
+	unroll := flag.Int("unroll", 0, "loop-unroll factor when the unroll pass runs (0 = default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -125,6 +129,20 @@ func run() int {
 			return 2
 		}
 		ws = append(ws, w)
+	}
+	if *optLevel != "" && *passes != "" {
+		fmt.Fprintln(os.Stderr, "mosaicsim: -O and -passes are mutually exclusive")
+		return 2
+	}
+	opt, err := ir.ParseOptConfig(*optLevel, *passes, *unroll)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mosaicsim:", err)
+		return 2
+	}
+	if !opt.IsDefault() {
+		for i := range ws {
+			ws[i] = ws[i].WithOpt(opt)
+		}
 	}
 
 	configFor := func(w *workloads.Workload) (*config.SystemConfig, error) {
@@ -240,7 +258,7 @@ func run() int {
 		parallel.SetLimit(*jobs)
 	}
 	outs := make([]string, len(ws))
-	err := parallel.ForErrCtx(ctx, 0, len(ws), func(i int) error {
+	err = parallel.ForErrCtx(ctx, 0, len(ws), func(i int) error {
 		out, err := runOne(ctx, ws[i], configFor, wScale, *scale, *asJSON, *noskip, *replay && !*noreplay, *stepWorkers)
 		outs[i] = out
 		return err

@@ -1,27 +1,82 @@
 package cc
 
 import (
+	"errors"
 	"fmt"
 
 	"mosaicsim/internal/ir"
 )
 
-// Compile parses and compiles mini-C source into a verified IR module. Every
-// function in the file becomes an IR function; scalars are fully promoted to
-// SSA registers (the front end emits no loads/stores for locals, mirroring
-// LLVM -O3 kernels, so the memory trace contains only real array traffic).
+// VerifyError reports a compiled module that fails IR verification — always
+// a compiler or pass bug, never a property of the source program. Pass names
+// the optimization pass whose output failed, or is empty when the front end's
+// own build failed verification.
+type VerifyError struct {
+	Module string // module name
+	Pass   string // pass that produced the invalid IR, "" for the front end
+	Err    error  // the underlying *ir.VerifyError / *ir.PassError
+}
+
+func (e *VerifyError) Error() string {
+	if e.Pass != "" {
+		return fmt.Sprintf("cc: internal error, module %s fails verification after pass %q: %v", e.Module, e.Pass, e.Err)
+	}
+	return fmt.Sprintf("cc: internal error, generated IR for module %s fails verification: %v", e.Module, e.Err)
+}
+
+func (e *VerifyError) Unwrap() error { return e.Err }
+
+// Compile parses and compiles mini-C source into a verified IR module at O0.
+// Every function in the file becomes an IR function; scalars are fully
+// promoted to SSA registers (the front end emits no loads/stores for locals,
+// mirroring LLVM -O3 kernels, so the memory trace contains only real array
+// traffic).
 func Compile(src, moduleName string) (*ir.Module, error) {
+	return CompileWithOpt(src, moduleName, ir.OptConfig{})
+}
+
+// CompileWithOpt is Compile followed by the optimization pipeline opt
+// selects: the front end builds and verifies the module, then ir.Pipeline
+// runs the resolved pass list with re-verification after every pass. The
+// zero OptConfig (O0) runs no passes and is bit-identical to Compile.
+func CompileWithOpt(src, moduleName string, opt ir.OptConfig) (*ir.Module, error) {
 	file, err := ParseFile(src)
 	if err != nil {
 		return nil, err
 	}
-	return CompileAST(file, moduleName)
+	return CompileASTWithOpt(file, moduleName, opt)
 }
 
-// CompileAST compiles an already-built AST; other front ends (e.g. the
+// CompileAST compiles an already-built AST at O0; other front ends (e.g. the
 // Python/Numba-style one) produce the same AST and share this code
 // generator, exactly as LLVM front ends share the middle end.
 func CompileAST(file *File, moduleName string) (*ir.Module, error) {
+	return CompileASTWithOpt(file, moduleName, ir.OptConfig{})
+}
+
+// CompileASTWithOpt compiles an AST and runs the optimization pipeline.
+func CompileASTWithOpt(file *File, moduleName string, opt ir.OptConfig) (*ir.Module, error) {
+	mod, err := compileASTO0(file, moduleName)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := ir.NewPipeline(opt)
+	if err != nil {
+		return nil, fmt.Errorf("cc: %w", err)
+	}
+	if err := pipe.Run(mod); err != nil {
+		ve := &VerifyError{Module: moduleName, Err: err}
+		var pe *ir.PassError
+		if errors.As(err, &pe) {
+			ve.Pass = pe.Pass
+		}
+		return nil, ve
+	}
+	return mod, nil
+}
+
+// compileASTO0 lowers the AST to verified, unoptimized IR.
+func compileASTO0(file *File, moduleName string) (*ir.Module, error) {
 	mod := ir.NewModule(moduleName)
 	globals := map[string]*ir.Global{}
 	for _, g := range file.Globals {
@@ -44,7 +99,7 @@ func CompileAST(file *File, moduleName string) (*ir.Module, error) {
 		}
 	}
 	if err := ir.VerifyModule(mod); err != nil {
-		return nil, fmt.Errorf("cc: internal error, generated IR fails verification: %w", err)
+		return nil, &VerifyError{Module: moduleName, Err: err}
 	}
 	return mod, nil
 }

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"mosaicsim/internal/config"
+	"mosaicsim/internal/ir"
 	"mosaicsim/internal/parallel"
 	"mosaicsim/internal/sim"
 	"mosaicsim/internal/soc"
@@ -56,6 +57,11 @@ type Runner struct {
 	// (bit-identical to sequential stepping, so regenerated tables and
 	// figures are unaffected). Legs that set their own value keep it.
 	StepWorkers int
+	// Opt recompiles every workload leg under this optimization config
+	// before simulation (workloads that already carry a non-default opt
+	// config keep their own). The artifact cache keys on the pass-config
+	// hash, so sweeping Opt never aliases cached traces across levels.
+	Opt ir.OptConfig
 	// Replay routes every leg through schedule-capture timing replay
 	// (internal/replay): the first leg of each (workload, structure) pair
 	// records its schedule into the runner's cache and later legs whose
@@ -77,6 +83,9 @@ func NewRunner(s workloads.Scale) *Runner {
 // session opens a sim.Session for one measurement leg against the runner's
 // shared cache.
 func (r *Runner) session(w *workloads.Workload, opts sim.Options) (*sim.Session, error) {
+	if !r.Opt.IsDefault() && w.Opt.IsDefault() {
+		w = w.WithOpt(r.Opt)
+	}
 	opts.Workload = w
 	opts.Scale = r.Scale
 	opts.Cache = r.cache
@@ -177,7 +186,7 @@ func (r *Runner) daeCycles(ctx context.Context, w *workloads.Workload, pairs int
 func IDs() []string {
 	return []string{
 		"fig1", "tab1", "tab2", "fig5", "fig6", "fig7", "fig8", "fig9",
-		"fig10", "fig11", "fig12", "fig13", "fig14", "storage",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "figopt", "storage",
 	}
 }
 
@@ -233,6 +242,8 @@ func (r *Runner) runID(ctx context.Context, id string) (*Report, error) {
 		return r.Fig13(ctx)
 	case "fig14":
 		return Fig14(), nil
+	case "figopt":
+		return r.FigOpt(ctx)
 	case "storage":
 		return r.Storage(ctx)
 	default:

@@ -1,0 +1,140 @@
+package ir
+
+// constFold evaluates instructions whose operands are all constants, forwards
+// selects with a constant condition, collapses phis whose incoming values are
+// one identical constant, and folds conditional branches on constants into
+// unconditional branches (pruning the dead edge from the abandoned target's
+// phis and deleting blocks that become unreachable). Folding runs to a
+// fixpoint so constants propagate through chains.
+type constFold struct{}
+
+func (constFold) Name() string { return "constfold" }
+
+func (p constFold) Run(f *Function) bool {
+	changed := false
+	for p.round(f) {
+		changed = true
+	}
+	return changed
+}
+
+// round performs one sweep over the function and reports whether it changed
+// anything.
+func (constFold) round(f *Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for i := 0; i < len(b.Instrs); {
+			in := b.Instrs[i]
+			switch {
+			case in.Op == OpSelect:
+				c, ok := in.Args[0].(*Const)
+				if !ok {
+					break
+				}
+				pick := in.Args[2]
+				if c.Bits&1 != 0 {
+					pick = in.Args[1]
+				}
+				// The chosen operand dominates the select, and the select
+				// dominates all of its uses, so forwarding is always legal.
+				replaceUses(f, in, pick)
+				removeInstr(b, i)
+				changed = true
+				continue
+			case in.Op == OpPhi:
+				c := phiConst(in)
+				if c == nil {
+					break
+				}
+				replaceUses(f, in, c)
+				removeInstr(b, i)
+				changed = true
+				continue
+			default:
+				c := foldInstr(in)
+				if c == nil {
+					break
+				}
+				replaceUses(f, in, c)
+				removeInstr(b, i)
+				changed = true
+				continue
+			}
+			i++
+		}
+		if foldCondBr(b) {
+			changed = true
+		}
+	}
+	if changed {
+		// Branch folding can orphan whole blocks; pruning them immediately
+		// keeps every surviving phi aligned with its predecessor list.
+		removeUnreachable(f)
+	}
+	return changed
+}
+
+// phiConst returns the constant a phi collapses to when every incoming value
+// is the same constant (compared canonically: integers by their truncated
+// bit pattern, floats by raw bits), or nil.
+func phiConst(in *Instr) *Const {
+	if len(in.Args) == 0 {
+		return nil
+	}
+	canon := func(c *Const) uint64 {
+		if c.Ty.IsInt() {
+			return foldTrunc(c.Bits, c.Ty)
+		}
+		return c.Bits
+	}
+	first, ok := in.Args[0].(*Const)
+	if !ok {
+		return nil
+	}
+	for _, a := range in.Args[1:] {
+		c, ok := a.(*Const)
+		if !ok || c.Ty != first.Ty || canon(c) != canon(first) {
+			return nil
+		}
+	}
+	return &Const{Ty: first.Ty, Bits: canon(first)}
+}
+
+// foldCondBr rewrites a condbr on a constant condition into an unconditional
+// branch and removes the dead edge from the abandoned target's phis. Reports
+// whether it changed the block.
+func foldCondBr(b *Block) bool {
+	t := b.Terminator()
+	if t == nil || t.Op != OpCondBr {
+		return false
+	}
+	c, ok := t.Args[0].(*Const)
+	if !ok {
+		return false
+	}
+	live, dead := t.Targets[1], t.Targets[0]
+	if c.Bits&1 != 0 {
+		live, dead = dead, live
+	}
+	t.Op = OpBr
+	t.Args = nil
+	t.Targets = []*Block{live}
+	if dead == live {
+		return true
+	}
+	for _, in := range dead.Instrs {
+		if in.Op != OpPhi {
+			break
+		}
+		args := in.Args[:0]
+		incs := in.Incoming[:0]
+		for j, from := range in.Incoming {
+			if from != b {
+				args = append(args, in.Args[j])
+				incs = append(incs, from)
+			}
+		}
+		in.Args, in.Incoming = args, incs
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// commonSubexprElim deduplicates pure computations: a dominator-tree walk
+// with a scoped value-numbering table replaces an instruction with an
+// earlier, dominating instruction that computes the same (opcode, type,
+// operands) tuple. Only result-producing, side-effect-free opcodes
+// participate — never loads, calls, atomics, or phis. sdiv/srem may be
+// deduplicated (the surviving dominating instance traps first on a zero
+// divisor, preserving interpreter behavior).
+type commonSubexprElim struct{}
+
+func (commonSubexprElim) Name() string { return "cse" }
+
+func (commonSubexprElim) Run(f *Function) bool {
+	// Operand keys use dense value IDs; re-number in case an earlier pass in
+	// the same pipeline (or a standalone test harness) left them stale.
+	f.assignIDs()
+	cfg := BuildCFG(f)
+	changed := false
+	avail := map[string]*Instr{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		var scope []string
+		for i := 0; i < len(b.Instrs); {
+			in := b.Instrs[i]
+			if !cseable(in) {
+				i++
+				continue
+			}
+			key := cseKey(in)
+			if prev, ok := avail[key]; ok {
+				replaceUses(f, in, prev)
+				removeInstr(b, i)
+				changed = true
+				continue
+			}
+			avail[key] = in
+			scope = append(scope, key)
+			i++
+		}
+		for _, child := range cfg.DomTreeChildren(b) {
+			walk(child)
+		}
+		for _, key := range scope {
+			delete(avail, key)
+		}
+	}
+	if entry := f.Entry(); entry != nil {
+		walk(entry)
+	}
+	return changed
+}
+
+// cseable reports whether in is a pure, result-producing computation.
+func cseable(in *Instr) bool {
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpAnd, OpOr, OpXor,
+		OpShl, OpLShr, OpAShr, OpFAdd, OpFSub, OpFMul, OpFDiv,
+		OpICmp, OpFCmp, OpSelect, OpCast, OpGEP:
+		return in.HasResult()
+	}
+	return false
+}
+
+// cseKey builds the value-numbering key: opcode, result type, the per-opcode
+// modifiers, and one token per operand. Instruction operands key by dense
+// value ID, constants by canonical bit pattern (integers truncated to their
+// width, since the interpreter never observes the high bits), parameters by
+// index, globals by name — all deterministic across runs.
+func cseKey(in *Instr) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%d|%d|%d|%d", in.Op, in.Ty, in.Pred, in.Cast, in.Scale)
+	for _, a := range in.Args {
+		switch v := a.(type) {
+		case *Const:
+			bits := v.Bits
+			if v.Ty.IsInt() {
+				bits = foldTrunc(bits, v.Ty)
+			}
+			fmt.Fprintf(&sb, "|c%d:%d", v.Ty, bits)
+		case *Param:
+			fmt.Fprintf(&sb, "|p%d", v.Index)
+		case *Global:
+			fmt.Fprintf(&sb, "|g%s", v.Ident)
+		case *Instr:
+			fmt.Fprintf(&sb, "|v%d", v.ID)
+		default:
+			fmt.Fprintf(&sb, "|?%p", a)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,61 @@
+package ir
+
+// deadCodeElim removes pure result-producing instructions with no remaining
+// uses, cascading until a fixpoint, and prunes unreachable blocks. Memory
+// operations, calls, and terminators are never removed: loads and stores are
+// observable in the simulated trace, and calls carry intrinsic side effects
+// (barriers, queues, accelerator invocations). sdiv/srem are only removed
+// when the divisor is a provably non-zero constant, so a dead division that
+// would trap in the interpreter keeps trapping at every opt level.
+type deadCodeElim struct{}
+
+func (deadCodeElim) Name() string { return "dce" }
+
+func (deadCodeElim) Run(f *Function) bool {
+	changed := removeUnreachable(f)
+	uses := make(map[*Instr]int)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if def, ok := a.(*Instr); ok {
+					uses[def]++
+				}
+			}
+		}
+	}
+	for {
+		removed := false
+		for _, b := range f.Blocks {
+			for i := 0; i < len(b.Instrs); {
+				in := b.Instrs[i]
+				if dceRemovable(in) && uses[in] == 0 {
+					for _, a := range in.Args {
+						if def, ok := a.(*Instr); ok {
+							uses[def]--
+						}
+					}
+					removeInstr(b, i)
+					removed = true
+					changed = true
+					continue
+				}
+				i++
+			}
+		}
+		if !removed {
+			return changed
+		}
+	}
+}
+
+// dceRemovable reports whether in may be deleted once it has no uses.
+func dceRemovable(in *Instr) bool {
+	if !in.HasResult() || in.IsTerminator() || in.IsMemory() || in.Op == OpCall {
+		return false
+	}
+	if in.Op == OpSDiv || in.Op == OpSRem {
+		c, ok := in.Args[1].(*Const)
+		return ok && foldSignExt(c.Bits, in.Ty) != 0
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package ir
+
+import "math/bits"
+
+// strengthReduce rewrites integer operations into cheaper equivalents:
+// multiplication by a power-of-two constant becomes a shift, and algebraic
+// identities (x*1, x+0, x-0, x|0, x^0, shifts by 0) forward the untouched
+// operand while x*0 and x&0 become the zero constant. Everything here is
+// exact under the interpreter's modulo-2^width arithmetic; deliberately out
+// of scope are signed division by powers of two (an arithmetic shift rounds
+// toward negative infinity, sdiv toward zero) and all floating-point
+// identities (x+0.0 and x*1.0 are not bit-identities under -0.0 and NaN).
+// Identity forwarding additionally requires the forwarded operand's declared
+// type to equal the instruction's result type, so every downstream consumer
+// keeps interpreting the value at the same width.
+type strengthReduce struct{}
+
+func (strengthReduce) Name() string { return "strength" }
+
+func (p strengthReduce) Run(f *Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for i := 0; i < len(b.Instrs); {
+			in := b.Instrs[i]
+			fwd, remove, rewrote := p.reduce(in)
+			if rewrote {
+				changed = true
+			}
+			if remove {
+				replaceUses(f, in, fwd)
+				removeInstr(b, i)
+				changed = true
+				continue
+			}
+			i++
+		}
+	}
+	return changed
+}
+
+// constOperand returns (other operand, constant, true) when either operand of
+// a commutative instruction is a constant, preferring the right-hand side.
+func constOperand(in *Instr) (Value, *Const, bool) {
+	if k, ok := in.Args[1].(*Const); ok {
+		return in.Args[0], k, true
+	}
+	if k, ok := in.Args[0].(*Const); ok {
+		return in.Args[1], k, true
+	}
+	return nil, nil, false
+}
+
+// reduce inspects one instruction and either rewrites it in place (mul→shl,
+// reported via rewrote), or returns a replacement value for its uses plus
+// remove=true, or leaves it alone.
+func (p strengthReduce) reduce(in *Instr) (fwd Value, remove, rewrote bool) {
+	if !in.Ty.IsInt() {
+		return nil, false, false
+	}
+	switch in.Op {
+	case OpMul:
+		x, k, ok := constOperand(in)
+		if !ok {
+			return nil, false, false
+		}
+		switch v := foldSignExt(k.Bits, k.Ty); {
+		case v == 0:
+			return &Const{Ty: in.Ty, Bits: 0}, true, false
+		case v == 1 && x.Type() == in.Ty:
+			return x, true, false
+		case v > 1 && v&(v-1) == 0:
+			// x * 2^s == x << s modulo 2^64, so the truncated results agree
+			// at every width.
+			in.Op = OpShl
+			in.Args = []Value{x, &Const{Ty: in.Ty, Bits: uint64(bits.TrailingZeros64(uint64(v)))}}
+			return nil, false, true
+		}
+	case OpAdd:
+		if x, k, ok := constOperand(in); ok && foldSignExt(k.Bits, k.Ty) == 0 && x.Type() == in.Ty {
+			return x, true, false
+		}
+	case OpSub, OpOr, OpXor, OpShl, OpLShr, OpAShr:
+		x := in.Args[0]
+		if k, ok := in.Args[1].(*Const); ok && foldSignExt(k.Bits, k.Ty) == 0 && x.Type() == in.Ty {
+			return x, true, false
+		}
+	case OpAnd:
+		if _, k, ok := constOperand(in); ok && foldSignExt(k.Bits, k.Ty) == 0 {
+			return &Const{Ty: in.Ty, Bits: 0}, true, false
+		}
+	}
+	return nil, false, false
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mosaicsim/internal/config"
+	"mosaicsim/internal/ir"
 	"mosaicsim/internal/sim"
 	"mosaicsim/internal/soc"
 	"mosaicsim/internal/stats"
@@ -36,6 +37,17 @@ type Spec struct {
 	// Preset names a built-in topology (see config.TopologyPresets):
 	// spmd-xeon, dae-pair, core-accel. Mutually exclusive with Topology.
 	Preset string `json:"preset,omitempty"`
+	// Opt names the compiler optimization level for the workload build:
+	// O0, O1, or O2 (default O0). Different levels never share cached
+	// artifacts or recorded schedules — the cache key carries the
+	// pass-config hash.
+	Opt string `json:"opt,omitempty"`
+	// Passes overrides Opt with an explicit comma-separated pass list
+	// (e.g. "constfold,dce"). Mutually exclusive with Opt.
+	Passes string `json:"passes,omitempty"`
+	// Unroll sets the loop-unroll factor when the unroll pass runs
+	// (0 = the pipeline default).
+	Unroll int `json:"unroll,omitempty"`
 	// Limit bounds the simulated cycles (0 = the engine default).
 	Limit int64 `json:"limit,omitempty"`
 	// NoSkip disables event-horizon cycle skipping.
@@ -136,6 +148,12 @@ func (s Spec) Normalize() (Spec, error) {
 			return s, suggest("slicing", s.Slicing, []string{"spmd", "dae"})
 		}
 	}
+	if s.Opt != "" && s.Passes != "" {
+		return s, fmt.Errorf("jobs: opt and passes are mutually exclusive")
+	}
+	if _, err := ir.ParseOptConfig(s.Opt, s.Passes, s.Unroll); err != nil {
+		return s, fmt.Errorf("jobs: %w", err)
+	}
 	if s.Limit < 0 {
 		return s, fmt.Errorf("jobs: negative cycle limit %d", s.Limit)
 	}
@@ -197,6 +215,13 @@ func (s Spec) SessionOptions(cache *sim.Cache) (sim.Options, error) {
 	w, err := workloads.Resolve(s.Workload)
 	if err != nil {
 		return sim.Options{}, err
+	}
+	opt, err := ir.ParseOptConfig(s.Opt, s.Passes, s.Unroll)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	if !opt.IsDefault() {
+		w = w.WithOpt(opt)
 	}
 	if sc, err := s.topology(); err != nil {
 		return sim.Options{}, err

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"hash/fnv"
 	"sync"
@@ -40,10 +41,19 @@ func KeyOf(w *workloads.Workload, scale workloads.Scale, tiles int, mode SliceMo
 }
 
 // KeyFor builds the artifact cache key for an explicit per-tile role
-// sequence (empty-string roles are SPMD).
+// sequence (empty-string roles are SPMD). SrcHash covers both the kernel
+// source and the canonical hash of the workload's optimization config, so
+// the same source compiled at different opt levels (or pass lists, or
+// unroll factors) yields distinct keys across every cache layer — compiled
+// kernels, DDGs, traces, and recorded replay schedules never alias across
+// opt levels; a replay lookup under a different opt level misses and falls
+// back to a full run with a declared reason.
 func KeyFor(w *workloads.Workload, scale workloads.Scale, tiles int, mode SliceMode, roles []string) Key {
 	h := fnv.New64a()
 	h.Write([]byte(w.Src))
+	var opt [8]byte
+	binary.LittleEndian.PutUint64(opt[:], w.Opt.Hash())
+	h.Write(opt[:])
 	return Key{Kernel: w.Name, SrcHash: h.Sum64(), Scale: scale, Tiles: tiles, Mode: mode, Topo: topoHash(mode, tiles, roles)}
 }
 

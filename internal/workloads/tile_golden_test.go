@@ -27,6 +27,7 @@ import (
 	"mosaicsim/internal/config"
 	"mosaicsim/internal/dae"
 	"mosaicsim/internal/ddg"
+	"mosaicsim/internal/ir"
 	"mosaicsim/internal/soc"
 )
 
@@ -97,7 +98,10 @@ func daeCase(key string, w *Workload, pairs int) goldenCase {
 	}}
 }
 
-func tileGoldenCases(t *testing.T) []goldenCase {
+// tileGoldenCases builds the full (workload, system) matrix. wrap is applied
+// to every workload before tracing — identity for the seed lock, an explicit
+// opt config for the O0-bit-identity leg.
+func tileGoldenCases(t *testing.T, wrap func(*Workload) *Workload) []goldenCase {
 	ooo2 := func(name string) *config.SystemConfig {
 		return &config.SystemConfig{
 			Name:  name,
@@ -107,7 +111,7 @@ func tileGoldenCases(t *testing.T) []goldenCase {
 	}
 	var cases []goldenCase
 	for _, w := range All() {
-		cases = append(cases, spmdCase("spmd/"+w.Name, w, 2, ooo2(w.Name)))
+		cases = append(cases, spmdCase("spmd/"+w.Name, wrap(w), 2, ooo2(w.Name)))
 	}
 
 	inorder := ooo2("cfg-inorder")
@@ -130,13 +134,13 @@ func tileGoldenCases(t *testing.T) []goldenCase {
 		Mem:   config.TableIIMem(),
 	}
 	cases = append(cases,
-		spmdCase("cfg/inorder", ByName("spmv"), 2, inorder),
-		spmdCase("cfg/banked-dram", ByName("bfs"), 2, banked),
-		spmdCase("cfg/coherence", ByName("sgemm"), 2, coherent),
-		spmdCase("cfg/mesh", ByName("bfs"), 4, mesh),
-		spmdCase("cfg/mixed-clocks", ByName("spmv"), 2, mixed),
-		daeCase("dae/projection-1pair", Projection(), 1),
-		daeCase("dae/projection-2pair", Projection(), 2),
+		spmdCase("cfg/inorder", wrap(ByName("spmv")), 2, inorder),
+		spmdCase("cfg/banked-dram", wrap(ByName("bfs")), 2, banked),
+		spmdCase("cfg/coherence", wrap(ByName("sgemm")), 2, coherent),
+		spmdCase("cfg/mesh", wrap(ByName("bfs")), 4, mesh),
+		spmdCase("cfg/mixed-clocks", wrap(ByName("spmv")), 2, mixed),
+		daeCase("dae/projection-1pair", wrap(Projection()), 1),
+		daeCase("dae/projection-2pair", wrap(Projection()), 2),
 	)
 	return cases
 }
@@ -159,7 +163,7 @@ func runGolden(t *testing.T, gc goldenCase, noskip bool, workers int) []byte {
 }
 
 func TestTileSeedGolden(t *testing.T) {
-	cases := tileGoldenCases(t)
+	cases := tileGoldenCases(t, func(w *Workload) *Workload { return w })
 
 	if *updateTileGolden {
 		out := map[string]json.RawMessage{}
@@ -225,6 +229,47 @@ func TestTileSeedGolden(t *testing.T) {
 				if !bytes.Equal(buf.Bytes(), skip) {
 					t.Errorf("skipping loop (workers=%d) diverged from the seed simulator:\nseed: %s\ngot:  %s", workers, buf.Bytes(), skip)
 				}
+			}
+		})
+	}
+}
+
+// TestTileSeedGoldenO0 pins the pass pipeline's O0 contract against the
+// committed seed golden: building every matrix workload with an explicit
+// O0 opt config must produce byte-identical Result JSON to the default
+// build, because O0 runs an empty pipeline — same IR, same trace, same
+// timing. Any divergence means the pipeline hook mutated the module even
+// when no passes were requested.
+func TestTileSeedGoldenO0(t *testing.T) {
+	if *updateTileGolden {
+		t.Skip("golden regeneration runs through TestTileSeedGolden")
+	}
+	cases := tileGoldenCases(t, func(w *Workload) *Workload {
+		return w.WithOpt(ir.OptConfig{Level: "O0"})
+	})
+	raw, err := os.ReadFile(tileGoldenPath)
+	if err != nil {
+		t.Fatalf("missing seed golden (regenerate with -update-tile-golden): %v", err)
+	}
+	var golden map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatal(err)
+	}
+	for _, gc := range cases {
+		gc := gc
+		t.Run(gc.key, func(t *testing.T) {
+			t.Parallel()
+			want, ok := golden[gc.key]
+			if !ok {
+				t.Fatalf("no golden entry for %s", gc.key)
+			}
+			var buf bytes.Buffer
+			if err := json.Compact(&buf, want); err != nil {
+				t.Fatal(err)
+			}
+			got := runGolden(t, gc, true, 1)
+			if !bytes.Equal(buf.Bytes(), got) {
+				t.Errorf("explicit O0 diverged from the seed simulator:\nseed: %s\ngot:  %s", buf.Bytes(), got)
 			}
 		})
 	}

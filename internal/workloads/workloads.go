@@ -67,21 +67,41 @@ type Workload struct {
 	// Ad-hoc workloads whose inputs outgrow the default image (e.g. lowered
 	// DNN training steps) set it to their own footprint.
 	Mem int64
+	// Opt selects the compiler optimization pipeline folded into the
+	// compiled module. The zero value is O0 (no passes); sim.KeyFor mixes
+	// Opt's canonical hash into the source hash, so cache artifacts and
+	// recorded replay schedules at different opt levels never alias.
+	Opt ir.OptConfig
 
 	once sync.Once
 	mod  *ir.Module
 	err  error
 }
 
-// Kernel compiles (once) and returns the workload's kernel function.
+// Kernel compiles (once) and returns the workload's kernel function, with
+// the workload's optimization pipeline applied.
 func (w *Workload) Kernel() (*ir.Function, error) {
 	w.once.Do(func() {
-		w.mod, w.err = cc.Compile(w.Src, w.Name)
+		w.mod, w.err = cc.CompileWithOpt(w.Src, w.Name, w.Opt)
 	})
 	if w.err != nil {
 		return nil, fmt.Errorf("workload %s: %w", w.Name, w.err)
 	}
 	return w.mod.Func("kernel"), nil
+}
+
+// WithOpt returns a copy of the workload carrying the given optimization
+// config, with a fresh compile cache so the pipeline actually runs (the
+// original is untouched and may already be compiled).
+func (w *Workload) WithOpt(opt ir.OptConfig) *Workload {
+	return &Workload{
+		Name:  w.Name,
+		Desc:  w.Desc,
+		Src:   w.Src,
+		Setup: w.Setup,
+		Mem:   w.Mem,
+		Opt:   opt,
+	}
 }
 
 // MemBytes is the simulated-memory image size used for workload runs.

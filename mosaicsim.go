@@ -117,8 +117,24 @@ var (
 // NewMemory allocates a simulated memory image.
 func NewMemory(bytes int64) *Memory { return interp.NewMemory(bytes) }
 
-// Compile compiles mini-C kernel source into a verified IR module.
+// Compile compiles mini-C kernel source into a verified IR module (no
+// optimization — the O0 pipeline).
 func Compile(src, moduleName string) (*Module, error) { return cc.Compile(src, moduleName) }
+
+// OptConfig selects the IR optimization pipeline (DESIGN.md §5g): a level
+// (O0/O1/O2), or an explicit pass list, plus the unroll factor. The zero
+// value is O0 — the empty pipeline.
+type OptConfig = ir.OptConfig
+
+// ParseOptConfig validates and normalizes a level/pass-list/unroll triple
+// the way the CLI flags -O/-passes/-unroll do.
+var ParseOptConfig = ir.ParseOptConfig
+
+// CompileWithOpt compiles mini-C and runs the selected optimization
+// pipeline, verifying the module after every pass.
+func CompileWithOpt(src, moduleName string, opt OptConfig) (*Module, error) {
+	return cc.CompileWithOpt(src, moduleName, opt)
+}
 
 // ParseIR parses the textual IR format directly.
 func ParseIR(src string) (*Module, error) { return ir.Parse(src) }
