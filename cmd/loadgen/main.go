@@ -9,6 +9,14 @@
 //	mosaicd -addr :8374 &
 //	loadgen -addr http://127.0.0.1:8374 -n 64 -c 16 -workload sgemm,spmv,bfs -scale tiny -tiles 2
 //
+// The same tool drives a fleet — point -addr at a coordinator and the
+// submissions exercise lease distribution and work stealing across its
+// workers. Multi-tenant runs use -tenant (comma-separated, assigned
+// round-robin like -workload) and -priority; turnaround percentiles are
+// then reported per tenant, which is how quota fairness is measured. Shed
+// submissions (429) honor the server's Retry-After before resubmitting, up
+// to -retries times.
+//
 // Submissions round-robin across the -workload list, so the run mixes cache
 // misses (first submission of each shape) with singleflighted/cached
 // repeats — the daemon's steady-state shape.
@@ -22,6 +30,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -35,22 +45,31 @@ func main() {
 }
 
 func run() int {
-	addr := flag.String("addr", "http://127.0.0.1:8374", "mosaicd base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8374", "mosaicd base URL (standalone daemon or fleet coordinator)")
 	n := flag.Int("n", 32, "total submissions")
 	c := flag.Int("c", 8, "concurrent clients")
 	workload := flag.String("workload", "sgemm,spmv,bfs", "comma-separated workloads, assigned round-robin")
 	scale := flag.String("scale", "tiny", "workload scale")
 	tiles := flag.Int("tiles", 2, "tile count")
+	tenant := flag.String("tenant", "", "comma-separated tenants, assigned round-robin (empty = untenanted)")
+	priority := flag.String("priority", "", "priority class for every submission (high, normal, or low; empty = server default)")
+	retries := flag.Int("retries", 8, "resubmissions after a 429 shed, spaced by the server's Retry-After")
 	poll := flag.Duration("poll", 25*time.Millisecond, "status poll interval")
 	flag.Parse()
 
 	names := strings.Split(*workload, ",")
+	var tenants []string
+	if *tenant != "" {
+		tenants = strings.Split(*tenant, ",")
+	}
 	client := &http.Client{Timeout: 30 * time.Second}
 	base := strings.TrimRight(*addr, "/")
 
 	type outcome struct {
+		tenant     string
 		turnaround time.Duration
 		state      jobs.State
+		shed       int
 		err        error
 	}
 	outs := make([]outcome, *n)
@@ -67,18 +86,24 @@ func run() int {
 				Workload: strings.TrimSpace(names[i%len(names)]),
 				Scale:    *scale,
 				Tiles:    *tiles,
+				Priority: *priority,
+			}
+			if len(tenants) > 0 {
+				spec.Tenant = strings.TrimSpace(tenants[i%len(tenants)])
 			}
 			t0 := time.Now()
-			st, err := submitAndWait(client, base, spec, *poll)
-			outs[i] = outcome{turnaround: time.Since(t0), state: st, err: err}
+			st, shed, err := submitAndWait(client, base, spec, *poll, *retries)
+			outs[i] = outcome{tenant: spec.Tenant, turnaround: time.Since(t0), state: st, shed: shed, err: err}
 		}(i)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
 	var turns []float64
-	done, failed := 0, 0
+	byTenant := map[string][]float64{}
+	done, failed, shed := 0, 0, 0
 	for _, o := range outs {
+		shed += o.shed
 		if o.err != nil || o.state != jobs.StateDone {
 			failed++
 			if o.err != nil {
@@ -88,12 +113,25 @@ func run() int {
 		}
 		done++
 		turns = append(turns, o.turnaround.Seconds())
+		byTenant[o.tenant] = append(byTenant[o.tenant], o.turnaround.Seconds())
 	}
-	fmt.Printf("loadgen: %d submissions (%d done, %d failed) in %v (%.1f jobs/s)\n",
-		*n, done, failed, wall.Round(time.Millisecond), float64(done)/wall.Seconds())
+	fmt.Printf("loadgen: %d submissions (%d done, %d failed, %d sheds retried) in %v (%.1f jobs/s)\n",
+		*n, done, failed, shed, wall.Round(time.Millisecond), float64(done)/wall.Seconds())
 	if len(turns) > 0 {
 		fmt.Printf("turnaround: p50 %.1fms  p95 %.1fms  mean %.1fms\n",
 			stats.Percentile(turns, 50)*1e3, stats.Percentile(turns, 95)*1e3, stats.Mean(turns)*1e3)
+	}
+	if len(tenants) > 0 {
+		keys := make([]string, 0, len(byTenant))
+		for k := range byTenant {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ts := byTenant[k]
+			fmt.Printf("tenant %-12s %3d done  p50 %.1fms  p95 %.1fms\n",
+				k, len(ts), stats.Percentile(ts, 50)*1e3, stats.Percentile(ts, 95)*1e3)
+		}
 	}
 	if err := printServerView(client, base); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen: metrics scrape:", err)
@@ -105,39 +143,60 @@ func run() int {
 	return 0
 }
 
-// submitAndWait posts one spec and polls its status until terminal.
-func submitAndWait(client *http.Client, base string, spec jobs.Spec, poll time.Duration) (jobs.State, error) {
+// submitAndWait posts one spec and polls its status until terminal. A 429
+// shed waits out the server's Retry-After (these are load tests: the hint
+// is the thing under test) and resubmits, up to retries times; the count of
+// sheds survived is returned alongside the outcome.
+func submitAndWait(client *http.Client, base string, spec jobs.Spec, poll time.Duration, retries int) (jobs.State, int, error) {
 	body, _ := json.Marshal(spec)
-	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		b, _ := io.ReadAll(resp.Body)
-		return "", fmt.Errorf("submit %s: %s: %s", spec.Workload, resp.Status, bytes.TrimSpace(b))
-	}
+	shed := 0
 	var st jobs.Status
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return "", err
+	for {
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", shed, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && shed < retries {
+			after, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			shed++
+			if after <= 0 {
+				after = 1
+			}
+			time.Sleep(time.Duration(after) * time.Second)
+			continue
+		}
+		if resp.StatusCode != http.StatusCreated {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return "", shed, fmt.Errorf("submit %s: %s: %s", spec.Workload, resp.Status, bytes.TrimSpace(b))
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return "", shed, err
+		}
+		break
 	}
 	for !st.State.Terminal() {
 		time.Sleep(poll)
 		r, err := client.Get(base + "/v1/jobs/" + st.ID)
 		if err != nil {
-			return "", err
+			return "", shed, err
 		}
 		err = json.NewDecoder(r.Body).Decode(&st)
 		r.Body.Close()
 		if err != nil {
-			return "", err
+			return "", shed, err
 		}
 	}
-	return st.State, nil
+	return st.State, shed, nil
 }
 
 // printServerView scrapes /metrics and prints the serving-relevant families:
-// jobs by state, cache effectiveness, and stage latencies.
+// jobs by state, cache effectiveness, stage latencies, and — against a
+// coordinator — the fleet's lease counters.
 func printServerView(client *http.Client, base string) error {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
@@ -156,6 +215,9 @@ func printServerView(client *http.Client, base string) error {
 		switch {
 		case strings.HasPrefix(line, "mosaicd_jobs_total"),
 			strings.HasPrefix(line, "mosaicd_jobs_rejected_total"),
+			strings.HasPrefix(line, "mosaicd_tenant_"),
+			strings.HasPrefix(line, "mosaicd_fleet_"),
+			strings.HasPrefix(line, "mosaicd_lease_"),
 			strings.HasPrefix(line, "mosaicd_cache_"),
 			strings.HasPrefix(line, "mosaicd_stage_seconds_sum"),
 			strings.HasPrefix(line, "mosaicd_stage_seconds_count"):

@@ -1,0 +1,96 @@
+// Package cluster turns mosaicd into a fleet: a coordinator that owns the
+// job queue and the durable store, and workers that lease jobs over
+// HTTP/JSON, execute them on their own local engine stack, and report back.
+//
+// The protocol (all under /cluster/v1/, mounted beside the public API):
+//
+//	POST /cluster/v1/register           worker announces itself     → lease TTL + heartbeat interval
+//	POST /cluster/v1/lease              request one job             → 200 jobs.Lease, or 204 when idle
+//	POST /cluster/v1/heartbeat          liveness + renew leases     → cancels to propagate, leases lost
+//	POST /cluster/v1/jobs/{id}/events   forward one stage/progress event
+//	POST /cluster/v1/jobs/{id}/complete report (or error) for a leased job
+//
+// Design invariants, shared with internal/jobs:
+//
+//   - The coordinator owns every lifecycle edge. Workers forward only stage
+//     and progress events, so each job's history is decided by one process
+//     and the persisted log is a single total order.
+//   - Leases carry the job's artifact-affinity hash. Workers accumulate the
+//     hashes they have executed and send them with lease requests; the
+//     coordinator prefers affinity matches (warm trace/schedule caches) and
+//     otherwise lets the worker steal the front of the queue.
+//   - Liveness is lease-based, not connection-based: a SIGKILL'd worker
+//     simply stops renewing, its leases expire, and the jobs requeue. No
+//     job is ever stranded by a dead worker.
+//   - Reports are opaque bytes end to end: the worker's local engine emits
+//     json.Marshal(soc.Result), the coordinator stores and serves it
+//     verbatim, so a fleet-executed job is byte-identical to the
+//     single-process sim.Session path.
+package cluster
+
+import (
+	"encoding/json"
+	"time"
+
+	"mosaicsim/internal/jobs"
+)
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	// Name identifies the worker across its whole lifetime; leases,
+	// heartbeats, and completions all carry it.
+	Name string `json:"name"`
+	// Slots is the worker's concurrent-job capacity (informational).
+	Slots int `json:"slots"`
+}
+
+// RegisterResponse hands the worker the coordinator's timing contract.
+type RegisterResponse struct {
+	// LeaseTTL is how long a granted lease lives without renewal.
+	LeaseTTL time.Duration `json:"leaseTTL"`
+	// HeartbeatEvery is how often the worker must heartbeat (each
+	// heartbeat renews all of the worker's leases).
+	HeartbeatEvery time.Duration `json:"heartbeatEvery"`
+}
+
+// LeaseRequest asks for one job.
+type LeaseRequest struct {
+	Name string `json:"name"`
+	// Affinity lists the artifact-affinity hashes of jobs this worker has
+	// executed (its warm caches). The coordinator prefers a queued job
+	// matching one of them.
+	Affinity []uint64 `json:"affinity,omitempty"`
+}
+
+// HeartbeatRequest reports liveness and the leases the worker still holds.
+type HeartbeatRequest struct {
+	Name string `json:"name"`
+	// Running lists the coordinator job IDs the worker is executing; each
+	// is renewed for another lease TTL.
+	Running []string `json:"running,omitempty"`
+}
+
+// HeartbeatResponse carries the coordinator's instructions back.
+type HeartbeatResponse struct {
+	// Cancels are leased jobs cancelled client-side; the worker must abort
+	// their local runs.
+	Cancels []string `json:"cancels,omitempty"`
+	// Lost are jobs from Running whose lease the worker no longer holds
+	// (expired and requeued, or finished elsewhere); the worker must abort
+	// them and report nothing further.
+	Lost []string `json:"lost,omitempty"`
+}
+
+// EventRequest forwards one stage or progress event from the worker's local
+// run.
+type EventRequest struct {
+	Name  string     `json:"name"`
+	Event jobs.Event `json:"event"`
+}
+
+// CompleteRequest finishes a leased job: a report, or an error message.
+type CompleteRequest struct {
+	Name   string          `json:"name"`
+	Report json.RawMessage `json:"report,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}

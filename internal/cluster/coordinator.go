@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"mosaicsim/internal/jobs"
+	"mosaicsim/internal/metrics"
+)
+
+// CoordinatorOptions tunes the fleet side of a manager.
+type CoordinatorOptions struct {
+	// LeaseTTL is how long a lease survives without renewal. Zero means
+	// 15s. Expiry scans run at a quarter of this.
+	LeaseTTL time.Duration
+	// Heartbeat is the interval workers are told to report at. Zero means
+	// LeaseTTL / 3, so a worker gets ~three renewal chances per TTL.
+	Heartbeat time.Duration
+	// WorkerTimeout is how long a silent worker stays in the fleet gauge
+	// before being dropped. Zero means 3 × Heartbeat.
+	WorkerTimeout time.Duration
+}
+
+// Coordinator exposes a jobs.Manager to a worker fleet over HTTP. It owns
+// no execution of its own — typically the manager runs with Workers < 0
+// (coordinator mode) so every job is executed by a lease.
+type Coordinator struct {
+	mgr  *jobs.Manager
+	opts CoordinatorOptions
+	mux  *http.ServeMux
+
+	mu      sync.Mutex
+	workers map[string]*workerInfo
+
+	mWorkers    *metrics.Gauge
+	mLeases     *metrics.Counter
+	mHeartbeats *metrics.Counter
+	mLost       *metrics.Counter
+}
+
+// workerInfo is the coordinator's view of one registered worker.
+type workerInfo struct {
+	slots    int
+	lastSeen time.Time
+}
+
+// NewCoordinator wraps mgr with the /cluster/v1/ protocol surface. Call
+// Run to drive lease expiry; mount the Coordinator itself beside the
+// public API (it routes only /cluster/v1/* paths).
+func NewCoordinator(mgr *jobs.Manager, opts CoordinatorOptions) *Coordinator {
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 15 * time.Second
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = opts.LeaseTTL / 3
+	}
+	if opts.WorkerTimeout <= 0 {
+		opts.WorkerTimeout = 3 * opts.Heartbeat
+	}
+	reg := mgr.Registry()
+	c := &Coordinator{
+		mgr:     mgr,
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		workers: make(map[string]*workerInfo),
+		mWorkers: reg.Gauge("mosaicd_fleet_workers",
+			"Workers currently registered and heartbeating.", nil),
+		mLeases: reg.Counter("mosaicd_fleet_leases_granted_total",
+			"Leases granted to fleet workers.", nil),
+		mHeartbeats: reg.Counter("mosaicd_fleet_heartbeats_total",
+			"Heartbeats received from fleet workers.", nil),
+		mLost: reg.Counter("mosaicd_fleet_workers_lost_total",
+			"Workers dropped after going silent past the worker timeout.", nil),
+	}
+	c.mux.HandleFunc("POST /cluster/v1/register", c.handleRegister)
+	c.mux.HandleFunc("POST /cluster/v1/lease", c.handleLease)
+	c.mux.HandleFunc("POST /cluster/v1/heartbeat", c.handleHeartbeat)
+	c.mux.HandleFunc("POST /cluster/v1/jobs/{id}/events", c.handleEvents)
+	c.mux.HandleFunc("POST /cluster/v1/jobs/{id}/complete", c.handleComplete)
+	return c
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+// Run drives the time-based half of the protocol — lease expiry and silent-
+// worker pruning — until ctx is cancelled. Scans run at a quarter of the
+// lease TTL so an expired lease requeues well within one extra TTL.
+func (c *Coordinator) Run(ctx context.Context) {
+	period := c.opts.LeaseTTL / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			c.mgr.ExpireLeases(now)
+			c.prune(now)
+		}
+	}
+}
+
+// prune forgets workers silent past the worker timeout. Their leases are
+// reclaimed separately by ExpireLeases; this only keeps the fleet gauge
+// honest.
+func (c *Coordinator) prune(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, wi := range c.workers {
+		if now.Sub(wi.lastSeen) > c.opts.WorkerTimeout {
+			delete(c.workers, name)
+			c.mLost.Inc()
+		}
+	}
+	c.mWorkers.Set(int64(len(c.workers)))
+}
+
+// touch records a sighting of worker name, registering it if needed.
+func (c *Coordinator) touch(name string, slots int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wi := c.workers[name]
+	if wi == nil {
+		wi = &workerInfo{slots: 1}
+		c.workers[name] = wi
+	}
+	if slots > 0 {
+		wi.slots = slots
+	}
+	wi.lastSeen = time.Now()
+	c.mWorkers.Set(int64(len(c.workers)))
+}
+
+// Workers returns the number of currently registered workers.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// decode unmarshals a request body strictly, rejecting unknown fields.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// writeJSON renders v with a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps protocol errors onto status codes: a lost lease is 409 (the
+// worker must abandon the run), an unknown job 404, anything else 400.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, jobs.ErrLeaseLost):
+		code = http.StatusConflict
+	case errors.Is(err, jobs.ErrNotFound):
+		code = http.StatusNotFound
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, fmt.Errorf("bad register body: %w", err))
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, errors.New("register: worker name is required"))
+		return
+	}
+	c.touch(req.Name, req.Slots)
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		LeaseTTL:       c.opts.LeaseTTL,
+		HeartbeatEvery: c.opts.Heartbeat,
+	})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, fmt.Errorf("bad lease body: %w", err))
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, errors.New("lease: worker name is required"))
+		return
+	}
+	c.touch(req.Name, 0)
+	affinity := make(map[uint64]bool, len(req.Affinity))
+	for _, h := range req.Affinity {
+		affinity[h] = true
+	}
+	lease, ok := c.mgr.LeaseJob(req.Name, affinity, c.opts.LeaseTTL)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	c.mLeases.Inc()
+	writeJSON(w, http.StatusOK, lease)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, fmt.Errorf("bad heartbeat body: %w", err))
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, errors.New("heartbeat: worker name is required"))
+		return
+	}
+	c.touch(req.Name, 0)
+	c.mHeartbeats.Inc()
+	var resp HeartbeatResponse
+	for _, id := range req.Running {
+		if err := c.mgr.RenewLease(id, req.Name, c.opts.LeaseTTL); err != nil {
+			resp.Lost = append(resp.Lost, id)
+		}
+	}
+	resp.Cancels = c.mgr.TakeCancels(req.Name)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var req EventRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, fmt.Errorf("bad event body: %w", err))
+		return
+	}
+	if err := c.mgr.AppendRemote(r.PathValue("id"), req.Name, req.Event); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, fmt.Errorf("bad complete body: %w", err))
+		return
+	}
+	if err := c.mgr.CompleteLease(r.PathValue("id"), req.Name, req.Report, req.Error); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}

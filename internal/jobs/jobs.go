@@ -5,13 +5,16 @@
 //
 //	queued → running → done | failed | cancelled
 //
-// driven by a fixed worker pool. Admission control is explicit: the queue is
-// bounded, and a submission past the bound is shed immediately with
-// ErrQueueFull instead of growing memory without limit. All jobs share one
-// sim.Cache, so identical submissions singleflight their compile/trace work,
-// and every lifecycle edge, stage transition, and progress tick is published
-// both as a per-job event stream (for live observers) and as metrics
-// (internal/metrics) for scraping.
+// driven by a fixed worker pool and, in a fleet, by remote workers holding
+// leases (see lease.go). Admission control is explicit: the queue is bounded
+// and class-prioritised, per-tenant quotas cap any one client's live jobs,
+// and a submission past either bound is shed immediately (ErrQueueFull,
+// ErrTenantQuota) instead of growing memory without limit. All jobs share
+// one sim.Cache, so identical submissions singleflight their compile/trace
+// work, and every lifecycle edge, stage transition, and progress tick is
+// published as a per-job event stream (for live observers), as metrics
+// (internal/metrics) for scraping, and — when a store is attached — as an
+// append-only NDJSON log (internal/store) that survives restarts.
 package jobs
 
 import (
@@ -26,6 +29,7 @@ import (
 	"mosaicsim/internal/metrics"
 	"mosaicsim/internal/sim"
 	"mosaicsim/internal/soc"
+	"mosaicsim/internal/store"
 )
 
 // State is a job's lifecycle position.
@@ -51,10 +55,17 @@ var (
 	// ErrQueueFull sheds a submission that found the bounded queue at
 	// capacity.
 	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrTenantQuota sheds a submission whose tenant is at its live-job
+	// quota while other tenants still have headroom.
+	ErrTenantQuota = errors.New("jobs: tenant quota exceeded")
 	// ErrShuttingDown rejects submissions after drain has begun.
 	ErrShuttingDown = errors.New("jobs: manager shutting down")
 	// ErrNotFound reports an unknown job ID.
 	ErrNotFound = errors.New("jobs: no such job")
+	// ErrLeaseLost tells a remote worker its lease is no longer valid (it
+	// expired and the job was requeued, or the job was cancelled). The
+	// worker must stop reporting for that job.
+	ErrLeaseLost = errors.New("jobs: lease lost")
 )
 
 // Event is one entry in a job's ordered event log: a lifecycle edge
@@ -79,6 +90,10 @@ type Event struct {
 	// run's last, never a stale throttled tick.
 	Final bool   `json:"final,omitempty"`
 	Error string `json:"error,omitempty"`
+	// Worker and Attempt appear on lifecycle edges of leased jobs: which
+	// remote worker held the lease, and which execution attempt this is.
+	Worker  string `json:"worker,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
 }
 
 // Status is a point-in-time snapshot of a job for API responses.
@@ -91,6 +106,11 @@ type Status struct {
 	Finished  *time.Time      `json:"finished,omitempty"`
 	Error     string          `json:"error,omitempty"`
 	Report    json.RawMessage `json:"report,omitempty"`
+	// Attempts counts execution starts (local or leased); >1 means the job
+	// was requeued after a lost lease or a daemon restart.
+	Attempts int `json:"attempts,omitempty"`
+	// Worker names the remote worker holding (or last holding) the lease.
+	Worker string `json:"worker,omitempty"`
 }
 
 // Job is one submission moving through the lifecycle. All mutable state is
@@ -103,15 +123,23 @@ type Job struct {
 	ctx    context.Context // per-job; cancelled by Cancel, Shutdown, or the root
 	cancel context.CancelFunc
 
-	mu        sync.Mutex
-	state     State
-	err       error
-	report    json.RawMessage
-	events    []Event
-	notify    chan struct{}
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	digest   string            // content address in the store ("" = not persisted)
+	persist  func(line []byte) // appends one event line to the store (nil = none)
+	affinity uint64            // Spec.AffinityHash(), computed once at admission
+
+	mu          sync.Mutex
+	state       State
+	err         error
+	report      json.RawMessage
+	events      []Event
+	notify      chan struct{}
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	attempts    int
+	leased      bool      // held by a remote worker right now
+	leaseWorker string    // current (or last) lease holder
+	leaseExpiry time.Time // lease deadline; past it the job is requeueable
 }
 
 // State returns the job's current lifecycle state.
@@ -145,6 +173,8 @@ func (j *Job) Status() Status {
 		Spec:      j.Spec,
 		Submitted: j.submitted,
 		Report:    j.report,
+		Attempts:  j.attempts,
+		Worker:    j.leaseWorker,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -160,8 +190,9 @@ func (j *Job) Status() Status {
 	return st
 }
 
-// emit appends one event (stamping its sequence number and time) and wakes
-// every waiting observer.
+// emit appends one event (stamping its sequence number and time), persists
+// it if a store is attached, and wakes every waiting observer. Persisting
+// under the job lock keeps the on-disk log in exact append order.
 func (j *Job) emit(e Event) {
 	j.mu.Lock()
 	e.Seq = len(j.events)
@@ -169,6 +200,11 @@ func (j *Job) emit(e Event) {
 	j.events = append(j.events, e)
 	close(j.notify)
 	j.notify = make(chan struct{})
+	if j.persist != nil {
+		if line, err := json.Marshal(e); err == nil {
+			j.persist(line)
+		}
+	}
 	j.mu.Unlock()
 }
 
@@ -187,7 +223,9 @@ func (j *Job) EventsSince(after int) (evs []Event, more <-chan struct{}, done bo
 
 // Options configures a Manager.
 type Options struct {
-	// Workers is the number of concurrent simulations (default GOMAXPROCS).
+	// Workers is the number of concurrent local simulations (default
+	// GOMAXPROCS). Negative means no local pool at all: jobs queue until a
+	// remote worker leases them (coordinator mode).
 	Workers int
 	// QueueDepth bounds the admission queue; submissions beyond it shed
 	// with ErrQueueFull (default 64).
@@ -198,6 +236,17 @@ type Options struct {
 	// MaxJobs bounds retained job records: beyond it, the oldest terminal
 	// jobs are forgotten (default 4096; their IDs then return ErrNotFound).
 	MaxJobs int
+	// TenantQuota caps each tenant's live (queued + running + leased)
+	// jobs; 0 disables per-tenant quotas.
+	TenantQuota int
+	// MaxAttempts bounds execution attempts per job (default 3): a job
+	// whose lease expires at the bound fails instead of requeueing, so a
+	// poison job cannot cycle through the fleet forever.
+	MaxAttempts int
+	// Store persists jobs and event logs for crash-restart resume (nil =
+	// in-memory only). The manager recovers the store's jobs at startup;
+	// the caller retains ownership and closes it after Shutdown.
+	Store *store.Store
 	// Cache is the shared artifact cache (nil builds a private unbounded
 	// one). Daemons pass a bounded cache so identical submissions
 	// singleflight while memory stays capped.
@@ -229,24 +278,39 @@ type Manager struct {
 	stop  context.CancelFunc
 	cache *sim.Cache
 	reg   *metrics.Registry
-	queue chan *Job
 	wg    sync.WaitGroup
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // submission order, for retention eviction
-	nextID   int
-	draining bool
+	mu         sync.Mutex
+	cond       *sync.Cond // signals queue growth and close to dequeue()
+	queues     [3][]*Job  // one FIFO per priority class, indexed by classRank
+	qclosed    bool
+	jobs       map[string]*Job
+	order      []string // submission order, for retention eviction
+	nextID     int
+	draining   bool
+	tenantLive map[string]int      // live (non-terminal) jobs per tenant
+	cancels    map[string][]string // pending cancel notices per worker
 
-	mSubmitted  *metrics.Counter
-	mRejected   *metrics.Counter
-	mStates     map[State]*metrics.Counter
-	mQueueDepth *metrics.Gauge
-	mInflight   *metrics.Gauge
-	mStage      map[string]*metrics.Histogram
-	mTileActive map[string]*metrics.Counter
-	mTileStall  map[string]*metrics.Counter
-	mTileInstrs map[string]*metrics.Counter
+	mSubmitted      *metrics.Counter
+	mRejected       *metrics.Counter
+	mStates         map[State]*metrics.Counter
+	mQueueDepth     *metrics.Gauge
+	mClassDepth     map[string]*metrics.Gauge
+	mInflight       *metrics.Gauge
+	mLeasesActive   *metrics.Gauge
+	mLeaseExpired   *metrics.Counter
+	mRequeued       *metrics.Counter
+	mSteals         *metrics.Counter
+	mAffinity       *metrics.Counter
+	mRecovered      *metrics.Counter
+	mResumed        *metrics.Counter
+	mStoreErrors    *metrics.Counter
+	mTenantJobs     *metrics.CounterVec
+	mTenantRejected *metrics.CounterVec
+	mStage          map[string]*metrics.Histogram
+	mTileActive     map[string]*metrics.Counter
+	mTileStall      map[string]*metrics.Counter
+	mTileInstrs     map[string]*metrics.Counter
 }
 
 // runStages names the instrumented pipeline stages, in order: artifact
@@ -254,17 +318,26 @@ type Manager struct {
 // BuildSystem→Run, report covers result marshalling.
 var runStages = []string{"artifact", "run", "report"}
 
-// NewManager builds a manager, registers its metrics, and starts its
-// workers. Callers must Shutdown it to release them.
+// NewManager builds a manager, registers its metrics, recovers any persisted
+// jobs from the store, and starts its workers. Callers must Shutdown it to
+// release them.
 func NewManager(opts Options) *Manager {
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
+	localWorkers := opts.Workers
+	if localWorkers == 0 {
+		localWorkers = runtime.GOMAXPROCS(0)
 	}
+	if localWorkers < 0 {
+		localWorkers = 0 // coordinator mode: remote leases only
+	}
+	opts.Workers = localWorkers
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 64
 	}
 	if opts.MaxJobs <= 0 {
 		opts.MaxJobs = 4096
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
 	}
 	if opts.Cache == nil {
 		opts.Cache = sim.NewCache()
@@ -274,26 +347,42 @@ func NewManager(opts Options) *Manager {
 	}
 	root, stop := context.WithCancel(context.Background())
 	m := &Manager{
-		opts:  opts,
-		root:  root,
-		stop:  stop,
-		cache: opts.Cache,
-		reg:   opts.Registry,
-		queue: make(chan *Job, opts.QueueDepth),
-		jobs:  map[string]*Job{},
+		opts:       opts,
+		root:       root,
+		stop:       stop,
+		cache:      opts.Cache,
+		reg:        opts.Registry,
+		jobs:       map[string]*Job{},
+		tenantLive: map[string]int{},
+		cancels:    map[string][]string{},
 	}
+	m.cond = sync.NewCond(&m.mu)
 	if m.opts.Runner == nil {
 		m.opts.Runner = m.simRun
 	}
 	reg := m.reg
 	m.mSubmitted = reg.Counter("mosaicd_jobs_submitted_total", "Jobs admitted to the queue.", nil)
-	m.mRejected = reg.Counter("mosaicd_jobs_rejected_total", "Submissions shed by admission control (queue full or draining).", nil)
+	m.mRejected = reg.Counter("mosaicd_jobs_rejected_total", "Submissions shed by admission control (queue full, tenant quota, or draining).", nil)
 	m.mStates = map[State]*metrics.Counter{}
 	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
 		m.mStates[st] = reg.Counter("mosaicd_jobs_total", "Job lifecycle transitions by entered state.", metrics.Labels{"state": string(st)})
 	}
 	m.mQueueDepth = reg.Gauge("mosaicd_queue_depth", "Jobs waiting in the admission queue.", nil)
-	m.mInflight = reg.Gauge("mosaicd_jobs_inflight", "Simulations currently running.", nil)
+	m.mClassDepth = map[string]*metrics.Gauge{}
+	for _, p := range priorityClasses {
+		m.mClassDepth[p] = reg.Gauge("mosaicd_queue_depth", "Jobs waiting in the admission queue.", metrics.Labels{"class": p})
+	}
+	m.mInflight = reg.Gauge("mosaicd_jobs_inflight", "Simulations currently running locally.", nil)
+	m.mLeasesActive = reg.Gauge("mosaicd_leases_active", "Jobs currently leased to remote workers.", nil)
+	m.mLeaseExpired = reg.Counter("mosaicd_leases_expired_total", "Leases that expired without completion (worker lost).", nil)
+	m.mRequeued = reg.Counter("mosaicd_jobs_requeued_total", "Jobs returned to the queue after a lost lease.", nil)
+	m.mSteals = reg.Counter("mosaicd_lease_steals_total", "Leases granted to a worker with no affinity match (work stealing).", nil)
+	m.mAffinity = reg.Counter("mosaicd_lease_affinity_hits_total", "Leases granted to a worker already holding the job's artifacts.", nil)
+	m.mRecovered = reg.Counter("mosaicd_jobs_recovered_total", "Terminal jobs reloaded from the store at startup.", nil)
+	m.mResumed = reg.Counter("mosaicd_jobs_resumed_total", "Live jobs re-queued from the store at startup.", nil)
+	m.mStoreErrors = reg.Counter("mosaicd_store_errors_total", "Persistence operations that failed (jobs continue in memory).", nil)
+	m.mTenantJobs = reg.CounterVec("mosaicd_tenant_jobs_total", "Jobs admitted, by tenant.", "tenant", nil)
+	m.mTenantRejected = reg.CounterVec("mosaicd_tenant_rejected_total", "Submissions shed by per-tenant quota.", "tenant", nil)
 	reg.Gauge("mosaicd_step_workers", "Default per-simulation tile-stepping parallelism (0 or 1 = sequential).", nil).
 		Set(int64(opts.StepWorkers))
 	m.mStage = map[string]*metrics.Histogram{}
@@ -342,7 +431,10 @@ func NewManager(opts Options) *Manager {
 			}
 			return float64(rc.Hits) / float64(rc.Hits+rc.Fallbacks)
 		})
-	for i := 0; i < opts.Workers; i++ {
+	if m.opts.Store != nil {
+		m.recover()
+	}
+	for i := 0; i < localWorkers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
@@ -362,10 +454,19 @@ func (m *Manager) Draining() bool {
 	return m.draining
 }
 
-// Submit validates spec, admits it to the bounded queue, and returns the
-// new job. It never blocks: a full queue sheds the submission with
-// ErrQueueFull (wrapped with the configured depth), and a draining manager
-// rejects with ErrShuttingDown.
+// tenantLabel renders a tenant name for metrics ("" shows as "default").
+func tenantLabel(t string) string {
+	if t == "" {
+		return "default"
+	}
+	return t
+}
+
+// Submit validates spec, admits it to the bounded priority queue, and
+// returns the new job. It never blocks: a full queue sheds the submission
+// with ErrQueueFull (wrapped with the configured depth), a tenant at quota
+// sheds with ErrTenantQuota, and a draining manager rejects with
+// ErrShuttingDown.
 func (m *Manager) Submit(spec Spec) (*Job, error) {
 	spec, err := spec.Normalize()
 	if err != nil {
@@ -377,31 +478,41 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		m.mRejected.Inc()
 		return nil, ErrShuttingDown
 	}
+	if q := m.opts.TenantQuota; q > 0 && m.tenantLive[spec.Tenant] >= q {
+		m.mu.Unlock()
+		m.mRejected.Inc()
+		m.mTenantRejected.With(tenantLabel(spec.Tenant)).Inc()
+		return nil, fmt.Errorf("%w: tenant %q has %d live jobs (quota %d)",
+			ErrTenantQuota, tenantLabel(spec.Tenant), q, q)
+	}
+	if m.queueDepthLocked() >= m.opts.QueueDepth {
+		m.mu.Unlock()
+		m.mRejected.Inc()
+		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.opts.QueueDepth)
+	}
 	m.nextID++
 	j := &Job{
 		ID:        fmt.Sprintf("j%06d", m.nextID),
 		Spec:      spec,
+		affinity:  spec.AffinityHash(),
 		state:     StateQueued,
 		notify:    make(chan struct{}),
 		submitted: time.Now().UTC(),
 	}
 	j.ctx, j.cancel = context.WithCancel(m.root)
-	select {
-	case m.queue <- j:
-	default:
-		m.mu.Unlock()
-		j.cancel()
-		m.mRejected.Inc()
-		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.opts.QueueDepth)
-	}
+	m.bindStore(j)
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
 	m.evictRecordsLocked()
-	m.mu.Unlock()
+	m.tenantLive[spec.Tenant]++
 	m.mSubmitted.Inc()
+	m.mTenantJobs.With(tenantLabel(spec.Tenant)).Inc()
 	m.mStates[StateQueued].Inc()
-	m.mQueueDepth.Set(int64(len(m.queue)))
+	// Emit the queued edge before the job becomes poppable, so event logs
+	// always open with it (seq 0) even if a worker grabs the job instantly.
 	j.emit(Event{Type: "state", State: StateQueued})
+	m.enqueueLocked(j, false)
+	m.mu.Unlock()
 	return j, nil
 }
 
@@ -453,33 +564,95 @@ func (m *Manager) List() []*Job {
 
 // Cancel requests cancellation of a job and returns immediately — before
 // the job's context error surfaces in its status. A queued job transitions
-// to cancelled on the spot (it will never run); a running job's context is
-// cancelled and the worker records the terminal state asynchronously;
-// cancelling a terminal job is a no-op.
+// to cancelled on the spot (it will never run); a locally running job's
+// context is cancelled and the worker records the terminal state
+// asynchronously; a leased job is marked cancelled at the coordinator and
+// the holding worker learns through its next heartbeat (and ErrLeaseLost on
+// any later report). Cancelling a terminal job is a no-op.
 func (m *Manager) Cancel(id string) (*Job, error) {
-	j, err := m.Get(id)
-	if err != nil {
-		return nil, err
+	m.mu.Lock()
+	j := m.jobs[id]
+	if j == nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	j.mu.Lock()
-	if j.state == StateQueued {
-		j.state = StateCancelled
-		j.finished = time.Now().UTC()
-		j.mu.Unlock()
-		m.mStates[StateCancelled].Inc()
-		j.emit(Event{Type: "state", State: StateCancelled, Error: "cancelled before start"})
-	} else {
-		j.mu.Unlock()
+	state, leased, worker := j.state, j.leased, j.leaseWorker
+	j.mu.Unlock()
+	removed := false
+	if state == StateQueued {
+		removed = m.removeQueuedLocked(j)
+	}
+	if leased {
+		m.cancels[worker] = append(m.cancels[worker], j.ID)
+	}
+	m.mu.Unlock()
+	if removed {
+		m.finish(j, nil, StateCancelled, nil, nil, "cancelled before start")
+	} else if leased {
+		m.finish(j, nil, StateCancelled, context.Canceled, nil, "cancelled by client")
 	}
 	j.cancel()
 	return j, nil
 }
 
+// finish moves j to a terminal state: it claims the transition under the
+// job lock (checking the optional claim predicate there, so lease
+// completion and expiry cannot race each other), updates tenant accounting
+// and metrics, persists the report (done jobs, before the terminal edge so
+// a crash between the two replays as still-running, never as
+// done-without-report), emits the terminal event, and releases the store
+// appender. It reports whether this call performed the transition.
+func (m *Manager) finish(j *Job, claim func(*Job) bool, final State, err error, report json.RawMessage, note string) bool {
+	j.mu.Lock()
+	if j.state.Terminal() || (claim != nil && !claim(j)) {
+		j.mu.Unlock()
+		return false
+	}
+	wasLeased := j.leased
+	j.leased = false
+	j.state = final
+	j.finished = time.Now().UTC()
+	j.err = err
+	if final == StateDone {
+		j.report = report
+	}
+	j.mu.Unlock()
+	m.mStates[final].Inc()
+	if wasLeased {
+		m.mLeasesActive.Add(-1)
+	}
+	m.mu.Lock()
+	if m.tenantLive[j.Spec.Tenant]--; m.tenantLive[j.Spec.Tenant] <= 0 {
+		delete(m.tenantLive, j.Spec.Tenant)
+	}
+	m.mu.Unlock()
+	if st := m.opts.Store; st != nil && j.digest != "" && final == StateDone {
+		if perr := st.PutReport(j.digest, report); perr != nil {
+			m.mStoreErrors.Inc()
+		}
+	}
+	ev := Event{Type: "state", State: final}
+	if note != "" {
+		ev.Error = note
+	} else if err != nil {
+		ev.Error = err.Error()
+	}
+	j.emit(ev)
+	if st := m.opts.Store; st != nil && j.digest != "" {
+		st.CloseJob(j.digest)
+	}
+	return true
+}
+
 // worker drains the queue until Shutdown closes it.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
-		m.mQueueDepth.Set(int64(len(m.queue)))
+	for {
+		j := m.dequeue()
+		if j == nil {
+			return
+		}
 		m.runJob(j)
 	}
 }
@@ -493,15 +666,13 @@ func (m *Manager) runJob(j *Job) {
 		return
 	}
 	if err := j.ctx.Err(); err != nil {
-		j.state = StateCancelled
-		j.finished = time.Now().UTC()
 		j.mu.Unlock()
-		m.mStates[StateCancelled].Inc()
-		j.emit(Event{Type: "state", State: StateCancelled, Error: "cancelled before start"})
+		m.finish(j, nil, StateCancelled, nil, nil, "cancelled before start")
 		return
 	}
 	j.state = StateRunning
 	j.started = time.Now().UTC()
+	j.attempts++
 	j.mu.Unlock()
 	m.mStates[StateRunning].Inc()
 	m.mInflight.Add(1)
@@ -520,28 +691,14 @@ func (m *Manager) runJob(j *Job) {
 	}
 	report, err := m.opts.Runner(ctx, j)
 
-	j.mu.Lock()
-	j.finished = time.Now().UTC()
-	var final State
 	switch {
 	case err == nil:
-		final = StateDone
-		j.report = report
+		m.finish(j, nil, StateDone, nil, report, "")
 	case errors.Is(err, context.Canceled):
-		final = StateCancelled
-		j.err = err
+		m.finish(j, nil, StateCancelled, err, nil, "")
 	default:
-		final = StateFailed
-		j.err = err
+		m.finish(j, nil, StateFailed, err, nil, "")
 	}
-	j.state = final
-	j.mu.Unlock()
-	m.mStates[final].Inc()
-	ev := Event{Type: "state", State: final}
-	if err != nil {
-		ev.Error = err.Error()
-	}
-	j.emit(ev)
 }
 
 // simRun is the production Runner: it lowers the spec onto a sim.Session
@@ -632,10 +789,11 @@ func (m *Manager) observeTiles(bs []soc.KindBreakdown) {
 
 // Shutdown drains the manager: admission closes immediately
 // (ErrShuttingDown), still-queued jobs are cancelled without running, and
-// running jobs get until ctx's deadline to finish before their contexts are
-// cancelled. It returns nil on a clean drain, or ctx's error if the
-// deadline forced cancellation. Shutdown is idempotent only in effect —
-// call it once.
+// running jobs — local and leased — get until ctx's deadline to finish
+// before their contexts are cancelled (leased jobs are marked cancelled at
+// the coordinator; their workers learn via ErrLeaseLost). It returns nil on
+// a clean drain, or ctx's error if the deadline forced cancellation.
+// Shutdown is idempotent only in effect — call it once.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if m.draining {
@@ -644,19 +802,23 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	m.draining = true
-	jobs := make([]*Job, 0, len(m.jobs))
-	for _, j := range m.jobs {
-		jobs = append(jobs, j)
-	}
-	m.mu.Unlock()
-	// Cancel queued jobs: a drain finishes what is running, it does not
-	// start new work. Workers skip them on dequeue.
-	for _, j := range jobs {
-		if j.State() == StateQueued {
-			_, _ = m.Cancel(j.ID)
+	// Pop everything still queued: a drain finishes what is running, it
+	// does not start new work.
+	var queued []*Job
+	for {
+		j := m.popLocked()
+		if j == nil {
+			break
 		}
+		queued = append(queued, j)
 	}
-	close(m.queue)
+	m.qclosed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	for _, j := range queued {
+		m.finish(j, nil, StateCancelled, nil, nil, "cancelled before start")
+		j.cancel()
+	}
 	done := make(chan struct{})
 	go func() {
 		m.wg.Wait()
@@ -669,6 +831,31 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		err = fmt.Errorf("jobs: drain deadline hit, cancelling in-flight jobs: %w", ctx.Err())
 		m.stop() // cancels every per-job context through the root
 		<-done
+	}
+	// Remote leases share the deadline: wait for workers to complete their
+	// jobs, then cancel whatever is still out.
+	for m.leasedSlots() > 0 {
+		select {
+		case <-ctx.Done():
+			if err == nil {
+				err = fmt.Errorf("jobs: drain deadline hit, cancelling leased jobs: %w", ctx.Err())
+			}
+			m.mu.Lock()
+			leased := make([]*Job, 0)
+			for _, j := range m.jobs {
+				j.mu.Lock()
+				if j.leased {
+					leased = append(leased, j)
+				}
+				j.mu.Unlock()
+			}
+			m.mu.Unlock()
+			for _, j := range leased {
+				m.finish(j, nil, StateCancelled, context.Canceled, nil, "cancelled at shutdown")
+				j.cancel()
+			}
+		case <-time.After(20 * time.Millisecond):
+		}
 	}
 	m.stop()
 	return err

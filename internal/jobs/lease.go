@@ -1,0 +1,253 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file is the coordinator half of the fleet lease protocol. A remote
+// worker (internal/cluster) leases a queued job, renews the lease through
+// heartbeats while executing, forwards stage/progress events, and completes
+// with the report. The coordinator owns every lifecycle edge — workers only
+// ever contribute stage and progress events — so one process decides each
+// job's history and the persisted log stays a single total order. A lease
+// that outlives its TTL is presumed lost (worker SIGKILL, partition): the
+// job requeues at the front of its class, bounded by MaxAttempts so a
+// poison job cannot cycle through the fleet forever.
+
+// Lease is one granted execution claim on a job.
+type Lease struct {
+	JobID string `json:"jobId"`
+	Spec  Spec   `json:"spec"`
+	// Affinity is the job's artifact-affinity hash. Workers remember the
+	// hashes of jobs they have executed and send them with lease requests,
+	// so the coordinator can route repeat work to warm caches.
+	Affinity uint64 `json:"affinity"`
+	// Attempt numbers this execution (1-based across requeues).
+	Attempt int `json:"attempt"`
+	// Expires is when the lease lapses unless renewed.
+	Expires time.Time `json:"expires"`
+}
+
+// LeaseJob grants worker a lease on one queued job, preferring a job whose
+// affinity hash the worker already holds (warm trace/schedule caches) and
+// otherwise stealing the front of the highest-priority class. It returns
+// (nil, false) when nothing is queued or the manager is draining.
+func (m *Manager) LeaseJob(worker string, affinity map[uint64]bool, ttl time.Duration) (*Lease, bool) {
+	if worker == "" || ttl <= 0 {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, false
+	}
+	var (
+		j      *Job
+		affine bool
+	)
+	for {
+		j, affine = m.popAffineLocked(affinity)
+		if j == nil {
+			return nil, false
+		}
+		j.mu.Lock()
+		if j.state == StateQueued {
+			break // claim it below, still holding j.mu
+		}
+		j.mu.Unlock() // raced with a cancel: skip and keep popping
+	}
+	j.state = StateRunning
+	j.started = time.Now().UTC()
+	j.attempts++
+	j.leased = true
+	j.leaseWorker = worker
+	j.leaseExpiry = time.Now().Add(ttl)
+	lease := &Lease{
+		JobID:    j.ID,
+		Spec:     j.Spec,
+		Affinity: j.affinity,
+		Attempt:  j.attempts,
+		Expires:  j.leaseExpiry,
+	}
+	j.mu.Unlock()
+	m.mStates[StateRunning].Inc()
+	m.mLeasesActive.Add(1)
+	if affine {
+		m.mAffinity.Inc()
+	} else if len(affinity) > 0 {
+		m.mSteals.Inc()
+	}
+	j.emit(Event{Type: "state", State: StateRunning, Worker: worker, Attempt: lease.Attempt})
+	return lease, true
+}
+
+// popAffineLocked removes and returns the best queued job for a worker
+// holding the given affinity hashes: the first match scanning classes in
+// priority order, else the plain front of the queue (a steal). The second
+// result reports whether the pick was an affinity match.
+func (m *Manager) popAffineLocked(affinity map[uint64]bool) (*Job, bool) {
+	if len(affinity) > 0 {
+		for c := range m.queues {
+			for i, j := range m.queues[c] {
+				if affinity[j.affinity] {
+					m.queues[c] = append(m.queues[c][:i], m.queues[c][i+1:]...)
+					m.noteDepthLocked()
+					return j, true
+				}
+			}
+		}
+	}
+	return m.popLocked(), false
+}
+
+// leaseHeld reports whether worker currently holds id's lease.
+func (m *Manager) leaseHeld(id, worker string) (*Job, error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	held := j.leased && j.leaseWorker == worker && j.state == StateRunning
+	j.mu.Unlock()
+	if !held {
+		return nil, fmt.Errorf("%w: job %s is not leased to %q", ErrLeaseLost, id, worker)
+	}
+	return j, nil
+}
+
+// RenewLease extends worker's lease on id by ttl. ErrLeaseLost means the
+// lease expired (the job requeued or finished elsewhere) or the job was
+// cancelled; the worker must abandon the run.
+func (m *Manager) RenewLease(id, worker string, ttl time.Duration) error {
+	j, err := m.Get(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.leased || j.leaseWorker != worker || j.state != StateRunning {
+		return fmt.Errorf("%w: job %s is not leased to %q", ErrLeaseLost, id, worker)
+	}
+	j.leaseExpiry = time.Now().Add(ttl)
+	return nil
+}
+
+// AppendRemote forwards one stage or progress event from the leased
+// worker's local run into the coordinator's event log (and stage metrics).
+// Lifecycle edges are rejected: the coordinator emits its own.
+func (m *Manager) AppendRemote(id, worker string, e Event) error {
+	if e.Type == "state" {
+		return errors.New("jobs: workers do not emit lifecycle edges")
+	}
+	j, err := m.leaseHeld(id, worker)
+	if err != nil {
+		return err
+	}
+	// Re-stamp: only the payload fields cross the wire; seq and time are
+	// assigned here so the log stays a single total order.
+	j.emit(Event{
+		Type:     e.Type,
+		Stage:    e.Stage,
+		CacheHit: e.CacheHit,
+		Seconds:  e.Seconds,
+		Cycle:    e.Cycle,
+		Stepped:  e.Stepped,
+		Skipped:  e.Skipped,
+		Final:    e.Final,
+	})
+	if e.Type == "stage" {
+		if h := m.mStage[e.Stage]; h != nil {
+			h.Observe(e.Seconds)
+		}
+	}
+	return nil
+}
+
+// CompleteLease finishes a leased job: done with the worker's report, or
+// failed with its error message. The claim check runs under the job lock,
+// so a completion racing lease expiry resolves to exactly one outcome; the
+// loser gets ErrLeaseLost.
+func (m *Manager) CompleteLease(id, worker string, report json.RawMessage, errMsg string) error {
+	j, err := m.Get(id)
+	if err != nil {
+		return err
+	}
+	claim := func(j *Job) bool {
+		return j.leased && j.leaseWorker == worker && j.state == StateRunning
+	}
+	var ok bool
+	if errMsg == "" {
+		ok = m.finish(j, claim, StateDone, nil, report, "")
+	} else {
+		ok = m.finish(j, claim, StateFailed, errors.New(errMsg), nil, "")
+	}
+	if !ok {
+		return fmt.Errorf("%w: job %s is not leased to %q", ErrLeaseLost, id, worker)
+	}
+	return nil
+}
+
+// ExpireLeases requeues (or, past MaxAttempts, fails) every leased job
+// whose lease lapsed before now, and returns how many it reclaimed. A
+// requeued job goes to the front of its class so the latency already paid
+// is not paid twice. The coordinator calls this periodically.
+func (m *Manager) ExpireLeases(now time.Time) int {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	maxAttempts := m.opts.MaxAttempts
+	m.mu.Unlock()
+	n := 0
+	for _, j := range jobs {
+		j.mu.Lock()
+		if !j.leased || j.state != StateRunning || !now.After(j.leaseExpiry) {
+			j.mu.Unlock()
+			continue
+		}
+		worker, attempts := j.leaseWorker, j.attempts
+		if attempts >= maxAttempts {
+			j.mu.Unlock()
+			m.mLeaseExpired.Inc()
+			claim := func(j *Job) bool { return j.leased && j.leaseWorker == worker }
+			m.finish(j, claim, StateFailed,
+				fmt.Errorf("jobs: lease expired on worker %q after %d attempts", worker, attempts), nil, "")
+			n++
+			continue
+		}
+		j.leased = false
+		j.state = StateQueued
+		j.mu.Unlock()
+		m.mLeaseExpired.Inc()
+		m.mRequeued.Inc()
+		m.mLeasesActive.Add(-1)
+		m.mStates[StateQueued].Inc()
+		j.emit(Event{Type: "state", State: StateQueued, Worker: worker, Attempt: attempts,
+			Error: "lease expired; requeued"})
+		m.mu.Lock()
+		if !m.draining {
+			m.enqueueLocked(j, true)
+			m.mu.Unlock()
+		} else {
+			m.mu.Unlock()
+			m.finish(j, nil, StateCancelled, nil, nil, "cancelled before start")
+		}
+		n++
+	}
+	return n
+}
+
+// TakeCancels drains and returns the IDs of leased jobs cancelled while
+// worker held them. Heartbeat responses carry them so workers abort
+// promptly instead of discovering ErrLeaseLost at completion.
+func (m *Manager) TakeCancels(worker string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := m.cancels[worker]
+	delete(m.cancels, worker)
+	return ids
+}

@@ -1,0 +1,186 @@
+package jobs
+
+import "math"
+
+// The admission priority classes, highest first. A queued high job always
+// dequeues before a normal one, and normal before low; within a class the
+// queue is FIFO. Classes are fixed (not a numeric priority) so starvation
+// analysis and per-class metrics stay tractable.
+const (
+	PriorityHigh   = "high"
+	PriorityNormal = "normal"
+	PriorityLow    = "low"
+)
+
+// priorityClasses lists the classes in dequeue order.
+var priorityClasses = []string{PriorityHigh, PriorityNormal, PriorityLow}
+
+// classRank maps a priority class to its queue index (unknown names were
+// rejected at admission; the default class is normal).
+func classRank(p string) int {
+	switch p {
+	case PriorityHigh:
+		return 0
+	case PriorityLow:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// queueDepthLocked is the number of waiting jobs across all classes.
+func (m *Manager) queueDepthLocked() int {
+	n := 0
+	for i := range m.queues {
+		n += len(m.queues[i])
+	}
+	return n
+}
+
+// enqueueLocked adds a queued job to its class queue (front-of-class when
+// requeueing after a lost lease, so recovery latency is not paid twice) and
+// wakes one waiting local worker.
+func (m *Manager) enqueueLocked(j *Job, front bool) {
+	c := classRank(j.Spec.Priority)
+	if front {
+		m.queues[c] = append([]*Job{j}, m.queues[c]...)
+	} else {
+		m.queues[c] = append(m.queues[c], j)
+	}
+	m.noteDepthLocked()
+	m.cond.Signal()
+}
+
+// popLocked removes and returns the front of the highest nonempty class
+// (nil when every class is empty).
+func (m *Manager) popLocked() *Job {
+	for c := range m.queues {
+		if len(m.queues[c]) > 0 {
+			j := m.queues[c][0]
+			m.queues[c] = m.queues[c][1:]
+			m.noteDepthLocked()
+			return j
+		}
+	}
+	return nil
+}
+
+// removeQueuedLocked drops a specific job from its class queue (cancelled
+// while queued). It reports whether the job was found.
+func (m *Manager) removeQueuedLocked(j *Job) bool {
+	c := classRank(j.Spec.Priority)
+	for i, q := range m.queues[c] {
+		if q == j {
+			m.queues[c] = append(m.queues[c][:i], m.queues[c][i+1:]...)
+			m.noteDepthLocked()
+			return true
+		}
+	}
+	return false
+}
+
+// noteDepthLocked refreshes the queue-depth gauges.
+func (m *Manager) noteDepthLocked() {
+	m.mQueueDepth.Set(int64(m.queueDepthLocked()))
+	for i, p := range priorityClasses {
+		m.mClassDepth[p].Set(int64(len(m.queues[i])))
+	}
+}
+
+// dequeue blocks until a job is available for the local pool or the queue is
+// closed (returns nil). Jobs cancelled while queued are skipped here and by
+// runJob's own state check.
+func (m *Manager) dequeue() *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if j := m.popLocked(); j != nil {
+			return j
+		}
+		if m.qclosed {
+			return nil
+		}
+		m.cond.Wait()
+	}
+}
+
+// QueueStats is a point-in-time admission snapshot, shaped for health and
+// readiness probes: Accepting is false exactly when a submission right now
+// would be shed (draining or at capacity).
+type QueueStats struct {
+	Depth     int  `json:"queueDepth"`
+	Capacity  int  `json:"queueCapacity"`
+	Running   int  `json:"running"`
+	Leased    int  `json:"leased"`
+	Draining  bool `json:"draining"`
+	Accepting bool `json:"accepting"`
+}
+
+// QueueStats snapshots the admission queue.
+func (m *Manager) QueueStats() QueueStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := QueueStats{
+		Depth:    m.queueDepthLocked(),
+		Capacity: m.opts.QueueDepth,
+		Running:  int(m.mInflight.Value()),
+		Leased:   m.leasedLocked(),
+		Draining: m.draining,
+	}
+	st.Accepting = !m.draining && st.Depth < st.Capacity
+	return st
+}
+
+// leasedLocked counts jobs currently leased to remote workers.
+func (m *Manager) leasedLocked() int {
+	n := 0
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if j.leased {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// RetryAfter derives the Retry-After hint (in whole seconds) a shed
+// submission should carry: the estimated time for the current backlog to
+// drain through the available execution slots, using the observed mean run
+// time. It replaces the old hardcoded 1s — under a deep queue of slow jobs a
+// 1s retry storm only amplifies the overload. Clamped to [1, 60]; a
+// draining manager answers 30 (clients should find another replica).
+func (m *Manager) RetryAfter() int {
+	m.mu.Lock()
+	depth := m.queueDepthLocked()
+	draining := m.draining
+	slots := m.opts.Workers
+	m.mu.Unlock()
+	if draining {
+		return 30
+	}
+	slots += m.leasedSlots()
+	if slots < 1 {
+		slots = 1
+	}
+	mean := 1.0 // no completed run yet: assume a second
+	if h := m.mStage["run"]; h != nil && h.Count() > 0 {
+		mean = h.Sum() / float64(h.Count())
+	}
+	est := int(math.Ceil(float64(depth+1) * mean / float64(slots)))
+	if est < 1 {
+		est = 1
+	}
+	if est > 60 {
+		est = 60
+	}
+	return est
+}
+
+// leasedSlots estimates remote capacity: the number of active leases (each
+// lease is a remote worker slot proven to exist).
+func (m *Manager) leasedSlots() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.leasedLocked()
+}

@@ -1,7 +1,9 @@
 package jobs
 
 import (
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"mosaicsim/internal/config"
@@ -64,6 +66,14 @@ type Spec struct {
 	// Timeout is an optional per-job wall-clock budget as a Go duration
 	// string ("30s"); the manager's per-job timeout still caps it.
 	Timeout string `json:"timeout,omitempty"`
+	// Tenant attributes the job to a client for quota accounting and
+	// per-tenant metrics. Servers fill it from the X-Mosaic-Tenant header
+	// when the body leaves it empty ("" = the default tenant).
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the admission class: high, normal, or low (default
+	// normal). Higher classes always dequeue first; within a class the
+	// queue is FIFO.
+	Priority string `json:"priority,omitempty"`
 }
 
 // suggest renders a validation error with a did-you-mean candidate drawn
@@ -169,7 +179,37 @@ func (s Spec) Normalize() (Spec, error) {
 			return s, fmt.Errorf("jobs: non-positive timeout %q", s.Timeout)
 		}
 	}
+	if s.Priority == "" {
+		s.Priority = PriorityNormal
+	}
+	switch s.Priority {
+	case PriorityHigh, PriorityNormal, PriorityLow:
+	default:
+		return s, suggest("priority", s.Priority, []string{PriorityHigh, PriorityNormal, PriorityLow})
+	}
 	return s, nil
+}
+
+// AffinityHash is a stable hash over the spec fields that select cached
+// artifacts — workload, scale, shape, and the opt pipeline, the same
+// dimensions sim.Key carries. Two specs with equal hashes reuse each
+// other's traces and recorded schedules, so the coordinator prefers
+// leasing a job to a worker whose cache is already warm for its hash.
+// Tenant, priority, timeout, limit, and execution knobs are deliberately
+// excluded: they change scheduling or bounds, not artifacts.
+func (s Spec) AffinityHash() uint64 {
+	h := fnv.New64a()
+	for _, f := range []string{s.Workload, s.Scale, s.Core, s.Mem, s.Slicing, s.Preset, s.Opt, s.Passes} {
+		h.Write([]byte(f))
+		h.Write([]byte{0})
+	}
+	fmt.Fprintf(h, "%d|%d", s.Tiles, s.Unroll)
+	if s.Topology != nil {
+		if b, err := json.Marshal(s.Topology); err == nil {
+			h.Write(b)
+		}
+	}
+	return h.Sum64()
 }
 
 // timeout returns the spec's parsed per-job budget (0 = none). The spec must

@@ -140,6 +140,42 @@ func (r *Registry) Counter(name, help string, labels Labels) *Counter {
 	return c
 }
 
+// CounterVec is a family of counters distinguished by one label whose values
+// arrive at runtime (e.g. tenant names), unlike the fixed label sets startup
+// code registers. Series are created lazily on first use and registered into
+// the family like any other, so they render in first-use order.
+type CounterVec struct {
+	r          *Registry
+	name, help string
+	label      string
+	extra      Labels
+	mu         sync.Mutex
+	byValue    map[string]*Counter
+}
+
+// CounterVec registers a lazily-populated counter family keyed by one label.
+// extra labels (may be nil) are constant across every series.
+func (r *Registry) CounterVec(name, help, label string, extra Labels) *CounterVec {
+	return &CounterVec{r: r, name: name, help: help, label: label, extra: extra, byValue: map[string]*Counter{}}
+}
+
+// With returns the counter for one label value, creating and registering its
+// series on first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.byValue[value]; c != nil {
+		return c
+	}
+	ls := Labels{v.label: value}
+	for k, val := range v.extra {
+		ls[k] = val
+	}
+	c := v.r.Counter(v.name, v.help, ls)
+	v.byValue[value] = c
+	return c
+}
+
 // counterFunc samples an external monotonic value at scrape time (e.g. a
 // cache's internal hit counter).
 type counterFunc func() int64
@@ -224,6 +260,13 @@ func (h *Histogram) Count() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.count
+}
+
+// Sum returns the running sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
 }
 
 // Quantile returns an estimate of quantile q (0..1) by linear interpolation

@@ -6,8 +6,13 @@
 //	GET    /v1/jobs/{id}        status + final report    → 200 Status
 //	GET    /v1/jobs/{id}/events NDJSON live event stream → 200 stream of jobs.Event
 //	DELETE /v1/jobs/{id}        cancel                   → 202 Status (returns before the ctx error lands)
-//	GET    /healthz             liveness + drain state   → 200 {"status":"ok"|"draining"}
+//	GET    /healthz             readiness probe          → 200 while accepting, 503 when shedding; body carries queue depth + drain state
 //	GET    /metrics             Prometheus text exposition
+//
+// Submissions may carry an X-Mosaic-Tenant header naming the client tenant
+// for quota accounting (a tenant in the Spec body wins). In a fleet, the
+// coordinator mounts internal/cluster's /cluster/v1/* endpoints beside this
+// surface.
 //
 // Handlers hold no state of their own: every response is a snapshot from
 // the manager, and event streams are driven by the job's own notification
@@ -19,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"mosaicsim/internal/jobs"
 	"mosaicsim/internal/metrics"
@@ -66,16 +72,19 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-// writeErr maps manager errors onto status codes: shed submissions are 429
-// (the client should back off and retry), drain is 503, unknown IDs 404,
-// anything else from validation is 400.
-func writeErr(w http.ResponseWriter, err error) {
+// writeErr maps manager errors onto status codes: shed submissions (queue
+// full or tenant quota) are 429 with a Retry-After derived from the live
+// backlog and observed run times (jobs.Manager.RetryAfter — a hardcoded 1s
+// here just synchronized retry storms under overload), drain is 503 with
+// the same hint, unknown IDs 404, anything else from validation is 400.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
 	switch {
-	case errors.Is(err, jobs.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrTenantQuota):
+		w.Header().Set("Retry-After", strconv.Itoa(s.mgr.RetryAfter()))
 		code = http.StatusTooManyRequests
 	case errors.Is(err, jobs.ErrShuttingDown):
+		w.Header().Set("Retry-After", strconv.Itoa(s.mgr.RetryAfter()))
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, jobs.ErrNotFound):
 		code = http.StatusNotFound
@@ -88,12 +97,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeErr(w, fmt.Errorf("bad submission body: %w", err))
+		s.writeErr(w, fmt.Errorf("bad submission body: %w", err))
 		return
+	}
+	// The tenant rides the X-Mosaic-Tenant header (a proxy-settable
+	// identity); an explicit tenant in the body wins.
+	if spec.Tenant == "" {
+		spec.Tenant = r.Header.Get("X-Mosaic-Tenant")
 	}
 	j, err := s.mgr.Submit(spec)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+j.ID)
@@ -114,7 +128,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, err := s.mgr.Get(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Status())
@@ -123,7 +137,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, err := s.mgr.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	// 202: cancellation is asynchronous by design — a running job's
@@ -137,7 +151,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, err := s.mgr.Get(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -169,12 +183,27 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// healthz is the readiness body: the drain status plus the live admission
+// snapshot, so load balancers can route on queue depth, not just liveness.
+type healthz struct {
+	Status string `json:"status"`
+	jobs.QueueStats
+}
+
+// handleHealthz doubles as a readiness probe: 200 while the manager accepts
+// submissions, 503 once it would shed them (draining or queue at capacity),
+// with the queue snapshot in the body either way.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.mgr.QueueStats()
 	status := "ok"
-	if s.mgr.Draining() {
+	if st.Draining {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+	code := http.StatusOK
+	if !st.Accepting {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, healthz{Status: status, QueueStats: st})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -232,6 +232,10 @@ type Cache struct {
 	slices  layer[kernelKey, *sliced]
 	arts    layer[Key, *Artifact]
 	scheds  layer[schedKey, *replay.Schedule]
+
+	// imported stages traces restored from a store (ImportArtifact) for
+	// lazy adoption by Artifact builds; see persist.go.
+	imported map[Key]*trace.Trace
 }
 
 // NewCache builds an empty, unbounded cache.

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"mosaicsim/internal/replay"
+	"mosaicsim/internal/trace"
+)
+
+// This file is the cache's persistence boundary: export the expensive,
+// serializable artifacts (dynamic traces and recorded timing schedules) as
+// opaque named blobs, and import them back after a restart. Compiled
+// kernels, DDGs, and DAE slices are deliberately NOT serialized — they
+// rebuild cheaply and deterministically through the compile singleflight,
+// and their in-memory graphs are cyclic (hostile to any codec). An imported
+// trace is staged, not installed: Session.Artifact adopts it lazily inside
+// the build closure, re-compiling the (cheap) kernel and graph around it
+// and skipping only the expensive TraceWith/TracePairs step, so artifact
+// structure and singleflight semantics stay identical to a cold build.
+//
+// Blob format: one JSON header line (the artifact kind and its full cache
+// key) followed by the payload — the trace's own binary codec
+// (trace.WriteTo/trace.Read), or the schedule as JSON. Blob names are
+// content addresses derived from the key, so a store can write-if-absent.
+
+// blobHeader is the first (newline-terminated) line of every exported blob.
+type blobHeader struct {
+	Kind string `json:"kind"` // "trace" or "sched"
+	Key  Key    `json:"key"`
+	// Struct is the schedule's structural config hash ("sched" blobs only).
+	Struct uint64 `json:"struct,omitempty"`
+}
+
+// blobName derives the content-addressed blob name for a header: the kind
+// plus a hash of the canonical header JSON, so equal keys collide (by
+// design — the blob is already present) and distinct keys cannot.
+func blobName(h blobHeader) string {
+	b, _ := json.Marshal(h)
+	sum := sha256.Sum256(b)
+	return h.Kind + "-" + hex.EncodeToString(sum[:16])
+}
+
+// ExportArtifacts streams every serializable completed artifact — traced
+// artifacts and recorded schedules, staged imports included — to fn as
+// (name, blob) pairs. fn is typically store.PutArtifact; iteration stops on
+// its first error.
+func (c *Cache) ExportArtifacts(fn func(name string, data []byte) error) error {
+	type traceEntry struct {
+		key Key
+		tr  *trace.Trace
+	}
+	type schedEntry struct {
+		key schedKey
+		s   *replay.Schedule
+	}
+	c.mu.Lock()
+	var traces []traceEntry
+	seen := map[Key]bool{}
+	for k, f := range c.arts.m {
+		if f.completed && f.err == nil && f.val != nil && f.val.Trace != nil {
+			traces = append(traces, traceEntry{k, f.val.Trace})
+			seen[k] = true
+		}
+	}
+	for k, tr := range c.imported {
+		if !seen[k] {
+			traces = append(traces, traceEntry{k, tr})
+		}
+	}
+	var scheds []schedEntry
+	for k, f := range c.scheds.m {
+		if f.completed && f.err == nil && f.val != nil {
+			scheds = append(scheds, schedEntry{k, f.val})
+		}
+	}
+	c.mu.Unlock()
+	for _, e := range traces {
+		hdr := blobHeader{Kind: "trace", Key: e.key}
+		var buf bytes.Buffer
+		hb, err := json.Marshal(hdr)
+		if err != nil {
+			return fmt.Errorf("sim: export: %w", err)
+		}
+		buf.Write(hb)
+		buf.WriteByte('\n')
+		if _, err := e.tr.WriteTo(&buf); err != nil {
+			return fmt.Errorf("sim: export trace %s: %w", e.key.Kernel, err)
+		}
+		if err := fn(blobName(hdr), buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	for _, e := range scheds {
+		hdr := blobHeader{Kind: "sched", Key: e.key.Key, Struct: e.key.Struct}
+		var buf bytes.Buffer
+		hb, err := json.Marshal(hdr)
+		if err != nil {
+			return fmt.Errorf("sim: export: %w", err)
+		}
+		buf.Write(hb)
+		buf.WriteByte('\n')
+		sb, err := json.Marshal(e.s)
+		if err != nil {
+			return fmt.Errorf("sim: export schedule %s: %w", e.key.Kernel, err)
+		}
+		buf.Write(sb)
+		if err := fn(blobName(hdr), buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ImportArtifact decodes one exported blob back into the cache: a trace is
+// staged for lazy adoption by the next Artifact build under its key, and a
+// schedule is installed directly (first writer wins; imports never count as
+// newly recorded). Unknown kinds and corrupt payloads are errors — a store
+// blob is content-addressed, so corruption means disk damage, not version
+// skew.
+func (c *Cache) ImportArtifact(name string, data []byte) error {
+	r := bufio.NewReader(bytes.NewReader(data))
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return fmt.Errorf("sim: import %s: missing header: %w", name, err)
+	}
+	var hdr blobHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return fmt.Errorf("sim: import %s: bad header: %w", name, err)
+	}
+	switch hdr.Kind {
+	case "trace":
+		tr, err := trace.Read(r)
+		if err != nil {
+			return fmt.Errorf("sim: import %s: %w", name, err)
+		}
+		c.mu.Lock()
+		if c.imported == nil {
+			c.imported = map[Key]*trace.Trace{}
+		}
+		if _, ok := c.imported[hdr.Key]; !ok {
+			c.imported[hdr.Key] = tr
+		}
+		c.mu.Unlock()
+		return nil
+	case "sched":
+		var s replay.Schedule
+		dec := json.NewDecoder(r)
+		if err := dec.Decode(&s); err != nil {
+			return fmt.Errorf("sim: import %s: %w", name, err)
+		}
+		c.putImportedSchedule(hdr.Key, hdr.Struct, &s)
+		return nil
+	default:
+		return fmt.Errorf("sim: import %s: unknown artifact kind %q", name, hdr.Kind)
+	}
+}
+
+// putImportedSchedule installs a schedule like PutSchedule but without
+// bumping the recorded counter: an import restores prior work, it does not
+// capture new work.
+func (c *Cache) putImportedSchedule(key Key, structHash uint64, s *replay.Schedule) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sk := schedKey{Key: key, Struct: structHash}
+	if _, ok := c.scheds.m[sk]; ok {
+		return
+	}
+	done := make(chan struct{})
+	close(done)
+	c.scheds.m[sk] = &flight[*replay.Schedule]{done: done, val: s, completed: true}
+	c.scheds.touch(sk)
+	c.scheds.evictOver(c.max, &c.evicted)
+}
+
+// importedTrace returns the staged imported trace for key, or nil. The
+// entry stays staged (it is the durable copy an evicted artifact re-adopts)
+// — Session.Artifact wraps it in a fresh Artifact per build.
+func (c *Cache) importedTrace(key Key) *trace.Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.imported[key]
+}
+
+// ImportedCount reports how many traces are staged for adoption (startup
+// logging).
+func (c *Cache) ImportedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.imported)
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestExportImportRoundTrip is the artifact-index determinism contract: a
+// cache's traces and recorded schedules, exported as blobs and imported
+// into a fresh cache (a restarted daemon, or a fleet worker's warm start),
+// must answer the same submission with a byte-identical report — the
+// imported trace adopted without re-tracing, the imported schedule replayed
+// without re-simulating.
+func TestExportImportRoundTrip(t *testing.T) {
+	w := spinWorkload("persist-rt", 2_000)
+	cfg := oneTileConfig("persist-rt-cfg")
+	run := func(c *Cache) ([]byte, *Session) {
+		s, err := NewSession(Options{Workload: w, Config: cfg, Replay: true, Cache: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, s
+	}
+
+	c1 := NewCache()
+	want, _ := run(c1)
+	if c1.ReplayCounters().Recorded != 1 {
+		t.Fatalf("recorded = %d, want 1", c1.ReplayCounters().Recorded)
+	}
+
+	blobs := map[string][]byte{}
+	if err := c1.ExportArtifacts(func(name string, data []byte) error {
+		if _, dup := blobs[name]; dup {
+			t.Errorf("duplicate blob name %q", name)
+		}
+		blobs[name] = append([]byte(nil), data...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 2 {
+		t.Fatalf("exported %d blobs, want 2 (one trace, one schedule)", len(blobs))
+	}
+
+	// Export is deterministic: a second pass produces the same names and
+	// bytes (the store relies on this for write-if-absent).
+	if err := c1.ExportArtifacts(func(name string, data []byte) error {
+		prev, ok := blobs[name]
+		if !ok {
+			t.Errorf("second export produced new name %q", name)
+		} else if !reflect.DeepEqual(prev, data) {
+			t.Errorf("blob %q bytes differ between exports", name)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := NewCache()
+	for name, data := range blobs {
+		if err := c2.ImportArtifact(name, data); err != nil {
+			t.Fatalf("import %s: %v", name, err)
+		}
+	}
+	if c2.ImportedCount() != 1 {
+		t.Fatalf("staged traces = %d, want 1", c2.ImportedCount())
+	}
+
+	got, s2 := run(c2)
+	if string(got) != string(want) {
+		t.Errorf("report after import differs:\n got %s\nwant %s", got, want)
+	}
+	// The run must have been answered from the imported schedule, not
+	// re-simulated, and imports must not count as newly recorded.
+	if !s2.Replay().Replayed {
+		t.Errorf("run after import was not replayed (reason %q)", s2.Replay().Reason)
+	}
+	rc := c2.ReplayCounters()
+	if rc.Recorded != 0 {
+		t.Errorf("imported schedule counted as recorded (%d)", rc.Recorded)
+	}
+	if rc.Hits != 1 {
+		t.Errorf("replay hits = %d, want 1", rc.Hits)
+	}
+}
+
+// TestImportedTraceAdopted forces the full-simulation path (no schedule)
+// and checks the imported trace is adopted by the Artifact build instead of
+// re-tracing.
+func TestImportedTraceAdopted(t *testing.T) {
+	w := spinWorkload("persist-adopt", 2_000)
+	cfg := oneTileConfig("persist-adopt-cfg")
+	c1 := NewCache()
+	s1, err := NewSession(Options{Workload: w, Config: cfg, Cache: c1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := s1.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blobs []struct {
+		name string
+		data []byte
+	}
+	if err := c1.ExportArtifacts(func(name string, data []byte) error {
+		blobs = append(blobs, struct {
+			name string
+			data []byte
+		}{name, append([]byte(nil), data...)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 1 {
+		t.Fatalf("exported %d blobs, want 1 (replay off records no schedule)", len(blobs))
+	}
+
+	c2 := NewCache()
+	for _, b := range blobs {
+		if err := c2.ImportArtifact(b.name, b.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := NewSession(Options{Workload: w, Config: cfg, Cache: c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := s2.Artifact(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Trace != c2.importedTrace(s2.Key()) {
+		t.Error("artifact build re-traced instead of adopting the imported trace")
+	}
+	res2, err := s2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(res1)
+	b2, _ := json.Marshal(res2)
+	if string(b1) != string(b2) {
+		t.Errorf("report over imported trace differs:\n got %s\nwant %s", b2, b1)
+	}
+}
+
+// TestImportArtifactRejectsCorruptBlobs: corrupt payloads error instead of
+// silently installing garbage.
+func TestImportArtifactRejectsCorruptBlobs(t *testing.T) {
+	c := NewCache()
+	if err := c.ImportArtifact("x", []byte("not json\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+	if err := c.ImportArtifact("x", []byte(`{"kind":"bogus","key":{}}`+"\n")); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := c.ImportArtifact("x", []byte(`{"kind":"trace","key":{}}`+"\ngarbage")); err == nil {
+		t.Error("corrupt trace payload accepted")
+	}
+}

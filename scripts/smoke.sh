@@ -42,7 +42,7 @@ for i in $(seq 1 50); do
   kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during startup"
   sleep 0.1
 done
-curl -fsS "${BASE}/healthz" | grep -q '"ok"' || fail "healthz never reported ok"
+grep -q '"ok"' <<<"$(curl -fsS "${BASE}/healthz")" || fail "healthz never reported ok"
 echo "smoke: healthz ok"
 
 # Submit a job.
@@ -57,15 +57,15 @@ echo "smoke: submitted $JOB_ID"
 # stream must contain the lifecycle edges and all three stages.
 EVENTS="$(curl -fsS --max-time 60 "${BASE}/v1/jobs/${JOB_ID}/events")" || fail "event stream failed"
 for want in '"queued"' '"running"' '"artifact"' '"run"' '"report"' '"done"'; do
-  echo "$EVENTS" | grep -q "$want" || fail "event stream missing $want: $EVENTS"
+  grep -q "$want" <<<"$EVENTS" || fail "event stream missing $want: $EVENTS"
 done
 echo "smoke: event stream complete ($(echo "$EVENTS" | wc -l) events)"
 
 # The job must be done with a report attached.
 STATUS="$(curl -fsS "${BASE}/v1/jobs/${JOB_ID}")" || fail "status fetch failed"
-echo "$STATUS" | grep -q '"state": "done"' || fail "job not done: $STATUS"
-echo "$STATUS" | grep -q '"report"' || fail "done job has no report: $STATUS"
-echo "$STATUS" | grep -q '"Cycles"' || fail "report has no cycle count: $STATUS"
+grep -q '"state": "done"' <<<"$STATUS" || fail "job not done: $STATUS"
+grep -q '"report"' <<<"$STATUS" || fail "done job has no report: $STATUS"
+grep -q '"Cycles"' <<<"$STATUS" || fail "report has no cycle count: $STATUS"
 echo "smoke: job done with report"
 
 # A second identical submission must dedup through the shared cache.
@@ -77,7 +77,7 @@ curl -fsS --max-time 60 "${BASE}/v1/jobs/${JOB2}/events" >/dev/null || fail "sec
 
 # Bad submissions are rejected up front with a did-you-mean.
 BAD="$(curl -sS -X POST "${BASE}/v1/jobs" -d '{"workload":"sgem"}')"
-echo "$BAD" | grep -q 'did you mean' || fail "no did-you-mean for a typo'd workload: $BAD"
+grep -q 'did you mean' <<<"$BAD" || fail "no did-you-mean for a typo'd workload: $BAD"
 
 # Scrape /metrics: jobs by state, queue depth, stage latencies, cache
 # counters must all be exposed, and the cache must show hits from the dedup.
@@ -90,7 +90,7 @@ for want in \
   'mosaicd_stage_seconds_count{stage="run"} 2' \
   'mosaicd_cache_misses_total' \
   'mosaicd_cache_evictions_total'; do
-  echo "$METRICS" | grep -qF "$want" || fail "metrics missing '$want':
+  grep -qF "$want" <<<"$METRICS" || fail "metrics missing '$want':
 $METRICS"
 done
 HITS="$(echo "$METRICS" | sed -n 's/^mosaicd_cache_hits_total \([0-9]*\)$/\1/p')"

@@ -1,0 +1,181 @@
+#!/usr/bin/env bash
+# smoke_fleet.sh — end-to-end smoke test of a mosaicd fleet.
+#
+# Usage:
+#   scripts/smoke_fleet.sh [base-port]
+#
+# Builds mosaicd, starts a coordinator (durable, -data-dir) plus a worker,
+# and walks the fleet serving path with curl: submit a batch through the
+# coordinator, wait until a job is running on the worker, SIGKILL the worker
+# mid-run, assert the lease expires and the job requeues to a second worker,
+# every job completes with a report, the fleet metrics show the leases, both
+# survivors drain cleanly on SIGTERM — and a restarted coordinator serves
+# the finished jobs back from disk. Any failure exits non-zero.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Body assertions use `grep -q <<<"$VAR"`, never `echo "$VAR" | grep -q`:
+# grep -q exits on first match, and under pipefail the echo side's SIGPIPE
+# (exit 141) would fail the pipeline even though the pattern matched.
+
+PORT="${1:-18474}"
+W1_PORT=$((PORT + 1))
+W2_PORT=$((PORT + 2))
+BASE="http://127.0.0.1:${PORT}"
+BIN="$(mktemp -d)/mosaicd"
+DATA="$(mktemp -d)"
+CLOG="$(mktemp)" W1LOG="$(mktemp)" W2LOG="$(mktemp)"
+
+COORD_PID="" W1_PID="" W2_PID=""
+cleanup() {
+  for pid in "$COORD_PID" "$W1_PID" "$W2_PID"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill -9 "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -f "$CLOG" "$W1LOG" "$W2LOG"
+  rm -rf "$(dirname "$BIN")" "$DATA"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "smoke-fleet: FAIL: $*" >&2
+  for log in "$CLOG" "$W1LOG" "$W2LOG"; do
+    echo "--- $log ---" >&2
+    cat "$log" >&2
+  done
+  exit 1
+}
+
+wait_healthz() {
+  local url="$1" pid="$2"
+  for i in $(seq 1 50); do
+    if curl -fsS "${url}/healthz" >/dev/null 2>&1; then return 0; fi
+    kill -0 "$pid" 2>/dev/null || fail "process $pid died during startup"
+    sleep 0.1
+  done
+  fail "healthz never came up at $url"
+}
+
+# fetch_status fetches one job's status, retrying transient curl failures
+# (assertions on the body are never retried — state is deterministic).
+fetch_status() {
+  local id="$1" out=""
+  for i in $(seq 1 5); do
+    if out="$(curl -fsS "${BASE}/v1/jobs/${id}")" && [[ -n "$out" ]]; then
+      echo "$out"
+      return 0
+    fi
+    sleep 0.2
+  done
+  return 1
+}
+
+echo "smoke-fleet: building mosaicd..."
+go build -o "$BIN" ./cmd/mosaicd
+
+echo "smoke-fleet: starting coordinator on :${PORT} (data-dir $DATA)..."
+"$BIN" -role coordinator -addr "127.0.0.1:${PORT}" -data-dir "$DATA" \
+  -lease-ttl 2s -queue 16 >"$CLOG" 2>&1 &
+COORD_PID=$!
+wait_healthz "$BASE" "$COORD_PID"
+
+echo "smoke-fleet: starting worker w1 on :${W1_PORT}..."
+"$BIN" -role worker -addr "127.0.0.1:${W1_PORT}" -coordinator "$BASE" \
+  -name w1 -workers 1 -slots 1 >"$W1LOG" 2>&1 &
+W1_PID=$!
+wait_healthz "http://127.0.0.1:${W1_PORT}" "$W1_PID"
+
+# Submit a batch through the coordinator: one longer job first (the SIGKILL
+# victim), then quick ones behind it.
+submit() {
+  local body="$1"
+  local out
+  out="$(curl -fsS -X POST "${BASE}/v1/jobs" -H 'Content-Type: application/json' -d "$body")" \
+    || fail "submit failed: $body"
+  echo "$out" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1
+}
+J1="$(submit '{"workload":"sgemm","scale":"small","tiles":2}')"
+J2="$(submit '{"workload":"sgemm","scale":"tiny","tiles":2}')"
+J3="$(submit '{"workload":"spmv","scale":"tiny","tiles":2}')"
+J4="$(submit '{"workload":"bfs","scale":"tiny","tiles":2}')"
+[[ -n "$J1" && -n "$J2" && -n "$J3" && -n "$J4" ]] || fail "submissions returned no IDs"
+echo "smoke-fleet: submitted $J1 $J2 $J3 $J4"
+
+# Wait until w1 is executing the long job, then kill it dead — no drain, no
+# completion, exactly a crashed machine.
+for i in $(seq 1 100); do
+  if curl -fsS "${BASE}/v1/jobs/${J1}" | grep -q '"state": "running"'; then break; fi
+  [[ "$i" -lt 100 ]] || fail "$J1 never started running on w1"
+  sleep 0.1
+done
+kill -9 "$W1_PID"
+W1_PID=""
+echo "smoke-fleet: SIGKILLed w1 while $J1 was running"
+
+echo "smoke-fleet: starting worker w2 on :${W2_PORT}..."
+"$BIN" -role worker -addr "127.0.0.1:${W2_PORT}" -coordinator "$BASE" \
+  -name w2 -workers 1 -slots 1 >"$W2LOG" 2>&1 &
+W2_PID=$!
+wait_healthz "http://127.0.0.1:${W2_PORT}" "$W2_PID"
+
+# Every job must complete: the killed worker's lease expires (2s TTL) and
+# its job requeues to w2, which also drains the rest of the batch.
+for id in "$J1" "$J2" "$J3" "$J4"; do
+  for i in $(seq 1 600); do
+    STATUS="$(curl -fsS "${BASE}/v1/jobs/${id}")" || fail "status fetch failed for $id"
+    if grep -q '"state": "done"' <<<"$STATUS"; then break; fi
+    grep -q '"state": "failed"' <<<"$STATUS" && fail "$id failed: $STATUS"
+    [[ "$i" -lt 600 ]] || fail "$id never finished: $STATUS"
+    sleep 0.1
+  done
+  grep -q '"report"' <<<"$STATUS" || fail "done job $id has no report"
+done
+echo "smoke-fleet: all jobs done"
+
+# The victim ran twice: once on w1 (lost), once on w2.
+STATUS1="$(fetch_status "$J1")" || fail "status fetch failed for $J1"
+grep -q '"attempts": 2' <<<"$STATUS1" || fail "$J1 not retried after the SIGKILL: $STATUS1"
+grep -q '"worker": "w2"' <<<"$STATUS1" || fail "$J1 not completed by w2: $STATUS1"
+
+# Fleet metrics: leases were granted, the lost lease expired and requeued.
+METRICS="$(curl -fsS "${BASE}/metrics")" || fail "metrics scrape failed"
+for want in \
+  'mosaicd_fleet_leases_granted_total' \
+  'mosaicd_leases_expired_total 1' \
+  'mosaicd_jobs_requeued_total 1' \
+  'mosaicd_jobs_total{state="done"} 4'; do
+  grep -qF "$want" <<<"$METRICS" || fail "metrics missing '$want'"
+done
+echo "smoke-fleet: lease expiry and requeue visible in metrics"
+
+# Graceful shutdown: the surviving worker and the coordinator both drain.
+kill -TERM "$W2_PID"
+EXIT_CODE=0; wait "$W2_PID" || EXIT_CODE=$?
+[[ "$EXIT_CODE" -eq 0 ]] || fail "worker w2 exited $EXIT_CODE on SIGTERM"
+grep -q 'drained cleanly' "$W2LOG" || fail "w2 log missing clean-drain line"
+W2_PID=""
+kill -TERM "$COORD_PID"
+EXIT_CODE=0; wait "$COORD_PID" || EXIT_CODE=$?
+[[ "$EXIT_CODE" -eq 0 ]] || fail "coordinator exited $EXIT_CODE on SIGTERM"
+grep -q 'drained cleanly' "$CLOG" || fail "coordinator log missing clean-drain line"
+COORD_PID=""
+echo "smoke-fleet: clean drain"
+
+# Durability: a restarted coordinator serves the finished jobs from disk.
+"$BIN" -role coordinator -addr "127.0.0.1:${PORT}" -data-dir "$DATA" >"$CLOG" 2>&1 &
+COORD_PID=$!
+wait_healthz "$BASE" "$COORD_PID"
+for id in "$J1" "$J2" "$J3" "$J4"; do
+  STATUS="$(fetch_status "$id")" || fail "restarted coordinator lost $id"
+  grep -q '"state": "done"' <<<"$STATUS" || fail "recovered $id not done: $STATUS"
+  grep -q '"report"' <<<"$STATUS" || fail "recovered $id has no report"
+done
+STATUS1="$(fetch_status "$J1")" || fail "restarted coordinator lost $J1"
+grep -q '"attempts": 2' <<<"$STATUS1" \
+  || fail "recovered $J1 lost its attempt history: $STATUS1"
+kill -TERM "$COORD_PID"
+wait "$COORD_PID" || fail "restarted coordinator did not drain"
+COORD_PID=""
+echo "smoke-fleet: restart served all jobs from disk"
+echo "smoke-fleet: PASS"
