@@ -432,6 +432,50 @@ func benchmarkStepWorkers(b *testing.B, workers int) {
 func BenchmarkStepSequential(b *testing.B) { benchmarkStepWorkers(b, 1) }
 func BenchmarkStepSharded8(b *testing.B)   { benchmarkStepWorkers(b, 8) }
 
+// benchmarkStepCoherent simulates a 64-tile directory-coherent SPMD mesh at
+// the given tile-stepping parallelism. Coherent hierarchies used to force
+// the sequential fallback; with invalidations staged and epoch-committed
+// they shard like any other topology (bit-identical results, per
+// TestCoherentSystemStepsParallel and the cfg/coherence golden worker legs).
+// As with the pair above, the win scales with host cores: on a single-core
+// host the sharded leg only measures the coordination overhead.
+func benchmarkStepCoherent(b *testing.B, workers int) {
+	b.Helper()
+	w := workloads.SGEMM()
+	g, tr, err := w.Trace(64, workloads.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc := config.TableIIMem()
+	mc.Directory = true
+	cfg := &config.SystemConfig{
+		Name:  "step-coherent",
+		Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: 64}},
+		Mem:   mc,
+		NoC:   &config.NoCConfig{MeshWidth: 8, HopCycles: 4},
+	}
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := soc.NewSPMD(cfg, g, tr, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.StepWorkers = workers
+		if err := sys.Run(context.Background(), 0); err != nil {
+			b.Fatal(err)
+		}
+		if workers > 1 && sys.ParallelPhases == 0 {
+			b.Fatal("parallel stepper never engaged on the coherent mesh")
+		}
+		cycles = sys.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+func BenchmarkStepCoherent64Sequential(b *testing.B) { benchmarkStepCoherent(b, 1) }
+func BenchmarkStepCoherent64Sharded8(b *testing.B)   { benchmarkStepCoherent(b, 8) }
+
 // replaySweepSrc is the sweep benchmark's kernel: a reduction over A (real
 // cache and DRAM traffic) followed by an accelerator offload — the same shape
 // the replay equivalence matrix pins down in internal/sim, so every leg the

@@ -359,8 +359,15 @@ func printResult(out io.Writer, r soc.Result, sys *soc.System, rp sim.ReplayOutc
 	tbl.Row("cycles stepped", stepped)
 	tbl.Row("cycles skipped", skipped)
 	tbl.Row("skip fraction", stats.SkipFraction(stepped, skipped))
-	if sys != nil && sys.ParallelPhases > 0 {
-		tbl.Row("parallel phases", sys.ParallelPhases)
+	if sys != nil {
+		if ok, reason := sys.ParallelEligibility(); ok {
+			tbl.Row("parallel stepping", fmt.Sprintf("%d workers", sys.StepWorkers))
+		} else {
+			tbl.Row("parallel stepping", "sequential ("+reason+")")
+		}
+		if sys.ParallelPhases > 0 {
+			tbl.Row("parallel phases", sys.ParallelPhases)
+		}
 	}
 	if rp.Attempted {
 		switch {

@@ -220,10 +220,22 @@ type SystemConfig struct {
 	NoC   *NoCConfig `json:"noc,omitempty"`
 	// StepWorkers shards tile stepping across that many goroutines per
 	// simulation, joined at every cycle boundary; results are bit-identical
-	// to sequential stepping. 0 or 1 steps sequentially. Systems whose
-	// timing is order-sensitive under sharding (directory coherence,
-	// zero-latency fabrics) fall back to sequential stepping automatically.
+	// to sequential stepping for every topology — directory-coherent
+	// hierarchies and zero-latency fabrics included (their cross-core
+	// effects are epoch-ordered; DESIGN.md §5e). 0 or 1 steps sequentially.
 	StepWorkers int `json:"step_workers,omitempty"`
+	// FabricLatency overrides the base inter-tile transfer latency in
+	// cycles (NoC hop costs add on top). nil keeps the default of 1; 0
+	// models an idealized same-cycle fabric.
+	FabricLatency *int64 `json:"fabric_latency,omitempty"`
+}
+
+// EffectiveFabricLatency resolves the FabricLatency override (default 1).
+func (sc *SystemConfig) EffectiveFabricLatency() int64 {
+	if sc.FabricLatency != nil {
+		return *sc.FabricLatency
+	}
+	return 1
 }
 
 // CoreSpec instantiates Count copies of a core configuration.
@@ -322,6 +334,9 @@ func (sc *SystemConfig) Validate() error {
 	}
 	if sc.StepWorkers < 0 {
 		return fmt.Errorf("config %q: step_workers must be >= 0, got %d", sc.Name, sc.StepWorkers)
+	}
+	if sc.FabricLatency != nil && *sc.FabricLatency < 0 {
+		return fmt.Errorf("config %q: fabric_latency must be >= 0, got %d", sc.Name, *sc.FabricLatency)
 	}
 	for _, cs := range sc.Cores {
 		if cs.Count <= 0 {

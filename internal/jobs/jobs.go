@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mosaicsim/internal/metrics"
@@ -311,6 +312,13 @@ type Manager struct {
 	mTileActive     map[string]*metrics.Counter
 	mTileStall      map[string]*metrics.Counter
 	mTileInstrs     map[string]*metrics.Counter
+
+	// parallelPhases / parallelStepped accumulate, over finished live
+	// (non-replayed) runs, how many Interleaver iterations the sharded
+	// stepper executed versus iterations simulated in total — the
+	// mosaicd_parallel_phase_ratio gauge.
+	parallelPhases  atomic.Int64
+	parallelStepped atomic.Int64
 }
 
 // runStages names the instrumented pipeline stages, in order: artifact
@@ -430,6 +438,14 @@ func NewManager(opts Options) *Manager {
 				return 0
 			}
 			return float64(rc.Hits) / float64(rc.Hits+rc.Fallbacks)
+		})
+	reg.GaugeFunc("mosaicd_parallel_phase_ratio", "Fraction of simulated Interleaver iterations executed by the sharded parallel stepper, over finished live runs.", nil,
+		func() float64 {
+			stepped := m.parallelStepped.Load()
+			if stepped == 0 {
+				return 0
+			}
+			return float64(m.parallelPhases.Load()) / float64(stepped)
 		})
 	if m.opts.Store != nil {
 		m.recover()
@@ -758,6 +774,8 @@ func (m *Manager) simRun(ctx context.Context, j *Job) (json.RawMessage, error) {
 	if sys := s.System(); sys != nil {
 		stepped, skipped = sys.SteppedCycles, sys.SkippedCycles
 		m.observeTiles(sys.TileBreakdown())
+		m.parallelPhases.Add(sys.ParallelPhases)
+		m.parallelStepped.Add(sys.SteppedCycles)
 	}
 	j.emit(Event{Type: "stage", Stage: "run", Seconds: d,
 		Cycle: res.Cycles, Stepped: stepped, Skipped: skipped})

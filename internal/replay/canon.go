@@ -52,6 +52,10 @@ type canonForm struct {
 	Tiles []canonTile
 	Mem   config.MemConfig
 	NoC   *config.NoCConfig
+	// FabricLat stays structural (not normalized away): a base fabric
+	// latency delta reorders message arrivals, which no replay family can
+	// re-evaluate analytically.
+	FabricLat int64
 }
 
 func canonCoreCfg(cfg config.CoreConfig) canonCore {
@@ -119,7 +123,7 @@ func canonicalize(sc *config.SystemConfig) (*canonForm, []soc.ResolvedTile, erro
 	if err != nil {
 		return nil, nil, err
 	}
-	cf := &canonForm{Mem: canonMem(sc.Mem), NoC: canonNoC(sc.NoC)}
+	cf := &canonForm{Mem: canonMem(sc.Mem), NoC: canonNoC(sc.NoC), FabricLat: sc.EffectiveFabricLatency()}
 	for _, rt := range rts {
 		cf.Tiles = append(cf.Tiles, canonTile{
 			Kind:     rt.Kind,

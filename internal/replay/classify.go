@@ -76,11 +76,11 @@ func Classify(s *Schedule, cfg *config.SystemConfig, accels map[string]soc.Accel
 	// cache already keys on StructHash, but Classify re-proves it so direct
 	// callers get the same guarantee (and hash collisions cannot admit a
 	// structurally different config).
-	oldCanon, err := canonJSON(s.Tiles, s.Mem, s.NoC)
+	oldCanon, err := canonJSON(s.Tiles, s.Mem, s.NoC, s.FabricLat)
 	if err != nil {
 		return fb("schedule: %v", err)
 	}
-	newCanon, err := canonJSON(newRts, cfg.Mem, cfg.NoC)
+	newCanon, err := canonJSON(newRts, cfg.Mem, cfg.NoC, cfg.EffectiveFabricLatency())
 	if err != nil {
 		return fb("config: %v", err)
 	}
@@ -319,8 +319,8 @@ func hopCycles(n *config.NoCConfig) int64 {
 }
 
 // canonJSON renders the canonical form of an already-resolved topology.
-func canonJSON(rts []soc.ResolvedTile, m config.MemConfig, noc *config.NoCConfig) ([]byte, error) {
-	cf := &canonForm{Mem: canonMem(m), NoC: canonNoC(noc)}
+func canonJSON(rts []soc.ResolvedTile, m config.MemConfig, noc *config.NoCConfig, fabricLat int64) ([]byte, error) {
+	cf := &canonForm{Mem: canonMem(m), NoC: canonNoC(noc), FabricLat: fabricLat}
 	for _, rt := range rts {
 		cf.Tiles = append(cf.Tiles, canonTile{
 			Kind:     rt.Kind,

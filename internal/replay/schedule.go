@@ -82,6 +82,12 @@ type Schedule struct {
 	ClockMHz  int // system (max tile) clock: DRAM budget math
 	LineBytes int // DRAM line size: DRAM budget math
 	HopsTotal int64
+	// FabricLat is the effective base fabric latency the run was recorded
+	// under. It is structural: a latency delta reorders message arrivals,
+	// so schedules recorded at different fabric latencies must never alias
+	// (old persisted schedules decode as 0 and conservatively mismatch the
+	// default of 1).
+	FabricLat int64
 
 	Invocations  []Invocation
 	DRAMArrivals []int64 // SimpleDRAM arrival cycles, arrival order
@@ -161,6 +167,7 @@ func (r *Recorder) Build(cfg *config.SystemConfig, sys *soc.System, res soc.Resu
 		ClockMHz:     maxClock,
 		LineBytes:    cfg.Mem.L1.LineBytes,
 		HopsTotal:    sys.Fabric.HopsTotal(),
+		FabricLat:    cfg.EffectiveFabricLatency(),
 		Invocations:  r.invs,
 		DRAMArrivals: append([]int64(nil), sys.Hier.DRAMAccessLog()...),
 	}

@@ -207,6 +207,41 @@ func TestParallelSteppingDeterminism(t *testing.T) {
 			}
 			return sys
 		}},
+		{"coherent-directory", func(t *testing.T) *System {
+			// Directory coherence: cross-core invalidations ride the staged
+			// commit, so worker count must not reorder them.
+			g, tr := traceSPMD(t, spmdVecAdd, 4, vecSetup(512), nil)
+			sc := tiny(4, 0, nil)
+			sc.Mem.Directory = true
+			sys, err := NewSPMD(sc, g, tr, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sys
+		}},
+		{"zero-latency-pingpong", func(t *testing.T) *System {
+			// A zero-cost fabric delivers messages the cycle they are sent,
+			// in both queue directions, under backpressure — the same-cycle
+			// visibility rules carry the whole determinism argument.
+			g, tr := traceSPMD(t, pingPongSrc, 2, func(m *interp.Memory) []uint64 {
+				vals := make([]float64, 300)
+				for i := range vals {
+					vals[i] = float64(i)
+				}
+				return []uint64{m.AllocF64(vals), m.Alloc(8, 8), 300}
+			}, nil)
+			sc := tiny(2, 4, nil)
+			zero := int64(0)
+			sc.FabricLatency = &zero
+			sys, err := NewSPMD(sc, g, tr, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sys.Fabric.Latency != 0 {
+				t.Fatalf("fabric_latency knob not applied: latency = %d", sys.Fabric.Latency)
+			}
+			return sys
+		}},
 	}
 	for _, b := range builds {
 		b := b
@@ -242,27 +277,56 @@ func TestParallelSteppingDeterminism(t *testing.T) {
 	}
 }
 
-// TestCoherentSystemStaysSequential: directory coherence is order-sensitive
-// (a core's access invalidates other cores' lines), so StepWorkers must fall
-// back to the sequential loop there — trivially bit-identical.
-func TestCoherentSystemStaysSequential(t *testing.T) {
-	g, tr := traceSPMD(t, spmdVecAdd, 2, vecSetup(256), nil)
-	mc := config.TableIIMem()
-	mc.Directory = true
-	sys, err := NewSPMD(&config.SystemConfig{
-		Name:  "coh-seq",
-		Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: 2}},
-		Mem:   mc,
-	}, g, tr, nil)
+// TestCoherentSystemStepsParallel: directory coherence used to force the
+// sequential fallback; with invalidations staged per core and committed in
+// tile order at the serial join, a coherent system now shards like any
+// other — parallel phases run, results match sequential byte for byte, and
+// ParallelEligibility explains the remaining fallbacks.
+func TestCoherentSystemStepsParallel(t *testing.T) {
+	build := func(t *testing.T) *System {
+		g, tr := traceSPMD(t, spmdVecAdd, 2, vecSetup(256), nil)
+		mc := config.TableIIMem()
+		mc.Directory = true
+		sys, err := NewSPMD(&config.SystemConfig{
+			Name:  "coh-par",
+			Cores: []config.CoreSpec{{Core: config.OutOfOrderCore(), Count: 2}},
+			Mem:   mc,
+		}, g, tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+
+	seq := build(t)
+	if ok, reason := seq.ParallelEligibility(); ok {
+		t.Errorf("workers=0 reported eligible (%s)", reason)
+	}
+	if err := seq.Run(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(seq.Result())
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.StepWorkers = 8
-	if err := sys.Run(context.Background(), 0); err != nil {
+
+	par := build(t)
+	par.StepWorkers = 8
+	if ok, reason := par.ParallelEligibility(); !ok {
+		t.Errorf("coherent system reported ineligible: %s", reason)
+	}
+	if err := par.Run(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
-	if sys.ParallelPhases != 0 {
-		t.Errorf("coherent system ran %d parallel phases; coherence must force sequential stepping", sys.ParallelPhases)
+	if par.ParallelPhases == 0 {
+		t.Error("coherent system never engaged the parallel stepper")
+	}
+	got, err := json.Marshal(par.Result())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("coherent parallel run diverged from sequential:\nseq: %s\npar: %s", want, got)
 	}
 }
 

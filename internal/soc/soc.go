@@ -93,6 +93,10 @@ type Fabric struct {
 	// dirty lists, per receiving tile, the queues that tile popped since the
 	// last epoch commit; commitEpoch publishes their pop counts to senders.
 	dirty [][]*msgQueue
+	// pushDirty lists, per sending tile, the same-cycle queues that tile
+	// pushed into since the last epoch commit; commitEpoch publishes their
+	// push counts to receivers.
+	pushDirty [][]*msgQueue
 }
 
 // transferCost returns the fabric latency from src to dst — including NoC
@@ -174,9 +178,20 @@ type msgQueue struct {
 	// previous stepped cycle); senders on other workers read it instead of
 	// the live count so capacity decisions match sequential stepping.
 	popsCommitted atomic.Int64
-	n             atomic.Int64 // current occupancy
+	// pushesCommitted is pushes as of the last epoch commit. Only receivers
+	// of same-cycle (zero-transfer-cost) pairs read it: with latency >= 1
+	// the arrival-cycle test already excludes this cycle's pushes, but a
+	// zero-cost message matures the cycle it is sent, so a receiver that
+	// steps before its sender must bound its view by the committed count.
+	pushesCommitted atomic.Int64
+	n               atomic.Int64 // current occupancy
 
-	dirtyMark bool // receiver-owned: queue already on its dirty list
+	dirtyMark     bool // receiver-owned: queue already on its dirty list
+	pushDirtyMark bool // sender-owned: queue already on its push-dirty list
+	// sameCycle marks a cross-tile pair whose transfer cost is zero
+	// (classified at engine start): its messages are receivable the cycle
+	// they are sent, so TryRecv applies the epoch visibility rules.
+	sameCycle bool
 }
 
 // push appends an arrival cycle and returns the ring slot it occupies.
@@ -212,6 +227,7 @@ func (f *Fabric) sizeTiles(n int) {
 	f.fullStall = make([]int64, n)
 	f.hops = make([]int64, n)
 	f.dirty = make([][]*msgQueue, n)
+	f.pushDirty = make([][]*msgQueue, n)
 }
 
 // bump adds d to tile i's shard of counter s, growing the shard for
@@ -311,6 +327,17 @@ func (f *Fabric) sendHasRoom(q *msgQueue, src, dst int) bool {
 	return false
 }
 
+// markPushDirty puts a same-cycle queue on src's push-dirty list so the next
+// epoch commit publishes its push count to the receiver. Latency >= 1 pairs
+// never need it: their receivers see this cycle's pushes only next cycle,
+// by the arrival test alone.
+func (f *Fabric) markPushDirty(q *msgQueue, src int) {
+	if f.engine != nil && q.sameCycle && !q.pushDirtyMark {
+		q.pushDirtyMark = true
+		f.pushDirty[src] = append(f.pushDirty[src], q)
+	}
+}
+
 // TrySend implements core.Fabric.
 func (f *Fabric) TrySend(src, dst int, now int64) bool {
 	q := f.queue(src, dst)
@@ -320,6 +347,7 @@ func (f *Fabric) TrySend(src, dst int, now int64) bool {
 	}
 	lat, hops := f.transferCost(src, dst)
 	q.push(now + lat)
+	f.markPushDirty(q, src)
 	f.bump(&f.sends, src, 1)
 	f.bump(&f.hops, src, hops)
 	return true
@@ -340,16 +368,47 @@ func (f *Fabric) TrySendFuture(src, dst int) (func(int64), bool) {
 		return nil, false
 	}
 	slot := q.push(futureArrival)
+	f.markPushDirty(q, src)
 	lat, hops := f.transferCost(src, dst)
 	f.bump(&f.sends, src, 1)
 	f.bump(&f.hops, src, hops)
 	return func(at int64) { atomic.StoreInt64(&q.buf[slot], at+lat) }, true
 }
 
-// TryRecv implements core.Fabric.
+// TryRecv implements core.Fabric. During a parallel phase a same-cycle
+// (zero-transfer-cost) queue needs explicit epoch ordering — its messages
+// are receivable the cycle they are sent, so worker timing could otherwise
+// decide whether one is seen:
+//
+//   - sender steps first sequentially (src < dst): wait for its step, then
+//     the live queue is exactly the sequential view.
+//   - receiver steps first (dst < src): this cycle's pushes are invisible —
+//     bound the view by the committed push count — and so are maturations
+//     the sender's concurrent step fires (TrySendFuture setters). On a
+//     zero-cost pair every arrival value equals the cycle it was written
+//     (push stores now+0; a setter stores the firing core's now+0), so
+//     arrival >= now identifies exactly the writes sequential receiver-first
+//     order would not have seen yet.
+//
+// Latency >= 1 queues need neither rule: arrivals land strictly after the
+// cycle they are written, so the plain arrival test already matches
+// sequential order. Self-sends are never same-cycle — the tile is its own
+// sender, so program order is the sequential order.
 func (f *Fabric) TryRecv(dst, src int, now int64) bool {
 	q := f.queues[[2]int{src, dst}]
-	if q == nil || q.n.Load() == 0 || atomic.LoadInt64(&q.buf[q.head]) > now {
+	if q == nil {
+		return false
+	}
+	if f.engine != nil && q.sameCycle {
+		if dst > src {
+			f.engine.waitCore(src)
+		} else if q.pushesCommitted.Load()-q.pops.Load() <= 0 {
+			return false
+		} else if atomic.LoadInt64(&q.buf[q.head]) >= now {
+			return false
+		}
+	}
+	if q.n.Load() == 0 || atomic.LoadInt64(&q.buf[q.head]) > now {
 		return false
 	}
 	if q.head++; q.head == len(q.buf) {
@@ -365,9 +424,10 @@ func (f *Fabric) TryRecv(dst, src int, now int64) bool {
 	return true
 }
 
-// commitEpoch publishes this cycle's pops to senders. It runs in the serial
-// phase at the per-cycle join, freezing the occupancy view the next cycle's
-// capacity checks read.
+// commitEpoch publishes this cycle's pops to senders and this cycle's pushes
+// (same-cycle queues only) to receivers. It runs in the serial phase at the
+// per-cycle join, freezing the occupancy and visibility views the next
+// cycle's capacity checks and same-cycle receives read.
 func (f *Fabric) commitEpoch() {
 	for i := range f.dirty {
 		for j, q := range f.dirty[i] {
@@ -377,13 +437,26 @@ func (f *Fabric) commitEpoch() {
 		}
 		f.dirty[i] = f.dirty[i][:0]
 	}
+	for i := range f.pushDirty {
+		for j, q := range f.pushDirty[i] {
+			q.pushesCommitted.Store(q.pushes)
+			q.pushDirtyMark = false
+			f.pushDirty[i][j] = nil
+		}
+		f.pushDirty[i] = f.pushDirty[i][:0]
+	}
 }
 
-// syncCommitted aligns every queue's committed pop count with its live one
-// (engine start, or reuse of a system that already ran sequentially).
-func (f *Fabric) syncCommitted() {
-	for _, q := range f.queues {
+// prepareParallel readies every queue for parallel stepping (engine start,
+// or reuse of a system that already ran sequentially): committed counters
+// align with the live ones and each pair is classified as same-cycle or not
+// from its transfer cost, which is constant per pair.
+func (f *Fabric) prepareParallel() {
+	for key, q := range f.queues {
 		q.popsCommitted.Store(q.pops.Load())
+		q.pushesCommitted.Store(q.pushes)
+		lat, _ := f.transferCost(key[0], key[1])
+		q.sameCycle = lat <= 0 && key[0] != key[1]
 	}
 }
 
@@ -484,11 +557,14 @@ type System struct {
 	// DisableCycleSkipping forces the naive cycle-by-cycle loop (the
 	// equivalence-test reference and the -noskip flag).
 	DisableCycleSkipping bool
-	// StepWorkers shards tile stepping across up to this many goroutines
-	// within each Interleaver iteration (0 or 1 = sequential). Results are
-	// bit-identical to sequential stepping at any worker count; see
-	// DESIGN.md §5e. Systems with directory coherence always step
-	// sequentially — cross-core invalidations are order-sensitive.
+	// StepWorkers shards tile stepping — and the private slice of the
+	// hierarchy tick — across up to this many goroutines within each
+	// Interleaver iteration (0 or 1 = sequential). Results are bit-identical
+	// to sequential stepping at any worker count for every topology,
+	// including directory-coherent hierarchies (invalidations are staged and
+	// committed in tile order at the serial join) and zero-latency fabrics
+	// (same-cycle delivery follows the epoch visibility rules); see
+	// DESIGN.md §5e.
 	StepWorkers int
 	// ParallelPhases counts Interleaver iterations the parallel stepper
 	// executed (0 when stepping sequentially). It is an observability hook
@@ -519,6 +595,21 @@ type ProgressUpdate struct {
 	// cancellation, cycle limit) emits, so the last streamed position is
 	// never stale by up to the poll interval plus the final horizon jump.
 	Final bool
+}
+
+// ParallelEligibility reports whether Run will shard stepping across
+// workers, with a human-readable reason either way. Since the epoch-ordered
+// coherence commit and same-cycle delivery rules (DESIGN.md §5e), every
+// topology is eligible — the only sequential fallbacks left are an explicit
+// worker budget <= 1 and a system too small to shard.
+func (s *System) ParallelEligibility() (bool, string) {
+	if s.StepWorkers <= 1 {
+		return false, "step-workers <= 1 requests sequential stepping"
+	}
+	if len(s.tiles) <= 1 {
+		return false, "fewer than two tiles to shard"
+	}
+	return true, "sharded stepping; coherence and same-cycle delivery are epoch-ordered"
 }
 
 // finalProgress emits the terminal progress update on a Run exit path.
@@ -871,6 +962,7 @@ func (s *System) Run(ctx context.Context, limit int64) error {
 		if eng != nil {
 			anyActive = eng.step(cycle)
 			s.Fabric.commitEpoch()
+			s.Hier.CommitStaged()
 		} else {
 			for i, t := range s.tiles {
 				accum[i] += strides[i]
@@ -893,7 +985,15 @@ func (s *System) Run(ctx context.Context, limit int64) error {
 			}
 		}
 		thr0 := s.Hier.ThrottleStalls()
-		s.Hier.Tick(cycle)
+		if eng != nil {
+			// Serial slice first (shared completions fill into private
+			// caches and core completion queues), then the sharded private
+			// ticks with their per-worker progress/freeze reduction.
+			s.Hier.TickShared(cycle)
+			eng.tick(cycle)
+		} else {
+			s.Hier.Tick(cycle)
+		}
 		thrTick := s.Hier.ThrottleStalls() - thr0
 		s.Cycles = cycle
 		s.SteppedCycles++
@@ -904,7 +1004,13 @@ func (s *System) Run(ctx context.Context, limit int64) error {
 		if s.DisableCycleSkipping {
 			continue
 		}
-		if cur := progress(); cur != last {
+		cur := last
+		if eng != nil {
+			cur = eng.tickProgress + uint64(s.Hier.ProgressShared())
+		} else {
+			cur = progress()
+		}
+		if cur != last {
 			// Progress invalidates every frozen-step confirmation: a tile
 			// that idled against the old state may act on the new one.
 			last = cur
@@ -914,10 +1020,14 @@ func (s *System) Run(ctx context.Context, limit int64) error {
 			continue
 		}
 		confirmed := true
-		for i, t := range s.tiles {
-			if !t.Done() && !idleOK[i] {
-				confirmed = false
-				break
+		if eng != nil {
+			confirmed = eng.tickConfirmed
+		} else {
+			for i, t := range s.tiles {
+				if !t.Done() && !idleOK[i] {
+					confirmed = false
+					break
+				}
 			}
 		}
 		if !confirmed {

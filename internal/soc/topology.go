@@ -210,6 +210,7 @@ func Build(sc *config.SystemConfig, b Binding, accels map[string]AccelModel) (*S
 		return nil, err
 	}
 	sys.StepWorkers = sc.StepWorkers
+	sys.Fabric.Latency = sc.EffectiveFabricLatency()
 	if sc.NoC != nil {
 		w := sc.NoC.MeshWidth
 		if w <= 0 || w*w < len(rts) {

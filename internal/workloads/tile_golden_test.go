@@ -98,6 +98,19 @@ func daeCase(key string, w *Workload, pairs int) goldenCase {
 	}}
 }
 
+// zeroLatCase is daeCase on an idealized same-cycle fabric: messages mature
+// the cycle they are sent. DAE pairs are the only built-in workloads that
+// communicate — and their fused sends reserve future slots — so this case
+// pins the parallel stepper's same-cycle visibility rules against the seed.
+func zeroLatCase(key string, w *Workload, pairs int) goldenCase {
+	base := daeCase(key, w, pairs)
+	return goldenCase{key: key, build: func(t *testing.T) *soc.System {
+		sys := base.build(t)
+		sys.Fabric.Latency = 0
+		return sys
+	}}
+}
+
 // tileGoldenCases builds the full (workload, system) matrix. wrap is applied
 // to every workload before tracing — identity for the seed lock, an explicit
 // opt config for the O0-bit-identity leg.
@@ -141,6 +154,7 @@ func tileGoldenCases(t *testing.T, wrap func(*Workload) *Workload) []goldenCase 
 		spmdCase("cfg/mixed-clocks", wrap(ByName("spmv")), 2, mixed),
 		daeCase("dae/projection-1pair", wrap(Projection()), 1),
 		daeCase("dae/projection-2pair", wrap(Projection()), 2),
+		zeroLatCase("dae/projection-2pair-zerolat", wrap(Projection()), 2),
 	)
 	return cases
 }
